@@ -1,0 +1,88 @@
+// Ablation: the multi-technology engagement algorithm (paper §3.3). With it
+// disabled, beacons go to every context technology all the time —
+// ubiSOAP-style — which is exactly the overhead Omni's design eliminates.
+// A mixed neighborhood (one WiFi-only device) shows the algorithm engaging
+// multicast only while it is actually needed.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "net/testbed.h"
+#include "omni/omni_node.h"
+
+namespace omni {
+namespace {
+
+struct Sample {
+  double energy_ma = 0;        // device A, relative to WiFi-standby
+  std::size_t peers_found = 0;  // device A's final peer count
+  std::uint64_t engagements = 0;
+  std::uint64_t disengagements = 0;
+};
+
+Sample run(bool engagement, bool include_wifi_only_peer) {
+  net::Testbed bed(777);
+  auto& da = bed.add_device("a", {0, 0});
+  auto& db = bed.add_device("b", {10, 0});
+  OmniNodeOptions options;
+  options.wifi_multicast = true;
+  options.manager.enable_engagement = engagement;
+  OmniNode a(da, bed.mesh(), options);
+  OmniNode b(db, bed.mesh(), options);
+  a.start();
+  b.start();
+
+  std::unique_ptr<OmniNode> c;
+  net::Device* dc = nullptr;
+  if (include_wifi_only_peer) {
+    dc = &bed.add_device("c", {20, 0});
+    OmniNodeOptions c_options;
+    c_options.ble = false;  // a WiFi-only embedded device
+    c_options.wifi_multicast = true;
+    c = std::make_unique<OmniNode>(*dc, bed.mesh(), c_options);
+    c->start();
+  }
+
+  bed.simulator().run_for(Duration::seconds(120));
+  Sample s;
+  s.energy_ma = da.meter().average_ma(TimePoint::origin(),
+                                      bed.simulator().now()) -
+                bed.calibration().wifi_standby_ma;
+  s.peers_found = a.manager().peer_table().size();
+  s.engagements = a.manager().stats().engagements;
+  s.disengagements = a.manager().stats().disengagements;
+  return s;
+}
+
+}  // namespace
+}  // namespace omni
+
+int main() {
+  using namespace omni;
+  bench::print_heading(
+      "Ablation: multi-technology engagement algorithm (paper SS3.3)\n"
+      "Device A (BLE+WiFi), peer B (BLE+WiFi), 120s run");
+
+  bench::Table table({"Scenario", "Engagement", "Energy (mA)", "Peers",
+                      "Engage/Disengage"});
+  for (bool wifi_only_peer : {false, true}) {
+    for (bool engagement : {true, false}) {
+      Sample s = run(engagement, wifi_only_peer);
+      table.add_row({wifi_only_peer ? "with WiFi-only peer C"
+                                    : "homogeneous (BLE everywhere)",
+                     engagement ? "on" : "off (ubiSOAP-style)",
+                     bench::fmt(s.energy_ma),
+                     std::to_string(s.peers_found),
+                     std::to_string(s.engagements) + "/" +
+                         std::to_string(s.disengagements)});
+    }
+  }
+  table.print();
+
+  std::printf(
+      "\nHomogeneous neighborhoods: engagement saves the whole multicast\n"
+      "beacon cost with zero coverage loss. Heterogeneous neighborhoods:\n"
+      "the algorithm engages multicast (to reach the WiFi-only device) and\n"
+      "pays the same as always-on — i.e., it adapts to exactly the needed\n"
+      "set of technologies.\n");
+  return 0;
+}

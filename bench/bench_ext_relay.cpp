@@ -1,0 +1,94 @@
+// Extension bench: multi-hop context sharing (paper §5: "sharing context
+// (and data) with more than just one-hop neighbors could extend the range
+// of a device's knowledge about the environment").
+//
+// A chain of devices, 35 m apart (inside WiFi range, outside BLE range of
+// non-adjacent nodes). Sweeps the relay hop budget and reports how far one
+// device's context and addresses propagate, plus the energy cost of the
+// relaying middle nodes.
+#include <cstdio>
+#include <memory>
+
+#include "bench_util.h"
+#include "net/testbed.h"
+#include "omni/omni_node.h"
+
+namespace omni {
+namespace {
+
+struct Sample {
+  int context_reach = 0;   // farthest chain index that heard node 0
+  int address_reach = 0;   // farthest index with a usable mapping for node 0
+  double relay_energy = 0;  // average current on node 1 (first relayer)
+};
+
+Sample run(int hops) {
+  radio::Calibration cal = radio::Calibration::defaults();
+  cal.ble_extended_advertising = true;  // relay wrappers need BT5 payloads
+  net::Testbed bed(4242, cal);
+
+  constexpr int kChain = 6;
+  std::vector<net::Device*> devices;
+  std::vector<std::unique_ptr<OmniNode>> nodes;
+  std::vector<int> heard(kChain, 0);
+  for (int i = 0; i < kChain; ++i) {
+    devices.push_back(&bed.add_device("n" + std::to_string(i),
+                                      {35.0 * i, 0}));
+    OmniNodeOptions options;
+    options.manager.context_relay_hops = hops;
+    nodes.push_back(
+        std::make_unique<OmniNode>(*devices.back(), bed.mesh(), options));
+  }
+  OmniAddress origin_addr = nodes[0]->address();
+  for (int i = 0; i < kChain; ++i) {
+    nodes[i]->manager().request_context(
+        [&heard, i, origin_addr](const OmniAddress& source, const Bytes&) {
+          if (source == origin_addr) heard[i] = 1;
+        });
+    nodes[i]->start();
+  }
+  nodes[0]->manager().add_context(ContextParams{}, Bytes{0x77}, nullptr);
+  bed.simulator().run_for(Duration::seconds(20));
+
+  Sample s;
+  for (int i = 1; i < kChain; ++i) {
+    if (heard[i]) s.context_reach = i;
+    const PeerEntry* e = nodes[i]->manager().peer_table().find(origin_addr);
+    if (e != nullptr && e->reachable_on(Technology::kWifiUnicast)) {
+      s.address_reach = i;
+    }
+  }
+  s.relay_energy = devices[1]->meter().average_ma(
+                       TimePoint::origin(), bed.simulator().now()) -
+                   cal.wifi_standby_ma;
+  return s;
+}
+
+}  // namespace
+}  // namespace omni
+
+int main() {
+  using namespace omni;
+  bench::print_heading(
+      "Extension: multi-hop context relay (paper SS5)\n"
+      "Chain of 6 devices, 35m spacing (BLE reaches only adjacent nodes)");
+
+  bench::Table table({"Relay hops", "Context reach (chain idx)",
+                      "Address reach", "Relayer energy (mA rel.)"});
+  for (int hops : {0, 1, 2, 3, 4}) {
+    Sample s = run(hops);
+    table.add_row({std::to_string(hops), std::to_string(s.context_reach),
+                   std::to_string(s.address_reach),
+                   bench::fmt(s.relay_energy)});
+  }
+  table.print();
+
+  std::printf(
+      "\nEach extra hop extends the context horizon by one chain link; the\n"
+      "relayed address beacons give distant devices a (ritual-validated)\n"
+      "WiFi mapping for the origin, so 'knowledge range' exceeds radio\n"
+      "range exactly as the paper anticipates. Relay energy grows with the\n"
+      "hop budget: extended context horizons are bought with middle-node\n"
+      "airtime.\n");
+  return 0;
+}

@@ -1,0 +1,147 @@
+// Reproduces Figure 7: PROPHET DTN routing over SP, SA, and Omni.
+//
+// Paper setup (§4.3): three devices A, B, C. A is out of range of C but must
+// deliver a 1 KB file to it. B encounters A, buffers the file, and meets C
+// five seconds later. The figure shows energy and end-to-end latency per
+// approach; the paper's findings are (1) SP -> SA yields negligible
+// improvement, because without integrated neighbor+service discovery every
+// encounter pays WiFi network discovery, and (2) under Omni the latency is
+// dominated by the 5 s encounter delay itself, with far lower energy.
+#include <cstdio>
+#include <memory>
+#include <optional>
+
+#include "apps/prophet.h"
+#include "baselines/directory.h"
+#include "baselines/omni_stack.h"
+#include "baselines/sa_node.h"
+#include "baselines/sp_wifi_node.h"
+#include "bench_util.h"
+#include "net/testbed.h"
+#include "omni/omni_node.h"
+
+namespace omni {
+namespace {
+
+enum class Approach { kSp, kSa, kOmni };
+
+struct RunResult {
+  bool delivered = false;
+  double latency_s = 0;    // message originate -> delivered at C
+  double energy_relay_ma = 0;  // relay (B) average over the run
+};
+
+RunResult run(Approach approach) {
+  net::Testbed bed(2024);
+  // A and B colocated; C far away (out of both radio ranges).
+  auto& dev_a = bed.add_device("A", {0, 0});
+  auto& dev_b = bed.add_device("B", {20, 0});
+  auto& dev_c = bed.add_device("C", {400, 0});
+
+  baselines::Directory directory;
+  std::vector<std::unique_ptr<OmniNode>> omni_nodes;
+  std::vector<std::unique_ptr<baselines::D2dStack>> stacks;
+  for (net::Device* dev : {&dev_a, &dev_b, &dev_c}) {
+    switch (approach) {
+      case Approach::kSp:
+        stacks.push_back(
+            std::make_unique<baselines::SpWifiNode>(*dev, bed.mesh()));
+        break;
+      case Approach::kSa:
+        stacks.push_back(std::make_unique<baselines::SaNode>(*dev, bed.mesh(),
+                                                             directory));
+        break;
+      case Approach::kOmni: {
+        OmniNodeOptions options;
+        options.ble = true;
+        options.wifi_unicast = true;
+        omni_nodes.push_back(
+            std::make_unique<OmniNode>(*dev, bed.mesh(), options));
+        stacks.push_back(
+            std::make_unique<baselines::OmniStack>(*omni_nodes.back()));
+        break;
+      }
+    }
+  }
+
+  apps::ProphetConfig config;
+  apps::ProphetNode pa(*stacks[0], bed.simulator(), config);
+  apps::ProphetNode pb(*stacks[1], bed.simulator(), config);
+  apps::ProphetNode pc(*stacks[2], bed.simulator(), config);
+
+  std::optional<TimePoint> delivered_at;
+  pc.set_delivered_handler([&](std::uint32_t, baselines::D2dStack::PeerId) {
+    delivered_at = bed.simulator().now();
+  });
+
+  pa.start();
+  pb.start();
+  pc.start();
+  // B has encountered C before (it is C's likely carrier).
+  pb.seed_predictability(stacks[2]->self(), 0.9);
+
+  // Give discovery one beacon round, then originate the 1 KB file at A.
+  bed.simulator().run_for(Duration::seconds(2));
+  TimePoint originated = bed.simulator().now();
+  pa.originate(stacks[2]->self(), 1000);
+
+  // Five seconds later B walks over to C (leaving A's range).
+  bed.simulator().at(originated + Duration::seconds(5), [&] {
+    bed.world().set_position(dev_b.node(), {380, 0});
+  });
+
+  bed.simulator().run_for(Duration::seconds(40));
+
+  RunResult r;
+  if (!delivered_at) return r;
+  r.delivered = true;
+  r.latency_s = (*delivered_at - originated).as_seconds();
+  r.energy_relay_ma =
+      dev_b.meter().average_ma(originated, *delivered_at) -
+      bed.calibration().wifi_standby_ma;
+  return r;
+}
+
+}  // namespace
+}  // namespace omni
+
+int main() {
+  using namespace omni;
+  bench::print_heading(
+      "Figure 7: Energy and latency for PROPHET interactions\n"
+      "(A -> B -> C relay of a 1KB file; B meets C 5s after the message is "
+      "originated)");
+
+  bench::Table table({"Approach", "Latency (s)", "Relay energy (mA)",
+                      "Delivered"});
+  struct Col {
+    const char* label;
+    Approach approach;
+  };
+  const Col cols[] = {
+      {"SP (WiFi only)", Approach::kSp},
+      {"SA (BLE+WiFi)", Approach::kSa},
+      {"Omni (BLE+WiFi)", Approach::kOmni},
+  };
+  double omni_latency = 0;
+  for (const Col& col : cols) {
+    RunResult r = run(col.approach);
+    if (col.approach == Approach::kOmni) omni_latency = r.latency_s;
+    table.add_row({col.label, bench::fmt(r.latency_s, 2),
+                   bench::fmt(r.energy_relay_ma, 2),
+                   r.delivered ? "yes" : "NO"});
+  }
+  table.print();
+
+  std::printf(
+      "\nPaper's qualitative findings (Figure 7 is a bar chart without\n"
+      "numeric labels): SP and SA are nearly indistinguishable — every\n"
+      "encounter pays WiFi network discovery before the transfer — while\n"
+      "under Omni \"the vast majority of the latency ... is inherent to the\n"
+      "delayed nature of the application scenario (i.e., the five seconds\n"
+      "it takes to encounter Device C)\", and the lack of periodic\n"
+      "multicast slashes the relay's energy. Omni latency here: %.2fs of\n"
+      "which 5.00s is the encounter delay itself.\n",
+      omni_latency);
+  return 0;
+}

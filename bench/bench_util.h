@@ -1,0 +1,81 @@
+// Shared table/report formatting for the experiment benches. Each bench
+// prints the paper's value next to the measured value so EXPERIMENTS.md can
+// be regenerated directly from the bench output.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace omni::bench {
+
+inline void print_heading(const std::string& title) {
+  std::printf("\n==================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("==================================================\n");
+}
+
+/// One paper-vs-measured comparison line.
+inline void print_compare(const std::string& label, double paper,
+                          double measured, const char* unit) {
+  if (paper != paper) {  // NaN = not applicable in the paper
+    std::printf("  %-38s paper:      N/A   measured: %9.2f %s\n",
+                label.c_str(), measured, unit);
+    return;
+  }
+  double ratio = paper != 0 ? measured / paper : 0;
+  std::printf("  %-38s paper: %9.2f   measured: %9.2f %s  (x%.2f)\n",
+              label.c_str(), paper, measured, unit, ratio);
+}
+
+inline void print_na(const std::string& label) {
+  std::printf("  %-38s paper:      N/A   measured:       N/A\n",
+              label.c_str());
+}
+
+/// Simple fixed-width table printer.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void add_row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  void print() const {
+    std::vector<std::size_t> widths(headers_.size(), 0);
+    auto widen = [&](const std::vector<std::string>& row) {
+      for (std::size_t i = 0; i < row.size() && i < widths.size(); ++i) {
+        widths[i] = std::max(widths[i], row[i].size());
+      }
+    };
+    widen(headers_);
+    for (const auto& row : rows_) widen(row);
+    auto print_row = [&](const std::vector<std::string>& row) {
+      std::printf(" ");
+      for (std::size_t i = 0; i < widths.size(); ++i) {
+        const std::string& cell = i < row.size() ? row[i] : std::string();
+        std::printf(" %-*s", static_cast<int>(widths[i]), cell.c_str());
+      }
+      std::printf("\n");
+    };
+    print_row(headers_);
+    std::vector<std::string> sep;
+    for (auto w : widths) sep.push_back(std::string(w, '-'));
+    print_row(sep);
+    for (const auto& row : rows_) print_row(row);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string fmt(double v, int decimals = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, v);
+  return buf;
+}
+
+}  // namespace omni::bench

@@ -1,0 +1,115 @@
+// PROPHET delay-tolerant relay (paper §4.3, second real application): a
+// five-node "campus courier" scenario with real mobility.
+//
+// A student (node S) wants to send a 4 KB note to a lab machine (L) on the
+// other side of campus, far out of radio range. Couriers walk predictable
+// routes; PROPHET's delivery predictabilities learn who actually meets whom
+// and route the message through the best carrier — all context/summary
+// exchange rides Omni's lightweight beacons, the note itself moves as
+// heavyweight data.
+//
+//   $ ./examples/dtn_relay
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/prophet.h"
+#include "baselines/omni_stack.h"
+#include "net/testbed.h"
+#include "omni/omni_node.h"
+
+using namespace omni;
+
+int main() {
+  net::Testbed bed(/*seed=*/21);
+  auto& sim = bed.simulator();
+
+  struct Node {
+    std::string name;
+    net::Device* device = nullptr;
+    std::unique_ptr<OmniNode> omni;
+    std::unique_ptr<baselines::OmniStack> stack;
+    std::unique_ptr<apps::ProphetNode> prophet;
+  };
+
+  // S at the dorm, L at the lab 600 m away; three couriers.
+  std::vector<std::pair<std::string, sim::Vec2>> layout = {
+      {"student", {0, 0}},
+      {"courier-1", {10, 5}},
+      {"courier-2", {10, -5}},
+      {"courier-3", {300, 0}},
+      {"lab", {600, 0}},
+  };
+  std::vector<Node> nodes(layout.size());
+  for (std::size_t i = 0; i < layout.size(); ++i) {
+    nodes[i].name = layout[i].first;
+    nodes[i].device = &bed.add_device(layout[i].first, layout[i].second);
+    nodes[i].omni = std::make_unique<OmniNode>(*nodes[i].device, bed.mesh());
+    nodes[i].stack = std::make_unique<baselines::OmniStack>(*nodes[i].omni);
+    nodes[i].prophet =
+        std::make_unique<apps::ProphetNode>(*nodes[i].stack, sim);
+  }
+
+  auto id_of = [&](const std::string& name) -> baselines::D2dStack::PeerId {
+    for (auto& n : nodes) {
+      if (n.name == name) return n.stack->self();
+    }
+    return 0;
+  };
+
+  TimePoint delivered_time = TimePoint::max();
+  nodes[4].prophet->set_delivered_handler(
+      [&](std::uint32_t id, baselines::D2dStack::PeerId) {
+        delivered_time = sim.now();
+        std::printf("[%6.1fs] lab: note %u delivered!\n",
+                    sim.now().as_seconds(), id);
+      });
+
+  for (auto& n : nodes) n.prophet->start();
+
+  // Courier history: courier-1 regularly visits the lab's side of campus
+  // (strong predictability); courier-2 never leaves the dorm area.
+  nodes[1].prophet->seed_predictability(id_of("lab"), 0.6);
+  nodes[3].prophet->seed_predictability(id_of("lab"), 0.8);
+
+  // t=3s: the student drops the note into the DTN.
+  TimePoint originated;
+  sim.after(Duration::seconds(3), [&] {
+    originated = sim.now();
+    std::printf("[%6.1fs] student: originating 4KB note to the lab\n",
+                sim.now().as_seconds());
+    nodes[0].prophet->originate(id_of("lab"), 4000);
+  });
+
+  // Courier walks: courier-1 heads toward courier-3's corner at t=10s
+  // (1.5 m/s), then courier-3 walks to the lab at t=120s.
+  sim.after(Duration::seconds(10), [&] {
+    std::printf("[%6.1fs] courier-1 starts walking across campus\n",
+                sim.now().as_seconds());
+    bed.world().move_to(nodes[1].device->node(), {305, 5}, 1.5);
+  });
+  sim.after(Duration::seconds(230), [&] {
+    std::printf("[%6.1fs] courier-3 heads to the lab\n",
+                sim.now().as_seconds());
+    bed.world().move_to(nodes[3].device->node(), {595, 0}, 1.5);
+  });
+
+  sim.run_for(Duration::seconds(600));
+
+  std::printf("\n=== courier report ===\n");
+  for (auto& n : nodes) {
+    std::printf("%-10s buffered=%zu delivered_here=%zu  P(lab)=%.2f\n",
+                n.name.c_str(), n.prophet->buffered_messages(),
+                n.prophet->delivered_count(),
+                n.prophet->predictability(id_of("lab")));
+  }
+  if (delivered_time != TimePoint::max()) {
+    std::printf("\nend-to-end DTN latency: %.1fs (radio range is ~%d m; the "
+                "campus is 600 m)\n",
+                (delivered_time - originated).as_seconds(), 100);
+  } else {
+    std::printf("\nnote not delivered within the simulation window\n");
+  }
+  return 0;
+}

@@ -1,0 +1,71 @@
+#include "apps/chunk_store.h"
+
+#include "common/result.h"
+
+namespace omni::apps {
+
+ChunkStore::ChunkStore(std::uint64_t file_bytes, std::uint64_t chunk_bytes)
+    : file_bytes_(file_bytes), chunk_bytes_(chunk_bytes) {
+  OMNI_CHECK_MSG(file_bytes > 0 && chunk_bytes > 0,
+                 "file and chunk sizes must be positive");
+  chunk_count_ = (file_bytes + chunk_bytes - 1) / chunk_bytes;
+  have_.assign(chunk_count_, false);
+}
+
+std::uint64_t ChunkStore::size_of(std::uint64_t id) const {
+  OMNI_CHECK_MSG(id < chunk_count_, "chunk id out of range");
+  if (id + 1 == chunk_count_ && file_bytes_ % chunk_bytes_ != 0) {
+    return file_bytes_ % chunk_bytes_;
+  }
+  return chunk_bytes_;
+}
+
+bool ChunkStore::has(std::uint64_t id) const {
+  OMNI_CHECK_MSG(id < chunk_count_, "chunk id out of range");
+  return have_[id];
+}
+
+bool ChunkStore::add(std::uint64_t id) {
+  OMNI_CHECK_MSG(id < chunk_count_, "chunk id out of range");
+  if (have_[id]) return false;
+  have_[id] = true;
+  ++have_count_;
+  return true;
+}
+
+std::optional<std::uint64_t> ChunkStore::first_missing(
+    std::uint64_t from) const {
+  for (std::uint64_t i = from; i < chunk_count_; ++i) {
+    if (!have_[i]) return i;
+  }
+  return std::nullopt;
+}
+
+std::vector<std::uint64_t> ChunkStore::missing() const {
+  std::vector<std::uint64_t> out;
+  for (std::uint64_t i = 0; i < chunk_count_; ++i) {
+    if (!have_[i]) out.push_back(i);
+  }
+  return out;
+}
+
+Bytes ChunkStore::bitmap() const {
+  Bytes out((chunk_count_ + 7) / 8, 0);
+  for (std::uint64_t i = 0; i < chunk_count_; ++i) {
+    if (have_[i]) out[i / 8] |= static_cast<std::uint8_t>(1u << (i % 8));
+  }
+  return out;
+}
+
+std::vector<bool> ChunkStore::parse_bitmap(const Bytes& bytes,
+                                           std::uint64_t chunk_count) {
+  std::vector<bool> out(chunk_count, false);
+  for (std::uint64_t i = 0; i < chunk_count; ++i) {
+    if (i / 8 < bytes.size() && (bytes[i / 8] >> (i % 8)) & 1u) {
+      out[i] = true;
+    }
+  }
+  return out;
+}
+
+}  // namespace omni::apps

@@ -1,0 +1,48 @@
+// Chunked file store for the Disseminate-like application: tracks which
+// chunks of a file a device holds and (de)serializes the holdings bitmap
+// that rides in metadata advertisements.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/types.h"
+
+namespace omni::apps {
+
+class ChunkStore {
+ public:
+  ChunkStore(std::uint64_t file_bytes, std::uint64_t chunk_bytes);
+
+  std::uint64_t chunk_count() const { return chunk_count_; }
+  std::uint64_t chunk_bytes() const { return chunk_bytes_; }
+  std::uint64_t file_bytes() const { return file_bytes_; }
+  /// Size of chunk `id` (the last chunk may be short).
+  std::uint64_t size_of(std::uint64_t id) const;
+
+  bool has(std::uint64_t id) const;
+  /// Returns true if the chunk was new.
+  bool add(std::uint64_t id);
+  std::uint64_t have_count() const { return have_count_; }
+  bool complete() const { return have_count_ == chunk_count_; }
+
+  /// Lowest missing chunk >= from, if any.
+  std::optional<std::uint64_t> first_missing(std::uint64_t from = 0) const;
+  std::vector<std::uint64_t> missing() const;
+
+  /// Holdings bitmap, one bit per chunk (LSB-first within each byte).
+  Bytes bitmap() const;
+  /// Parse a peer's bitmap (must describe the same chunk count).
+  static std::vector<bool> parse_bitmap(const Bytes& bytes,
+                                        std::uint64_t chunk_count);
+
+ private:
+  std::uint64_t file_bytes_;
+  std::uint64_t chunk_bytes_;
+  std::uint64_t chunk_count_;
+  std::uint64_t have_count_ = 0;
+  std::vector<bool> have_;
+};
+
+}  // namespace omni::apps

@@ -1,0 +1,38 @@
+// D2dStack adapter over the Omni middleware, so the paper's applications run
+// unchanged over Omni, SA, and SP.
+#pragma once
+
+#include "baselines/d2d_stack.h"
+#include "omni/omni_node.h"
+
+namespace omni::baselines {
+
+class OmniStack final : public D2dStack {
+ public:
+  explicit OmniStack(OmniNode& node) : node_(node) {}
+
+  void start() override;
+  void stop() override { node_.stop(); }
+  PeerId self() const override { return node_.address().value; }
+
+  void set_advert_handler(AdvertFn fn) override;
+  void set_data_handler(DataFn fn) override;
+
+  void advertise(Bytes info, Duration interval) override;
+  void stop_advertising() override;
+  void send(PeerId dest, Bytes data, SendDoneFn done) override;
+  std::vector<PeerId> known_peers() const override;
+  const char* name() const override { return "Omni"; }
+
+  OmniNode& node() { return node_; }
+
+ private:
+  OmniNode& node_;
+  ContextId advert_context_ = kInvalidContext;
+  bool advert_pending_ = false;
+  /// Latest advertise() arguments while the initial add is still in flight.
+  Bytes pending_info_;
+  Duration pending_interval_ = Duration::zero();
+};
+
+}  // namespace omni::baselines

@@ -1,0 +1,32 @@
+// Application-level wire helpers shared by the SP and SA baselines: every
+// advert/data payload is prefixed with the sender's 8-byte application id
+// (the baselines have no omni_address; a real app would embed a user or
+// install id the same way).
+#pragma once
+
+#include <optional>
+#include <span>
+#include <utility>
+
+#include "common/byte_buffer.h"
+#include "baselines/d2d_stack.h"
+
+namespace omni::baselines {
+
+inline Bytes with_id(D2dStack::PeerId id, const Bytes& payload) {
+  ByteWriter w(payload.size() + 8);
+  w.u64(id);
+  w.raw(payload);
+  return std::move(w).take();
+}
+
+inline std::optional<std::pair<D2dStack::PeerId, Bytes>> split_id(
+    std::span<const std::uint8_t> wire) {
+  ByteReader r(wire);
+  auto id = r.u64();
+  if (!id || id.value() == 0) return std::nullopt;
+  auto rest = r.raw(r.remaining());
+  return std::make_pair(id.value(), std::move(rest).value());
+}
+
+}  // namespace omni::baselines

@@ -1,0 +1,65 @@
+// Bounds-checked binary serialization.
+//
+// ByteWriter appends big-endian integers and raw byte runs to a Bytes vector;
+// ByteReader consumes them, reporting truncation through Result rather than
+// reading out of bounds. All multi-byte integers are big-endian on the wire
+// (network order), matching the paper's packed-struct framing.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "common/result.h"
+#include "common/types.h"
+
+namespace omni {
+
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+  explicit ByteWriter(std::size_t reserve) { out_.reserve(reserve); }
+
+  void u8(std::uint8_t v) { out_.push_back(v); }
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void raw(std::span<const std::uint8_t> bytes);
+  /// Length-prefixed (u32) byte run.
+  void blob(std::span<const std::uint8_t> bytes);
+  /// Length-prefixed (u32) UTF-8 string.
+  void str(const std::string& s);
+
+  std::size_t size() const { return out_.size(); }
+  const Bytes& bytes() const& { return out_; }
+  Bytes take() && { return std::move(out_); }
+
+ private:
+  Bytes out_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  Result<std::uint8_t> u8();
+  Result<std::uint16_t> u16();
+  Result<std::uint32_t> u32();
+  Result<std::uint64_t> u64();
+  /// Read exactly n raw bytes.
+  Result<Bytes> raw(std::size_t n);
+  /// Read a u32 length prefix then that many bytes.
+  Result<Bytes> blob();
+  /// Read a u32 length prefix then that many bytes as a string.
+  Result<std::string> str();
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  bool exhausted() const { return remaining() == 0; }
+
+ private:
+  bool need(std::size_t n) const { return remaining() >= n; }
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace omni

@@ -1,0 +1,31 @@
+#include "common/hash.h"
+
+namespace omni {
+
+std::uint64_t fnv1a64(std::span<const std::uint8_t> data, std::uint64_t seed) {
+  std::uint64_t h = seed;
+  for (std::uint8_t b : data) {
+    h ^= b;
+    h *= 0x00000100000001B3ull;
+  }
+  return h;
+}
+
+std::uint64_t fnv1a64(std::string_view s) {
+  return fnv1a64(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(s.data()), s.size()));
+}
+
+OmniAddress derive_omni_address(const BleAddress& ble,
+                                const MeshAddress& mesh) {
+  std::uint64_t h = fnv1a64(std::span<const std::uint8_t>(ble.octets));
+  std::uint8_t meshBytes[8];
+  for (int i = 0; i < 8; ++i) {
+    meshBytes[i] = static_cast<std::uint8_t>(mesh.value >> (8 * (7 - i)));
+  }
+  h = fnv1a64(std::span<const std::uint8_t>(meshBytes, 8), h);
+  if (h == 0) h = 1;  // zero is the invalid sentinel
+  return OmniAddress{h};
+}
+
+}  // namespace omni

@@ -1,0 +1,44 @@
+#include "common/logging.h"
+
+#include <cstdio>
+
+namespace omni {
+
+namespace {
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace:
+      return "TRACE";
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO ";
+    case LogLevel::kWarn:
+      return "WARN ";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF  ";
+  }
+  return "?????";
+}
+}  // namespace
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::logf(LogLevel level, TimePoint at, const char* tag,
+                  const char* fmt, ...) {
+  if (!enabled(level)) return;
+  char msg[1024];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(msg, sizeof msg, fmt, args);
+  va_end(args);
+  std::fprintf(stderr, "[%s %10.6fs %-12s] %s\n", level_name(level),
+               at.as_seconds(), tag, msg);
+}
+
+}  // namespace omni

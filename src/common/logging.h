@@ -1,0 +1,58 @@
+// Minimal levelled logger.
+//
+// Logging is process-global (one sink) but carries the virtual timestamp of
+// the emitting simulation when provided. Disabled levels cost one branch.
+#pragma once
+
+#include <cstdarg>
+#include <string>
+
+#include "common/time.h"
+
+namespace omni {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+  bool enabled(LogLevel level) const { return level >= level_; }
+
+  /// printf-style log emission; `at` is the virtual time, if known.
+  void logf(LogLevel level, TimePoint at, const char* tag, const char* fmt,
+            ...) __attribute__((format(printf, 5, 6)));
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::kWarn;
+};
+
+#define OMNI_LOG(level, at, tag, ...)                             \
+  do {                                                            \
+    if (::omni::Logger::instance().enabled(level)) {              \
+      ::omni::Logger::instance().logf(level, at, tag, __VA_ARGS__); \
+    }                                                             \
+  } while (0)
+
+#define OMNI_TRACE(at, tag, ...) \
+  OMNI_LOG(::omni::LogLevel::kTrace, at, tag, __VA_ARGS__)
+#define OMNI_DEBUG(at, tag, ...) \
+  OMNI_LOG(::omni::LogLevel::kDebug, at, tag, __VA_ARGS__)
+#define OMNI_INFO(at, tag, ...) \
+  OMNI_LOG(::omni::LogLevel::kInfo, at, tag, __VA_ARGS__)
+#define OMNI_WARN(at, tag, ...) \
+  OMNI_LOG(::omni::LogLevel::kWarn, at, tag, __VA_ARGS__)
+#define OMNI_ERROR(at, tag, ...) \
+  OMNI_LOG(::omni::LogLevel::kError, at, tag, __VA_ARGS__)
+
+}  // namespace omni

@@ -1,0 +1,102 @@
+// Lightweight Status / Result types for recoverable errors.
+//
+// The middleware uses these instead of exceptions on hot paths (queue
+// processing, codec) so that failure handling stays explicit and allocation
+// free. Exceptions remain in use for programming errors (via OMNI_CHECK).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace omni {
+
+/// Terminate with a message when an internal invariant is violated.
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::fprintf(stderr, "OMNI_CHECK failed: %s at %s:%d %s\n", expr, file, line,
+               msg.c_str());
+  std::abort();
+}
+
+#define OMNI_CHECK(expr)                                              \
+  do {                                                                \
+    if (!(expr)) ::omni::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define OMNI_CHECK_MSG(expr, msg)                                       \
+  do {                                                                  \
+    if (!(expr)) ::omni::check_failed(#expr, __FILE__, __LINE__, msg);  \
+  } while (0)
+
+/// Success-or-message status.
+class Status {
+ public:
+  static Status ok() { return Status{}; }
+  static Status error(std::string message) {
+    Status s;
+    s.message_ = std::move(message);
+    return s;
+  }
+
+  bool is_ok() const { return !message_.has_value(); }
+  explicit operator bool() const { return is_ok(); }
+
+  /// Message text; empty for OK statuses.
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return message_ ? *message_ : kEmpty;
+  }
+
+ private:
+  std::optional<std::string> message_;
+};
+
+/// Value-or-error-message result.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : v_(std::move(value)) {}  // NOLINT: implicit by design
+  static Result error(std::string message) {
+    return Result{Status::error(std::move(message))};
+  }
+
+  bool is_ok() const { return std::holds_alternative<T>(v_); }
+  explicit operator bool() const { return is_ok(); }
+
+  T& value() & {
+    OMNI_CHECK_MSG(is_ok(), error_message());
+    return std::get<T>(v_);
+  }
+  const T& value() const& {
+    OMNI_CHECK_MSG(is_ok(), error_message());
+    return std::get<T>(v_);
+  }
+  T&& value() && {
+    OMNI_CHECK_MSG(is_ok(), error_message());
+    return std::get<T>(std::move(v_));
+  }
+
+  // noinline: keeps GCC-12's -Wmaybe-uninitialized from tracing the dead
+  // error branch through the variant when this inlines into a proven-OK
+  // call site.
+  __attribute__((noinline)) const std::string& error_message() const {
+    static const std::string kEmpty;
+    if (is_ok()) return kEmpty;
+    return std::get<Status>(v_).message();
+  }
+
+  /// value() if ok, otherwise the supplied fallback.
+  T value_or(T fallback) const {
+    return is_ok() ? std::get<T>(v_) : std::move(fallback);
+  }
+
+ private:
+  explicit Result(Status s) : v_(std::move(s)) {}
+  std::variant<T, Status> v_;
+};
+
+}  // namespace omni

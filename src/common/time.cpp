@@ -1,0 +1,27 @@
+#include "common/time.h"
+
+#include <cstdio>
+
+namespace omni {
+
+std::string Duration::to_string() const {
+  char buf[64];
+  if (us_ % 1'000'000 == 0) {
+    std::snprintf(buf, sizeof buf, "%llds",
+                  static_cast<long long>(us_ / 1'000'000));
+  } else if (us_ % 1000 == 0) {
+    std::snprintf(buf, sizeof buf, "%lldms",
+                  static_cast<long long>(us_ / 1000));
+  } else {
+    std::snprintf(buf, sizeof buf, "%lldus", static_cast<long long>(us_));
+  }
+  return buf;
+}
+
+std::string TimePoint::to_string() const {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "t=%.6fs", as_seconds());
+  return buf;
+}
+
+}  // namespace omni

@@ -1,0 +1,76 @@
+#include "common/types.h"
+
+#include <cstdio>
+
+namespace omni {
+
+std::string to_string(Technology t) {
+  switch (t) {
+    case Technology::kBle:
+      return "BLE";
+    case Technology::kWifiAware:
+      return "WiFi-Aware";
+    case Technology::kWifiMulticast:
+      return "WiFi-Multicast";
+    case Technology::kWifiUnicast:
+      return "WiFi-Unicast";
+  }
+  return "Technology(?)";
+}
+
+bool BleAddress::is_zero() const {
+  for (auto o : octets) {
+    if (o != 0) return false;
+  }
+  return true;
+}
+
+std::string BleAddress::to_string() const {
+  char buf[18];
+  std::snprintf(buf, sizeof buf, "%02x:%02x:%02x:%02x:%02x:%02x", octets[0],
+                octets[1], octets[2], octets[3], octets[4], octets[5]);
+  return buf;
+}
+
+BleAddress BleAddress::from_node(NodeId id) {
+  // Locally administered unicast prefix 0x02, then a fixed OUI-ish filler and
+  // the node id in the low 3 octets. Deterministic so tests can predict it.
+  BleAddress a;
+  a.octets = {0x02, 0xb1, 0xee,
+              static_cast<std::uint8_t>((id >> 16) & 0xff),
+              static_cast<std::uint8_t>((id >> 8) & 0xff),
+              static_cast<std::uint8_t>(id & 0xff)};
+  return a;
+}
+
+std::string MeshAddress::to_string() const {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "mesh:%012llx",
+                static_cast<unsigned long long>(value));
+  return buf;
+}
+
+MeshAddress MeshAddress::from_node(NodeId id) {
+  // EUI-64-style identifier with a recognizable prefix.
+  return MeshAddress{0x02fe'5000'0000'0000ull | id};
+}
+
+std::string NanAddress::to_string() const {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "nan:%012llx",
+                static_cast<unsigned long long>(value));
+  return buf;
+}
+
+NanAddress NanAddress::from_node(NodeId id) {
+  return NanAddress{0x02a3'0000'0000'0000ull | id};
+}
+
+std::string OmniAddress::to_string() const {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "omni:%016llx",
+                static_cast<unsigned long long>(value));
+  return buf;
+}
+
+}  // namespace omni

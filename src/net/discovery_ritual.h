@@ -1,0 +1,34 @@
+// The WiFi address-resolution ritual.
+//
+// When a data transfer is about to use a peer mapping that was obtained via
+// application-level multicast (instead of integrated low-level neighbor
+// discovery), the stack must re-validate the network first: scan for the
+// mesh, (re)join it, and resolve the peer with a query — and, if the service
+// itself must be rediscovered over WiFi, wait out the peer's next periodic
+// advertisement. This is the paper's explanation for the multi-second
+// State-of-the-Art / State-of-the-Practice service latencies (§4.2), and it
+// is exactly the step Omni's BLE-derived address beacons let it skip.
+#pragma once
+
+#include <functional>
+
+#include "common/result.h"
+#include "radio/mesh.h"
+#include "radio/wifi_radio.h"
+
+namespace omni::net {
+
+struct RitualOptions {
+  /// Also wait for the peer's next periodic service advertisement (true when
+  /// service discovery itself rides WiFi multicast).
+  bool wait_for_advertisement = false;
+};
+
+/// Run scan -> join(mesh) -> resolve-query [-> advert wait] on `radio`, then
+/// invoke `done`. Charges the corresponding scan/connect/query energy. If the
+/// radio is off or the mesh disappears, `done` receives an error.
+void run_discovery_ritual(radio::WifiRadio& radio, radio::MeshNetwork& mesh,
+                          RitualOptions options,
+                          std::function<void(Status)> done);
+
+}  // namespace omni::net

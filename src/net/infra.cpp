@@ -1,0 +1,57 @@
+#include "net/infra.h"
+
+namespace omni::net {
+
+Status InfraNetwork::fetch_chunk(radio::WifiRadio& radio,
+                                 std::uint64_t chunk_id, std::uint64_t bytes,
+                                 double rate_Bps, ChunkDoneFn done) {
+  if (!radio.powered()) return Status::error("WiFi radio is off");
+  OMNI_CHECK_MSG(rate_Bps > 0, "infrastructure rate must be positive");
+  Pipe& pipe = pipes_[&radio];
+  pipe.queue.push_back(Request{chunk_id, bytes, rate_Bps, std::move(done)});
+  if (!pipe.busy) service(radio);
+  return Status::ok();
+}
+
+std::size_t InfraNetwork::cancel_pending(radio::WifiRadio& radio) {
+  auto it = pipes_.find(&radio);
+  if (it == pipes_.end()) return 0;
+  std::size_t n = it->second.queue.size();
+  it->second.queue.clear();
+  return n;
+}
+
+std::size_t InfraNetwork::pending_count(radio::WifiRadio& radio) const {
+  auto it = pipes_.find(&radio);
+  return it == pipes_.end() ? 0 : it->second.queue.size();
+}
+
+void InfraNetwork::service(radio::WifiRadio& radio) {
+  Pipe& pipe = pipes_[&radio];
+  if (pipe.queue.empty()) {
+    pipe.busy = false;
+    return;
+  }
+  pipe.busy = true;
+  Request req = std::move(pipe.queue.front());
+  pipe.queue.pop_front();
+
+  double secs = static_cast<double>(req.bytes) / req.rate_Bps;
+  TimePoint t0 = sim_.now();
+  TimePoint t1 = t0 + Duration::seconds(secs);
+  // Radio-active time: airtime at full channel rate plus the streaming duty
+  // (the radio never power-saves while a download is in progress), so
+  // low-rate infrastructure flows keep the radio awake disproportionately.
+  double airtime = static_cast<double>(req.bytes) / cal_.wifi_capacity_Bps;
+  double active = airtime + secs * cal_.wifi_stream_duty;
+  radio.rx_charger().charge_active(t0, t1, active);
+
+  sim_.after(Duration::seconds(secs),
+             [this, &radio, chunk_id = req.chunk_id,
+              done = std::move(req.done)] {
+               if (done) done(chunk_id);
+               service(radio);
+             });
+}
+
+}  // namespace omni::net

@@ -1,0 +1,63 @@
+// Mock infrastructure network.
+//
+// Stands in for the paper's "mock infrastructure network" in the Disseminate
+// experiment: each device has its own rate-limited pipe to the
+// infrastructure (100 or 1000 KBps in the paper). Downloads are chunked so
+// applications can share pieces over D2D as they arrive. Receive energy is
+// charged through the device's WiFi rx charger, so infrastructure and D2D
+// traffic never double-charge the radio.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+
+#include "common/result.h"
+#include "radio/calibration.h"
+#include "radio/wifi_radio.h"
+#include "sim/simulator.h"
+
+namespace omni::net {
+
+class InfraNetwork {
+ public:
+  using ChunkDoneFn = std::function<void(std::uint64_t chunk_id)>;
+
+  InfraNetwork(sim::Simulator& sim, const radio::Calibration& cal)
+      : sim_(sim), cal_(cal) {}
+  InfraNetwork(const InfraNetwork&) = delete;
+  InfraNetwork& operator=(const InfraNetwork&) = delete;
+
+  /// Queue a chunk download of `bytes` for `radio` at `rate_Bps` (the
+  /// device's infrastructure rate limit). Chunks for the same radio are
+  /// served FIFO; different radios are independent pipes.
+  Status fetch_chunk(radio::WifiRadio& radio, std::uint64_t chunk_id,
+                     std::uint64_t bytes, double rate_Bps, ChunkDoneFn done);
+
+  /// Drop all queued (not yet started) fetches for a radio. Returns how many
+  /// were dropped; the in-flight chunk, if any, still completes.
+  std::size_t cancel_pending(radio::WifiRadio& radio);
+
+  std::size_t pending_count(radio::WifiRadio& radio) const;
+
+ private:
+  struct Request {
+    std::uint64_t chunk_id;
+    std::uint64_t bytes;
+    double rate_Bps;
+    ChunkDoneFn done;
+  };
+  struct Pipe {
+    std::deque<Request> queue;
+    bool busy = false;
+  };
+
+  void service(radio::WifiRadio& radio);
+
+  sim::Simulator& sim_;
+  const radio::Calibration& cal_;
+  std::map<radio::WifiRadio*, Pipe> pipes_;
+};
+
+}  // namespace omni::net

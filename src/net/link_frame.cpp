@@ -1,0 +1,52 @@
+#include "net/link_frame.h"
+
+namespace omni {
+
+std::optional<Bytes> unframe_ble(std::span<const std::uint8_t> frame,
+                                 const BleAddress& self) {
+  if (frame.empty()) return std::nullopt;
+  if (frame[0] == kFrameBroadcast || frame[0] == kFrameBroadcastData) {
+    return Bytes(frame.begin() + 1, frame.end());
+  }
+  if (frame[0] != kFrameUnicast || frame.size() < 7) return std::nullopt;
+  BleAddress dest;
+  for (int i = 0; i < 6; ++i) dest.octets[i] = frame[1 + i];
+  if (dest != self) return std::nullopt;
+  return Bytes(frame.begin() + 7, frame.end());
+}
+
+std::optional<Bytes> unframe_mesh(std::span<const std::uint8_t> frame,
+                                  const MeshAddress& self) {
+  if (frame.empty()) return std::nullopt;
+  if (frame[0] == kFrameBroadcast || frame[0] == kFrameBroadcastData) {
+    return Bytes(frame.begin() + 1, frame.end());
+  }
+  if (frame[0] != kFrameUnicast || frame.size() < 9) return std::nullopt;
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | frame[1 + i];
+  if (MeshAddress{v} != self) return std::nullopt;
+  return Bytes(frame.begin() + 9, frame.end());
+}
+
+Bytes frame_aggregate(const std::vector<Bytes>& payloads) {
+  std::size_t total = 1;
+  for (const Bytes& p : payloads) total += 4 + p.size();
+  ByteWriter w(total);
+  w.u8(kFrameAggregate);
+  for (const Bytes& p : payloads) w.blob(p);
+  return std::move(w).take();
+}
+
+std::vector<Bytes> unframe_aggregate(std::span<const std::uint8_t> frame) {
+  std::vector<Bytes> out;
+  if (frame.empty() || frame[0] != kFrameAggregate) return out;
+  ByteReader r(frame.subspan(1));
+  while (!r.exhausted()) {
+    auto inner = r.blob();
+    if (!inner) return {};
+    out.push_back(std::move(inner).value());
+  }
+  return out;
+}
+
+}  // namespace omni

@@ -1,0 +1,73 @@
+// Testbed: one-stop assembly of simulator, world, media, and devices.
+//
+// Mirrors the paper's physical testbed setup: a room of Raspberry Pis with
+// BLE and WiFi-Mesh radios plus one shared mesh network. Tests, examples,
+// and benches build scenarios from this.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/device.h"
+#include "radio/ble.h"
+#include "radio/calibration.h"
+#include "radio/mesh.h"
+#include "radio/nan.h"
+#include "radio/wifi_system.h"
+#include "sim/simulator.h"
+#include "sim/trace.h"
+#include "sim/world.h"
+
+namespace omni::net {
+
+class Testbed {
+ public:
+  explicit Testbed(std::uint64_t seed = 1,
+                   radio::Calibration cal = radio::Calibration::defaults())
+      : cal_(cal),
+        sim_(seed),
+        world_(sim_),
+        ble_medium_(world_, cal_),
+        wifi_system_(world_, cal_),
+        nan_system_(world_, cal_),
+        mesh_(&wifi_system_.create_mesh("omni-mesh")) {}
+
+  Testbed(const Testbed&) = delete;
+  Testbed& operator=(const Testbed&) = delete;
+
+  /// Add a device at a position. Radios start in their default states
+  /// (BLE powered, WiFi off).
+  Device& add_device(const std::string& name, sim::Vec2 position = {}) {
+    NodeId id = world_.add_node(name, position);
+    devices_.push_back(std::make_unique<Device>(world_, ble_medium_,
+                                                wifi_system_, nan_system_,
+                                                id));
+    return *devices_.back();
+  }
+
+  sim::Simulator& simulator() { return sim_; }
+  sim::World& world() { return world_; }
+  radio::BleMedium& ble_medium() { return ble_medium_; }
+  radio::WifiSystem& wifi_system() { return wifi_system_; }
+  radio::NanSystem& nan_system() { return nan_system_; }
+  radio::MeshNetwork& mesh() { return *mesh_; }
+  const radio::Calibration& calibration() const { return cal_; }
+  sim::TraceRecorder& trace() { return trace_; }
+
+  Device& device(std::size_t i) { return *devices_.at(i); }
+  std::size_t device_count() const { return devices_.size(); }
+
+ private:
+  radio::Calibration cal_;
+  sim::Simulator sim_;
+  sim::World world_;
+  radio::BleMedium ble_medium_;
+  radio::WifiSystem wifi_system_;
+  radio::NanSystem nan_system_;
+  radio::MeshNetwork* mesh_;
+  std::vector<std::unique_ptr<Device>> devices_;
+  sim::TraceRecorder trace_;
+};
+
+}  // namespace omni::net

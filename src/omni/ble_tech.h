@@ -1,0 +1,60 @@
+// BLE technology plugin: periodic context via advertisements, small data via
+// fast-advertising datagrams (paper §3.2, "Technologies for Distributing
+// Context").
+//
+// The lowest-energy technology in the stack; Omni's default carrier for
+// address beacons and context. Payloads are bounded by the 31-byte legacy
+// advertisement (or 255-byte Bluetooth 5 extended advertising when the
+// calibration enables it — the paper's future-work item).
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "omni/comm_tech.h"
+#include "radio/ble.h"
+
+namespace omni {
+
+class BleTech final : public CommTechnology {
+ public:
+  struct Options {
+    /// Scanner duty while disengaged (probe listening).
+    double probe_scan_duty = 0.1;
+  };
+
+  explicit BleTech(radio::BleRadio& radio) : BleTech(radio, Options{}) {}
+  BleTech(radio::BleRadio& radio, Options options);
+
+  EnableResult enable(const TechQueues& queues) override;
+  void disable() override;
+
+  Technology type() const override { return Technology::kBle; }
+  bool enabled() const override { return enabled_; }
+
+  bool supports_context() const override { return true; }
+  bool supports_data() const override { return true; }
+  std::size_t max_context_payload() const override;
+  std::size_t max_data_payload() const override;
+  Duration estimate_data_time(std::size_t bytes,
+                              bool needs_refresh) const override;
+
+  void set_engaged(bool engaged) override;
+  bool engaged() const override { return engaged_; }
+
+ private:
+  void drain_send_queue();
+  void process(SendRequest request);
+  void on_radio_receive(const BleAddress& from, const Bytes& frame);
+  void respond(const SendRequest& request, bool success,
+               std::string failure = {});
+
+  radio::BleRadio& radio_;
+  Options options_;
+  TechQueues queues_;
+  bool enabled_ = false;
+  bool engaged_ = true;
+  std::map<ContextId, radio::AdvertisementId> context_advs_;
+};
+
+}  // namespace omni

@@ -1,0 +1,69 @@
+#include "omni/comm_tech.h"
+
+namespace omni {
+
+std::string to_string(const LowLevelAddress& addr) {
+  if (std::holds_alternative<BleAddress>(addr)) {
+    return std::get<BleAddress>(addr).to_string();
+  }
+  if (std::holds_alternative<MeshAddress>(addr)) {
+    return std::get<MeshAddress>(addr).to_string();
+  }
+  if (std::holds_alternative<NanAddress>(addr)) {
+    return std::get<NanAddress>(addr).to_string();
+  }
+  return "(unset)";
+}
+
+bool is_unset(const LowLevelAddress& addr) {
+  return std::holds_alternative<std::monostate>(addr);
+}
+
+std::string to_string(SendOp op) {
+  switch (op) {
+    case SendOp::kAddContext:
+      return "add_context";
+    case SendOp::kUpdateContext:
+      return "update_context";
+    case SendOp::kRemoveContext:
+      return "remove_context";
+    case SendOp::kSendData:
+      return "send_data";
+  }
+  return "send_op(?)";
+}
+
+TechResponse TechResponse::result(Technology tech, const SendRequest& req,
+                                  bool success, std::string failure) {
+  TechResponse r;
+  r.kind = Kind::kRequestResult;
+  r.tech = tech;
+  r.request_id = req.request_id;
+  r.op = req.op;
+  r.success = success;
+  r.failure_reason = std::move(failure);
+  r.context_id = req.context_id;
+  r.dest_omni = req.dest_omni;
+  r.callback = req.callback;
+  if (!success) r.original = std::make_shared<SendRequest>(req);
+  return r;
+}
+
+TechResponse TechResponse::status_change(Technology tech, bool up) {
+  TechResponse r;
+  r.kind = Kind::kTechStatus;
+  r.tech = tech;
+  r.up = up;
+  return r;
+}
+
+TechResponse TechResponse::address_change(Technology tech,
+                                          LowLevelAddress new_address) {
+  TechResponse r;
+  r.kind = Kind::kAddressChange;
+  r.tech = tech;
+  r.new_address = std::move(new_address);
+  return r;
+}
+
+}  // namespace omni

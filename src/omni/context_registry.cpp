@@ -1,0 +1,44 @@
+#include "omni/context_registry.h"
+
+namespace omni {
+
+ContextId ContextRegistry::add(ContextParams params, Bytes content,
+                               StatusCallback callback) {
+  ContextId id = next_id_++;
+  ContextRecord rec;
+  rec.id = id;
+  rec.params = params;
+  rec.content = std::move(content);
+  rec.callback = std::move(callback);
+  records_.emplace(id, std::move(rec));
+  return id;
+}
+
+ContextRecord* ContextRegistry::find(ContextId id) {
+  auto it = records_.find(id);
+  return it == records_.end() ? nullptr : &it->second;
+}
+
+const ContextRecord* ContextRegistry::find(ContextId id) const {
+  auto it = records_.find(id);
+  return it == records_.end() ? nullptr : &it->second;
+}
+
+bool ContextRegistry::remove(ContextId id) { return records_.erase(id) > 0; }
+
+std::vector<ContextId> ContextRegistry::ids() const {
+  std::vector<ContextId> out;
+  out.reserve(records_.size());
+  for (const auto& [id, rec] : records_) out.push_back(id);
+  return out;
+}
+
+std::vector<ContextId> ContextRegistry::on_tech(Technology tech) const {
+  std::vector<ContextId> out;
+  for (const auto& [id, rec] : records_) {
+    if (rec.tech == tech) out.push_back(id);
+  }
+  return out;
+}
+
+}  // namespace omni

@@ -1,0 +1,59 @@
+// The Omni Manager's context mapping (paper §3.3): every active context
+// transmission, its parameters, and which technology currently carries it —
+// so update/remove requests can be forwarded to the right technology and
+// transmissions can be re-homed when a technology fails.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "common/time.h"
+#include "common/types.h"
+#include "omni/status.h"
+
+namespace omni {
+
+struct ContextParams {
+  /// Transmission frequency (paper: the application specifies it; adaptive
+  /// protocols are future work).
+  Duration interval = Duration::millis(500);
+};
+
+struct ContextRecord {
+  ContextId id = kInvalidContext;
+  ContextParams params;
+  Bytes content;
+  StatusCallback callback;
+  /// Technology currently carrying this context (nullopt while unassigned,
+  /// e.g. mid-failover).
+  std::optional<Technology> tech;
+  /// True once the carrying technology has acknowledged the transmission.
+  bool active = false;
+  /// Technologies already attempted for the in-flight operation (failover
+  /// bookkeeping; cleared when an attempt succeeds).
+  std::set<Technology> tried;
+};
+
+class ContextRegistry {
+ public:
+  /// Reserve an id and store the record.
+  ContextId add(ContextParams params, Bytes content, StatusCallback callback);
+
+  ContextRecord* find(ContextId id);
+  const ContextRecord* find(ContextId id) const;
+  bool remove(ContextId id);
+
+  std::vector<ContextId> ids() const;
+  /// Contexts currently assigned to `tech`.
+  std::vector<ContextId> on_tech(Technology tech) const;
+
+  std::size_t size() const { return records_.size(); }
+
+ private:
+  std::map<ContextId, ContextRecord> records_;
+  ContextId next_id_ = 1;
+};
+
+}  // namespace omni

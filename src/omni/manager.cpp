@@ -1,0 +1,933 @@
+#include "omni/manager.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace omni {
+
+namespace {
+constexpr const char* kTag = "omni.manager";
+}  // namespace
+
+OmniManager::OmniManager(sim::Simulator& sim, OmniAddress self,
+                         ManagerOptions options)
+    : sim_(sim),
+      self_(self),
+      options_(options),
+      receive_queue_(sim),
+      response_queue_(sim) {
+  OMNI_CHECK_MSG(self_.is_valid(), "manager needs a valid omni_address");
+  current_beacon_interval_ = options_.adaptive_beacon.enabled
+                                 ? options_.adaptive_beacon.min_interval
+                                 : options_.beacon_interval;
+  if (!options_.context_key.empty()) {
+    cipher_.emplace(std::span<const std::uint8_t>(options_.context_key));
+    // Derive a device-unique nonce space so two devices sharing a key never
+    // collide.
+    next_nonce_ = self_.value << 20;
+  }
+}
+
+Bytes OmniManager::maybe_seal(Bytes packed) {
+  if (!cipher_) return packed;
+  return cipher_->seal(packed, next_nonce_++);
+}
+
+OmniManager::~OmniManager() {
+  if (running_) stop();
+}
+
+void OmniManager::add_technology(CommTechnology& tech) {
+  OMNI_CHECK_MSG(!running_, "add_technology before start()");
+  for (const auto& s : slots_) {
+    OMNI_CHECK_MSG(s.tech->type() != tech.type(),
+                   "duplicate technology registration");
+  }
+  TechSlot slot;
+  slot.tech = &tech;
+  slot.send_queue = std::make_unique<SimQueue<SendRequest>>(sim_);
+  slots_.push_back(std::move(slot));
+}
+
+OmniManager::TechSlot* OmniManager::slot(Technology tech) {
+  for (auto& s : slots_) {
+    if (s.tech->type() == tech) return &s;
+  }
+  return nullptr;
+}
+
+const OmniManager::TechSlot* OmniManager::slot(Technology tech) const {
+  for (const auto& s : slots_) {
+    if (s.tech->type() == tech) return &s;
+  }
+  return nullptr;
+}
+
+bool OmniManager::technology_up(Technology tech) const {
+  const TechSlot* s = slot(tech);
+  return s != nullptr && s->up;
+}
+
+bool OmniManager::technology_engaged(Technology tech) const {
+  const TechSlot* s = slot(tech);
+  return s != nullptr && s->up && s->tech->engaged();
+}
+
+void OmniManager::start() {
+  OMNI_CHECK_MSG(!running_, "manager already started");
+  OMNI_CHECK_MSG(!slots_.empty(), "no technologies registered");
+  running_ = true;
+
+  receive_queue_.set_consumer([this] { drain_receive_queue(); });
+  response_queue_.set_consumer([this] { drain_response_queue(); });
+
+  // Enable every technology and collect low-level addresses for the beacon.
+  for (auto& s : slots_) {
+    TechQueues queues{s.send_queue.get(), &receive_queue_, &response_queue_};
+    EnableResult result = s.tech->enable(queues);
+    s.address = result.address;
+    s.up = true;
+    if (std::holds_alternative<BleAddress>(result.address)) {
+      beacon_info_.ble = std::get<BleAddress>(result.address);
+    } else if (std::holds_alternative<MeshAddress>(result.address)) {
+      beacon_info_.mesh = std::get<MeshAddress>(result.address);
+    }
+  }
+  beacon_packed_ =
+      maybe_seal(PackedStruct::address_beacon(self_, beacon_info_).encode());
+
+  // Engage the lowest-energy context technology; the rest probe-listen
+  // unless engagement is disabled, in which case everything beacons
+  // (ubiSOAP-style, used by the ablation bench).
+  Technology primary = primary_context_tech();
+  for (auto& s : slots_) {
+    if (!s.tech->supports_context()) {
+      s.tech->set_engaged(false);
+      continue;
+    }
+    bool engage_now =
+        !options_.enable_engagement || s.tech->type() == primary;
+    s.tech->set_engaged(engage_now);
+    if (engage_now) start_beaconing_on(s.tech->type());
+  }
+
+  schedule_maintenance();
+}
+
+void OmniManager::stop() {
+  if (!running_) return;
+  running_ = false;
+  maintenance_event_.cancel();
+  for (auto& s : slots_) {
+    if (s.up) s.tech->disable();
+    s.up = false;
+    s.beaconing = false;
+  }
+  receive_queue_.clear_consumer();
+  response_queue_.clear_consumer();
+}
+
+Technology OmniManager::primary_context_tech() const {
+  Technology best = Technology::kBle;
+  int best_rank = INT32_MAX;
+  for (const auto& s : slots_) {
+    if (!s.tech->supports_context()) continue;
+    if (running_ && !s.up) continue;
+    int rank = static_cast<int>(s.tech->type());
+    if (rank < best_rank) {
+      best_rank = rank;
+      best = s.tech->type();
+    }
+  }
+  return best;
+}
+
+// --- Beaconing & engagement --------------------------------------------------
+
+void OmniManager::start_beaconing_on(Technology tech) {
+  TechSlot* s = slot(tech);
+  if (s == nullptr || !s->up || s->beaconing) return;
+  SendRequest req;
+  req.request_id = next_request_id();
+  req.op = SendOp::kAddContext;
+  req.context_id = beacon_context_id(tech);
+  req.interval = current_beacon_interval_;
+  req.packed = beacon_packed_;
+  s->send_queue->push(std::move(req));
+  s->beaconing = true;
+}
+
+void OmniManager::stop_beaconing_on(Technology tech) {
+  TechSlot* s = slot(tech);
+  if (s == nullptr || !s->beaconing) return;
+  SendRequest req;
+  req.request_id = next_request_id();
+  req.op = SendOp::kRemoveContext;
+  req.context_id = beacon_context_id(tech);
+  s->send_queue->push(std::move(req));
+  s->beaconing = false;
+}
+
+void OmniManager::engage(Technology tech) {
+  TechSlot* s = slot(tech);
+  if (s == nullptr || !s->up || !s->tech->supports_context()) return;
+  if (s->tech->engaged()) return;
+  OMNI_DEBUG(sim_.now(), kTag, "engaging %s", to_string(tech).c_str());
+  ++stats_.engagements;
+  s->tech->set_engaged(true);
+  start_beaconing_on(tech);
+  // Application contexts that could not be placed before may fit now; they
+  // stay where they are otherwise (re-homing happens on failure).
+}
+
+void OmniManager::disengage(Technology tech) {
+  if (tech == primary_context_tech()) return;  // primary never disengages
+  TechSlot* s = slot(tech);
+  if (s == nullptr || !s->tech->engaged()) return;
+  OMNI_DEBUG(sim_.now(), kTag, "disengaging %s", to_string(tech).c_str());
+  ++stats_.disengagements;
+  stop_beaconing_on(tech);
+  s->tech->set_engaged(false);
+}
+
+void OmniManager::schedule_maintenance() {
+  maintenance_event_ = sim_.after(options_.probe_interval, [this] {
+    maintenance_tick();
+    if (running_) schedule_maintenance();
+  });
+}
+
+void OmniManager::adapt_beacon_interval() {
+  if (!options_.adaptive_beacon.enabled) return;
+  // Hash the neighborhood: the set of known peers and the technologies they
+  // were heard on. A change means churn -> beacon aggressively; stability
+  // means the interval can back off (halving the idle beacon energy per
+  // quiet tick, the eDiscovery idea).
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (OmniAddress peer : peers_.peers()) {
+    h ^= peer.value;
+    h *= 0x00000100000001B3ull;
+  }
+  Duration target;
+  if (h != last_neighborhood_hash_) {
+    target = options_.adaptive_beacon.min_interval;
+  } else {
+    target = std::min(options_.adaptive_beacon.max_interval,
+                      current_beacon_interval_ * 2.0);
+  }
+  last_neighborhood_hash_ = h;
+  if (target == current_beacon_interval_) return;
+  current_beacon_interval_ = target;
+  for (auto& s : slots_) {
+    if (!s.up || !s.beaconing) continue;
+    SendRequest req;
+    req.request_id = next_request_id();
+    req.op = SendOp::kUpdateContext;
+    req.context_id = beacon_context_id(s.tech->type());
+    req.interval = current_beacon_interval_;
+    req.packed = beacon_packed_;
+    s.send_queue->push(std::move(req));
+  }
+}
+
+void OmniManager::maintenance_tick() {
+  peers_.expire(sim_.now(), options_.peer_ttl);
+  adapt_beacon_interval();
+  if (!options_.enable_engagement) return;
+  // Disengage any engaged non-primary context technology on which every
+  // recently-heard peer is also reachable via a lower-energy technology.
+  Technology primary = primary_context_tech();
+  for (auto& s : slots_) {
+    Technology tech = s.tech->type();
+    if (!s.up || !s.tech->supports_context() || tech == primary) continue;
+    if (!s.tech->engaged()) continue;
+    auto peers_here = peers_.peers_on(tech, sim_.now(), options_.peer_ttl);
+    bool all_covered = true;
+    for (OmniAddress peer : peers_here) {
+      if (!peers_.reachable_on_lower_energy(peer, tech, sim_.now(),
+                                            options_.peer_ttl)) {
+        all_covered = false;
+        break;
+      }
+    }
+    if (all_covered) disengage(tech);
+  }
+}
+
+// --- Receive path ------------------------------------------------------------
+
+void OmniManager::drain_receive_queue() {
+  while (auto packet = receive_queue_.try_pop()) {
+    handle_packet(*packet);
+  }
+}
+
+void OmniManager::handle_packet(const ReceivedPacket& packet) {
+  std::span<const std::uint8_t> wire(packet.packed);
+  Bytes opened;
+  if (BeaconCipher::looks_sealed(wire)) {
+    // Encrypted beacon (paper §3.4): without the out-of-band key the packet
+    // is opaque — the device effectively does not exist to us.
+    if (!cipher_) {
+      ++stats_.sealed_drops;
+      return;
+    }
+    auto plain = cipher_->open(wire);
+    if (!plain) {
+      ++stats_.sealed_drops;
+      return;
+    }
+    opened = std::move(*plain);
+    wire = opened;
+  }
+  auto decoded = PackedStruct::decode(wire);
+  if (!decoded) {
+    OMNI_WARN(sim_.now(), kTag, "dropping undecodable packet on %s: %s",
+              to_string(packet.tech).c_str(),
+              decoded.error_message().c_str());
+    return;
+  }
+  const PackedStruct& p = decoded.value();
+  if (p.source == self_) return;  // our own broadcast echoed back
+  ++stats_.packets_received;
+
+  if (p.kind == PacketKind::kRelayed) {
+    // The link-level sender is the relayer, not `source`: no direct
+    // mapping may be recorded.
+    handle_relayed_packet(p);
+    return;
+  }
+
+  TimePoint now = sim_.now();
+  // Direct mapping: the packet physically arrived from this address on this
+  // technology. Multicast-derived mappings need re-validation before data
+  // transfer; ND-integrated (BLE) and connection-proven (unicast) ones do
+  // not.
+  bool refresh_needed = packet.tech == Technology::kWifiMulticast;
+  peers_.observe(p.source, packet.tech, packet.from, now, refresh_needed);
+
+  // Engagement trigger: an unknown peer (no lower-energy reachability)
+  // appeared on a non-engaged context technology.
+  if (options_.enable_engagement &&
+      !peers_.reachable_on_lower_energy(p.source, packet.tech, now,
+                                        options_.peer_ttl)) {
+    TechSlot* s = slot(packet.tech);
+    if (s != nullptr && s->up && s->tech->supports_context() &&
+        !s->tech->engaged()) {
+      engage(packet.tech);
+    }
+  }
+
+  // Multi-hop context sharing: eligible packets are re-broadcast with a
+  // decremented hop budget.
+  if (options_.context_relay_hops > 0 &&
+      (p.kind == PacketKind::kContext ||
+       p.kind == PacketKind::kAddressBeacon)) {
+    maybe_relay(p, Bytes(wire.begin(), wire.end()));
+  }
+
+  switch (p.kind) {
+    case PacketKind::kAddressBeacon: {
+      ++stats_.beacons_received;
+      // The beacon carries the peer's full address map: record reachability
+      // for every technology it names. Mappings delivered over integrated
+      // low-level ND (BLE) are immediately usable; those delivered over
+      // application-level multicast still need the re-validation ritual.
+      if (!p.beacon.ble.is_zero()) {
+        peers_.observe(p.source, Technology::kBle,
+                       LowLevelAddress{p.beacon.ble}, now,
+                       /*requires_refresh=*/false);
+      }
+      if (!p.beacon.mesh.is_zero()) {
+        peers_.observe(p.source, Technology::kWifiUnicast,
+                       LowLevelAddress{p.beacon.mesh}, now, refresh_needed);
+        peers_.observe(p.source, Technology::kWifiMulticast,
+                       LowLevelAddress{p.beacon.mesh}, now, refresh_needed);
+      }
+      break;
+    }
+    case PacketKind::kContext:
+      ++stats_.context_received;
+      for (const auto& cb : on_context_) cb(p.source, p.payload);
+      break;
+    case PacketKind::kData:
+      ++stats_.data_received;
+      for (const auto& cb : on_data_) cb(p.source, p.payload);
+      break;
+    case PacketKind::kRelayed:
+      break;  // handled above
+  }
+}
+
+void OmniManager::handle_relayed_packet(const PackedStruct& outer) {
+  ++stats_.relayed_in;
+  auto inner = PackedStruct::decode(outer.payload);
+  if (!inner) return;
+  const PackedStruct& p = inner.value();
+  if (p.source == self_ || p.source != outer.source) return;
+
+  TimePoint now = sim_.now();
+  switch (p.kind) {
+    case PacketKind::kAddressBeacon:
+      // Multi-hop knowledge: the origin's mesh address may well be usable
+      // (WiFi range exceeds BLE range), but it is unverified, so it
+      // requires the re-validation ritual before data transfer. The BLE
+      // mapping is NOT recorded: two BLE hops away is out of range by
+      // construction.
+      if (!p.beacon.mesh.is_zero()) {
+        peers_.observe(p.source, Technology::kWifiUnicast,
+                       LowLevelAddress{p.beacon.mesh}, now, true);
+        peers_.observe(p.source, Technology::kWifiMulticast,
+                       LowLevelAddress{p.beacon.mesh}, now, true);
+      }
+      break;
+    case PacketKind::kContext:
+      ++stats_.context_received;
+      for (const auto& cb : on_context_) cb(p.source, p.payload);
+      break;
+    default:
+      return;
+  }
+
+  // Forward further if the hop budget allows.
+  if (outer.hops_remaining > 0 && options_.context_relay_hops > 0) {
+    PackedStruct rewrapped = PackedStruct::relayed(
+        p.source, outer.payload,
+        static_cast<std::uint8_t>(outer.hops_remaining - 1));
+    maybe_relay(rewrapped, outer.payload);
+  }
+}
+
+void OmniManager::maybe_relay(const PackedStruct& packet,
+                              const Bytes& inner_encoded) {
+  // Content-addressed dedup: one active relay per distinct packet.
+  std::uint64_t key = fnv1a64(inner_encoded);
+  if (active_relays_.count(key) > 0) return;
+
+  std::uint8_t hops;
+  if (packet.kind == PacketKind::kRelayed) {
+    hops = packet.hops_remaining;  // already decremented by the caller
+  } else {
+    hops = static_cast<std::uint8_t>(options_.context_relay_hops - 1);
+  }
+  Bytes packed = maybe_seal(
+      PackedStruct::relayed(packet.source, inner_encoded, hops).encode());
+  auto tech = pick_context_tech(packed.size(), {});
+  if (!tech) return;  // nothing can carry it (e.g. legacy BLE)
+
+  ContextId rid = next_relay_id_++;
+  if (next_relay_id_ >= kBeaconContextBase) next_relay_id_ = kRelayContextBase;
+  active_relays_[key] = rid;
+  ++stats_.relayed_out;
+
+  SendRequest req;
+  req.request_id = next_request_id();
+  req.op = SendOp::kAddContext;
+  req.context_id = rid;
+  req.interval = current_beacon_interval_;
+  req.packed = std::move(packed);
+  slot(*tech)->send_queue->push(std::move(req));
+
+  // Expire the relay after its lifetime.
+  Technology carrier = *tech;
+  sim_.after(options_.relay_lifetime, [this, key, rid, carrier] {
+    active_relays_.erase(key);
+    TechSlot* s = slot(carrier);
+    if (s == nullptr || !s->up) return;
+    SendRequest remove_req;
+    remove_req.request_id = next_request_id();
+    remove_req.op = SendOp::kRemoveContext;
+    remove_req.context_id = rid;
+    s->send_queue->push(std::move(remove_req));
+  });
+}
+
+// --- Response path -----------------------------------------------------------
+
+void OmniManager::drain_response_queue() {
+  while (auto response = response_queue_.try_pop()) {
+    handle_response(std::move(*response));
+  }
+}
+
+void OmniManager::handle_response(TechResponse response) {
+  if (response.kind == TechResponse::Kind::kAddressChange) {
+    // The technology's low-level address rotated (e.g. BLE privacy). The
+    // address beacon must advertise the fresh mapping immediately, or peers
+    // would keep contacting a stale address.
+    TechSlot* s = slot(response.tech);
+    if (s == nullptr) return;
+    s->address = response.new_address;
+    if (std::holds_alternative<BleAddress>(response.new_address)) {
+      beacon_info_.ble = std::get<BleAddress>(response.new_address);
+    } else if (std::holds_alternative<MeshAddress>(response.new_address)) {
+      beacon_info_.mesh = std::get<MeshAddress>(response.new_address);
+    }
+    beacon_packed_ = maybe_seal(
+        PackedStruct::address_beacon(self_, beacon_info_).encode());
+    for (auto& bs : slots_) {
+      if (!bs.up || !bs.beaconing) continue;
+      SendRequest req;
+      req.request_id = next_request_id();
+      req.op = SendOp::kUpdateContext;
+      req.context_id = beacon_context_id(bs.tech->type());
+      req.interval = current_beacon_interval_;
+      req.packed = beacon_packed_;
+      bs.send_queue->push(std::move(req));
+    }
+    return;
+  }
+
+  if (response.kind == TechResponse::Kind::kTechStatus) {
+    TechSlot* s = slot(response.tech);
+    if (s == nullptr) return;
+    bool was_up = s->up;
+    s->up = response.up;
+    if (!was_up && response.up) {
+      // Technology recovered: if it should carry beacons (primary, or
+      // engagement disabled), restart them.
+      Technology primary = primary_context_tech();
+      if (s->tech->supports_context() &&
+          (!options_.enable_engagement || s->tech->type() == primary)) {
+        s->tech->set_engaged(true);
+        start_beaconing_on(s->tech->type());
+      }
+      return;
+    }
+    if (was_up && !response.up) {
+      s->beaconing = false;
+      // Re-home application contexts that were riding the lost technology.
+      for (ContextId id : contexts_.on_tech(response.tech)) {
+        ContextRecord* rec = contexts_.find(id);
+        if (rec == nullptr) continue;
+        rec->tech.reset();
+        rec->active = false;
+        rec->tried.clear();
+        rec->tried.insert(response.tech);
+        ++stats_.context_failovers;
+        dispatch_context_add(*rec);
+      }
+      // If the primary beacon carrier died, promote the next one.
+      Technology primary = primary_context_tech();
+      if (TechSlot* p = slot(primary); p != nullptr && p->up) {
+        if (!p->tech->engaged()) engage(primary);
+      }
+    }
+    return;
+  }
+
+  if (response.op == SendOp::kSendData) {
+    handle_data_response(response);
+  } else {
+    handle_context_response(response);
+  }
+}
+
+void OmniManager::handle_data_response(const TechResponse& response) {
+  auto it = data_attempts_.find(response.request_id);
+  if (it == data_attempts_.end()) return;
+  std::uint64_t op_id = it->second;
+  data_attempts_.erase(it);
+
+  auto op_it = pending_data_.find(op_id);
+  if (op_it == pending_data_.end()) return;
+  PendingData& op = op_it->second;
+
+  if (response.success) {
+    peers_.mark_fresh(op.dest, response.tech);
+    StatusCallback cb = op.callback;
+    ResponseInfo info;
+    info.destination = op.dest;
+    pending_data_.erase(op_it);
+    if (cb) cb(StatusCode::kSendDataSuccess, info);
+    return;
+  }
+
+  // Failure: retry on the next applicable technology; only when all are
+  // exhausted does the application hear about it (paper §3.1, §3.3).
+  OMNI_DEBUG(sim_.now(), kTag, "data to %s failed on %s: %s",
+             op.dest.to_string().c_str(), to_string(response.tech).c_str(),
+             response.failure_reason.c_str());
+  ++stats_.data_failovers;
+  dispatch_data(op_id);
+}
+
+void OmniManager::handle_context_response(const TechResponse& response) {
+  if (is_beacon_context(response.context_id)) {
+    if (!response.success) {
+      OMNI_WARN(sim_.now(), kTag, "address beacon op failed on %s: %s",
+                to_string(response.tech).c_str(),
+                response.failure_reason.c_str());
+      if (TechSlot* s = slot(response.tech)) s->beaconing = false;
+    }
+    return;
+  }
+
+  auto it = context_attempts_.find(response.request_id);
+  if (it == context_attempts_.end()) return;
+  ContextId id = it->second;
+  context_attempts_.erase(it);
+
+  ContextRecord* rec = contexts_.find(id);
+  ResponseInfo info;
+  info.context_id = id;
+
+  switch (response.op) {
+    case SendOp::kAddContext: {
+      if (rec == nullptr) return;  // removed while in flight
+      if (response.success) {
+        rec->active = true;
+        rec->tried.clear();
+        if (rec->callback) {
+          rec->callback(StatusCode::kAddContextSuccess, info);
+        }
+        return;
+      }
+      ++stats_.context_failovers;
+      rec->tech.reset();
+      rec->active = false;
+      dispatch_context_add(*rec);
+      return;
+    }
+    case SendOp::kUpdateContext: {
+      if (rec == nullptr) return;
+      if (response.success) {
+        if (rec->callback) {
+          rec->callback(StatusCode::kUpdateContextSuccess, info);
+        }
+        return;
+      }
+      // Re-home the context: remove locally, re-add elsewhere.
+      ++stats_.context_failovers;
+      rec->tech.reset();
+      rec->active = false;
+      rec->tried.clear();
+      rec->tried.insert(response.tech);
+      dispatch_context_add(*rec);
+      return;
+    }
+    case SendOp::kRemoveContext: {
+      info.failure_description = response.failure_reason;
+      StatusCallback cb = rec != nullptr ? rec->callback : response.callback;
+      contexts_.remove(id);
+      if (cb) {
+        cb(response.success ? StatusCode::kRemoveContextSuccess
+                            : StatusCode::kRemoveContextFailure,
+           info);
+      }
+      return;
+    }
+    case SendOp::kSendData:
+      return;  // unreachable; handled elsewhere
+  }
+}
+
+// --- Context operations -------------------------------------------------------
+
+Bytes OmniManager::packed_context(const ContextRecord& record) {
+  return maybe_seal(PackedStruct::context(self_, record.content).encode());
+}
+
+std::optional<Technology> OmniManager::pick_context_tech(
+    std::size_t packed_size, const std::set<Technology>& exclude) const {
+  // Lowest-energy first (the Technology enum is ordered by energy cost),
+  // requiring the payload to fit.
+  std::optional<Technology> best;
+  for (const auto& s : slots_) {
+    if (!s.up || !s.tech->supports_context()) continue;
+    Technology t = s.tech->type();
+    if (exclude.count(t) > 0) continue;
+    if (s.tech->max_context_payload() < packed_size) continue;
+    if (!best || static_cast<int>(t) < static_cast<int>(*best)) best = t;
+  }
+  return best;
+}
+
+void OmniManager::dispatch_context_add(ContextRecord& record) {
+  Bytes packed = packed_context(record);
+  auto tech = pick_context_tech(packed.size(), record.tried);
+  if (!tech) {
+    ResponseInfo info;
+    info.context_id = record.id;
+    info.failure_description =
+        "no applicable context technology (payload too large or all failed)";
+    StatusCallback cb = record.callback;
+    contexts_.remove(record.id);
+    if (cb) cb(StatusCode::kAddContextFailure, info);
+    return;
+  }
+  record.tech = *tech;
+  record.tried.insert(*tech);
+
+  SendRequest req;
+  req.request_id = next_request_id();
+  req.op = SendOp::kAddContext;
+  req.context_id = record.id;
+  req.interval = record.params.interval;
+  req.packed = std::move(packed);
+  req.callback = record.callback;
+  context_attempts_[req.request_id] = record.id;
+  slot(*tech)->send_queue->push(std::move(req));
+}
+
+void OmniManager::add_context(const ContextParams& params, Bytes context,
+                              StatusCallback callback) {
+  if (!running_) {
+    sim_.after(Duration::zero(), [callback] {
+      ResponseInfo info;
+      info.failure_description = "manager not running";
+      if (callback) callback(StatusCode::kAddContextFailure, info);
+    });
+    return;
+  }
+  if (params.interval <= Duration::zero()) {
+    sim_.after(Duration::zero(), [callback] {
+      ResponseInfo info;
+      info.failure_description = "context interval must be positive";
+      if (callback) callback(StatusCode::kAddContextFailure, info);
+    });
+    return;
+  }
+  ContextId id = contexts_.add(params, std::move(context), callback);
+  dispatch_context_add(*contexts_.find(id));
+}
+
+void OmniManager::update_context(ContextId id, const ContextParams& params,
+                                 Bytes context, StatusCallback callback) {
+  if (!running_) {
+    sim_.after(Duration::zero(), [callback, id] {
+      ResponseInfo info;
+      info.context_id = id;
+      info.failure_description = "manager not running";
+      if (callback) callback(StatusCode::kUpdateContextFailure, info);
+    });
+    return;
+  }
+  ContextRecord* rec = contexts_.find(id);
+  if (rec == nullptr || is_beacon_context(id)) {
+    sim_.after(Duration::zero(), [callback, id] {
+      ResponseInfo info;
+      info.context_id = id;
+      info.failure_description = "unknown context id";
+      if (callback) callback(StatusCode::kUpdateContextFailure, info);
+    });
+    return;
+  }
+  rec->params = params;
+  rec->content = std::move(context);
+  if (callback) rec->callback = std::move(callback);
+
+  Bytes packed = packed_context(*rec);
+  if (!rec->tech || !rec->active) {
+    // Not currently placed: (re)dispatch as an add.
+    rec->tried.clear();
+    dispatch_context_add(*rec);
+    return;
+  }
+  TechSlot* s = slot(*rec->tech);
+  if (s == nullptr || !s->up ||
+      s->tech->max_context_payload() < packed.size()) {
+    // Needs re-homing (e.g., payload grew beyond the carrier's limit).
+    if (s != nullptr && s->up) {
+      SendRequest remove_req;
+      remove_req.request_id = next_request_id();
+      remove_req.op = SendOp::kRemoveContext;
+      remove_req.context_id = id;
+      s->send_queue->push(std::move(remove_req));
+    }
+    rec->tech.reset();
+    rec->active = false;
+    rec->tried.clear();
+    dispatch_context_add(*rec);
+    return;
+  }
+
+  SendRequest req;
+  req.request_id = next_request_id();
+  req.op = SendOp::kUpdateContext;
+  req.context_id = id;
+  req.interval = rec->params.interval;
+  req.packed = std::move(packed);
+  req.callback = rec->callback;
+  context_attempts_[req.request_id] = id;
+  s->send_queue->push(std::move(req));
+}
+
+void OmniManager::remove_context(ContextId id, StatusCallback callback) {
+  if (!running_) {
+    // Shutdown path: transmissions are already withdrawn with the
+    // technologies; just forget the record.
+    contexts_.remove(id);
+    sim_.after(Duration::zero(), [callback, id] {
+      ResponseInfo info;
+      info.context_id = id;
+      if (callback) callback(StatusCode::kRemoveContextSuccess, info);
+    });
+    return;
+  }
+  ContextRecord* rec = contexts_.find(id);
+  if (rec == nullptr || is_beacon_context(id)) {
+    sim_.after(Duration::zero(), [callback, id] {
+      ResponseInfo info;
+      info.context_id = id;
+      info.failure_description = "unknown context id";
+      if (callback) callback(StatusCode::kRemoveContextFailure, info);
+    });
+    return;
+  }
+  if (callback) rec->callback = std::move(callback);
+  if (!rec->tech || !rec->active) {
+    StatusCallback cb = rec->callback;
+    contexts_.remove(id);
+    sim_.after(Duration::zero(), [cb, id] {
+      ResponseInfo info;
+      info.context_id = id;
+      if (cb) cb(StatusCode::kRemoveContextSuccess, info);
+    });
+    return;
+  }
+  SendRequest req;
+  req.request_id = next_request_id();
+  req.op = SendOp::kRemoveContext;
+  req.context_id = id;
+  req.callback = rec->callback;
+  context_attempts_[req.request_id] = id;
+  slot(*rec->tech)->send_queue->push(std::move(req));
+}
+
+// --- Data operations ----------------------------------------------------------
+
+std::optional<Technology> OmniManager::pick_data_tech(
+    const PendingData& op) const {
+  const PeerEntry* peer = peers_.find(op.dest);
+  if (peer == nullptr) return std::nullopt;
+
+  std::optional<Technology> best;
+  Duration best_time = Duration::max();
+  int best_rank = 0;
+  for (const auto& s : slots_) {
+    if (!s.up || !s.tech->supports_data()) continue;
+    Technology t = s.tech->type();
+    if (op.tried.count(t) > 0) continue;
+    auto info_it = peer->techs.find(t);
+    if (info_it == peer->techs.end()) continue;
+    std::size_t cap = s.tech->max_data_payload();
+    if (cap != 0 && op.packed.size() > cap) continue;
+
+    switch (options_.data_policy) {
+      case ManagerOptions::DataPolicy::kExpectedTime: {
+        Duration est = s.tech->estimate_data_time(
+            op.packed.size(), info_it->second.requires_refresh);
+        if (!best || est < best_time) {
+          best = t;
+          best_time = est;
+        }
+        break;
+      }
+      case ManagerOptions::DataPolicy::kPreferLowEnergy:
+        if (!best || static_cast<int>(t) < best_rank) {
+          best = t;
+          best_rank = static_cast<int>(t);
+        }
+        break;
+      case ManagerOptions::DataPolicy::kPreferThroughput:
+        if (!best || static_cast<int>(t) > best_rank) {
+          best = t;
+          best_rank = static_cast<int>(t);
+        }
+        break;
+    }
+    if (best == t && options_.data_policy !=
+                         ManagerOptions::DataPolicy::kExpectedTime) {
+      best_rank = static_cast<int>(t);
+    }
+  }
+  return best;
+}
+
+void OmniManager::dispatch_data(std::uint64_t op_id) {
+  auto it = pending_data_.find(op_id);
+  if (it == pending_data_.end()) return;
+  PendingData& op = it->second;
+
+  auto tech = pick_data_tech(op);
+  if (!tech) {
+    fail_data(op_id, "all applicable technologies exhausted");
+    return;
+  }
+  op.tried.insert(*tech);
+
+  const PeerEntry* peer = peers_.find(op.dest);
+  const PeerTechInfo& info = peer->techs.at(*tech);
+
+  SendRequest req;
+  req.request_id = next_request_id();
+  req.op = SendOp::kSendData;
+  req.packed = op.packed;
+  req.dest = info.address;
+  req.dest_omni = op.dest;
+  req.needs_refresh = info.requires_refresh;
+  if (req.needs_refresh) {
+    // If the peer was heard recently on an ND-integrated technology (BLE),
+    // only the network needs re-validating; otherwise the peer's next
+    // periodic advertisement must be awaited as well.
+    auto ble_it = peer->techs.find(Technology::kBle);
+    bool heard_on_ble =
+        ble_it != peer->techs.end() &&
+        sim_.now() - ble_it->second.last_seen <= options_.peer_ttl;
+    req.refresh_advert_wait = !heard_on_ble;
+  }
+  req.callback = op.callback;
+  data_attempts_[req.request_id] = op_id;
+  slot(*tech)->send_queue->push(std::move(req));
+}
+
+void OmniManager::fail_data(std::uint64_t op_id, const std::string& why) {
+  auto it = pending_data_.find(op_id);
+  if (it == pending_data_.end()) return;
+  StatusCallback cb = it->second.callback;
+  ResponseInfo info;
+  info.destination = it->second.dest;
+  info.failure_description = why;
+  pending_data_.erase(it);
+  if (cb) cb(StatusCode::kSendDataFailure, info);
+}
+
+void OmniManager::send_data(const std::vector<OmniAddress>& destinations,
+                            Bytes data, StatusCallback callback) {
+  if (!running_) {
+    for (OmniAddress dest : destinations) {
+      sim_.after(Duration::zero(), [callback, dest] {
+        ResponseInfo info;
+        info.destination = dest;
+        info.failure_description = "manager not running";
+        if (callback) callback(StatusCode::kSendDataFailure, info);
+      });
+    }
+    return;
+  }
+  Bytes packed = PackedStruct::data(self_, std::move(data)).encode();
+  for (OmniAddress dest : destinations) {
+    ++stats_.data_sends;
+    std::uint64_t op_id = next_data_op_id_++;
+    PendingData op;
+    op.op_id = op_id;
+    op.dest = dest;
+    op.packed = packed;
+    op.callback = callback;
+    pending_data_.emplace(op_id, std::move(op));
+
+    if (peers_.find(dest) == nullptr) {
+      // Keep failure reporting asynchronous like every other path.
+      sim_.after(Duration::zero(), [this, op_id] {
+        fail_data(op_id, "unknown peer (never discovered)");
+      });
+      continue;
+    }
+    dispatch_data(op_id);
+  }
+}
+
+}  // namespace omni

@@ -1,0 +1,270 @@
+// The Omni Manager (paper §3.3) and the Developer API (paper §3.1, Table 1).
+//
+// One instance runs per device (the paper's intended OS-service design).
+// Responsibilities:
+//
+//   * expose add/update/remove_context, send_data, request_context and
+//     request_data to applications;
+//   * emit the address_beacon every beacon_interval on the engaged context
+//     technologies, carrying this device's low-level addresses;
+//   * run the multi-technology engagement algorithm: beacon on the
+//     lowest-energy context technology; probe the others every
+//     probe_interval; engage a technology when an unknown peer appears
+//     there; disengage it once every peer heard there is also reachable on
+//     a lower-energy technology;
+//   * maintain the peer mapping (omni_address -> technology -> low-level
+//     address, with freshness/provenance) and the context mapping
+//     (context id -> carrying technology);
+//   * select the data technology that minimizes expected delivery time
+//     (connection setup + size/throughput), and fail over across
+//     technologies until all applicable ones are exhausted before invoking
+//     the application's status callback with a failure.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "common/time.h"
+#include "common/types.h"
+#include "omni/comm_tech.h"
+#include "omni/context_registry.h"
+#include "omni/packed_struct.h"
+#include "omni/peer_table.h"
+#include "omni/queues.h"
+#include "omni/security.h"
+#include "omni/status.h"
+#include "sim/simulator.h"
+
+namespace omni {
+
+struct ManagerOptions {
+  /// Address beacon interval; the paper fixes it at 500 ms.
+  Duration beacon_interval = Duration::millis(500);
+  /// Engagement maintenance / probe cadence (paper: "e.g., every five
+  /// seconds").
+  Duration probe_interval = Duration::seconds(5);
+  /// How long a peer mapping stays usable without being re-heard.
+  Duration peer_ttl = Duration::seconds(10);
+  /// Ablation switch: disable the multi-technology engagement algorithm
+  /// (beacons then go to every context technology, ubiSOAP-style).
+  bool enable_engagement = true;
+
+  enum class DataPolicy {
+    kExpectedTime,      ///< paper's policy: minimize expected delivery time
+    kPreferLowEnergy,   ///< ablation: always pick the lowest-energy tech
+    kPreferThroughput,  ///< ablation: always pick the highest-throughput tech
+  };
+  DataPolicy data_policy = DataPolicy::kExpectedTime;
+
+  /// Symmetric key for context/beacon encryption (paper §3.4); provisioned
+  /// out of band. Empty = plaintext beacons. Devices without the key cannot
+  /// parse — or even recognise — this device's beacons.
+  Bytes context_key;
+
+  /// Multi-hop context sharing (paper §5 future work, "BLE Mesh offers a
+  /// promising solution"): re-broadcast received context packs and address
+  /// beacons with this many further hops. 0 disables relaying. Relayed
+  /// packets exceed legacy BLE advertisements for most payloads, so this
+  /// pairs naturally with Bluetooth 5 extended advertising.
+  int context_relay_hops = 0;
+  /// How long one relayed packet keeps being re-broadcast.
+  Duration relay_lifetime = Duration::millis(1500);
+
+  /// Adaptive address-beacon interval (paper §5 / eDiscovery-style): tighten
+  /// to min_interval while the neighborhood is changing, back off toward
+  /// max_interval (doubling per quiet maintenance tick) when it is static.
+  struct AdaptiveBeacon {
+    bool enabled = false;
+    Duration min_interval = Duration::millis(250);
+    Duration max_interval = Duration::seconds(4);
+  };
+  AdaptiveBeacon adaptive_beacon;
+};
+
+struct ManagerStats {
+  std::uint64_t packets_received = 0;
+  /// Sealed packets dropped (no key, wrong key, or tampering).
+  std::uint64_t sealed_drops = 0;
+  std::uint64_t beacons_received = 0;
+  std::uint64_t context_received = 0;
+  std::uint64_t data_received = 0;
+  std::uint64_t data_sends = 0;
+  std::uint64_t data_failovers = 0;
+  std::uint64_t context_failovers = 0;
+  std::uint64_t engagements = 0;
+  std::uint64_t disengagements = 0;
+  std::uint64_t relayed_out = 0;  ///< packets this device re-broadcast
+  std::uint64_t relayed_in = 0;   ///< relayed packets received
+};
+
+class OmniManager {
+ public:
+  OmniManager(sim::Simulator& sim, OmniAddress self,
+              ManagerOptions options = {});
+  ~OmniManager();
+  OmniManager(const OmniManager&) = delete;
+  OmniManager& operator=(const OmniManager&) = delete;
+
+  /// Register a technology plugin (before start()). The manager does not
+  /// own the plugin; it must outlive the manager.
+  void add_technology(CommTechnology& tech);
+
+  /// Enable all technologies, begin address beaconing and engagement
+  /// maintenance.
+  void start();
+  void stop();
+  bool running() const { return running_; }
+
+  // --- Developer API (paper Table 1) --------------------------------------
+  void add_context(const ContextParams& params, Bytes context,
+                   StatusCallback callback);
+  void update_context(ContextId id, const ContextParams& params,
+                      Bytes context, StatusCallback callback);
+  void remove_context(ContextId id, StatusCallback callback);
+  void send_data(const std::vector<OmniAddress>& destinations, Bytes data,
+                 StatusCallback callback);
+  /// Register a context receive callback. Multiple registrations are
+  /// supported — the paper's intended OS-service deployment "invokes the
+  /// receive callbacks provided by each application" (§3.4); every callback
+  /// sees every context pack.
+  void request_context(ReceiveContextCallback callback) {
+    if (callback) on_context_.push_back(std::move(callback));
+  }
+  /// Register a data receive callback (same multi-registration semantics).
+  void request_data(ReceiveDataCallback callback) {
+    if (callback) on_data_.push_back(std::move(callback));
+  }
+
+  OmniAddress address() const { return self_; }
+
+  // --- Introspection (tests / benches) -------------------------------------
+  const PeerTable& peer_table() const { return peers_; }
+  const ManagerStats& stats() const { return stats_; }
+  bool technology_up(Technology tech) const;
+  bool technology_engaged(Technology tech) const;
+  /// The beacon info advertised by this device.
+  const AddressBeaconInfo& beacon_info() const { return beacon_info_; }
+  const ManagerOptions& options() const { return options_; }
+  /// Current address-beacon interval (changes under adaptive beaconing).
+  Duration current_beacon_interval() const {
+    return current_beacon_interval_;
+  }
+
+ private:
+  struct TechSlot {
+    CommTechnology* tech = nullptr;
+    std::unique_ptr<SimQueue<SendRequest>> send_queue;
+    LowLevelAddress address;
+    bool up = false;
+    bool beaconing = false;  ///< an address-beacon context is active here
+  };
+
+  // Internal context-id spaces: address beacons (one per technology) and
+  // relayed packets.
+  static constexpr ContextId kRelayContextBase = 0xE0000000;
+  static constexpr ContextId kBeaconContextBase = 0xF0000000;
+  ContextId beacon_context_id(Technology tech) const {
+    return kBeaconContextBase + static_cast<ContextId>(tech);
+  }
+  bool is_beacon_context(ContextId id) const {
+    return id >= kBeaconContextBase;
+  }
+  bool is_relay_context(ContextId id) const {
+    return id >= kRelayContextBase && id < kBeaconContextBase;
+  }
+  bool is_internal_context(ContextId id) const {
+    return id >= kRelayContextBase;
+  }
+
+  TechSlot* slot(Technology tech);
+  const TechSlot* slot(Technology tech) const;
+
+  std::uint64_t next_request_id() { return next_request_id_++; }
+
+  // Queue consumers.
+  void drain_receive_queue();
+  void drain_response_queue();
+  void handle_packet(const ReceivedPacket& packet);
+  void handle_response(TechResponse response);
+  void handle_data_response(const TechResponse& response);
+  void handle_context_response(const TechResponse& response);
+
+  // Beaconing & engagement.
+  void start_beaconing_on(Technology tech);
+  void stop_beaconing_on(Technology tech);
+  void engage(Technology tech);
+  void disengage(Technology tech);
+  Technology primary_context_tech() const;
+  void maintenance_tick();
+  void schedule_maintenance();
+  void adapt_beacon_interval();
+
+  // Multi-hop relay.
+  void maybe_relay(const PackedStruct& packet, const Bytes& inner_encoded);
+  void handle_relayed_packet(const PackedStruct& outer);
+
+  // Context handling.
+  std::optional<Technology> pick_context_tech(
+      std::size_t packed_size, const std::set<Technology>& exclude) const;
+  void dispatch_context_add(ContextRecord& record);
+  Bytes packed_context(const ContextRecord& record);
+
+  /// Seal `packed` when a context key is provisioned (paper §3.4).
+  Bytes maybe_seal(Bytes packed);
+
+  // Data handling.
+  struct PendingData {
+    std::uint64_t op_id = 0;
+    OmniAddress dest;
+    Bytes packed;  ///< encoded data packet
+    StatusCallback callback;
+    std::set<Technology> tried;
+  };
+  std::optional<Technology> pick_data_tech(const PendingData& op) const;
+  void dispatch_data(std::uint64_t op_id);
+  void fail_data(std::uint64_t op_id, const std::string& why);
+
+  sim::Simulator& sim_;
+  OmniAddress self_;
+  ManagerOptions options_;
+
+  std::vector<TechSlot> slots_;
+  SimQueue<ReceivedPacket> receive_queue_;
+  SimQueue<TechResponse> response_queue_;
+
+  AddressBeaconInfo beacon_info_;
+  Bytes beacon_packed_;
+
+  PeerTable peers_;
+  ContextRegistry contexts_;
+  std::map<std::uint64_t, PendingData> pending_data_;
+  /// request id -> data op id (attempt routing).
+  std::map<std::uint64_t, std::uint64_t> data_attempts_;
+  /// request id -> context id (attempt routing).
+  std::map<std::uint64_t, ContextId> context_attempts_;
+
+  std::vector<ReceiveContextCallback> on_context_;
+  std::vector<ReceiveDataCallback> on_data_;
+
+  ManagerStats stats_;
+  std::optional<BeaconCipher> cipher_;
+  std::uint64_t next_nonce_ = 1;
+  bool running_ = false;
+  std::uint64_t next_request_id_ = 1;
+  std::uint64_t next_data_op_id_ = 1;
+  sim::EventHandle maintenance_event_;
+
+  // Relay state: content-hash -> active relay context id (entries expire
+  // after relay_lifetime).
+  std::map<std::uint64_t, ContextId> active_relays_;
+  ContextId next_relay_id_ = kRelayContextBase;
+
+  // Adaptive beaconing state.
+  Duration current_beacon_interval_;
+  std::uint64_t last_neighborhood_hash_ = 0;
+};
+
+}  // namespace omni

@@ -1,0 +1,97 @@
+#include "omni/peer_table.h"
+
+namespace omni {
+
+void PeerTable::observe(OmniAddress peer, Technology tech, LowLevelAddress low,
+                        TimePoint now, bool requires_refresh) {
+  if (!peer.is_valid() || is_unset(low)) return;
+  PeerEntry& entry = peers_[peer];
+  entry.address = peer;
+  entry.last_seen = now;
+  auto it = entry.techs.find(tech);
+  if (it == entry.techs.end()) {
+    entry.techs.emplace(tech,
+                        PeerTechInfo{std::move(low), now, requires_refresh});
+    return;
+  }
+  it->second.address = std::move(low);
+  it->second.last_seen = now;
+  // Freshness only upgrades.
+  if (!requires_refresh) it->second.requires_refresh = false;
+}
+
+void PeerTable::mark_fresh(OmniAddress peer, Technology tech) {
+  auto it = peers_.find(peer);
+  if (it == peers_.end()) return;
+  auto tit = it->second.techs.find(tech);
+  if (tit != it->second.techs.end()) tit->second.requires_refresh = false;
+}
+
+const PeerEntry* PeerTable::find(OmniAddress peer) const {
+  auto it = peers_.find(peer);
+  return it == peers_.end() ? nullptr : &it->second;
+}
+
+std::optional<OmniAddress> PeerTable::find_by_low_level(
+    Technology tech, const LowLevelAddress& low) const {
+  for (const auto& [addr, entry] : peers_) {
+    auto it = entry.techs.find(tech);
+    if (it != entry.techs.end() && it->second.address == low) return addr;
+  }
+  return std::nullopt;
+}
+
+std::vector<OmniAddress> PeerTable::peers() const {
+  std::vector<OmniAddress> out;
+  out.reserve(peers_.size());
+  for (const auto& [addr, entry] : peers_) out.push_back(addr);
+  return out;
+}
+
+std::vector<OmniAddress> PeerTable::peers_on(Technology tech, TimePoint now,
+                                             Duration ttl) const {
+  std::vector<OmniAddress> out;
+  for (const auto& [addr, entry] : peers_) {
+    auto it = entry.techs.find(tech);
+    if (it != entry.techs.end() && now - it->second.last_seen <= ttl) {
+      out.push_back(addr);
+    }
+  }
+  return out;
+}
+
+bool PeerTable::reachable_on_lower_energy(OmniAddress peer, Technology tech,
+                                          TimePoint now, Duration ttl) const {
+  const PeerEntry* entry = find(peer);
+  if (entry == nullptr) return false;
+  for (const auto& [t, info] : entry->techs) {
+    if (static_cast<int>(t) < static_cast<int>(tech) &&
+        now - info.last_seen <= ttl) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::size_t PeerTable::expire(TimePoint now, Duration ttl) {
+  std::size_t removed = 0;
+  for (auto it = peers_.begin(); it != peers_.end();) {
+    auto& techs = it->second.techs;
+    for (auto tit = techs.begin(); tit != techs.end();) {
+      if (now - tit->second.last_seen > ttl) {
+        tit = techs.erase(tit);
+      } else {
+        ++tit;
+      }
+    }
+    if (techs.empty()) {
+      it = peers_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+}  // namespace omni

@@ -1,0 +1,75 @@
+// The Omni Manager's peer mapping (paper §3.3).
+//
+// Maps each neighbor's omni_address to the technologies it is reachable on,
+// with the concrete low-level address per technology, when it was last heard
+// there, and the mapping's provenance: mappings learned through integrated
+// low-level neighbor discovery (BLE address beacons) or proven by a direct
+// exchange are "fresh"; mappings learned only through application-level
+// multicast require re-validation before data transfer.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/time.h"
+#include "common/types.h"
+#include "omni/comm_tech.h"
+
+namespace omni {
+
+struct PeerTechInfo {
+  LowLevelAddress address;
+  TimePoint last_seen;
+  bool requires_refresh = false;
+};
+
+struct PeerEntry {
+  OmniAddress address;
+  std::map<Technology, PeerTechInfo> techs;
+  TimePoint last_seen;
+
+  bool reachable_on(Technology tech) const {
+    return techs.find(tech) != techs.end();
+  }
+};
+
+class PeerTable {
+ public:
+  /// Record that `peer` was heard on `tech` at `low`. Freshness only ever
+  /// upgrades (a multicast sighting does not mark a ND-derived mapping
+  /// stale again, matching the paper: every message refreshes the mapping).
+  void observe(OmniAddress peer, Technology tech, LowLevelAddress low,
+               TimePoint now, bool requires_refresh);
+
+  /// Mark a mapping validated (e.g., after a successful data exchange).
+  void mark_fresh(OmniAddress peer, Technology tech);
+
+  const PeerEntry* find(OmniAddress peer) const;
+
+  /// Reverse lookup: which peer owns this low-level address on `tech`?
+  std::optional<OmniAddress> find_by_low_level(
+      Technology tech, const LowLevelAddress& low) const;
+
+  std::vector<OmniAddress> peers() const;
+  /// Peers whose mapping on `tech` is younger than `ttl`.
+  std::vector<OmniAddress> peers_on(Technology tech, TimePoint now,
+                                    Duration ttl) const;
+
+  /// True if `peer` was heard recently on any technology with a strictly
+  /// lower energy rank than `tech` (drives disengagement, paper §3.3).
+  bool reachable_on_lower_energy(OmniAddress peer, Technology tech,
+                                 TimePoint now, Duration ttl) const;
+
+  /// Drop per-technology mappings older than `ttl`, and peers with no
+  /// mapping left. Returns the number of peers removed.
+  std::size_t expire(TimePoint now, Duration ttl);
+
+  std::size_t size() const { return peers_.size(); }
+  bool empty() const { return peers_.empty(); }
+
+ private:
+  std::map<OmniAddress, PeerEntry> peers_;
+};
+
+}  // namespace omni

@@ -1,0 +1,68 @@
+// Simulation-integrated queues for the Communication Technology API.
+//
+// Under simulation, producers and consumers are both driven by the event
+// loop, so "concurrent access" (paper §3.2) is modelled by deferring the
+// consumer's wakeup to a fresh event at the same virtual instant: a push
+// never re-entrantly invokes the consumer, exactly like a real queue between
+// threads. The thread-safe ConcurrentQueue in common/ provides the same
+// interface for real-time deployments.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <optional>
+#include <utility>
+
+#include "common/time.h"
+#include "sim/simulator.h"
+
+namespace omni {
+
+template <typename T>
+class SimQueue {
+ public:
+  explicit SimQueue(sim::Simulator& sim) : sim_(&sim) {}
+  SimQueue(const SimQueue&) = delete;
+  SimQueue& operator=(const SimQueue&) = delete;
+
+  void push(T item) {
+    items_.push_back(std::move(item));
+    wake();
+  }
+
+  std::optional<T> try_pop() {
+    if (items_.empty()) return std::nullopt;
+    T out = std::move(items_.front());
+    items_.pop_front();
+    return out;
+  }
+
+  /// Register the consumer's wakeup. After every push, the consumer runs in
+  /// its own event (coalesced: one wakeup per batch of same-instant pushes).
+  void set_consumer(std::function<void()> fn) {
+    consumer_ = std::move(fn);
+    if (!items_.empty()) wake();
+  }
+
+  void clear_consumer() { consumer_ = nullptr; }
+
+  std::size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+
+ private:
+  void wake() {
+    if (!consumer_ || wake_pending_) return;
+    wake_pending_ = true;
+    sim_->after(Duration::zero(), [this] {
+      wake_pending_ = false;
+      if (consumer_) consumer_();
+    });
+  }
+
+  sim::Simulator* sim_;
+  std::deque<T> items_;
+  std::function<void()> consumer_;
+  bool wake_pending_ = false;
+};
+
+}  // namespace omni

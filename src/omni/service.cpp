@@ -1,0 +1,188 @@
+#include "omni/service.h"
+
+#include <memory>
+
+#include "common/byte_buffer.h"
+
+namespace omni {
+
+namespace {
+constexpr std::uint8_t kServiceMagic = 0x53;  // 'S'
+constexpr std::uint8_t kServiceVersion = 1;
+}  // namespace
+
+std::size_t ServiceDescriptor::encoded_size() const {
+  std::size_t size = 2 + 2 + 1 + name.size();
+  for (const auto& [key, value] : attributes) size += 2 + value.size();
+  return size;
+}
+
+Bytes ServiceDescriptor::encode() const {
+  OMNI_CHECK_MSG(name.size() <= 255, "service name too long");
+  ByteWriter w(encoded_size());
+  w.u8(kServiceMagic);
+  w.u8(kServiceVersion);
+  w.u16(service_type);
+  w.u8(static_cast<std::uint8_t>(name.size()));
+  w.raw(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(name.data()), name.size()));
+  for (const auto& [key, value] : attributes) {
+    OMNI_CHECK_MSG(value.size() <= 255, "service attribute too long");
+    w.u8(key);
+    w.u8(static_cast<std::uint8_t>(value.size()));
+    w.raw(value);
+  }
+  return std::move(w).take();
+}
+
+bool ServiceDescriptor::looks_like_service(
+    std::span<const std::uint8_t> wire) {
+  return wire.size() >= 2 && wire[0] == kServiceMagic &&
+         wire[1] == kServiceVersion;
+}
+
+Result<ServiceDescriptor> ServiceDescriptor::decode(
+    std::span<const std::uint8_t> wire) {
+  if (!looks_like_service(wire)) {
+    return Result<ServiceDescriptor>::error("not a service descriptor");
+  }
+  ByteReader r(wire.subspan(2));
+  ServiceDescriptor d;
+  auto type = r.u16();
+  if (!type) return Result<ServiceDescriptor>::error("truncated type");
+  d.service_type = type.value();
+  auto name_len = r.u8();
+  if (!name_len) return Result<ServiceDescriptor>::error("truncated name");
+  auto name = r.raw(name_len.value());
+  if (!name) return Result<ServiceDescriptor>::error("truncated name body");
+  d.name.assign(name.value().begin(), name.value().end());
+  while (!r.exhausted()) {
+    auto key = r.u8();
+    auto len = r.u8();
+    if (!key || !len) {
+      return Result<ServiceDescriptor>::error("truncated attribute header");
+    }
+    auto value = r.raw(len.value());
+    if (!value) {
+      return Result<ServiceDescriptor>::error("truncated attribute body");
+    }
+    d.attributes[key.value()] = std::move(value).value();
+  }
+  return d;
+}
+
+bool ServiceFilter::matches(const ServiceDescriptor& descriptor) const {
+  if (service_type && descriptor.service_type != *service_type) return false;
+  if (name_prefix &&
+      descriptor.name.compare(0, name_prefix->size(), *name_prefix) != 0) {
+    return false;
+  }
+  return true;
+}
+
+// --- ServicePublisher ---------------------------------------------------------
+
+void ServicePublisher::publish(const ServiceDescriptor& descriptor,
+                               Duration interval, StatusCallback callback) {
+  ContextParams params;
+  params.interval = interval;
+  Bytes payload = descriptor.encode();
+  if (context_ != kInvalidContext) {
+    manager_.update_context(context_, params, std::move(payload),
+                            std::move(callback));
+    return;
+  }
+  if (pending_) {
+    queued_ = {descriptor, interval};
+    return;
+  }
+  pending_ = true;
+  manager_.add_context(
+      params, std::move(payload),
+      [this, callback](StatusCode code, const ResponseInfo& info) {
+        pending_ = false;
+        if (code == StatusCode::kAddContextSuccess) {
+          context_ = info.context_id;
+          if (queued_) {
+            auto [descriptor, interval] = std::move(*queued_);
+            queued_.reset();
+            publish(descriptor, interval, nullptr);
+          }
+        }
+        if (callback) callback(code, info);
+      });
+}
+
+void ServicePublisher::withdraw() {
+  if (context_ == kInvalidContext) return;
+  manager_.remove_context(context_, nullptr);
+  context_ = kInvalidContext;
+}
+
+// --- ServiceBrowser -----------------------------------------------------------
+
+ServiceBrowser::ServiceBrowser(OmniManager& manager, sim::Simulator& sim,
+                               Duration ttl)
+    : manager_(manager), sim_(sim), ttl_(ttl) {
+  // The manager's callback list cannot be unregistered from, so guard the
+  // capture with a liveness token owned by... this object's lifetime. A
+  // destroyed browser leaves an inert callback behind.
+  auto alive = std::make_shared<ServiceBrowser*>(this);
+  alive_token_ = alive;
+  manager_.request_context(
+      [alive](const OmniAddress& source, const Bytes& payload) {
+        if (*alive != nullptr) (*alive)->handle_context(source, payload);
+      });
+  sweep_event_ = sim_.after(ttl_ / 2, [this] { sweep(); });
+}
+
+ServiceBrowser::~ServiceBrowser() {
+  if (auto token = alive_token_.lock()) *token = nullptr;
+  sweep_event_.cancel();
+}
+
+void ServiceBrowser::handle_context(const OmniAddress& source,
+                                    const Bytes& payload) {
+  auto decoded = ServiceDescriptor::decode(payload);
+  if (!decoded) return;  // some other application's context
+  const ServiceDescriptor& d = decoded.value();
+  auto key = std::make_pair(source, d.service_type);
+  auto it = directory_.find(key);
+  bool is_new = it == directory_.end();
+  Entry entry{source, d, sim_.now()};
+  directory_[key] = entry;
+  if (is_new && filter_.matches(d) && on_found_) on_found_(entry);
+}
+
+void ServiceBrowser::sweep() {
+  TimePoint now = sim_.now();
+  for (auto it = directory_.begin(); it != directory_.end();) {
+    if (now - it->second.last_seen > ttl_) {
+      Entry lost = it->second;
+      it = directory_.erase(it);
+      if (filter_.matches(lost.descriptor) && on_lost_) on_lost_(lost);
+    } else {
+      ++it;
+    }
+  }
+  sweep_event_ = sim_.after(ttl_ / 2, [this] { sweep(); });
+}
+
+std::vector<ServiceBrowser::Entry> ServiceBrowser::services() const {
+  std::vector<Entry> out;
+  for (const auto& [key, entry] : directory_) {
+    if (filter_.matches(entry.descriptor)) out.push_back(entry);
+  }
+  return out;
+}
+
+std::vector<OmniAddress> ServiceBrowser::providers_of(
+    std::uint16_t service_type) const {
+  std::vector<OmniAddress> out;
+  for (const auto& [key, entry] : directory_) {
+    if (key.second == service_type) out.push_back(key.first);
+  }
+  return out;
+}
+
+}  // namespace omni

@@ -1,0 +1,128 @@
+// Typed service discovery on top of Omni context.
+//
+// The paper takes a broad view of "service discovery" — wireless printers,
+// social profiles, smart-city beacons (§1) — and leaves the context payload
+// format to applications. This layer provides the obvious shared
+// convention: a compact, TLV-encoded ServiceDescriptor that fits a legacy
+// BLE advertisement, a publisher that manages the context transmission, and
+// a browser that maintains a live directory of discovered services with
+// filtering and found/lost callbacks.
+//
+// Wire format (designed to fit the 21-byte BLE context budget):
+//   [0x53 'S'][u8 version=1][u16 service_type][u8 name_len][name...]
+//   ([u8 attr_key][u8 attr_len][attr...])*
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/time.h"
+#include "common/types.h"
+#include "omni/manager.h"
+
+namespace omni {
+
+/// Well-known service types used by the examples (applications may define
+/// their own 16-bit space).
+namespace service_types {
+inline constexpr std::uint16_t kPrinter = 0x0001;
+inline constexpr std::uint16_t kMediaStream = 0x0002;
+inline constexpr std::uint16_t kVisualization = 0x0003;
+inline constexpr std::uint16_t kProfileExchange = 0x0004;
+inline constexpr std::uint16_t kSensor = 0x0005;
+}  // namespace service_types
+
+struct ServiceDescriptor {
+  std::uint16_t service_type = 0;
+  std::string name;                              ///< short, human-readable
+  std::map<std::uint8_t, Bytes> attributes;      ///< small TLV attributes
+
+  Bytes encode() const;
+  static Result<ServiceDescriptor> decode(std::span<const std::uint8_t> wire);
+  /// True if `wire` carries the service-descriptor magic.
+  static bool looks_like_service(std::span<const std::uint8_t> wire);
+
+  std::size_t encoded_size() const;
+  bool operator==(const ServiceDescriptor&) const = default;
+};
+
+/// Predicate over descriptors: all set fields must match.
+struct ServiceFilter {
+  std::optional<std::uint16_t> service_type;
+  std::optional<std::string> name_prefix;
+
+  bool matches(const ServiceDescriptor& descriptor) const;
+};
+
+/// Publishes one service descriptor as periodic Omni context.
+class ServicePublisher {
+ public:
+  explicit ServicePublisher(OmniManager& manager) : manager_(manager) {}
+  ~ServicePublisher() { withdraw(); }
+  ServicePublisher(const ServicePublisher&) = delete;
+  ServicePublisher& operator=(const ServicePublisher&) = delete;
+
+  /// Begin (or replace) the advertisement.
+  void publish(const ServiceDescriptor& descriptor,
+               Duration interval = Duration::millis(500),
+               StatusCallback callback = nullptr);
+  void withdraw();
+  bool published() const { return context_ != kInvalidContext; }
+
+ private:
+  OmniManager& manager_;
+  ContextId context_ = kInvalidContext;
+  bool pending_ = false;
+  std::optional<std::pair<ServiceDescriptor, Duration>> queued_;
+};
+
+/// Maintains a live directory of services heard in context packs.
+class ServiceBrowser {
+ public:
+  struct Entry {
+    OmniAddress provider;
+    ServiceDescriptor descriptor;
+    TimePoint last_seen;
+  };
+  using FoundFn = std::function<void(const Entry&)>;
+  using LostFn = std::function<void(const Entry&)>;
+
+  /// `ttl`: a service unseen for this long is reported lost and dropped.
+  ServiceBrowser(OmniManager& manager, sim::Simulator& sim,
+                 Duration ttl = Duration::seconds(10));
+  ~ServiceBrowser();
+  ServiceBrowser(const ServiceBrowser&) = delete;
+  ServiceBrowser& operator=(const ServiceBrowser&) = delete;
+
+  void set_filter(ServiceFilter filter) { filter_ = std::move(filter); }
+  void on_found(FoundFn fn) { on_found_ = std::move(fn); }
+  void on_lost(LostFn fn) { on_lost_ = std::move(fn); }
+
+  /// Current directory (filtered).
+  std::vector<Entry> services() const;
+  /// Providers of a given service type.
+  std::vector<OmniAddress> providers_of(std::uint16_t service_type) const;
+
+ private:
+  void handle_context(const OmniAddress& source, const Bytes& payload);
+  void sweep();
+
+  OmniManager& manager_;
+  sim::Simulator& sim_;
+  Duration ttl_;
+  ServiceFilter filter_;
+  FoundFn on_found_;
+  LostFn on_lost_;
+  // Keyed by (provider, service_type): a provider may offer several.
+  std::map<std::pair<OmniAddress, std::uint16_t>, Entry> directory_;
+  sim::EventHandle sweep_event_;
+  /// Liveness token shared with the manager-registered callback; nulled on
+  /// destruction so the (unremovable) callback goes inert.
+  std::weak_ptr<ServiceBrowser*> alive_token_;
+};
+
+}  // namespace omni

@@ -1,0 +1,39 @@
+#include "omni/status.h"
+
+namespace omni {
+
+std::string to_string(StatusCode code) {
+  switch (code) {
+    case StatusCode::kAddContextSuccess:
+      return "ADD_CONTEXT_SUCCESS";
+    case StatusCode::kAddContextFailure:
+      return "ADD_CONTEXT_FAILURE";
+    case StatusCode::kUpdateContextSuccess:
+      return "UPDATE_CONTEXT_SUCCESS";
+    case StatusCode::kUpdateContextFailure:
+      return "UPDATE_CONTEXT_FAILURE";
+    case StatusCode::kRemoveContextSuccess:
+      return "REMOVE_CONTEXT_SUCCESS";
+    case StatusCode::kRemoveContextFailure:
+      return "REMOVE_CONTEXT_FAILURE";
+    case StatusCode::kSendDataSuccess:
+      return "SEND_DATA_SUCCESS";
+    case StatusCode::kSendDataFailure:
+      return "SEND_DATA_FAILURE";
+  }
+  return "STATUS_CODE(?)";
+}
+
+bool is_success(StatusCode code) {
+  switch (code) {
+    case StatusCode::kAddContextSuccess:
+    case StatusCode::kUpdateContextSuccess:
+    case StatusCode::kRemoveContextSuccess:
+    case StatusCode::kSendDataSuccess:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace omni

@@ -1,0 +1,62 @@
+// WiFi-Mesh unicast TCP technology plugin: Omni's high-throughput data
+// carrier (paper §3.2, "Technologies for Distributing Data").
+//
+// At enable time the radio is powered and peered into the mesh once, giving
+// the device a reachable address in standby (what the paper calls having
+// "some ip address to be reachable"). Data sends open a fluid TCP flow. If
+// the manager flags the peer mapping as multicast-derived (needs_refresh),
+// the discovery ritual (scan + join + resolve) runs first — this is the
+// multi-second penalty Omni avoids whenever the mapping came from BLE
+// address beacons.
+#pragma once
+
+#include <deque>
+#include <memory>
+
+#include "net/discovery_ritual.h"
+#include "omni/comm_tech.h"
+#include "radio/mesh.h"
+#include "radio/wifi_radio.h"
+
+namespace omni {
+
+class WifiUnicastTech final : public CommTechnology {
+ public:
+  WifiUnicastTech(radio::WifiRadio& radio, radio::MeshNetwork& mesh);
+
+  EnableResult enable(const TechQueues& queues) override;
+  void disable() override;
+
+  Technology type() const override { return Technology::kWifiUnicast; }
+  bool enabled() const override { return enabled_; }
+
+  bool supports_context() const override { return false; }
+  bool supports_data() const override { return true; }
+  std::size_t max_context_payload() const override { return 0; }
+  std::size_t max_data_payload() const override { return 0; }  // unbounded
+  Duration estimate_data_time(std::size_t bytes,
+                              bool needs_refresh) const override;
+
+  void set_engaged(bool engaged) override { engaged_ = engaged; }
+  bool engaged() const override { return engaged_; }
+
+  bool joined() const { return joined_; }
+
+ private:
+  void drain_send_queue();
+  void process(SendRequest request);
+  void do_send(std::shared_ptr<SendRequest> request);
+  void respond(const SendRequest& request, bool success,
+               std::string failure = {});
+
+  radio::WifiRadio& radio_;
+  radio::MeshNetwork& mesh_;
+  TechQueues queues_;
+  bool enabled_ = false;
+  bool engaged_ = false;
+  bool joined_ = false;
+  /// Requests arriving before the initial mesh join completes.
+  std::deque<SendRequest> waiting_for_join_;
+};
+
+}  // namespace omni

@@ -1,0 +1,188 @@
+#include "radio/ble.h"
+
+#include <algorithm>
+
+namespace omni::radio {
+
+BleRadio::BleRadio(BleMedium& medium, sim::Simulator& sim, EnergyMeter& meter,
+                   NodeId node, const Calibration& cal)
+    : medium_(medium),
+      sim_(sim),
+      meter_(meter),
+      node_(node),
+      cal_(cal),
+      address_(BleAddress::from_node(node)) {
+  medium_.attach(this);
+}
+
+BleRadio::~BleRadio() {
+  // Callbacks may point at protocol layers that are already gone.
+  on_power_ = nullptr;
+  on_receive_ = nullptr;
+  on_address_ = nullptr;
+  set_powered(false);
+  medium_.detach(this);
+}
+
+void BleRadio::set_powered(bool on) {
+  if (powered_ == on) return;
+  powered_ = on;
+  if (!on) {
+    for (auto& [id, adv] : advertisements_) adv.next_event.cancel();
+    advertisements_.clear();
+    scanning_ = false;
+  }
+  apply_scan_level();
+  if (on_power_) on_power_(powered_);
+}
+
+void BleRadio::rotate_address() {
+  ++rotation_count_;
+  // Resolvable-private-style: derive a fresh address from the node id and
+  // rotation counter (deterministic so tests can reproduce runs).
+  address_ = BleAddress::from_node(node_);
+  address_.octets[1] = static_cast<std::uint8_t>(0x40 | (rotation_count_ & 0x3f));
+  address_.octets[2] = static_cast<std::uint8_t>(rotation_count_ >> 6);
+  if (on_address_) on_address_(address_);
+}
+
+void BleRadio::apply_scan_level() {
+  double ma = (powered_ && scanning_) ? cal_.ble_scan_ma * scan_duty_ : 0.0;
+  meter_.set_level("ble.scan", ma);
+}
+
+void BleRadio::set_scanning(bool enabled, double duty) {
+  OMNI_CHECK_MSG(duty > 0.0 && duty <= 1.0, "scan duty out of (0,1]");
+  scanning_ = enabled && powered_;
+  scan_duty_ = duty;
+  apply_scan_level();
+}
+
+std::size_t BleRadio::max_payload() const {
+  return cal_.ble_extended_advertising ? cal_.ble_extended_adv_payload
+                                       : cal_.ble_legacy_adv_payload;
+}
+
+Result<AdvertisementId> BleRadio::start_advertising(Bytes payload,
+                                                    Duration interval) {
+  if (!powered_) return Result<AdvertisementId>::error("BLE radio is off");
+  if (payload.size() > max_payload()) {
+    return Result<AdvertisementId>::error("advertisement payload exceeds " +
+                                          std::to_string(max_payload()) +
+                                          " bytes");
+  }
+  if (interval <= Duration::zero()) {
+    return Result<AdvertisementId>::error("advertisement interval must be >0");
+  }
+  AdvertisementId id = next_adv_id_++;
+  advertisements_.emplace(
+      id, Advertisement{std::move(payload), interval, sim::EventHandle{}});
+  // First event after a full interval: a freshly added advertisement is not
+  // instantly on the air.
+  schedule_adv(id, interval);
+  return id;
+}
+
+Status BleRadio::update_advertising(AdvertisementId id, Bytes payload,
+                                    Duration interval) {
+  auto it = advertisements_.find(id);
+  if (it == advertisements_.end()) {
+    return Status::error("unknown advertisement id");
+  }
+  if (payload.size() > max_payload()) {
+    return Status::error("advertisement payload exceeds " +
+                         std::to_string(max_payload()) + " bytes");
+  }
+  if (interval <= Duration::zero()) {
+    return Status::error("advertisement interval must be >0");
+  }
+  bool reschedule = interval != it->second.interval;
+  it->second.payload = std::move(payload);
+  it->second.interval = interval;
+  if (reschedule) {
+    it->second.next_event.cancel();
+    schedule_adv(id, interval);
+  }
+  return Status::ok();
+}
+
+Status BleRadio::stop_advertising(AdvertisementId id) {
+  auto it = advertisements_.find(id);
+  if (it == advertisements_.end()) {
+    return Status::error("unknown advertisement id");
+  }
+  it->second.next_event.cancel();
+  advertisements_.erase(it);
+  return Status::ok();
+}
+
+void BleRadio::schedule_adv(AdvertisementId id, Duration delay) {
+  auto it = advertisements_.find(id);
+  if (it == advertisements_.end()) return;
+  it->second.next_event = sim_.after(delay, [this, id] { fire_adv(id); });
+}
+
+void BleRadio::fire_adv(AdvertisementId id) {
+  auto it = advertisements_.find(id);
+  if (it == advertisements_.end() || !powered_) return;
+  meter_.charge_for(cal_.ble_adv_event, cal_.ble_advertise_ma);
+  medium_.broadcast(*this, it->second.payload);
+  schedule_adv(id, it->second.interval);
+}
+
+Status BleRadio::send_datagram(Bytes payload, SendDoneFn done,
+                               bool deterministic_latency) {
+  if (!powered_) return Status::error("BLE radio is off");
+  // Datagrams ride advertisement + scan-response, so twice the single-PDU
+  // payload is available.
+  std::size_t cap = 2 * max_payload();
+  if (payload.size() > cap) {
+    return Status::error("BLE datagram exceeds " + std::to_string(cap) +
+                         " bytes");
+  }
+  Duration wait =
+      deterministic_latency
+          ? Duration::micros(cal_.ble_fast_adv_interval.as_micros() / 2)
+          : Duration::micros(static_cast<std::int64_t>(sim_.rng().uniform(
+                0, static_cast<double>(
+                       cal_.ble_fast_adv_interval.as_micros()))));
+  Duration total = wait + cal_.ble_adv_event;
+  sim_.after(total, [this, payload = std::move(payload),
+                     done = std::move(done)]() mutable {
+    if (!powered_) {
+      if (done) done(Status::error("BLE radio powered off mid-send"));
+      return;
+    }
+    meter_.charge(sim_.now() - cal_.ble_adv_event, sim_.now(),
+                  cal_.ble_advertise_ma);
+    medium_.broadcast(*this, payload, /*reliable_burst=*/true);
+    if (done) done(Status::ok());
+  });
+  return Status::ok();
+}
+
+void BleRadio::deliver(const BleAddress& from, const Bytes& payload) {
+  if (!powered_ || !scanning_) return;
+  if (on_receive_) on_receive_(from, payload);
+}
+
+void BleMedium::detach(BleRadio* radio) {
+  radios_.erase(std::remove(radios_.begin(), radios_.end(), radio),
+                radios_.end());
+}
+
+void BleMedium::broadcast(const BleRadio& from, const Bytes& payload,
+                          bool reliable_burst) {
+  for (BleRadio* rx : radios_) {
+    if (rx == &from || !rx->powered() || !rx->scanning()) continue;
+    if (!world_.in_range(from.node(), rx->node(), cal_.ble_range_m)) continue;
+    if (!reliable_burst) {
+      double p = cal_.ble_capture_probability * rx->scan_duty();
+      if (p < 1.0 && !world_.simulator().rng().chance(p)) continue;
+    }
+    ++delivered_;
+    rx->deliver(from.address(), payload);
+  }
+}
+
+}  // namespace omni::radio

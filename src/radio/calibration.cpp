@@ -1,0 +1,10 @@
+#include "radio/calibration.h"
+
+namespace omni::radio {
+
+const Calibration& Calibration::defaults() {
+  static const Calibration kDefaults{};
+  return kDefaults;
+}
+
+}  // namespace omni::radio

@@ -1,0 +1,77 @@
+#include "radio/energy_meter.h"
+
+#include <algorithm>
+
+#include "common/result.h"
+
+namespace omni::radio {
+
+void EnergyMeter::charge(TimePoint t0, TimePoint t1, double ma) {
+  if (t1 <= t0 || ma == 0.0) return;
+  segments_.push_back(Segment{t0, t1, ma});
+}
+
+void EnergyMeter::set_level(const std::string& tag, double ma) {
+  TimePoint now = sim_.now();
+  auto it = levels_.find(tag);
+  if (it != levels_.end()) {
+    // Close the previous level as a concrete segment.
+    charge(it->second.since, now, it->second.ma);
+    if (ma == 0.0) {
+      levels_.erase(it);
+      return;
+    }
+    it->second = Level{ma, now};
+    return;
+  }
+  if (ma == 0.0) return;
+  levels_.emplace(tag, Level{ma, now});
+}
+
+double EnergyMeter::level(const std::string& tag) const {
+  auto it = levels_.find(tag);
+  return it == levels_.end() ? 0.0 : it->second.ma;
+}
+
+double EnergyMeter::current_level_total() const {
+  double total = 0;
+  for (const auto& [tag, lvl] : levels_) total += lvl.ma;
+  return total;
+}
+
+double EnergyMeter::total_mAs(TimePoint t0, TimePoint t1) const {
+  OMNI_CHECK_MSG(t1 >= t0, "total_mAs window reversed");
+  double total = 0;
+  auto overlap = [&](TimePoint a, TimePoint b) {
+    TimePoint lo = std::max(a, t0);
+    TimePoint hi = std::min(b, t1);
+    return hi > lo ? (hi - lo).as_seconds() : 0.0;
+  };
+  for (const auto& s : segments_) total += overlap(s.t0, s.t1) * s.ma;
+  for (const auto& [tag, lvl] : levels_) {
+    total += overlap(lvl.since, t1) * lvl.ma;
+  }
+  return total;
+}
+
+double EnergyMeter::average_ma(TimePoint t0, TimePoint t1) const {
+  double span = (t1 - t0).as_seconds();
+  if (span <= 0) return 0;
+  return total_mAs(t0, t1) / span;
+}
+
+double BusyCharger::charge_active(TimePoint t0, TimePoint t1,
+                                  double active_seconds) {
+  if (active_seconds <= 0 || t1 <= t0) return 0;
+  TimePoint start = std::max(t0, busy_until_);
+  TimePoint cap = t1;
+  if (start >= cap) return 0;
+  TimePoint end =
+      std::min(cap, start + Duration::seconds(active_seconds));
+  if (end <= start) return 0;
+  meter_.charge(start, end, ma_);
+  busy_until_ = end;
+  return (end - start).as_seconds();
+}
+
+}  // namespace omni::radio

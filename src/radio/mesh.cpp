@@ -1,0 +1,396 @@
+#include "radio/mesh.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "radio/wifi_radio.h"
+
+namespace omni::radio {
+
+namespace {
+/// Bulk multicast fragments served per scheduler event (keeps the event count
+/// manageable for multi-megabyte transfers without changing throughput).
+constexpr std::uint64_t kFragmentsPerServe = 64;
+/// Contention stretch applied to bulk multicast while TCP flows are active.
+constexpr double kBulkContentionStretch = 2.0;
+/// Channel share bulk multicast claims from TCP while backlogged.
+constexpr double kBulkAirtimeFraction = 0.5;
+/// Flow endpoints are re-validated (range/membership) this often.
+constexpr Duration kFlowValidationPeriod = Duration::millis(500);
+}  // namespace
+
+MeshNetwork::MeshNetwork(WifiSystem& system, std::string name)
+    : system_(system), name_(std::move(name)) {}
+
+MeshNetwork::~MeshNetwork() {
+  validator_.cancel();
+  for (auto& [id, flow] : flows_) flow.completion.cancel();
+}
+
+void MeshNetwork::add_member(WifiRadio& radio) {
+  if (is_member(radio)) return;
+  members_.push_back(&radio);
+}
+
+void MeshNetwork::remove_member(WifiRadio& radio) {
+  auto it = std::find(members_.begin(), members_.end(), &radio);
+  if (it == members_.end()) return;
+  members_.erase(it);
+  fail_flows_involving(radio, "peer left the mesh");
+}
+
+bool MeshNetwork::is_member(const WifiRadio& radio) const {
+  return std::find(members_.begin(), members_.end(), &radio) !=
+         members_.end();
+}
+
+WifiRadio* MeshNetwork::find_member(const MeshAddress& addr) const {
+  for (WifiRadio* r : members_) {
+    if (r->address() == addr) return r;
+  }
+  return nullptr;
+}
+
+double MeshNetwork::beacon_occupancy_seconds() const {
+  return system_.calibration().wifi_multicast_beacon_occupancy.as_seconds();
+}
+
+double MeshNetwork::multicast_airtime_fraction() const {
+  double frac = bulk_busy_ ? kBulkAirtimeFraction : 0.0;
+  for (const auto& [id, f] : periodic_loads_) frac += f;
+  return std::min(frac, 0.95);
+}
+
+double MeshNetwork::effective_capacity_Bps() const {
+  const auto& cal = system_.calibration();
+  return cal.wifi_capacity_Bps * (1.0 - multicast_airtime_fraction());
+}
+
+double MeshNetwork::current_flow_rate_Bps() const {
+  std::size_t started = 0;
+  for (const auto& [id, f] : flows_) {
+    if (f.started) ++started;
+  }
+  if (started == 0) return 0;
+  return effective_capacity_Bps() / static_cast<double>(started);
+}
+
+// --- Unicast TCP -----------------------------------------------------------
+
+Result<FlowId> MeshNetwork::open_flow(WifiRadio& src, const MeshAddress& dst,
+                                      std::uint64_t bytes, FlowDoneFn done,
+                                      FlowProgressFn progress, Bytes payload) {
+  const auto& cal = system_.calibration();
+  auto& sim = system_.simulator();
+  if (!src.powered() || src.mesh() != this) {
+    return Result<FlowId>::error("source radio is not a member of " + name_);
+  }
+  WifiRadio* peer = find_member(dst);
+  if (peer == nullptr) {
+    return Result<FlowId>::error("no member with address " + dst.to_string() +
+                                 " in " + name_);
+  }
+  FlowId id = next_flow_id_++;
+  Flow flow;
+  flow.id = id;
+  flow.src = &src;
+  flow.dst = peer;
+  flow.remaining_bytes = static_cast<double>(bytes);
+  flow.total_bytes = bytes;
+  flow.done = std::move(done);
+  flow.progress = std::move(progress);
+  flow.payload = std::move(payload);
+  flow.last_settle = sim.now();
+  flows_.emplace(id, std::move(flow));
+
+  bool reachable =
+      peer->powered() && system_.world().in_range(src.node(), peer->node(),
+                                                  cal.wifi_range_m);
+  if (!reachable) {
+    // SYN retries time out.
+    flows_[id].completion = sim.after(cal.tcp_connect_timeout, [this, id] {
+      finish_flow(id, Status::error("connect timeout: peer unreachable"));
+    });
+    return id;
+  }
+
+  Duration setup = cal.wifi_rtt * 3.0 + cal.tcp_setup_overhead;
+  flows_[id].completion = sim.after(setup, [this, id] {
+    auto it = flows_.find(id);
+    if (it == flows_.end()) return;
+    settle_flows();
+    it->second.started = true;
+    it->second.last_settle = system_.simulator().now();
+    recompute_rates();
+  });
+  return id;
+}
+
+void MeshNetwork::cancel_flow(FlowId id) {
+  auto it = flows_.find(id);
+  if (it == flows_.end()) return;
+  settle_flows();
+  it->second.completion.cancel();
+  it->second.done = nullptr;  // cancelled flows report nothing
+  finish_flow(id, Status::error("cancelled"));
+}
+
+void MeshNetwork::charge_flow_segment(Flow& flow, TimePoint t0, TimePoint t1,
+                                      double bytes) {
+  if (bytes <= 0) return;
+  const auto& cal = system_.calibration();
+  double span = (t1 - t0).as_seconds();
+  double airtime = bytes / cal.wifi_capacity_Bps;
+  double active = airtime + span * cal.wifi_stream_duty;
+  double reverse = active * cal.tcp_reverse_activity_factor;
+  flow.src->tx_charger().charge_active(t0, t1, active);
+  flow.src->rx_charger().charge_active(t0, t1, reverse);
+  flow.dst->rx_charger().charge_active(t0, t1, active);
+  flow.dst->tx_charger().charge_active(t0, t1, reverse);
+}
+
+void MeshNetwork::settle_flows() {
+  TimePoint now = system_.simulator().now();
+  for (auto& [id, flow] : flows_) {
+    if (!flow.started) continue;
+    double dt = (now - flow.last_settle).as_seconds();
+    if (dt <= 0) continue;
+    double moved = std::min(flow.rate_Bps * dt, flow.remaining_bytes);
+    flow.remaining_bytes -= moved;
+    charge_flow_segment(flow, flow.last_settle, now, moved);
+    flow.last_settle = now;
+    if (moved > 0 && flow.progress) {
+      flow.progress(flow.total_bytes -
+                    static_cast<std::uint64_t>(flow.remaining_bytes));
+    }
+  }
+}
+
+void MeshNetwork::recompute_rates() {
+  settle_flows();
+  double rate = current_flow_rate_Bps();
+  for (auto& [id, flow] : flows_) {
+    if (!flow.started) continue;
+    flow.rate_Bps = rate;
+    schedule_completion(flow);
+  }
+  ensure_validator();
+}
+
+void MeshNetwork::schedule_completion(Flow& flow) {
+  flow.completion.cancel();
+  if (flow.rate_Bps <= 0) return;
+  double secs = flow.remaining_bytes / flow.rate_Bps;
+  FlowId id = flow.id;
+  flow.completion = system_.simulator().after(
+      Duration::seconds(secs), [this, id] {
+        auto it = flows_.find(id);
+        if (it == flows_.end()) return;
+        settle_flows();
+        it->second.remaining_bytes = 0;  // absorb fp rounding
+        finish_flow(id, Status::ok());
+      });
+}
+
+void MeshNetwork::finish_flow(FlowId id, Status status) {
+  auto it = flows_.find(id);
+  if (it == flows_.end()) return;
+  it->second.completion.cancel();
+  FlowDoneFn done = std::move(it->second.done);
+  Bytes payload = std::move(it->second.payload);
+  WifiRadio* dst = it->second.dst;
+  MeshAddress src_addr = it->second.src->address();
+  flows_.erase(it);
+  recompute_rates();
+  if (status.is_ok() && !payload.empty()) {
+    dst->deliver_datagram(src_addr, payload, /*multicast=*/false);
+  }
+  if (done) done(std::move(status));
+}
+
+void MeshNetwork::fail_flows_involving(WifiRadio& radio,
+                                       const std::string& why) {
+  settle_flows();
+  std::vector<FlowId> failed;
+  for (const auto& [id, flow] : flows_) {
+    if (flow.src == &radio || flow.dst == &radio) failed.push_back(id);
+  }
+  for (FlowId id : failed) finish_flow(id, Status::error(why));
+}
+
+void MeshNetwork::validate_flow_ranges() {
+  const auto& cal = system_.calibration();
+  settle_flows();
+  std::vector<FlowId> failed;
+  for (const auto& [id, flow] : flows_) {
+    bool ok = flow.src->powered() && flow.dst->powered() &&
+              flow.src->mesh() == this && flow.dst->mesh() == this &&
+              system_.world().in_range(flow.src->node(), flow.dst->node(),
+                                       cal.wifi_range_m);
+    if (!ok) failed.push_back(id);
+  }
+  for (FlowId id : failed) {
+    finish_flow(id, Status::error("link lost: peer out of range"));
+  }
+}
+
+void MeshNetwork::ensure_validator() {
+  if (flows_.empty() || validator_.pending()) return;
+  validator_ = system_.simulator().after(kFlowValidationPeriod, [this] {
+    validate_flow_ranges();
+    ensure_validator();
+  });
+}
+
+// --- Datagrams and multicast ------------------------------------------------
+
+Status MeshNetwork::send_datagram(WifiRadio& src, const MeshAddress& dst,
+                                  Bytes payload) {
+  const auto& cal = system_.calibration();
+  if (!src.powered() || src.mesh() != this) {
+    return Status::error("source radio is not a member of " + name_);
+  }
+  WifiRadio* peer = find_member(dst);
+  if (peer == nullptr) {
+    return Status::error("no member with address " + dst.to_string());
+  }
+  if (!peer->powered() ||
+      !system_.world().in_range(src.node(), peer->node(), cal.wifi_range_m)) {
+    return Status::error("peer unreachable");
+  }
+  auto& sim = system_.simulator();
+  // Small frame: half an RTT of latency, short tx/rx bursts for energy.
+  src.meter().charge_for(Duration::millis(2), cal.wifi_send_ma);
+  MeshAddress from = src.address();
+  sim.after(cal.wifi_rtt * 0.5,
+            [peer, from, payload = std::move(payload), &cal] {
+              peer->meter().charge_for(Duration::millis(2),
+                                       cal.wifi_receive_ma);
+              peer->deliver_datagram(from, payload, /*multicast=*/false);
+            });
+  return Status::ok();
+}
+
+std::vector<WifiRadio*> MeshNetwork::receivers_in_range(
+    const WifiRadio& src) const {
+  const auto& cal = system_.calibration();
+  std::vector<WifiRadio*> out;
+  for (WifiRadio* r : members_) {
+    if (r == &src || !r->powered()) continue;
+    if (system_.world().in_range(src.node(), r->node(), cal.wifi_range_m)) {
+      out.push_back(r);
+    }
+  }
+  return out;
+}
+
+Status MeshNetwork::multicast_datagram(WifiRadio& src, Bytes payload) {
+  const auto& cal = system_.calibration();
+  if (!src.powered() || src.mesh() != this) {
+    return Status::error("source radio is not a member of " + name_);
+  }
+  auto& sim = system_.simulator();
+  // The sender pays the full driver wakeup + queueing burst.
+  src.meter().charge_for(cal.wifi_multicast_send_burst, cal.wifi_send_ma);
+  // Serialize on the channel behind other multicast traffic.
+  TimePoint start = std::max(sim.now(), mc_busy_until_);
+  Duration occ = cal.wifi_multicast_beacon_occupancy;
+  mc_busy_until_ = start + occ;
+  MeshAddress from = src.address();
+  sim.at(mc_busy_until_, [this, &src, from, payload = std::move(payload)] {
+    const auto& c = system_.calibration();
+    for (WifiRadio* rx : receivers_in_range(src)) {
+      rx->meter().charge_for(Duration::millis(3), c.wifi_receive_ma);
+      rx->deliver_datagram(from, payload, /*multicast=*/true);
+    }
+  });
+  return Status::ok();
+}
+
+Status MeshNetwork::multicast_bulk(WifiRadio& src, std::uint64_t bytes,
+                                   Bytes payload, MulticastDoneFn done) {
+  const auto& cal = system_.calibration();
+  if (!src.powered() || src.mesh() != this) {
+    return Status::error("source radio is not a member of " + name_);
+  }
+  std::uint64_t fragments =
+      std::max<std::uint64_t>(1, (bytes + cal.wifi_multicast_mtu - 1) /
+                                     cal.wifi_multicast_mtu);
+  bulk_queue_.push_back(
+      BulkItem{&src, fragments, bytes, std::move(payload), std::move(done)});
+  if (!bulk_busy_) {
+    bulk_busy_ = true;
+    recompute_rates();
+    service_bulk_queue();
+  }
+  return Status::ok();
+}
+
+void MeshNetwork::service_bulk_queue() {
+  auto& sim = system_.simulator();
+  if (bulk_queue_.empty()) {
+    if (bulk_busy_) {
+      bulk_busy_ = false;
+      recompute_rates();
+    }
+    return;
+  }
+  const auto& cal = system_.calibration();
+  BulkItem& item = bulk_queue_.front();
+
+  if (!item.src->powered() || item.src->mesh() != this) {
+    // Sender dropped out: abandon the item.
+    MulticastDoneFn done = std::move(item.done);
+    bulk_queue_.pop_front();
+    if (done) done({});
+    service_bulk_queue();
+    return;
+  }
+
+  std::uint64_t n = std::min<std::uint64_t>(kFragmentsPerServe,
+                                            item.fragments_left);
+  double frag_air =
+      static_cast<double>(cal.wifi_multicast_mtu) * 8.0 /
+      cal.wifi_multicast_base_rate_bps;
+  double frag_occ = frag_air + cal.wifi_multicast_overhead.as_seconds();
+  double stretch = flows_.empty() ? 1.0 : kBulkContentionStretch;
+  Duration busy = Duration::seconds(static_cast<double>(n) * frag_occ *
+                                    stretch);
+  // Energy: actual airtime only; contention/backoff idles at standby draw.
+  Duration airtime = Duration::seconds(static_cast<double>(n) * frag_air);
+  item.src->meter().charge_for(airtime, cal.wifi_send_ma);
+  for (WifiRadio* rx : receivers_in_range(*item.src)) {
+    rx->meter().charge_for(airtime, cal.wifi_receive_ma);
+  }
+
+  item.fragments_left -= n;
+  bool last = item.fragments_left == 0;
+  sim.after(busy, [this, last] {
+    if (last) {
+      BulkItem item = std::move(bulk_queue_.front());
+      bulk_queue_.pop_front();
+      auto rx = receivers_in_range(*item.src);
+      MeshAddress from = item.src->address();
+      for (WifiRadio* r : rx) {
+        r->deliver_datagram(from, item.payload, /*multicast=*/true);
+      }
+      if (item.done) item.done(std::move(rx));
+    }
+    service_bulk_queue();
+  });
+}
+
+PeriodicLoadId MeshNetwork::register_periodic_multicast(Duration period) {
+  OMNI_CHECK_MSG(period > Duration::zero(), "periodic load needs period > 0");
+  PeriodicLoadId id = next_load_id_++;
+  periodic_loads_[id] = beacon_occupancy_seconds() / period.as_seconds();
+  recompute_rates();
+  return id;
+}
+
+void MeshNetwork::unregister_periodic_multicast(PeriodicLoadId id) {
+  if (periodic_loads_.erase(id) > 0) recompute_rates();
+}
+
+}  // namespace omni::radio

@@ -1,0 +1,224 @@
+#include "radio/nan.h"
+
+#include <algorithm>
+
+namespace omni::radio {
+
+// --- NanSystem ---------------------------------------------------------------
+
+void NanSystem::attach(NanRadio* radio) {
+  if (std::find(radios_.begin(), radios_.end(), radio) == radios_.end()) {
+    radios_.push_back(radio);
+  }
+  ensure_ticking();
+}
+
+void NanSystem::detach(NanRadio* radio) {
+  radios_.erase(std::remove(radios_.begin(), radios_.end(), radio),
+                radios_.end());
+}
+
+TimePoint NanSystem::next_window_start(TimePoint now) const {
+  std::int64_t period = cal_.nan_dw_period.as_micros();
+  std::int64_t t = now.as_micros();
+  std::int64_t k = (t + period - 1) / period;
+  return TimePoint::from_micros(k * period);
+}
+
+std::uint64_t NanSystem::window_index(TimePoint at) const {
+  return static_cast<std::uint64_t>(at.as_micros() /
+                                    cal_.nan_dw_period.as_micros());
+}
+
+void NanSystem::ensure_ticking() {
+  if (tick_event_.pending()) return;
+  bool any_enabled = false;
+  for (NanRadio* r : radios_) any_enabled |= r->enabled();
+  if (!any_enabled) return;
+  auto& sim = world_.simulator();
+  tick_event_ = sim.at(next_window_start(sim.now() + Duration::micros(1)),
+                       [this] { run_window(); });
+}
+
+void NanSystem::run_window() {
+  auto& sim = world_.simulator();
+  TimePoint start = sim.now();
+  std::uint64_t index = window_index(start);
+  ++windows_run_;
+
+  // Wake every attending radio (charges the DW receive energy).
+  std::vector<NanRadio*> awake;
+  for (NanRadio* r : radios_) {
+    if (r->enabled() && r->attends(index)) {
+      r->window_wake(start);
+      awake.push_back(r);
+    }
+  }
+
+  // Service discovery frames: every publish reaches every other awake radio
+  // in range. Delivery lands just after the window (processing).
+  Duration deliver_after = cal_.nan_dw_duration;
+  for (NanRadio* tx : awake) {
+    if (tx->publishes().empty() && tx->followups().empty()) continue;
+    // Transmit airtime for this radio's frames.
+    double frames = static_cast<double>(tx->publishes().size());
+    for (const auto& [id, payload] : tx->publishes()) {
+      for (NanRadio* rx : awake) {
+        if (rx == tx) continue;
+        if (!world_.in_range(tx->node(), rx->node(), cal_.nan_range_m)) {
+          continue;
+        }
+        NanAddress from = tx->address();
+        Bytes copy = payload;
+        sim.after(deliver_after, [rx, from, copy = std::move(copy)] {
+          rx->deliver(from, copy);
+        });
+      }
+    }
+    // Follow-ups: serviced FIFO; a follow-up whose destination is not awake
+    // or not in range stays queued for a later window (bounded retries are
+    // the caller's concern via timeouts).
+    auto& queue = tx->followups();
+    std::size_t n = queue.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      NanRadio::Followup fu = std::move(queue.front());
+      queue.pop_front();
+      NanRadio* dest = nullptr;
+      for (NanRadio* rx : awake) {
+        if (rx->address() == fu.dest) {
+          dest = rx;
+          break;
+        }
+      }
+      bool reachable =
+          dest != nullptr &&
+          world_.in_range(tx->node(), dest->node(), cal_.nan_range_m);
+      if (!reachable) {
+        if (--fu.windows_left <= 0) {
+          if (fu.done) fu.done(Status::error("NAN follow-up timed out"));
+        } else {
+          queue.push_back(std::move(fu));  // try again next window
+        }
+        continue;
+      }
+      frames += 1;
+      NanAddress from = tx->address();
+      NanRadio* rx = dest;
+      sim.after(deliver_after,
+                [rx, from, payload = std::move(fu.payload),
+                 done = std::move(fu.done)] {
+                  rx->deliver(from, payload);
+                  if (done) done(Status::ok());
+                });
+    }
+    if (frames > 0) {
+      tx->meter().charge(
+          start, start + cal_.nan_frame_airtime * frames,
+          cal_.wifi_send_ma);
+    }
+  }
+
+  tick_event_ = sim.at(next_window_start(start + Duration::micros(1)),
+                       [this] { run_window(); });
+  // Stop ticking entirely if nobody is enabled anymore.
+  bool any_enabled = false;
+  for (NanRadio* r : radios_) any_enabled |= r->enabled();
+  if (!any_enabled) tick_event_.cancel();
+}
+
+// --- NanRadio ----------------------------------------------------------------
+
+NanRadio::NanRadio(NanSystem& system, sim::Simulator& sim, EnergyMeter& meter,
+                   NodeId node, const Calibration& cal)
+    : system_(system),
+      sim_(sim),
+      meter_(meter),
+      node_(node),
+      cal_(cal),
+      address_(NanAddress::from_node(node)) {
+  system_.attach(this);
+}
+
+NanRadio::~NanRadio() {
+  on_receive_ = nullptr;
+  set_enabled(false);
+  system_.detach(this);
+}
+
+void NanRadio::set_enabled(bool enabled) {
+  if (enabled_ == enabled) return;
+  enabled_ = enabled;
+  if (!enabled_) {
+    // Pending follow-ups fail: the radio left the cluster.
+    std::deque<Followup> dropped;
+    dropped.swap(followups_);
+    for (auto& fu : dropped) {
+      if (fu.done) fu.done(Status::error("NAN disabled"));
+    }
+    publishes_.clear();
+  } else {
+    system_.attach(this);  // idempotent registration also restarts ticking
+  }
+}
+
+void NanRadio::set_attendance(std::uint32_t every_nth) {
+  OMNI_CHECK_MSG(every_nth >= 1, "attendance must be >= 1");
+  attendance_ = every_nth;
+}
+
+bool NanRadio::attends(std::uint64_t window_index) const {
+  if (!enabled_) return false;
+  // Offset by node id so power-saving radios do not all pick the same
+  // windows (they still meet full-attendance radios every window they wake).
+  return (window_index + node_) % attendance_ == 0;
+}
+
+void NanRadio::window_wake(TimePoint window_start) {
+  meter_.charge(window_start, window_start + cal_.nan_dw_duration,
+                cal_.wifi_receive_ma);
+}
+
+Result<NanRadio::PublishId> NanRadio::publish(Bytes payload) {
+  if (!enabled_) return Result<PublishId>::error("NAN disabled");
+  if (payload.size() > cal_.nan_max_payload) {
+    return Result<PublishId>::error("NAN service info exceeds " +
+                                    std::to_string(cal_.nan_max_payload) +
+                                    " bytes");
+  }
+  PublishId id = next_publish_++;
+  publishes_[id] = std::move(payload);
+  return id;
+}
+
+Status NanRadio::update_publish(PublishId id, Bytes payload) {
+  auto it = publishes_.find(id);
+  if (it == publishes_.end()) return Status::error("unknown publish id");
+  if (payload.size() > cal_.nan_max_payload) {
+    return Status::error("NAN service info too large");
+  }
+  it->second = std::move(payload);
+  return Status::ok();
+}
+
+Status NanRadio::stop_publish(PublishId id) {
+  if (publishes_.erase(id) == 0) return Status::error("unknown publish id");
+  return Status::ok();
+}
+
+Status NanRadio::send_followup(const NanAddress& dest, Bytes payload,
+                               SendDoneFn done) {
+  if (!enabled_) return Status::error("NAN disabled");
+  if (payload.size() > cal_.nan_max_followup) {
+    return Status::error("NAN follow-up exceeds " +
+                         std::to_string(cal_.nan_max_followup) + " bytes");
+  }
+  followups_.push_back(Followup{dest, std::move(payload), std::move(done)});
+  return Status::ok();
+}
+
+void NanRadio::deliver(const NanAddress& from, const Bytes& payload) {
+  if (!enabled_) return;
+  if (on_receive_) on_receive_(from, payload);
+}
+
+}  // namespace omni::radio

@@ -1,0 +1,48 @@
+#include "radio/wifi_system.h"
+
+#include <algorithm>
+
+#include "radio/mesh.h"
+#include "radio/wifi_radio.h"
+
+namespace omni::radio {
+
+WifiSystem::WifiSystem(sim::World& world, const Calibration& cal)
+    : world_(world), cal_(cal) {}
+
+WifiSystem::~WifiSystem() = default;
+
+MeshNetwork& WifiSystem::create_mesh(std::string name) {
+  meshes_.push_back(std::make_unique<MeshNetwork>(*this, std::move(name)));
+  return *meshes_.back();
+}
+
+MeshNetwork* WifiSystem::find_mesh(const std::string& name) const {
+  for (const auto& m : meshes_) {
+    if (m->name() == name) return m.get();
+  }
+  return nullptr;
+}
+
+void WifiSystem::detach(WifiRadio* radio) {
+  radios_.erase(std::remove(radios_.begin(), radios_.end(), radio),
+                radios_.end());
+}
+
+std::vector<MeshNetwork*> WifiSystem::visible_meshes(
+    const WifiRadio& from) const {
+  std::vector<MeshNetwork*> out;
+  for (const auto& m : meshes_) {
+    for (WifiRadio* member : m->members()) {
+      if (member == &from) continue;
+      if (!member->powered()) continue;
+      if (world_.in_range(from.node(), member->node(), cal_.wifi_range_m)) {
+        out.push_back(m.get());
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace omni::radio

@@ -1,0 +1,502 @@
+#include "scenario/scenario.h"
+
+#include <charconv>
+#include <variant>
+#include <optional>
+#include <ostream>
+#include <sstream>
+
+#include "baselines/omni_stack.h"
+#include "net/testbed.h"
+#include "omni/omni_node.h"
+#include "omni/service.h"
+
+namespace omni::scenario {
+
+namespace {
+
+// --- Tokenizing / argument parsing -------------------------------------------
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> out;
+  std::istringstream is(line);
+  std::string tok;
+  while (is >> tok) {
+    if (tok[0] == '#') break;
+    out.push_back(tok);
+  }
+  return out;
+}
+
+std::optional<double> parse_double(const std::string& s) {
+  try {
+    std::size_t used = 0;
+    double v = std::stod(s, &used);
+    if (used != s.size()) return std::nullopt;
+    return v;
+  } catch (...) {
+    return std::nullopt;
+  }
+}
+
+std::optional<std::uint64_t> parse_u64(const std::string& s) {
+  std::uint64_t v = 0;
+  auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc() || p != s.data() + s.size()) return std::nullopt;
+  return v;
+}
+
+/// "500ms", "5s", "2.5s", "90us"
+std::optional<Duration> parse_duration(const std::string& s) {
+  auto ends_with = [&](const char* suffix) {
+    std::string suf(suffix);
+    return s.size() > suf.size() &&
+           s.compare(s.size() - suf.size(), suf.size(), suf) == 0;
+  };
+  std::string number;
+  double scale = 0;
+  if (ends_with("ms")) {
+    number = s.substr(0, s.size() - 2);
+    scale = 1e-3;
+  } else if (ends_with("us")) {
+    number = s.substr(0, s.size() - 2);
+    scale = 1e-6;
+  } else if (ends_with("s")) {
+    number = s.substr(0, s.size() - 1);
+    scale = 1.0;
+  } else {
+    return std::nullopt;
+  }
+  auto v = parse_double(number);
+  if (!v || *v < 0) return std::nullopt;
+  return Duration::seconds(*v * scale);
+}
+
+/// "x,y"
+std::optional<sim::Vec2> parse_position(const std::string& s) {
+  auto comma = s.find(',');
+  if (comma == std::string::npos) return std::nullopt;
+  auto x = parse_double(s.substr(0, comma));
+  auto y = parse_double(s.substr(comma + 1));
+  if (!x || !y) return std::nullopt;
+  return sim::Vec2{*x, *y};
+}
+
+/// Splits "key=value" -> {key, value}.
+std::optional<std::pair<std::string, std::string>> parse_kv(
+    const std::string& s) {
+  auto eq = s.find('=');
+  if (eq == std::string::npos || eq == 0) return std::nullopt;
+  return std::make_pair(s.substr(0, eq), s.substr(eq + 1));
+}
+
+// --- Instruction set ----------------------------------------------------------
+
+struct DeviceDecl {
+  std::string name;
+  sim::Vec2 position;
+  OmniNodeOptions options;
+};
+
+struct AdvertiseInstr {
+  std::string device;
+  Bytes payload;
+  Duration interval = Duration::millis(500);
+};
+
+struct ServiceInstr {
+  std::string device;
+  std::uint16_t type = 0;
+  std::string service_name;
+  Duration interval = Duration::millis(500);
+};
+
+struct WalkInstr {
+  std::string device;
+  TimePoint at;
+  sim::Vec2 to;
+  double speed = 1.0;
+  bool teleport = false;
+};
+
+struct SendInstr {
+  std::string from;
+  std::string to;
+  TimePoint at;
+  std::uint64_t bytes = 0;
+};
+
+struct PowerInstr {
+  std::string device;
+  TimePoint at;
+  bool ble = false;
+  bool wifi = false;
+};
+
+struct RunInstr {
+  Duration duration;
+};
+
+struct ReportInstr {};
+
+using Instr = std::variant<AdvertiseInstr, ServiceInstr, WalkInstr, SendInstr,
+                           PowerInstr, RunInstr, ReportInstr>;
+
+}  // namespace
+
+// --- Scenario implementation ---------------------------------------------------
+
+struct Scenario::Impl {
+  std::uint64_t seed = 1;
+  std::vector<DeviceDecl> devices;
+  std::vector<Instr> instructions;
+
+  // Runtime state (created by run()).
+  struct LiveDevice {
+    net::Device* device = nullptr;
+    std::unique_ptr<OmniNode> node;
+    std::unique_ptr<ServicePublisher> service;
+    ContextId advert = kInvalidContext;
+    std::uint64_t data_received = 0;
+    std::uint64_t sends_ok = 0;
+    std::uint64_t sends_failed = 0;
+  };
+
+  int find_device(const std::string& name) const {
+    for (std::size_t i = 0; i < devices.size(); ++i) {
+      if (devices[i].name == name) return static_cast<int>(i);
+    }
+    return -1;
+  }
+};
+
+Scenario::Scenario() : impl_(std::make_unique<Impl>()) {}
+Scenario::~Scenario() = default;
+
+std::size_t Scenario::device_count() const { return impl_->devices.size(); }
+std::size_t Scenario::instruction_count() const {
+  return impl_->instructions.size();
+}
+
+Result<std::unique_ptr<Scenario>> Scenario::parse(const std::string& text) {
+  auto scenario = std::unique_ptr<Scenario>(new Scenario());
+  Impl& impl = *scenario->impl_;
+
+  std::istringstream is(text);
+  std::string line;
+  int line_no = 0;
+  auto error = [&](const std::string& why) {
+    return Result<std::unique_ptr<Scenario>>::error(
+        "line " + std::to_string(line_no) + ": " + why);
+  };
+
+  while (std::getline(is, line)) {
+    ++line_no;
+    auto tokens = tokenize(line);
+    if (tokens.empty()) continue;
+    const std::string& op = tokens[0];
+
+    if (op == "seed") {
+      if (tokens.size() != 2) return error("seed takes one integer");
+      auto v = parse_u64(tokens[1]);
+      if (!v) return error("bad seed '" + tokens[1] + "'");
+      impl.seed = *v;
+
+    } else if (op == "device") {
+      if (tokens.size() < 4) return error("device <name> <x> <y> [flags]");
+      DeviceDecl decl;
+      decl.name = tokens[1];
+      if (impl.find_device(decl.name) >= 0) {
+        return error("duplicate device '" + decl.name + "'");
+      }
+      auto x = parse_double(tokens[2]);
+      auto y = parse_double(tokens[3]);
+      if (!x || !y) return error("bad position");
+      decl.position = {*x, *y};
+      if (tokens.size() > 4) {
+        // Explicit technology set.
+        decl.options.ble = false;
+        decl.options.wifi_unicast = false;
+        decl.options.wifi_multicast = false;
+        for (std::size_t i = 4; i < tokens.size(); ++i) {
+          const std::string& flag = tokens[i];
+          if (flag == "ble") {
+            decl.options.ble = true;
+          } else if (flag == "wifi") {
+            decl.options.wifi_unicast = true;
+          } else if (flag == "multicast") {
+            decl.options.wifi_multicast = true;
+          } else if (flag == "aware") {
+            decl.options.wifi_aware = true;
+          } else if (auto kv = parse_kv(flag); kv && kv->first == "relay") {
+            auto hops = parse_u64(kv->second);
+            if (!hops) return error("bad relay hop count");
+            decl.options.manager.context_relay_hops =
+                static_cast<int>(*hops);
+          } else if (auto kv2 = parse_kv(flag); kv2 && kv2->first == "key") {
+            decl.options.manager.context_key =
+                Bytes(kv2->second.begin(), kv2->second.end());
+          } else {
+            return error("unknown device flag '" + flag + "'");
+          }
+        }
+        if (!decl.options.ble && !decl.options.wifi_unicast &&
+            !decl.options.wifi_multicast && !decl.options.wifi_aware) {
+          return error("device '" + decl.name + "' has no technologies");
+        }
+      }
+      impl.devices.push_back(std::move(decl));
+
+    } else if (op == "advertise") {
+      if (tokens.size() < 3) {
+        return error("advertise <device> <payload> [interval=..]");
+      }
+      AdvertiseInstr instr;
+      instr.device = tokens[1];
+      if (impl.find_device(instr.device) < 0) {
+        return error("unknown device '" + instr.device + "'");
+      }
+      instr.payload = Bytes(tokens[2].begin(), tokens[2].end());
+      for (std::size_t i = 3; i < tokens.size(); ++i) {
+        auto kv = parse_kv(tokens[i]);
+        if (kv && kv->first == "interval") {
+          auto d = parse_duration(kv->second);
+          if (!d) return error("bad interval");
+          instr.interval = *d;
+        } else {
+          return error("unknown argument '" + tokens[i] + "'");
+        }
+      }
+      impl.instructions.emplace_back(std::move(instr));
+
+    } else if (op == "service") {
+      if (tokens.size() < 4) {
+        return error("service <device> <type> <name> [interval=..]");
+      }
+      ServiceInstr instr;
+      instr.device = tokens[1];
+      if (impl.find_device(instr.device) < 0) {
+        return error("unknown device '" + instr.device + "'");
+      }
+      auto type = parse_u64(tokens[2]);
+      if (!type || *type > 0xFFFF) return error("bad service type");
+      instr.type = static_cast<std::uint16_t>(*type);
+      instr.service_name = tokens[3];
+      impl.instructions.emplace_back(std::move(instr));
+
+    } else if (op == "walk" || op == "teleport") {
+      if (tokens.size() < 4) {
+        return error(op + " <device> at=<t> to=<x,y> [speed=<mps>]");
+      }
+      WalkInstr instr;
+      instr.teleport = op == "teleport";
+      instr.device = tokens[1];
+      if (impl.find_device(instr.device) < 0) {
+        return error("unknown device '" + instr.device + "'");
+      }
+      bool have_at = false, have_to = false;
+      for (std::size_t i = 2; i < tokens.size(); ++i) {
+        auto kv = parse_kv(tokens[i]);
+        if (!kv) return error("expected key=value, got '" + tokens[i] + "'");
+        if (kv->first == "at") {
+          auto d = parse_duration(kv->second);
+          if (!d) return error("bad time");
+          instr.at = TimePoint::origin() + *d;
+          have_at = true;
+        } else if (kv->first == "to") {
+          auto p = parse_position(kv->second);
+          if (!p) return error("bad target position");
+          instr.to = *p;
+          have_to = true;
+        } else if (kv->first == "speed") {
+          auto v = parse_double(kv->second);
+          if (!v || *v <= 0) return error("bad speed");
+          instr.speed = *v;
+        } else {
+          return error("unknown argument '" + kv->first + "'");
+        }
+      }
+      if (!have_at || !have_to) return error(op + " needs at= and to=");
+      impl.instructions.emplace_back(std::move(instr));
+
+    } else if (op == "send") {
+      if (tokens.size() < 5) {
+        return error("send <from> <to> at=<t> bytes=<n>");
+      }
+      SendInstr instr;
+      instr.from = tokens[1];
+      instr.to = tokens[2];
+      if (impl.find_device(instr.from) < 0 ||
+          impl.find_device(instr.to) < 0) {
+        return error("unknown device in send");
+      }
+      for (std::size_t i = 3; i < tokens.size(); ++i) {
+        auto kv = parse_kv(tokens[i]);
+        if (!kv) return error("expected key=value");
+        if (kv->first == "at") {
+          auto d = parse_duration(kv->second);
+          if (!d) return error("bad time");
+          instr.at = TimePoint::origin() + *d;
+        } else if (kv->first == "bytes") {
+          auto v = parse_u64(kv->second);
+          if (!v) return error("bad byte count");
+          instr.bytes = *v;
+        } else {
+          return error("unknown argument '" + kv->first + "'");
+        }
+      }
+      if (instr.bytes == 0) return error("send needs bytes=");
+      impl.instructions.emplace_back(std::move(instr));
+
+    } else if (op == "poweroff") {
+      if (tokens.size() < 3) return error("poweroff <device> at=<t> [what]");
+      PowerInstr instr;
+      instr.device = tokens[1];
+      if (impl.find_device(instr.device) < 0) {
+        return error("unknown device '" + instr.device + "'");
+      }
+      std::string what = "all";
+      for (std::size_t i = 2; i < tokens.size(); ++i) {
+        if (auto kv = parse_kv(tokens[i]); kv && kv->first == "at") {
+          auto d = parse_duration(kv->second);
+          if (!d) return error("bad time");
+          instr.at = TimePoint::origin() + *d;
+        } else {
+          what = tokens[i];
+        }
+      }
+      if (what == "ble") {
+        instr.ble = true;
+      } else if (what == "wifi") {
+        instr.wifi = true;
+      } else if (what == "all") {
+        instr.ble = instr.wifi = true;
+      } else {
+        return error("poweroff target must be ble|wifi|all");
+      }
+      impl.instructions.emplace_back(std::move(instr));
+
+    } else if (op == "run") {
+      if (tokens.size() != 2) return error("run <duration>");
+      auto d = parse_duration(tokens[1]);
+      if (!d) return error("bad duration '" + tokens[1] + "'");
+      impl.instructions.emplace_back(RunInstr{*d});
+
+    } else if (op == "report") {
+      impl.instructions.emplace_back(ReportInstr{});
+
+    } else {
+      return error("unknown directive '" + op + "'");
+    }
+  }
+
+  if (impl.devices.empty()) {
+    return Result<std::unique_ptr<Scenario>>::error(
+        "scenario declares no devices");
+  }
+  return scenario;
+}
+
+Status Scenario::run(std::ostream& out) {
+  Impl& impl = *impl_;
+  net::Testbed bed(impl.seed);
+  std::vector<Impl::LiveDevice> live(impl.devices.size());
+
+  for (std::size_t i = 0; i < impl.devices.size(); ++i) {
+    const DeviceDecl& decl = impl.devices[i];
+    live[i].device = &bed.add_device(decl.name, decl.position);
+    live[i].node = std::make_unique<OmniNode>(*live[i].device, bed.mesh(),
+                                              decl.options);
+    auto* ld = &live[i];
+    live[i].node->manager().request_data(
+        [ld](const OmniAddress&, const Bytes&) { ++ld->data_received; });
+    live[i].node->start();
+  }
+
+  auto report = [&](std::ostream& os) {
+    os << "=== report t=" << bed.simulator().now().as_seconds() << "s ===\n";
+    for (std::size_t i = 0; i < live.size(); ++i) {
+      const auto& stats = live[i].node->manager().stats();
+      os << "  " << impl.devices[i].name << ": peers="
+         << live[i].node->manager().peer_table().size()
+         << " avg_mA=" << live[i].device->meter().average_ma(
+                TimePoint::origin(), bed.simulator().now())
+         << " rx_ctx=" << stats.context_received
+         << " rx_data=" << live[i].data_received
+         << " sends=" << live[i].sends_ok << "/"
+         << live[i].sends_ok + live[i].sends_failed << "\n";
+    }
+  };
+
+  for (const Instr& instruction : impl.instructions) {
+    if (const auto* adv = std::get_if<AdvertiseInstr>(&instruction)) {
+      int i = impl.find_device(adv->device);
+      live[i].node->manager().add_context(ContextParams{adv->interval},
+                                          adv->payload, nullptr);
+    } else if (const auto* svc = std::get_if<ServiceInstr>(&instruction)) {
+      int i = impl.find_device(svc->device);
+      if (!live[i].service) {
+        live[i].service =
+            std::make_unique<ServicePublisher>(live[i].node->manager());
+      }
+      ServiceDescriptor d;
+      d.service_type = svc->type;
+      d.name = svc->service_name;
+      live[i].service->publish(d, svc->interval);
+    } else if (const auto* walk = std::get_if<WalkInstr>(&instruction)) {
+      int i = impl.find_device(walk->device);
+      NodeId node = live[i].device->node();
+      sim::Vec2 to = walk->to;
+      double speed = walk->speed;
+      bool teleport = walk->teleport;
+      bed.simulator().at(walk->at, [&bed, node, to, speed, teleport] {
+        if (teleport) {
+          bed.world().set_position(node, to);
+        } else {
+          bed.world().move_to(node, to, speed);
+        }
+      });
+    } else if (const auto* send = std::get_if<SendInstr>(&instruction)) {
+      int from = impl.find_device(send->from);
+      int to = impl.find_device(send->to);
+      auto* src = &live[from];
+      OmniAddress dest = live[to].node->address();
+      std::uint64_t bytes = send->bytes;
+      bed.simulator().at(send->at, [src, dest, bytes] {
+        src->node->manager().send_data(
+            {dest}, Bytes(bytes, 0xD5),
+            [src](StatusCode code, const ResponseInfo&) {
+              if (is_success(code)) {
+                ++src->sends_ok;
+              } else {
+                ++src->sends_failed;
+              }
+            });
+      });
+    } else if (const auto* power = std::get_if<PowerInstr>(&instruction)) {
+      int i = impl.find_device(power->device);
+      auto* dev = live[i].device;
+      bool ble = power->ble, wifi = power->wifi;
+      bed.simulator().at(power->at, [dev, ble, wifi] {
+        if (ble) dev->ble().set_powered(false);
+        if (wifi) dev->wifi().set_powered(false);
+      });
+    } else if (const auto* run_instr = std::get_if<RunInstr>(&instruction)) {
+      bed.simulator().run_for(run_instr->duration);
+    } else if (std::get_if<ReportInstr>(&instruction) != nullptr) {
+      report(out);
+    }
+  }
+  return Status::ok();
+}
+
+std::string run_scenario_text(const std::string& text) {
+  auto parsed = Scenario::parse(text);
+  if (!parsed.is_ok()) return "parse error: " + parsed.error_message();
+  std::ostringstream os;
+  Status s = parsed.value()->run(os);
+  if (!s.is_ok()) return "run error: " + s.message();
+  return os.str();
+}
+
+}  // namespace omni::scenario

@@ -1,0 +1,57 @@
+#include "sim/event_queue.h"
+
+#include "common/result.h"
+
+namespace omni::sim {
+
+void EventHandle::cancel() {
+  auto s = state_.lock();
+  if (!s || s->done) return;
+  s->done = true;
+  if (s->live != nullptr) {
+    --*s->live;
+    s->live = nullptr;
+  }
+}
+
+bool EventHandle::pending() const {
+  auto s = state_.lock();
+  return s && !s->done;
+}
+
+EventHandle EventQueue::schedule(TimePoint at, EventFn fn) {
+  auto state = std::make_shared<EventHandle::State>();
+  state->live = &live_;
+  heap_.push(Entry{at, next_seq_++, std::move(fn), state});
+  ++live_;
+  return EventHandle{state};
+}
+
+void EventQueue::drop_done() {
+  // Cancelled entries already decremented live_ in EventHandle::cancel.
+  while (!heap_.empty() && heap_.top().state->done) {
+    heap_.pop();
+  }
+}
+
+TimePoint EventQueue::next_time() {
+  drop_done();
+  if (heap_.empty()) return TimePoint::max();
+  return heap_.top().at;
+}
+
+EventQueue::Popped EventQueue::pop() {
+  drop_done();
+  OMNI_CHECK_MSG(!heap_.empty(), "pop() on empty event queue");
+  // priority_queue::top() is const; we move out via const_cast, which is safe
+  // because we pop the entry immediately and never compare it again.
+  Entry& top = const_cast<Entry&>(heap_.top());
+  Popped out{top.at, std::move(top.fn)};
+  top.state->done = true;  // consumed: handles report !pending()
+  top.state->live = nullptr;
+  --live_;
+  heap_.pop();
+  return out;
+}
+
+}  // namespace omni::sim

@@ -1,0 +1,86 @@
+// Pending-event set for the discrete-event simulator.
+//
+// Events fire in (time, sequence) order so that two events scheduled for the
+// same instant run in scheduling order — this makes simulations fully
+// deterministic. Cancellation is O(1) lazy: a cancelled event stays in the
+// heap but is skipped when popped; the live count is maintained eagerly so
+// empty()/size() are always exact.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/time.h"
+
+namespace omni::sim {
+
+using EventFn = std::function<void()>;
+
+/// Handle to a scheduled event, usable to cancel it. Default-constructed
+/// handles are inert. Copying shares the same underlying event.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// Prevent the event from running if it has not run yet.
+  void cancel();
+
+  /// True if this handle refers to an event that has neither run nor been
+  /// cancelled yet.
+  bool pending() const;
+
+ private:
+  friend class EventQueue;
+  struct State {
+    bool done = false;         // ran or cancelled
+    std::size_t* live = nullptr;  // owner's live counter (null once done)
+  };
+  explicit EventHandle(std::weak_ptr<State> state) : state_(std::move(state)) {}
+  std::weak_ptr<State> state_;
+};
+
+class EventQueue {
+ public:
+  /// Add an event firing at `at`; later insertions at the same time fire
+  /// later. Returns a handle usable for cancellation.
+  EventHandle schedule(TimePoint at, EventFn fn);
+
+  bool empty() const { return live_ == 0; }
+  std::size_t size() const { return live_; }
+
+  /// Earliest pending (non-cancelled) event time; TimePoint::max() if empty.
+  TimePoint next_time();
+
+  /// Pop and return the earliest pending event; the caller runs it. Must not
+  /// be called when empty().
+  struct Popped {
+    TimePoint at;
+    EventFn fn;
+  };
+  Popped pop();
+
+ private:
+  struct Entry {
+    TimePoint at;
+    std::uint64_t seq;
+    EventFn fn;
+    std::shared_ptr<EventHandle::State> state;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  void drop_done();
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+  std::size_t live_ = 0;  // events neither run nor cancelled
+};
+
+}  // namespace omni::sim

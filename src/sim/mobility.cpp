@@ -1,0 +1,65 @@
+#include "sim/mobility.h"
+
+#include <algorithm>
+
+namespace omni::sim {
+
+ScriptedMobility& ScriptedMobility::teleport_at(TimePoint at, Vec2 position) {
+  world_.simulator().at(at, [this, position] {
+    world_.set_position(node_, position);
+  });
+  ++steps_;
+  return *this;
+}
+
+ScriptedMobility& ScriptedMobility::walk_at(TimePoint at, Vec2 target,
+                                            double speed_mps) {
+  world_.simulator().at(at, [this, target, speed_mps] {
+    world_.move_to(node_, target, speed_mps);
+  });
+  ++steps_;
+  return *this;
+}
+
+RandomWaypointMobility::RandomWaypointMobility(World& world, NodeId node,
+                                               Options options,
+                                               std::uint64_t seed)
+    : world_(world), node_(node), options_(options), rng_(seed) {
+  OMNI_CHECK_MSG(options_.min_speed_mps > 0 &&
+                     options_.max_speed_mps >= options_.min_speed_mps,
+                 "invalid speed range");
+  OMNI_CHECK_MSG(options_.area_max.x >= options_.area_min.x &&
+                     options_.area_max.y >= options_.area_min.y,
+                 "invalid area");
+}
+
+void RandomWaypointMobility::start() {
+  if (running_) return;
+  running_ = true;
+  next_leg();
+}
+
+void RandomWaypointMobility::stop() {
+  running_ = false;
+  next_event_.cancel();
+}
+
+void RandomWaypointMobility::next_leg() {
+  if (!running_) return;
+  Vec2 target{rng_.uniform(options_.area_min.x, options_.area_max.x),
+              rng_.uniform(options_.area_min.y, options_.area_max.y)};
+  double speed =
+      rng_.uniform(options_.min_speed_mps, options_.max_speed_mps);
+  double dist = Vec2::distance(world_.position(node_), target);
+  world_.move_to(node_, target, speed);
+  ++legs_;
+  Duration walk = Duration::seconds(dist / speed);
+  Duration pause = Duration::micros(rng_.uniform_int(
+      options_.min_pause.as_micros(),
+      std::max(options_.min_pause.as_micros(),
+               options_.max_pause.as_micros())));
+  next_event_ =
+      world_.simulator().after(walk + pause, [this] { next_leg(); });
+}
+
+}  // namespace omni::sim

@@ -1,0 +1,73 @@
+// Mobility models driving World positions over time.
+//
+// The experiments mostly use static placement and scripted moves, but the
+// library also provides the two classic generators used throughout the DTN
+// literature the paper's applications come from:
+//
+//   * ScriptedMobility — a timetable of moves/teleports (reproducible
+//     scenario scripts, e.g. "B meets C five seconds later");
+//   * RandomWaypointMobility — pick a point in a rectangle, walk there at a
+//     uniform-random speed, pause, repeat.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/world.h"
+
+namespace omni::sim {
+
+/// A timetable of movements for one node.
+class ScriptedMobility {
+ public:
+  ScriptedMobility(World& world, NodeId node) : world_(world), node_(node) {}
+
+  /// At `at`, teleport the node to `position`.
+  ScriptedMobility& teleport_at(TimePoint at, Vec2 position);
+  /// At `at`, begin walking toward `target` at `speed_mps`.
+  ScriptedMobility& walk_at(TimePoint at, Vec2 target, double speed_mps);
+
+  std::size_t scheduled_steps() const { return steps_; }
+
+ private:
+  World& world_;
+  NodeId node_;
+  std::size_t steps_ = 0;
+};
+
+/// Classic random-waypoint motion inside an axis-aligned rectangle.
+class RandomWaypointMobility {
+ public:
+  struct Options {
+    Vec2 area_min{0, 0};
+    Vec2 area_max{100, 100};
+    double min_speed_mps = 0.5;
+    double max_speed_mps = 2.0;
+    Duration min_pause = Duration::seconds(0);
+    Duration max_pause = Duration::seconds(10);
+  };
+
+  RandomWaypointMobility(World& world, NodeId node, Options options,
+                         std::uint64_t seed);
+  RandomWaypointMobility(const RandomWaypointMobility&) = delete;
+  RandomWaypointMobility& operator=(const RandomWaypointMobility&) = delete;
+  ~RandomWaypointMobility() { stop(); }
+
+  void start();
+  void stop();
+  bool running() const { return running_; }
+  std::uint64_t legs_walked() const { return legs_; }
+
+ private:
+  void next_leg();
+
+  World& world_;
+  NodeId node_;
+  Options options_;
+  Rng rng_;
+  bool running_ = false;
+  std::uint64_t legs_ = 0;
+  EventHandle next_event_;
+};
+
+}  // namespace omni::sim

@@ -1,0 +1,34 @@
+#include "sim/simulator.h"
+
+namespace omni::sim {
+
+std::uint64_t Simulator::run_until(TimePoint deadline) {
+  stop_requested_ = false;
+  std::uint64_t ran = 0;
+  while (!events_.empty() && !stop_requested_) {
+    TimePoint next = events_.next_time();
+    if (next > deadline) break;
+    auto [at, fn] = events_.pop();
+    now_ = at;
+    fn();
+    ++ran;
+    ++executed_;
+  }
+  if (now_ < deadline && !stop_requested_) now_ = deadline;
+  return ran;
+}
+
+std::uint64_t Simulator::run() {
+  stop_requested_ = false;
+  std::uint64_t ran = 0;
+  while (!events_.empty() && !stop_requested_) {
+    auto [at, fn] = events_.pop();
+    now_ = at;
+    fn();
+    ++ran;
+    ++executed_;
+  }
+  return ran;
+}
+
+}  // namespace omni::sim

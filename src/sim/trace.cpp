@@ -1,0 +1,61 @@
+#include "sim/trace.h"
+
+#include <ostream>
+
+namespace omni::sim {
+
+std::size_t TraceRecorder::count(const std::string& category) const {
+  std::size_t n = 0;
+  for (const auto& e : events_) {
+    if (e.category == category) ++n;
+  }
+  return n;
+}
+
+std::vector<TraceEvent> TraceRecorder::in_category(
+    const std::string& category) const {
+  std::vector<TraceEvent> out;
+  for (const auto& e : events_) {
+    if (e.category == category) out.push_back(e);
+  }
+  return out;
+}
+
+TimePoint TraceRecorder::first_time(const std::string& category,
+                                    const std::string& label) const {
+  for (const auto& e : events_) {
+    if (e.category == category && (label.empty() || e.label == label)) {
+      return e.at;
+    }
+  }
+  return TimePoint::max();
+}
+
+TimePoint TraceRecorder::last_time(const std::string& category,
+                                   const std::string& label) const {
+  TimePoint out = TimePoint::max();
+  for (const auto& e : events_) {
+    if (e.category == category && (label.empty() || e.label == label)) {
+      out = e.at;
+    }
+  }
+  return out;
+}
+
+double TraceRecorder::sum(const std::string& category) const {
+  double total = 0;
+  for (const auto& e : events_) {
+    if (e.category == category) total += e.value;
+  }
+  return total;
+}
+
+void TraceRecorder::write_csv(std::ostream& os) const {
+  os << "time_s,category,label,value\n";
+  for (const auto& e : events_) {
+    os << e.at.as_seconds() << ',' << e.category << ',' << e.label << ','
+       << e.value << '\n';
+  }
+}
+
+}  // namespace omni::sim

@@ -1,0 +1,59 @@
+// Experiment trace recorder.
+//
+// Benches and tests record labelled, timestamped samples (e.g. "discovery",
+// "chunk_received") and query or dump them afterwards. This keeps measurement
+// out of the models themselves.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+
+namespace omni::sim {
+
+struct TraceEvent {
+  TimePoint at;
+  std::string category;
+  std::string label;
+  double value = 0;
+};
+
+class TraceRecorder {
+ public:
+  void record(TimePoint at, std::string category, std::string label,
+              double value = 0) {
+    events_.push_back(
+        TraceEvent{at, std::move(category), std::move(label), value});
+  }
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+
+  std::size_t count(const std::string& category) const;
+
+  /// All events in a category, in record order.
+  std::vector<TraceEvent> in_category(const std::string& category) const;
+
+  /// Time of the first event matching category (and label, if non-empty);
+  /// TimePoint::max() when absent.
+  TimePoint first_time(const std::string& category,
+                       const std::string& label = "") const;
+  TimePoint last_time(const std::string& category,
+                      const std::string& label = "") const;
+
+  /// Sum of `value` across a category.
+  double sum(const std::string& category) const;
+
+  void clear() { events_.clear(); }
+
+  /// Write "time_s,category,label,value" rows.
+  void write_csv(std::ostream& os) const;
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace omni::sim

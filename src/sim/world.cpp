@@ -1,0 +1,67 @@
+#include "sim/world.h"
+
+#include <cmath>
+
+namespace omni::sim {
+
+double Vec2::norm() const { return std::sqrt(x * x + y * y); }
+
+NodeId World::add_node(std::string name, Vec2 position) {
+  NodeId id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(Node{std::move(name), position, position, sim_.now(),
+                        sim_.now()});
+  return id;
+}
+
+const World::Node& World::node(NodeId id) const {
+  OMNI_CHECK_MSG(id < nodes_.size(), "unknown node id");
+  return nodes_[id];
+}
+
+World::Node& World::node(NodeId id) {
+  OMNI_CHECK_MSG(id < nodes_.size(), "unknown node id");
+  return nodes_[id];
+}
+
+const std::string& World::name(NodeId id) const { return node(id).name; }
+
+Vec2 World::position(NodeId id) const {
+  const Node& n = node(id);
+  TimePoint now = sim_.now();
+  if (now >= n.arrive || n.arrive == n.depart) return n.to;
+  double total = (n.arrive - n.depart).as_seconds();
+  double done = (now - n.depart).as_seconds();
+  double f = total > 0 ? done / total : 1.0;
+  return n.from + (n.to - n.from) * f;
+}
+
+void World::set_position(NodeId id, Vec2 position) {
+  Node& n = node(id);
+  n.from = n.to = position;
+  n.depart = n.arrive = sim_.now();
+}
+
+void World::move_to(NodeId id, Vec2 target, double speed_mps) {
+  OMNI_CHECK_MSG(speed_mps > 0, "move_to requires positive speed");
+  Node& n = node(id);
+  Vec2 start = position(id);
+  double dist = Vec2::distance(start, target);
+  n.from = start;
+  n.to = target;
+  n.depart = sim_.now();
+  n.arrive = sim_.now() + Duration::seconds(dist / speed_mps);
+}
+
+double World::distance(NodeId a, NodeId b) const {
+  return Vec2::distance(position(a), position(b));
+}
+
+std::vector<NodeId> World::neighbors(NodeId of, double range) const {
+  std::vector<NodeId> out;
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    if (id != of && in_range(of, id, range)) out.push_back(id);
+  }
+  return out;
+}
+
+}  // namespace omni::sim

@@ -1,0 +1,86 @@
+// Spatial model: node positions, motion, and range queries.
+//
+// Radios ask the world which peers are within their technology's range. The
+// world supports static placement, instantaneous teleports, and linear
+// waypoint motion (position is interpolated lazily — no per-tick events).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/time.h"
+#include "common/types.h"
+#include "sim/simulator.h"
+
+namespace omni::sim {
+
+struct Vec2 {
+  double x = 0;
+  double y = 0;
+
+  Vec2 operator+(Vec2 o) const { return {x + o.x, y + o.y}; }
+  Vec2 operator-(Vec2 o) const { return {x - o.x, y - o.y}; }
+  Vec2 operator*(double k) const { return {x * k, y * k}; }
+  bool operator==(const Vec2&) const = default;
+
+  double norm() const;
+  static double distance(Vec2 a, Vec2 b) { return (a - b).norm(); }
+};
+
+class World {
+ public:
+  explicit World(Simulator& sim) : sim_(sim) {}
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  /// Register a node at a position; returns its id.
+  NodeId add_node(std::string name, Vec2 position);
+
+  std::size_t node_count() const { return nodes_.size(); }
+  const std::string& name(NodeId id) const;
+
+  /// Current (interpolated) position.
+  Vec2 position(NodeId id) const;
+
+  /// Teleport the node immediately.
+  void set_position(NodeId id, Vec2 position);
+
+  /// Begin a linear move toward `target` at `speed` m/s, replacing any
+  /// in-progress move. Completes silently; position() interpolates.
+  void move_to(NodeId id, Vec2 target, double speed_mps);
+
+  /// Distance between two nodes now.
+  double distance(NodeId a, NodeId b) const;
+
+  /// True if nodes are within `range` meters of each other.
+  bool in_range(NodeId a, NodeId b, double range) const {
+    return distance(a, b) <= range;
+  }
+
+  /// All nodes (other than `of`) within `range` meters.
+  std::vector<NodeId> neighbors(NodeId of, double range) const;
+
+  Simulator& simulator() { return sim_; }
+
+ private:
+  struct Node {
+    std::string name;
+    // Motion segment: at `depart`, the node was at `from`, moving toward
+    // `to`, arriving at `arrive`. A static node has depart == arrive.
+    Vec2 from;
+    Vec2 to;
+    TimePoint depart;
+    TimePoint arrive;
+  };
+
+  const Node& node(NodeId id) const;
+  Node& node(NodeId id);
+
+  Simulator& sim_;
+  std::vector<Node> nodes_;
+};
+
+}  // namespace omni::sim

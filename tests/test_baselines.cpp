@@ -1,0 +1,227 @@
+// SP and SA baseline stacks: discovery, advert/data dispatch, the WiFi
+// resolution costs that distinguish them from Omni, and the D2dStack
+// contract they share with the OmniStack adapter.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "baselines/directory.h"
+#include "baselines/omni_stack.h"
+#include "baselines/sa_node.h"
+#include "baselines/sp_ble_node.h"
+#include "baselines/sp_wifi_node.h"
+#include "net/testbed.h"
+#include "omni/omni_node.h"
+
+namespace omni::baselines {
+namespace {
+
+class BaselineTest : public ::testing::Test {
+ protected:
+  net::Testbed bed{37};
+};
+
+TEST_F(BaselineTest, SpBleDiscoveryAndSmallData) {
+  auto& da = bed.add_device("a", {0, 0});
+  auto& db = bed.add_device("b", {10, 0});
+  SpBleNode a(da), b(db);
+
+  Bytes b_advert_seen;
+  a.set_advert_handler([&](D2dStack::PeerId from, const Bytes& info) {
+    EXPECT_EQ(from, b.self());
+    b_advert_seen = info;
+  });
+  Bytes data_seen;
+  b.set_data_handler(
+      [&](D2dStack::PeerId, const Bytes& data) { data_seen = data; });
+
+  a.start();
+  b.start();
+  a.advertise(Bytes{'a'}, Duration::millis(500));
+  b.advertise(Bytes{'b'}, Duration::millis(500));
+  // Low idle scan duty: discovery takes a few beacons but happens.
+  bed.simulator().run_for(Duration::seconds(30));
+  EXPECT_EQ(b_advert_seen, (Bytes{'b'}));
+  ASSERT_EQ(a.known_peers().size(), 1u);
+
+  bool ok = false;
+  a.send(b.self(), Bytes{1, 2, 3}, [&](Status s) { ok = s.is_ok(); });
+  bed.simulator().run_for(Duration::seconds(1));
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(data_seen, (Bytes{1, 2, 3}));
+}
+
+TEST_F(BaselineTest, SpBleTurnsWifiOff) {
+  auto& da = bed.add_device("a", {0, 0});
+  da.wifi().set_powered(true);
+  SpBleNode a(da);
+  a.start();
+  EXPECT_FALSE(da.wifi().powered());
+  bed.simulator().run_for(Duration::seconds(10));
+  // Negative "relative to WiFi-standby" energy: the paper's SP hallmark.
+  double rel = da.meter().average_ma(TimePoint::origin(),
+                                     bed.simulator().now()) -
+               bed.calibration().wifi_standby_ma;
+  EXPECT_LT(rel, -85.0);
+}
+
+TEST_F(BaselineTest, SpBleSendToUnknownPeerFails) {
+  auto& da = bed.add_device("a", {0, 0});
+  SpBleNode a(da);
+  a.start();
+  bool failed = false;
+  a.send(0xDEAD, Bytes{1}, [&](Status s) { failed = !s.is_ok(); });
+  EXPECT_TRUE(failed);
+}
+
+TEST_F(BaselineTest, SpWifiFirstSendPaysFullRitual) {
+  auto& da = bed.add_device("a", {0, 0});
+  auto& db = bed.add_device("b", {10, 0});
+  SpWifiNode a(da, bed.mesh()), b(db, bed.mesh());
+  Bytes got;
+  b.set_data_handler([&](D2dStack::PeerId, const Bytes& d) { got = d; });
+  a.start();
+  b.start();
+  a.advertise(Bytes{'a'}, Duration::millis(500));
+  b.advertise(Bytes{'b'}, Duration::millis(500));
+  bed.simulator().run_for(Duration::seconds(3));
+  ASSERT_FALSE(a.known_peers().empty());
+
+  TimePoint t0 = bed.simulator().now();
+  TimePoint done;
+  a.send(b.self(), Bytes{7}, [&](Status s) {
+    ASSERT_TRUE(s.is_ok());
+    done = bed.simulator().now();
+  });
+  bed.simulator().run_for(Duration::seconds(10));
+  EXPECT_EQ(got, (Bytes{7}));
+  // scan + join + query + advert wait + TCP: the paper's ~3.2s.
+  EXPECT_NEAR((done - t0).as_millis(), 3245.0, 30.0);
+
+  // Second send: validated, so only TCP time.
+  t0 = bed.simulator().now();
+  a.send(b.self(), Bytes{8}, [&](Status) { done = bed.simulator().now(); });
+  bed.simulator().run_for(Duration::seconds(2));
+  EXPECT_NEAR((done - t0).as_millis(), 16.0, 2.0);
+}
+
+TEST_F(BaselineTest, SpWifiBroadcastDataReachesAll) {
+  auto& da = bed.add_device("a", {0, 0});
+  auto& db = bed.add_device("b", {10, 0});
+  auto& dc = bed.add_device("c", {20, 0});
+  SpWifiNode a(da, bed.mesh()), b(db, bed.mesh()), c(dc, bed.mesh());
+  int b_got = 0, c_got = 0;
+  b.set_data_handler([&](D2dStack::PeerId, const Bytes&) { ++b_got; });
+  c.set_data_handler([&](D2dStack::PeerId, const Bytes&) { ++c_got; });
+  a.start();
+  b.start();
+  c.start();
+  bed.simulator().run_for(Duration::seconds(1));
+  bool ok = false;
+  a.broadcast_data(Bytes(3000, 5), [&](Status s) { ok = s.is_ok(); });
+  bed.simulator().run_for(Duration::seconds(2));
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(b_got, 1);
+  EXPECT_EQ(c_got, 1);
+}
+
+TEST_F(BaselineTest, SaDiscoversOnBothRadios) {
+  auto& da = bed.add_device("a", {0, 0});
+  auto& db = bed.add_device("b", {10, 0});
+  Directory dir;
+  SaNode a(da, bed.mesh(), dir), b(db, bed.mesh(), dir);
+  int adverts = 0;
+  a.set_advert_handler([&](D2dStack::PeerId, const Bytes&) { ++adverts; });
+  a.start();
+  b.start();
+  a.advertise(Bytes{'x'}, Duration::millis(500));
+  b.advertise(Bytes{'y'}, Duration::millis(500));
+  bed.simulator().run_for(Duration::seconds(5));
+  // Overlay beacons arrive on BLE (most of ~10 at 90% capture) and WiFi
+  // multicast (~9-10): roughly twice the single-radio rate.
+  EXPECT_GT(adverts, 12);
+  EXPECT_EQ(a.known_peers().size(), 1u);
+}
+
+TEST_F(BaselineTest, SaBleDiscoveredPeerSkipsAdvertWait) {
+  auto& da = bed.add_device("a", {0, 0});
+  auto& db = bed.add_device("b", {10, 0});
+  Directory dir;
+  SaNode a(da, bed.mesh(), dir), b(db, bed.mesh(), dir);
+  Bytes got;
+  b.set_data_handler([&](D2dStack::PeerId, const Bytes& d) { got = d; });
+  a.start();
+  b.start();
+  bed.simulator().run_for(Duration::seconds(3));
+  ASSERT_FALSE(a.known_peers().empty());
+
+  TimePoint t0 = bed.simulator().now();
+  TimePoint done;
+  a.send(b.self(), Bytes{3}, [&](Status s) {
+    ASSERT_TRUE(s.is_ok()) << s.message();
+    done = bed.simulator().now();
+  });
+  bed.simulator().run_for(Duration::seconds(10));
+  EXPECT_EQ(got, (Bytes{3}));
+  // Ritual without advert wait (~2.79s) + TCP: the paper's SA BLE/WiFi row.
+  EXPECT_NEAR((done - t0).as_millis(), 2809.0, 30.0);
+}
+
+TEST_F(BaselineTest, SaWithoutWifiSendsOverBle) {
+  auto& da = bed.add_device("a", {0, 0});
+  auto& db = bed.add_device("b", {10, 0});
+  Directory dir;
+  SaNode::Options options;
+  options.data_over_wifi = false;
+  SaNode a(da, bed.mesh(), dir, options), b(db, bed.mesh(), dir, options);
+  Bytes got;
+  b.set_data_handler([&](D2dStack::PeerId, const Bytes& d) { got = d; });
+  a.start();
+  b.start();
+  bed.simulator().run_for(Duration::seconds(2));
+  TimePoint t0 = bed.simulator().now();
+  TimePoint done;
+  a.send(b.self(), Bytes{9}, [&](Status) { done = bed.simulator().now(); });
+  bed.simulator().run_for(Duration::seconds(1));
+  EXPECT_EQ(got, (Bytes{9}));
+  EXPECT_NEAR((done - t0).as_millis(), 41.0, 2.0);  // BLE datagram path
+}
+
+TEST_F(BaselineTest, OmniStackImplementsSameContract) {
+  auto& da = bed.add_device("a", {0, 0});
+  auto& db = bed.add_device("b", {10, 0});
+  OmniNode na(da, bed.mesh());
+  OmniNode nb(db, bed.mesh());
+  OmniStack a(na), b(nb);
+
+  Bytes advert_seen, data_seen;
+  a.set_advert_handler(
+      [&](D2dStack::PeerId, const Bytes& info) { advert_seen = info; });
+  b.set_data_handler(
+      [&](D2dStack::PeerId, const Bytes& d) { data_seen = d; });
+  a.start();
+  b.start();
+  b.advertise(Bytes{'B'}, Duration::millis(500));
+  bed.simulator().run_for(Duration::seconds(3));
+  EXPECT_EQ(advert_seen, (Bytes{'B'}));
+  ASSERT_FALSE(a.known_peers().empty());
+
+  bool ok = false;
+  a.send(b.self(), Bytes{1, 1}, [&](Status s) { ok = s.is_ok(); });
+  bed.simulator().run_for(Duration::seconds(1));
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(data_seen, (Bytes{1, 1}));
+
+  // advertise() twice updates rather than duplicates.
+  b.advertise(Bytes{'C'}, Duration::millis(500));
+  bed.simulator().run_for(Duration::seconds(2));
+  EXPECT_EQ(advert_seen, (Bytes{'C'}));
+  b.stop_advertising();
+  bed.simulator().run_for(Duration::seconds(1));
+  advert_seen.clear();
+  bed.simulator().run_for(Duration::seconds(3));
+  EXPECT_TRUE(advert_seen.empty());
+}
+
+}  // namespace
+}  // namespace omni::baselines

@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include "common/byte_buffer.h"
+
+namespace omni {
+namespace {
+
+TEST(ByteBufferTest, IntegerRoundTrip) {
+  ByteWriter w;
+  w.u8(0xAB);
+  w.u16(0x1234);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0123456789ABCDEFull);
+  Bytes wire = std::move(w).take();
+  EXPECT_EQ(wire.size(), 1u + 2 + 4 + 8);
+
+  ByteReader r(wire);
+  EXPECT_EQ(r.u8().value(), 0xAB);
+  EXPECT_EQ(r.u16().value(), 0x1234);
+  EXPECT_EQ(r.u32().value(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64().value(), 0x0123456789ABCDEFull);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(ByteBufferTest, BigEndianOnWire) {
+  ByteWriter w;
+  w.u32(0x01020304);
+  const Bytes& wire = w.bytes();
+  EXPECT_EQ(wire[0], 0x01);
+  EXPECT_EQ(wire[3], 0x04);
+}
+
+TEST(ByteBufferTest, BlobAndStringRoundTrip) {
+  ByteWriter w;
+  w.blob(Bytes{1, 2, 3});
+  w.str("omni");
+  Bytes wire = std::move(w).take();
+
+  ByteReader r(wire);
+  EXPECT_EQ(r.blob().value(), (Bytes{1, 2, 3}));
+  EXPECT_EQ(r.str().value(), "omni");
+}
+
+TEST(ByteBufferTest, EmptyBlob) {
+  ByteWriter w;
+  w.blob({});
+  ByteReader r(w.bytes());
+  EXPECT_TRUE(r.blob().value().empty());
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(ByteBufferTest, TruncationIsAnErrorNotUb) {
+  Bytes wire{0x01, 0x02};
+  ByteReader r(wire);
+  EXPECT_TRUE(r.u16().is_ok());
+  EXPECT_FALSE(r.u16().is_ok());
+  EXPECT_FALSE(r.u32().is_ok());
+  EXPECT_FALSE(r.u64().is_ok());
+  EXPECT_FALSE(r.raw(1).is_ok());
+}
+
+TEST(ByteBufferTest, BlobWithLyingLengthPrefix) {
+  ByteWriter w;
+  w.u32(1000);  // claims 1000 bytes follow
+  w.u8(7);      // ...but only one does
+  ByteReader r(w.bytes());
+  EXPECT_FALSE(r.blob().is_ok());
+}
+
+TEST(ByteBufferTest, RawReadsExactly) {
+  ByteWriter w;
+  w.raw(Bytes{9, 8, 7, 6});
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.raw(2).value(), (Bytes{9, 8}));
+  EXPECT_EQ(r.remaining(), 2u);
+  EXPECT_EQ(r.raw(2).value(), (Bytes{7, 6}));
+}
+
+TEST(ByteBufferTest, ReserveConstructorDoesNotAffectContent) {
+  ByteWriter w(128);
+  EXPECT_EQ(w.size(), 0u);
+  w.u8(1);
+  EXPECT_EQ(w.size(), 1u);
+}
+
+}  // namespace
+}  // namespace omni

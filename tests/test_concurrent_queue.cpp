@@ -1,0 +1,106 @@
+// The thread-safe queue backing the Communication Technology API in
+// real-time deployments (paper §3.2: "queues that can be accessed
+// concurrently").
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/concurrent_queue.h"
+
+namespace omni {
+namespace {
+
+TEST(ConcurrentQueueTest, FifoOrder) {
+  ConcurrentQueue<int> q;
+  q.push(1);
+  q.push(2);
+  q.push(3);
+  EXPECT_EQ(q.try_pop(), 1);
+  EXPECT_EQ(q.try_pop(), 2);
+  EXPECT_EQ(q.try_pop(), 3);
+  EXPECT_EQ(q.try_pop(), std::nullopt);
+}
+
+TEST(ConcurrentQueueTest, TryPopEmpty) {
+  ConcurrentQueue<int> q;
+  EXPECT_EQ(q.try_pop(), std::nullopt);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(ConcurrentQueueTest, CloseRejectsPushesAndDrains) {
+  ConcurrentQueue<int> q;
+  q.push(1);
+  q.close();
+  EXPECT_FALSE(q.push(2));
+  EXPECT_EQ(q.pop(), 1);           // drains what was queued before close
+  EXPECT_EQ(q.pop(), std::nullopt);  // then reports closed
+}
+
+TEST(ConcurrentQueueTest, BlockingPopWakesOnPush) {
+  ConcurrentQueue<int> q;
+  std::thread producer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    q.push(7);
+  });
+  EXPECT_EQ(q.pop(), 7);  // blocks until the producer delivers
+  producer.join();
+}
+
+TEST(ConcurrentQueueTest, CloseWakesBlockedConsumers) {
+  ConcurrentQueue<int> q;
+  std::thread consumer([&] { EXPECT_EQ(q.pop(), std::nullopt); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.close();
+  consumer.join();
+}
+
+TEST(ConcurrentQueueTest, ManyProducersManyConsumersLoseNothing) {
+  ConcurrentQueue<int> q;
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 2500;
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(q.push(p * kPerProducer + i));
+      }
+    });
+  }
+
+  std::atomic<int> consumed{0};
+  std::mutex seen_mu;
+  std::set<int> seen;
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < 3; ++c) {
+    consumers.emplace_back([&] {
+      while (auto item = q.pop()) {
+        std::lock_guard lock(seen_mu);
+        seen.insert(*item);
+        ++consumed;
+      }
+    });
+  }
+
+  for (auto& t : producers) t.join();
+  q.close();
+  for (auto& t : consumers) t.join();
+
+  EXPECT_EQ(consumed.load(), kProducers * kPerProducer);
+  EXPECT_EQ(seen.size(),
+            static_cast<std::size_t>(kProducers * kPerProducer));
+}
+
+TEST(ConcurrentQueueTest, MoveOnlyPayloads) {
+  ConcurrentQueue<std::unique_ptr<int>> q;
+  q.push(std::make_unique<int>(5));
+  auto out = q.try_pop();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(**out, 5);
+}
+
+}  // namespace
+}  // namespace omni

@@ -1,0 +1,62 @@
+#include <gtest/gtest.h>
+
+#include "omni/context_registry.h"
+
+namespace omni {
+namespace {
+
+TEST(ContextRegistryTest, AddAssignsSequentialIds) {
+  ContextRegistry reg;
+  ContextId a = reg.add({}, Bytes{1}, nullptr);
+  ContextId b = reg.add({}, Bytes{2}, nullptr);
+  EXPECT_NE(a, kInvalidContext);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(reg.size(), 2u);
+}
+
+TEST(ContextRegistryTest, FindReturnsRecord) {
+  ContextRegistry reg;
+  ContextParams params;
+  params.interval = Duration::millis(250);
+  ContextId id = reg.add(params, Bytes{7, 8}, nullptr);
+  ContextRecord* rec = reg.find(id);
+  ASSERT_NE(rec, nullptr);
+  EXPECT_EQ(rec->id, id);
+  EXPECT_EQ(rec->content, (Bytes{7, 8}));
+  EXPECT_EQ(rec->params.interval, Duration::millis(250));
+  EXPECT_FALSE(rec->tech.has_value());
+  EXPECT_FALSE(rec->active);
+  EXPECT_EQ(reg.find(999), nullptr);
+}
+
+TEST(ContextRegistryTest, RemoveErases) {
+  ContextRegistry reg;
+  ContextId id = reg.add({}, Bytes{1}, nullptr);
+  EXPECT_TRUE(reg.remove(id));
+  EXPECT_EQ(reg.find(id), nullptr);
+  EXPECT_FALSE(reg.remove(id));
+}
+
+TEST(ContextRegistryTest, OnTechFiltersByAssignment) {
+  ContextRegistry reg;
+  ContextId a = reg.add({}, Bytes{1}, nullptr);
+  ContextId b = reg.add({}, Bytes{2}, nullptr);
+  ContextId c = reg.add({}, Bytes{3}, nullptr);
+  reg.find(a)->tech = Technology::kBle;
+  reg.find(b)->tech = Technology::kWifiMulticast;
+  reg.find(c)->tech = Technology::kBle;
+  auto on_ble = reg.on_tech(Technology::kBle);
+  EXPECT_EQ(on_ble.size(), 2u);
+  EXPECT_EQ(reg.on_tech(Technology::kWifiMulticast).size(), 1u);
+  EXPECT_TRUE(reg.on_tech(Technology::kWifiUnicast).empty());
+}
+
+TEST(ContextRegistryTest, IdsListsEverything) {
+  ContextRegistry reg;
+  reg.add({}, {}, nullptr);
+  reg.add({}, {}, nullptr);
+  EXPECT_EQ(reg.ids().size(), 2u);
+}
+
+}  // namespace
+}  // namespace omni

@@ -1,0 +1,117 @@
+// The scan + join + resolve ritual behind the paper's multi-second
+// State-of-the-Art/Practice interaction latencies (§4.2).
+#include <gtest/gtest.h>
+
+#include "net/discovery_ritual.h"
+#include "net/testbed.h"
+
+namespace omni::net {
+namespace {
+
+class RitualTest : public ::testing::Test {
+ protected:
+  Testbed bed{13};
+};
+
+TEST_F(RitualTest, BasicRitualTakes2793ms) {
+  auto& a = bed.add_device("a", {0, 0});
+  auto& b = bed.add_device("b", {10, 0});
+  a.wifi().set_powered(true);
+  b.wifi().set_powered(true);
+  b.wifi().join(bed.mesh(), [](Status) {});
+  bed.simulator().run_for(Duration::seconds(1));
+
+  TimePoint t0 = bed.simulator().now();
+  TimePoint done;
+  bool ok = false;
+  run_discovery_ritual(a.wifi(), bed.mesh(), RitualOptions{false},
+                       [&](Status s) {
+                         ok = s.is_ok();
+                         done = bed.simulator().now();
+                       });
+  bed.simulator().run_for(Duration::seconds(10));
+  ASSERT_TRUE(ok);
+  const auto& cal = bed.calibration();
+  Duration expected = cal.wifi_scan_duration + cal.wifi_join_duration +
+                      cal.wifi_resolve_query;
+  EXPECT_EQ(done - t0, expected);
+  EXPECT_NEAR((done - t0).as_millis(), 2793.0, 1.0);  // the paper's figure
+}
+
+TEST_F(RitualTest, AdvertWaitAdds436ms) {
+  auto& a = bed.add_device("a", {0, 0});
+  auto& b = bed.add_device("b", {10, 0});
+  a.wifi().set_powered(true);
+  b.wifi().set_powered(true);
+  b.wifi().join(bed.mesh(), [](Status) {});
+  bed.simulator().run_for(Duration::seconds(1));
+
+  TimePoint t0 = bed.simulator().now();
+  TimePoint done;
+  run_discovery_ritual(a.wifi(), bed.mesh(), RitualOptions{true},
+                       [&](Status) { done = bed.simulator().now(); });
+  bed.simulator().run_for(Duration::seconds(10));
+  EXPECT_NEAR((done - t0).as_millis(), 3229.0, 1.0);  // the paper's figure
+}
+
+TEST_F(RitualTest, FailsWhenRadioOff) {
+  auto& a = bed.add_device("a", {0, 0});
+  bool called = false;
+  run_discovery_ritual(a.wifi(), bed.mesh(), RitualOptions{false},
+                       [&](Status s) {
+                         called = true;
+                         EXPECT_FALSE(s.is_ok());
+                       });
+  EXPECT_TRUE(called);
+}
+
+TEST_F(RitualTest, FailsWhenMeshInvisible) {
+  auto& a = bed.add_device("a", {0, 0});
+  a.wifi().set_powered(true);  // nobody else in the mesh
+  Status result = Status::ok();
+  bool called = false;
+  run_discovery_ritual(a.wifi(), bed.mesh(), RitualOptions{false},
+                       [&](Status s) {
+                         called = true;
+                         result = std::move(s);
+                       });
+  bed.simulator().run_for(Duration::seconds(10));
+  EXPECT_TRUE(called);
+  EXPECT_FALSE(result.is_ok());
+}
+
+TEST_F(RitualTest, AlreadyJoinedMeshCountsAsPresent) {
+  auto& a = bed.add_device("a", {0, 0});
+  a.wifi().set_powered(true);
+  a.wifi().join(bed.mesh(), [](Status) {});
+  bed.simulator().run_for(Duration::seconds(1));
+  bool ok = false;
+  run_discovery_ritual(a.wifi(), bed.mesh(), RitualOptions{false},
+                       [&](Status s) { ok = s.is_ok(); });
+  bed.simulator().run_for(Duration::seconds(10));
+  EXPECT_TRUE(ok);
+}
+
+TEST_F(RitualTest, ChargesScanAndConnectEnergy) {
+  auto& a = bed.add_device("a", {0, 0});
+  auto& b = bed.add_device("b", {10, 0});
+  a.wifi().set_powered(true);
+  b.wifi().set_powered(true);
+  b.wifi().join(bed.mesh(), [](Status) {});
+  bed.simulator().run_for(Duration::seconds(1));
+
+  TimePoint t0 = bed.simulator().now();
+  run_discovery_ritual(a.wifi(), bed.mesh(), RitualOptions{false},
+                       [](Status) {});
+  bed.simulator().run_for(Duration::seconds(5));
+  const auto& cal = bed.calibration();
+  double mAs = a.meter().total_mAs(t0, bed.simulator().now()) -
+               cal.wifi_standby_ma *
+                   (bed.simulator().now() - t0).as_seconds();
+  double expected = cal.wifi_scan_ma * cal.wifi_scan_duration.as_seconds() +
+                    cal.wifi_connect_ma * cal.wifi_join_duration.as_seconds();
+  EXPECT_NEAR(mAs, expected, expected * 0.1);
+}
+
+}  // namespace
+}  // namespace omni::net

@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "radio/energy_meter.h"
+
+namespace omni::radio {
+namespace {
+
+TimePoint at_s(double s) {
+  return TimePoint::origin() + Duration::seconds(s);
+}
+
+TEST(EnergyMeterTest, IntervalChargeIntegrates) {
+  sim::Simulator sim;
+  EnergyMeter meter(sim);
+  meter.charge(at_s(1), at_s(3), 100.0);  // 200 mAs
+  EXPECT_DOUBLE_EQ(meter.total_mAs(at_s(0), at_s(10)), 200.0);
+  EXPECT_DOUBLE_EQ(meter.average_ma(at_s(0), at_s(10)), 20.0);
+  // Query window clips the segment.
+  EXPECT_DOUBLE_EQ(meter.total_mAs(at_s(2), at_s(10)), 100.0);
+  EXPECT_DOUBLE_EQ(meter.total_mAs(at_s(4), at_s(10)), 0.0);
+}
+
+TEST(EnergyMeterTest, OverlappingChargesAccumulate) {
+  sim::Simulator sim;
+  EnergyMeter meter(sim);
+  meter.charge(at_s(0), at_s(2), 50.0);
+  meter.charge(at_s(1), at_s(3), 50.0);
+  EXPECT_DOUBLE_EQ(meter.average_ma(at_s(1), at_s(2)), 100.0);
+}
+
+TEST(EnergyMeterTest, ZeroOrNegativeSpanChargesIgnored) {
+  sim::Simulator sim;
+  EnergyMeter meter(sim);
+  meter.charge(at_s(2), at_s(2), 100.0);
+  meter.charge(at_s(3), at_s(1), 100.0);
+  EXPECT_DOUBLE_EQ(meter.total_mAs(at_s(0), at_s(10)), 0.0);
+}
+
+TEST(EnergyMeterTest, LevelsIntegrateUntilChanged) {
+  sim::Simulator sim;
+  EnergyMeter meter(sim);
+  meter.set_level("wifi", 92.1);
+  sim.run_for(Duration::seconds(10));
+  meter.clear_level("wifi");
+  sim.run_for(Duration::seconds(10));
+  EXPECT_NEAR(meter.total_mAs(at_s(0), at_s(20)), 921.0, 1e-6);
+  EXPECT_NEAR(meter.average_ma(at_s(0), at_s(20)), 46.05, 1e-6);
+}
+
+TEST(EnergyMeterTest, LevelReplacementClosesOldSegment) {
+  sim::Simulator sim;
+  EnergyMeter meter(sim);
+  meter.set_level("ble", 7.0);
+  sim.run_for(Duration::seconds(5));
+  meter.set_level("ble", 1.0);
+  sim.run_for(Duration::seconds(5));
+  EXPECT_NEAR(meter.total_mAs(at_s(0), at_s(10)), 7 * 5 + 1 * 5, 1e-6);
+  EXPECT_DOUBLE_EQ(meter.level("ble"), 1.0);
+}
+
+TEST(EnergyMeterTest, OpenLevelIntegratedToQueryEnd) {
+  sim::Simulator sim;
+  EnergyMeter meter(sim);
+  meter.set_level("x", 10.0);
+  sim.run_for(Duration::seconds(4));
+  EXPECT_NEAR(meter.total_mAs(at_s(0), at_s(4)), 40.0, 1e-6);
+}
+
+TEST(EnergyMeterTest, LevelTotalsSumAcrossTags) {
+  sim::Simulator sim;
+  EnergyMeter meter(sim);
+  meter.set_level("a", 5.0);
+  meter.set_level("b", 7.5);
+  EXPECT_DOUBLE_EQ(meter.current_level_total(), 12.5);
+  meter.clear_level("a");
+  EXPECT_DOUBLE_EQ(meter.current_level_total(), 7.5);
+}
+
+TEST(BusyChargerTest, ChargesRequestedActiveTime) {
+  sim::Simulator sim;
+  EnergyMeter meter(sim);
+  BusyCharger charger(meter, 100.0);
+  double charged = charger.charge_active(at_s(0), at_s(10), 2.0);
+  EXPECT_DOUBLE_EQ(charged, 2.0);
+  EXPECT_DOUBLE_EQ(meter.total_mAs(at_s(0), at_s(10)), 200.0);
+}
+
+TEST(BusyChargerTest, CapsAtWallTime) {
+  sim::Simulator sim;
+  EnergyMeter meter(sim);
+  BusyCharger charger(meter, 100.0);
+  // Asking for 50 active seconds inside a 10 s window charges only 10.
+  double charged = charger.charge_active(at_s(0), at_s(10), 50.0);
+  EXPECT_DOUBLE_EQ(charged, 10.0);
+  EXPECT_DOUBLE_EQ(meter.total_mAs(at_s(0), at_s(10)), 1000.0);
+}
+
+TEST(BusyChargerTest, ConcurrentFlowsNeverDoubleCharge) {
+  sim::Simulator sim;
+  EnergyMeter meter(sim);
+  BusyCharger charger(meter, 100.0);
+  // Two "flows" each claim 8 active seconds over the same 10 s window: the
+  // watermark lets the second one charge only the 2 s remainder.
+  EXPECT_DOUBLE_EQ(charger.charge_active(at_s(0), at_s(10), 8.0), 8.0);
+  EXPECT_DOUBLE_EQ(charger.charge_active(at_s(0), at_s(10), 8.0), 2.0);
+  EXPECT_DOUBLE_EQ(meter.total_mAs(at_s(0), at_s(10)), 1000.0);
+}
+
+TEST(BusyChargerTest, DisjointWindowsAreIndependent) {
+  sim::Simulator sim;
+  EnergyMeter meter(sim);
+  BusyCharger charger(meter, 10.0);
+  charger.charge_active(at_s(0), at_s(1), 1.0);
+  charger.charge_active(at_s(5), at_s(6), 1.0);
+  EXPECT_DOUBLE_EQ(meter.total_mAs(at_s(0), at_s(10)), 20.0);
+}
+
+}  // namespace
+}  // namespace omni::radio

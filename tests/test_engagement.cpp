@@ -1,0 +1,139 @@
+// The multi-technology engagement algorithm of paper §3.3: beacon on the
+// lowest-energy context technology; engage another when an unknown peer
+// appears there; disengage once every peer there is covered by something
+// cheaper.
+#include <gtest/gtest.h>
+
+#include "net/testbed.h"
+#include "omni/omni_node.h"
+
+namespace omni {
+namespace {
+
+class EngagementTest : public ::testing::Test {
+ protected:
+  OmniNodeOptions full_options() {
+    OmniNodeOptions options;
+    options.ble = true;
+    options.wifi_unicast = true;
+    options.wifi_multicast = true;
+    return options;
+  }
+  net::Testbed bed{23};
+};
+
+TEST_F(EngagementTest, PrimaryIsLowestEnergyContextTech) {
+  auto& d = bed.add_device("a", {0, 0});
+  OmniNode node(d, bed.mesh(), full_options());
+  node.start();
+  bed.simulator().run_for(Duration::seconds(1));
+  EXPECT_TRUE(node.manager().technology_engaged(Technology::kBle));
+  EXPECT_FALSE(node.manager().technology_engaged(Technology::kWifiMulticast));
+  // Beacons flow only on BLE: exactly one advertisement (the beacon).
+  EXPECT_EQ(d.ble().active_advertisements(), 1u);
+}
+
+TEST_F(EngagementTest, WifiOnlyNodeUsesMulticastAsPrimary) {
+  auto& d = bed.add_device("a", {0, 0});
+  OmniNodeOptions options;
+  options.ble = false;
+  options.wifi_unicast = true;
+  options.wifi_multicast = true;
+  OmniNode node(d, bed.mesh(), options);
+  node.start();
+  bed.simulator().run_for(Duration::seconds(1));
+  EXPECT_TRUE(node.manager().technology_engaged(Technology::kWifiMulticast));
+}
+
+TEST_F(EngagementTest, UnknownPeerOnMulticastTriggersEngagement) {
+  // Device A has BLE + multicast; device B is WiFi-only (no BLE), so A can
+  // only hear it via multicast. A must engage multicast to cover B.
+  auto& da = bed.add_device("a", {0, 0});
+  auto& db = bed.add_device("b", {10, 0});
+  OmniNode a(da, bed.mesh(), full_options());
+  OmniNodeOptions b_options;
+  b_options.ble = false;
+  b_options.wifi_unicast = true;
+  b_options.wifi_multicast = true;
+  OmniNode b(db, bed.mesh(), b_options);
+
+  a.start();
+  b.start();
+  // A's multicast probe window (every 5 s) must eventually catch one of B's
+  // 500 ms beacons and engage.
+  bed.simulator().run_for(Duration::seconds(12));
+  EXPECT_TRUE(a.manager().technology_engaged(Technology::kWifiMulticast));
+  EXPECT_GE(a.manager().stats().engagements, 1u);
+  // And B, hearing A on multicast only, keeps its primary engaged.
+  ASSERT_NE(a.manager().peer_table().find(b.address()), nullptr);
+  // Bidirectional discovery: B now knows A too (via A's engaged beacons).
+  bed.simulator().run_for(Duration::seconds(6));
+  EXPECT_NE(b.manager().peer_table().find(a.address()), nullptr);
+}
+
+TEST_F(EngagementTest, DisengagesWhenPeerCoveredByLowerEnergy) {
+  // Both devices have BLE + multicast. If A somehow engaged multicast, the
+  // maintenance tick must disengage it because B is reachable via BLE.
+  auto& da = bed.add_device("a", {0, 0});
+  auto& db = bed.add_device("b", {10, 0});
+  OmniNode a(da, bed.mesh(), full_options());
+  OmniNode b(db, bed.mesh(), full_options());
+  a.start();
+  b.start();
+  bed.simulator().run_for(Duration::seconds(2));
+
+  // Force-engage multicast on A.
+  a.wifi_multicast_tech()->set_engaged(true);
+  ASSERT_TRUE(a.manager().technology_engaged(Technology::kWifiMulticast));
+  // B is heard on BLE, so the next maintenance tick disengages multicast.
+  bed.simulator().run_for(Duration::seconds(12));
+  EXPECT_FALSE(a.manager().technology_engaged(Technology::kWifiMulticast));
+}
+
+TEST_F(EngagementTest, AblationDisabledEngagementBeaconsEverywhere) {
+  auto& d = bed.add_device("a", {0, 0});
+  OmniNodeOptions options = full_options();
+  options.manager.enable_engagement = false;
+  OmniNode node(d, bed.mesh(), options);
+  node.start();
+  bed.simulator().run_for(Duration::seconds(1));
+  // ubiSOAP-style: every context technology carries beacons.
+  EXPECT_TRUE(node.manager().technology_engaged(Technology::kBle));
+  EXPECT_TRUE(node.manager().technology_engaged(Technology::kWifiMulticast));
+}
+
+TEST_F(EngagementTest, EngagementCostsShowUpInEnergy) {
+  // A BLE-covered pair with engagement spends far less on WiFi than the
+  // same pair with engagement disabled (always-multicast).
+  double energy[2];
+  for (int variant = 0; variant < 2; ++variant) {
+    net::Testbed local_bed(29);
+    auto& da = local_bed.add_device("a", {0, 0});
+    auto& db = local_bed.add_device("b", {10, 0});
+    OmniNodeOptions options;
+    options.ble = true;
+    options.wifi_unicast = true;
+    options.wifi_multicast = true;
+    options.manager.enable_engagement = variant == 0;
+    OmniNode a(da, local_bed.mesh(), options);
+    OmniNode b(db, local_bed.mesh(), options);
+    a.start();
+    b.start();
+    local_bed.simulator().run_for(Duration::seconds(30));
+    energy[variant] = da.meter().average_ma(TimePoint::origin(),
+                                            local_bed.simulator().now());
+  }
+  EXPECT_LT(energy[0] + 5.0, energy[1])
+      << "engagement-enabled run should be clearly cheaper";
+}
+
+TEST_F(EngagementTest, PrimaryNeverDisengages) {
+  auto& d = bed.add_device("a", {0, 0});
+  OmniNode node(d, bed.mesh(), full_options());
+  node.start();
+  bed.simulator().run_for(Duration::seconds(30));  // many maintenance ticks
+  EXPECT_TRUE(node.manager().technology_engaged(Technology::kBle));
+}
+
+}  // namespace
+}  // namespace omni

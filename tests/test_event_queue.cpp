@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.h"
+
+namespace omni::sim {
+namespace {
+
+TimePoint at_ms(std::int64_t ms) {
+  return TimePoint::origin() + Duration::millis(ms);
+}
+
+TEST(EventQueueTest, FiresInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(at_ms(30), [&] { order.push_back(3); });
+  q.schedule(at_ms(10), [&] { order.push_back(1); });
+  q.schedule(at_ms(20), [&] { order.push_back(2); });
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, SameInstantFiresInScheduleOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule(at_ms(5), [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.pop().fn();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueueTest, CancelPreventsExecution) {
+  EventQueue q;
+  bool ran = false;
+  EventHandle h = q.schedule(at_ms(1), [&] { ran = true; });
+  EXPECT_TRUE(h.pending());
+  h.cancel();
+  EXPECT_FALSE(h.pending());
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventQueueTest, CancelledEventsSkippedOnPop) {
+  EventQueue q;
+  std::vector<int> order;
+  auto h1 = q.schedule(at_ms(1), [&] { order.push_back(1); });
+  q.schedule(at_ms(2), [&] { order.push_back(2); });
+  h1.cancel();
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_EQ(q.next_time(), at_ms(2));
+  q.pop().fn();
+  EXPECT_EQ(order, (std::vector<int>{2}));
+}
+
+TEST(EventQueueTest, PopConsumesHandle) {
+  EventQueue q;
+  EventHandle h = q.schedule(at_ms(1), [] {});
+  auto popped = q.pop();
+  EXPECT_FALSE(h.pending());  // consumed, not cancellable anymore
+  popped.fn();
+}
+
+TEST(EventQueueTest, NextTimeOnEmptyIsMax) {
+  EventQueue q;
+  EXPECT_EQ(q.next_time(), TimePoint::max());
+}
+
+TEST(EventQueueTest, DefaultHandleIsInert) {
+  EventHandle h;
+  EXPECT_FALSE(h.pending());
+  h.cancel();  // no-op, no crash
+}
+
+TEST(EventQueueTest, CancelTwiceIsSafe) {
+  EventQueue q;
+  auto h = q.schedule(at_ms(1), [] {});
+  h.cancel();
+  h.cancel();
+  EXPECT_TRUE(q.empty());
+}
+
+}  // namespace
+}  // namespace omni::sim

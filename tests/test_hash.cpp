@@ -1,0 +1,60 @@
+#include <gtest/gtest.h>
+
+#include "common/hash.h"
+
+namespace omni {
+namespace {
+
+TEST(HashTest, Fnv1aKnownValues) {
+  // Standard FNV-1a test vectors.
+  EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ull);
+  EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cull);
+  EXPECT_EQ(fnv1a64("foobar"), 0x85944171f73967e8ull);
+}
+
+TEST(HashTest, SeedChaining) {
+  std::uint8_t data[] = {1, 2, 3};
+  std::uint64_t h1 = fnv1a64(std::span<const std::uint8_t>(data, 3));
+  std::uint64_t h2 =
+      fnv1a64(std::span<const std::uint8_t>(data, 2));
+  std::uint64_t h3 = fnv1a64(std::span<const std::uint8_t>(data + 2, 1), h2);
+  EXPECT_EQ(h1, h3);
+}
+
+TEST(HashTest, OmniAddressIsDeterministic) {
+  BleAddress ble = BleAddress::from_node(5);
+  MeshAddress mesh = MeshAddress::from_node(5);
+  EXPECT_EQ(derive_omni_address(ble, mesh), derive_omni_address(ble, mesh));
+}
+
+TEST(HashTest, OmniAddressDistinctAcrossDevices) {
+  auto a = derive_omni_address(BleAddress::from_node(1),
+                               MeshAddress::from_node(1));
+  auto b = derive_omni_address(BleAddress::from_node(2),
+                               MeshAddress::from_node(2));
+  EXPECT_NE(a, b);
+  EXPECT_TRUE(a.is_valid());
+  EXPECT_TRUE(b.is_valid());
+}
+
+TEST(HashTest, OmniAddressDependsOnBothInterfaces) {
+  auto base = derive_omni_address(BleAddress::from_node(1),
+                                  MeshAddress::from_node(1));
+  auto ble_changed = derive_omni_address(BleAddress::from_node(2),
+                                         MeshAddress::from_node(1));
+  auto mesh_changed = derive_omni_address(BleAddress::from_node(1),
+                                          MeshAddress::from_node(2));
+  EXPECT_NE(base, ble_changed);
+  EXPECT_NE(base, mesh_changed);
+}
+
+TEST(HashTest, AddressFormatting) {
+  EXPECT_EQ(BleAddress::from_node(0x010203).to_string(),
+            "02:b1:ee:01:02:03");
+  OmniAddress addr{0xABCDull};
+  EXPECT_EQ(addr.to_string(), "omni:000000000000abcd");
+  EXPECT_EQ(MeshAddress{0}.to_string(), "mesh:000000000000");
+}
+
+}  // namespace
+}  // namespace omni

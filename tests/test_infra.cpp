@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include "net/infra.h"
+#include "net/testbed.h"
+
+namespace omni::net {
+namespace {
+
+class InfraTest : public ::testing::Test {
+ protected:
+  InfraTest() : infra(bed.simulator(), bed.calibration()) {}
+  Testbed bed{6};
+  InfraNetwork infra;
+};
+
+TEST_F(InfraTest, DownloadTimeMatchesRateExactly) {
+  auto& dev = bed.add_device("a", {0, 0});
+  dev.wifi().set_powered(true);
+  TimePoint done;
+  ASSERT_TRUE(infra.fetch_chunk(dev.wifi(), 0, 1'000'000, 100e3,
+                                [&](std::uint64_t) {
+                                  done = bed.simulator().now();
+                                })
+                  .is_ok());
+  bed.simulator().run_for(Duration::seconds(30));
+  EXPECT_DOUBLE_EQ((done - TimePoint::origin()).as_seconds(), 10.0);
+}
+
+TEST_F(InfraTest, ChunksServedFifoPerDevice) {
+  auto& dev = bed.add_device("a", {0, 0});
+  dev.wifi().set_powered(true);
+  std::vector<std::uint64_t> order;
+  for (std::uint64_t id = 0; id < 3; ++id) {
+    infra.fetch_chunk(dev.wifi(), id, 100'000, 100e3,
+                      [&](std::uint64_t done_id) { order.push_back(done_id); });
+  }
+  EXPECT_EQ(infra.pending_count(dev.wifi()), 2u);  // one in flight
+  bed.simulator().run_for(Duration::seconds(10));
+  EXPECT_EQ(order, (std::vector<std::uint64_t>{0, 1, 2}));
+}
+
+TEST_F(InfraTest, DevicesHaveIndependentPipes) {
+  auto& a = bed.add_device("a", {0, 0});
+  auto& b = bed.add_device("b", {10, 0});
+  a.wifi().set_powered(true);
+  b.wifi().set_powered(true);
+  TimePoint a_done, b_done;
+  infra.fetch_chunk(a.wifi(), 0, 500'000, 100e3,
+                    [&](std::uint64_t) { a_done = bed.simulator().now(); });
+  infra.fetch_chunk(b.wifi(), 0, 500'000, 100e3,
+                    [&](std::uint64_t) { b_done = bed.simulator().now(); });
+  bed.simulator().run_for(Duration::seconds(10));
+  // Both finish in 5 s: no sharing between pipes.
+  EXPECT_DOUBLE_EQ((a_done - TimePoint::origin()).as_seconds(), 5.0);
+  EXPECT_DOUBLE_EQ((b_done - TimePoint::origin()).as_seconds(), 5.0);
+}
+
+TEST_F(InfraTest, CancelPendingKeepsInFlight) {
+  auto& dev = bed.add_device("a", {0, 0});
+  dev.wifi().set_powered(true);
+  int completed = 0;
+  for (std::uint64_t id = 0; id < 5; ++id) {
+    infra.fetch_chunk(dev.wifi(), id, 100'000, 100e3,
+                      [&](std::uint64_t) { ++completed; });
+  }
+  EXPECT_EQ(infra.cancel_pending(dev.wifi()), 4u);
+  bed.simulator().run_for(Duration::seconds(30));
+  EXPECT_EQ(completed, 1);  // the in-flight chunk still lands
+}
+
+TEST_F(InfraTest, RequiresPoweredRadio) {
+  auto& dev = bed.add_device("a", {0, 0});
+  EXPECT_FALSE(
+      infra.fetch_chunk(dev.wifi(), 0, 1000, 100e3, nullptr).is_ok());
+}
+
+TEST_F(InfraTest, LowRateDownloadChargesStreamDuty) {
+  auto& dev = bed.add_device("a", {0, 0});
+  dev.wifi().set_powered(true);
+  infra.fetch_chunk(dev.wifi(), 0, 1'000'000, 100e3, nullptr);
+  bed.simulator().run_for(Duration::seconds(10));
+  const auto& cal = bed.calibration();
+  double avg = dev.meter().average_ma(TimePoint::origin(),
+                                      bed.simulator().now()) -
+               cal.wifi_standby_ma;
+  // ~stream_duty of receive current plus a little airtime.
+  double expected = cal.wifi_receive_ma * cal.wifi_stream_duty;
+  EXPECT_NEAR(avg, expected, expected * 0.2);
+}
+
+}  // namespace
+}  // namespace omni::net

@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "net/link_frame.h"
+
+namespace omni {
+namespace {
+
+TEST(LinkFrameTest, BroadcastRoundTripBle) {
+  Bytes packed{1, 2, 3};
+  Bytes frame = frame_broadcast(packed);
+  EXPECT_EQ(frame.size(), packed.size() + 1);
+  auto out = unframe_ble(frame, BleAddress::from_node(1));
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, packed);
+}
+
+TEST(LinkFrameTest, UnicastBleOnlyReachesAddressee) {
+  BleAddress me = BleAddress::from_node(1);
+  BleAddress other = BleAddress::from_node(2);
+  Bytes frame = frame_unicast_ble(me, Bytes{7});
+  EXPECT_TRUE(unframe_ble(frame, me).has_value());
+  EXPECT_FALSE(unframe_ble(frame, other).has_value());
+  EXPECT_EQ(*unframe_ble(frame, me), (Bytes{7}));
+}
+
+TEST(LinkFrameTest, UnicastMeshOnlyReachesAddressee) {
+  MeshAddress me = MeshAddress::from_node(1);
+  MeshAddress other = MeshAddress::from_node(2);
+  Bytes frame = frame_unicast_mesh(me, Bytes{7, 8});
+  EXPECT_TRUE(unframe_mesh(frame, me).has_value());
+  EXPECT_FALSE(unframe_mesh(frame, other).has_value());
+  EXPECT_EQ(*unframe_mesh(frame, me), (Bytes{7, 8}));
+}
+
+TEST(LinkFrameTest, BroadcastDataFramePassesUnframing) {
+  Bytes frame = frame_broadcast_data(Bytes{4, 5});
+  EXPECT_EQ(frame[0], kFrameBroadcastData);
+  auto out = unframe_mesh(frame, MeshAddress::from_node(1));
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, (Bytes{4, 5}));
+}
+
+TEST(LinkFrameTest, MalformedFramesRejected) {
+  EXPECT_FALSE(unframe_ble(Bytes{}, BleAddress::from_node(1)).has_value());
+  EXPECT_FALSE(unframe_mesh(Bytes{}, MeshAddress::from_node(1)).has_value());
+  // Unicast frame too short to carry the address.
+  EXPECT_FALSE(
+      unframe_ble(Bytes{kFrameUnicast, 1, 2}, BleAddress::from_node(1))
+          .has_value());
+  EXPECT_FALSE(
+      unframe_mesh(Bytes{kFrameUnicast, 1, 2, 3}, MeshAddress::from_node(1))
+          .has_value());
+  // Unknown frame type.
+  EXPECT_FALSE(
+      unframe_ble(Bytes{0x7F, 1, 2}, BleAddress::from_node(1)).has_value());
+}
+
+TEST(LinkFrameTest, AggregateRoundTrip) {
+  std::vector<Bytes> inner{{1, 2}, {}, {3, 4, 5}};
+  Bytes frame = frame_aggregate(inner);
+  EXPECT_EQ(frame[0], kFrameAggregate);
+  auto out = unframe_aggregate(frame);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0], (Bytes{1, 2}));
+  EXPECT_TRUE(out[1].empty());
+  EXPECT_EQ(out[2], (Bytes{3, 4, 5}));
+}
+
+TEST(LinkFrameTest, AggregateOfNothing) {
+  Bytes frame = frame_aggregate({});
+  EXPECT_TRUE(unframe_aggregate(frame).empty());
+}
+
+TEST(LinkFrameTest, TruncatedAggregateRejectedWholesale) {
+  Bytes frame = frame_aggregate({{1, 2, 3}});
+  frame.pop_back();
+  EXPECT_TRUE(unframe_aggregate(frame).empty());
+}
+
+TEST(LinkFrameTest, NonAggregateRejectedByAggregateParser) {
+  EXPECT_TRUE(unframe_aggregate(frame_broadcast(Bytes{1})).empty());
+  EXPECT_TRUE(unframe_aggregate(Bytes{}).empty());
+}
+
+}  // namespace
+}  // namespace omni

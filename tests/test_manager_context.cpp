@@ -1,0 +1,176 @@
+// Omni Manager context handling: technology selection by payload size,
+// failover when a technology dies, and the full status-callback contract of
+// paper Tables 1 & 2.
+#include <gtest/gtest.h>
+
+#include "net/testbed.h"
+#include "omni/omni_node.h"
+
+namespace omni {
+namespace {
+
+class ManagerContextTest : public ::testing::Test {
+ protected:
+  OmniNodeOptions full_options() {
+    OmniNodeOptions options;
+    options.ble = true;
+    options.wifi_unicast = true;
+    options.wifi_multicast = true;
+    return options;
+  }
+  net::Testbed bed{31};
+};
+
+TEST_F(ManagerContextTest, SmallContextRidesBle) {
+  auto& a = bed.add_device("a", {0, 0});
+  OmniNode node(a, bed.mesh(), full_options());
+  node.start();
+  ContextId id = kInvalidContext;
+  node.manager().add_context(
+      ContextParams{}, Bytes(10, 1),
+      [&](StatusCode code, const ResponseInfo& info) {
+        ASSERT_EQ(code, StatusCode::kAddContextSuccess);
+        id = info.context_id;
+      });
+  bed.simulator().run_for(Duration::seconds(1));
+  ASSERT_NE(id, kInvalidContext);
+  // The BLE radio now carries two advertisements: the address beacon and
+  // the application context.
+  EXPECT_EQ(a.ble().active_advertisements(), 2u);
+}
+
+TEST_F(ManagerContextTest, OversizedContextFallsToMulticast) {
+  auto& a = bed.add_device("a", {0, 0});
+  OmniNode node(a, bed.mesh(), full_options());
+  node.start();
+  bool ok = false;
+  // 100 bytes exceed a legacy BLE advertisement; multicast absorbs it.
+  node.manager().add_context(ContextParams{}, Bytes(100, 1),
+                             [&](StatusCode code, const ResponseInfo&) {
+                               ok = code == StatusCode::kAddContextSuccess;
+                             });
+  bed.simulator().run_for(Duration::seconds(2));
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(a.ble().active_advertisements(), 1u);  // only the beacon
+}
+
+TEST_F(ManagerContextTest, HugeContextFailsWithoutMulticast) {
+  auto& a = bed.add_device("a", {0, 0});
+  OmniNodeOptions options;  // ble + wifi_unicast only
+  OmniNode node(a, bed.mesh(), options);
+  node.start();
+  StatusCode code = StatusCode::kAddContextSuccess;
+  std::string why;
+  node.manager().add_context(ContextParams{}, Bytes(100, 1),
+                             [&](StatusCode c, const ResponseInfo& info) {
+                               code = c;
+                               why = info.failure_description;
+                             });
+  bed.simulator().run_for(Duration::seconds(1));
+  EXPECT_EQ(code, StatusCode::kAddContextFailure);
+  EXPECT_FALSE(why.empty());
+}
+
+TEST_F(ManagerContextTest, InvalidIntervalRejected) {
+  auto& a = bed.add_device("a", {0, 0});
+  OmniNode node(a, bed.mesh());
+  node.start();
+  StatusCode code = StatusCode::kAddContextSuccess;
+  node.manager().add_context(ContextParams{Duration::zero()}, Bytes{1},
+                             [&](StatusCode c, const ResponseInfo&) {
+                               code = c;
+                             });
+  bed.simulator().run_for(Duration::seconds(1));
+  EXPECT_EQ(code, StatusCode::kAddContextFailure);
+}
+
+TEST_F(ManagerContextTest, UpdateUnknownIdFails) {
+  auto& a = bed.add_device("a", {0, 0});
+  OmniNode node(a, bed.mesh());
+  node.start();
+  StatusCode code = StatusCode::kUpdateContextSuccess;
+  node.manager().update_context(1234, ContextParams{}, Bytes{1},
+                                [&](StatusCode c, const ResponseInfo&) {
+                                  code = c;
+                                });
+  bed.simulator().run_for(Duration::seconds(1));
+  EXPECT_EQ(code, StatusCode::kUpdateContextFailure);
+}
+
+TEST_F(ManagerContextTest, RemoveUnknownIdFails) {
+  auto& a = bed.add_device("a", {0, 0});
+  OmniNode node(a, bed.mesh());
+  node.start();
+  StatusCode code = StatusCode::kRemoveContextSuccess;
+  node.manager().remove_context(77, [&](StatusCode c, const ResponseInfo&) {
+    code = c;
+  });
+  bed.simulator().run_for(Duration::seconds(1));
+  EXPECT_EQ(code, StatusCode::kRemoveContextFailure);
+}
+
+TEST_F(ManagerContextTest, UpdateGrowingPayloadRehomesToMulticast) {
+  auto& a = bed.add_device("a", {0, 0});
+  auto& b = bed.add_device("b", {10, 0});
+  OmniNode node(a, bed.mesh(), full_options());
+  OmniNode peer(b, bed.mesh(), full_options());
+
+  std::vector<Bytes> received;
+  peer.manager().request_context(
+      [&](const OmniAddress&, const Bytes& context) {
+        received.push_back(context);
+      });
+  node.start();
+  peer.start();
+
+  ContextId id = kInvalidContext;
+  node.manager().add_context(ContextParams{}, Bytes(10, 0xAA),
+                             [&](StatusCode, const ResponseInfo& info) {
+                               id = info.context_id;
+                             });
+  bed.simulator().run_for(Duration::seconds(2));
+  ASSERT_NE(id, kInvalidContext);
+  EXPECT_EQ(a.ble().active_advertisements(), 2u);
+
+  // Growing the payload beyond the BLE limit forces a re-home.
+  node.manager().update_context(id, ContextParams{}, Bytes(200, 0xBB),
+                                nullptr);
+  bed.simulator().run_for(Duration::seconds(1));
+  EXPECT_EQ(a.ble().active_advertisements(), 1u);  // context left BLE
+  // The peer probe-listens on multicast (its BLE coverage means it never
+  // engages continuously), so delivery continues at probe cadence rather
+  // than at the 500 ms beacon rate. Run past a probe window.
+  bed.simulator().run_for(Duration::seconds(12));
+  ASSERT_FALSE(received.empty());
+  EXPECT_EQ(received.back().size(), 200u);  // still delivered (via WiFi)
+}
+
+TEST_F(ManagerContextTest, ContextFailsOverWhenCarrierDies) {
+  auto& a = bed.add_device("a", {0, 0});
+  auto& b = bed.add_device("b", {10, 0});
+  OmniNode node(a, bed.mesh(), full_options());
+  OmniNode peer(b, bed.mesh(), full_options());
+  std::vector<Bytes> received;
+  peer.manager().request_context(
+      [&](const OmniAddress&, const Bytes& c) { received.push_back(c); });
+  node.start();
+  peer.start();
+
+  node.manager().add_context(ContextParams{}, Bytes{0x11}, nullptr);
+  bed.simulator().run_for(Duration::seconds(3));
+  ASSERT_FALSE(received.empty());
+
+  // BLE dies on the sender: the manager re-homes both the beacon and the
+  // context to multicast, and delivery continues.
+  received.clear();
+  a.ble().set_powered(false);
+  // The technology notices on its next operation; give the response and
+  // re-dispatch time to propagate.
+  bed.simulator().run_for(Duration::seconds(12));
+  EXPECT_FALSE(received.empty())
+      << "context should keep flowing via WiFi multicast";
+  EXPECT_GE(node.manager().stats().context_failovers, 1u);
+}
+
+}  // namespace
+}  // namespace omni

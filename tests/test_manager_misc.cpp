@@ -1,0 +1,119 @@
+// Manager odds and ends: graceful Developer-API behavior after stop(),
+// beacon-info integrity with a NAN slot present, and multi-mesh WiFi
+// environments.
+#include <gtest/gtest.h>
+
+#include "net/testbed.h"
+#include "omni/omni_node.h"
+
+namespace omni {
+namespace {
+
+TEST(ManagerStoppedTest, DeveloperApiFailsGracefullyAfterStop) {
+  net::Testbed bed(701);
+  auto& d = bed.add_device("a", {0, 0});
+  OmniNode node(d, bed.mesh());
+  node.start();
+  ContextId ctx = kInvalidContext;
+  node.manager().add_context(ContextParams{}, Bytes{1},
+                             [&](StatusCode, const ResponseInfo& info) {
+                               ctx = info.context_id;
+                             });
+  bed.simulator().run_for(Duration::seconds(1));
+  ASSERT_NE(ctx, kInvalidContext);
+  node.stop();
+
+  std::vector<StatusCode> codes;
+  auto record = [&](StatusCode code, const ResponseInfo&) {
+    codes.push_back(code);
+  };
+  node.manager().add_context(ContextParams{}, Bytes{2}, record);
+  node.manager().update_context(ctx, ContextParams{}, Bytes{3}, record);
+  node.manager().remove_context(ctx, record);
+  node.manager().send_data({OmniAddress{0x9}}, Bytes{4}, record);
+  bed.simulator().run_for(Duration::seconds(1));
+
+  ASSERT_EQ(codes.size(), 4u);
+  EXPECT_EQ(codes[0], StatusCode::kAddContextFailure);
+  EXPECT_EQ(codes[1], StatusCode::kUpdateContextFailure);
+  EXPECT_EQ(codes[2], StatusCode::kRemoveContextSuccess);  // cleanup path
+  EXPECT_EQ(codes[3], StatusCode::kSendDataFailure);
+}
+
+TEST(ManagerBeaconInfoTest, NanAddressDoesNotClobberMeshAddress) {
+  net::Testbed bed(702);
+  auto& d = bed.add_device("a", {0, 0});
+  OmniNodeOptions options;
+  options.ble = true;
+  options.wifi_unicast = true;
+  options.wifi_aware = true;
+  OmniNode node(d, bed.mesh(), options);
+  node.start();
+  // The address beacon must carry the MESH address in its mesh slot even
+  // though the NAN plugin also registered (with a different MAC).
+  EXPECT_EQ(node.manager().beacon_info().mesh, d.wifi().address());
+  EXPECT_EQ(node.manager().beacon_info().ble, d.ble().address());
+}
+
+TEST(ManagerBeaconInfoTest, BeaconOmitsAbsentTechnologies) {
+  net::Testbed bed(703);
+  auto& d = bed.add_device("a", {0, 0});
+  OmniNodeOptions options;
+  options.ble = true;
+  options.wifi_unicast = false;
+  options.wifi_multicast = false;
+  options.wifi_standby = false;
+  OmniNode node(d, bed.mesh(), options);
+  node.start();
+  EXPECT_TRUE(node.manager().beacon_info().mesh.is_zero());
+  EXPECT_FALSE(node.manager().beacon_info().ble.is_zero());
+}
+
+TEST(MultiMeshTest, ScanSeesOnlyNearbyMeshes) {
+  net::Testbed bed(704);
+  auto& far_mesh = bed.wifi_system().create_mesh("far-mesh");
+  auto& a = bed.add_device("a", {0, 0});
+  auto& b = bed.add_device("b", {50, 0});
+  auto& c = bed.add_device("c", {5000, 0});
+  for (auto* dev : {&a, &b, &c}) dev->wifi().set_powered(true);
+  b.wifi().join(bed.mesh(), [](Status) {});
+  c.wifi().join(far_mesh, [](Status) {});
+  bed.simulator().run_for(Duration::seconds(1));
+
+  std::vector<radio::MeshNetwork*> found;
+  a.wifi().scan([&](std::vector<radio::MeshNetwork*> meshes) {
+    found = std::move(meshes);
+  });
+  bed.simulator().run_for(Duration::seconds(5));
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0], &bed.mesh());
+}
+
+TEST(MultiMeshTest, FlowsAreScopedToOneMesh) {
+  net::Testbed bed(705);
+  auto& other = bed.wifi_system().create_mesh("other");
+  auto& a = bed.add_device("a", {0, 0});
+  auto& b = bed.add_device("b", {10, 0});
+  a.wifi().set_powered(true);
+  b.wifi().set_powered(true);
+  a.wifi().join(bed.mesh(), [](Status) {});
+  b.wifi().join(other, [](Status) {});
+  bed.simulator().run_for(Duration::seconds(1));
+  // b is not a member of a's mesh: the flow cannot even be addressed.
+  auto flow = bed.mesh().open_flow(a.wifi(), b.wifi().address(), 1000,
+                                   nullptr);
+  EXPECT_FALSE(flow.is_ok());
+}
+
+TEST(MultiMeshTest, IndependentCapacities) {
+  net::Testbed bed(706);
+  auto& other = bed.wifi_system().create_mesh("other");
+  double c1 = bed.mesh().effective_capacity_Bps();
+  auto load = bed.mesh().register_periodic_multicast(Duration::millis(100));
+  EXPECT_LT(bed.mesh().effective_capacity_Bps(), c1);
+  EXPECT_DOUBLE_EQ(other.effective_capacity_Bps(), c1);
+  bed.mesh().unregister_periodic_multicast(load);
+}
+
+}  // namespace
+}  // namespace omni

@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "omni/packed_struct.h"
+
+namespace omni {
+namespace {
+
+TEST(PackedStructTest, AddressBeaconIs23Bytes) {
+  // Paper §3.3: 1 type byte + 8 omni_address + 14 payload (8 mesh + 6 BLE).
+  AddressBeaconInfo info{MeshAddress::from_node(1), BleAddress::from_node(1)};
+  PackedStruct p = PackedStruct::address_beacon(OmniAddress{0x42}, info);
+  EXPECT_EQ(p.encoded_size(), 23u);
+  EXPECT_EQ(p.encode().size(), 23u);
+}
+
+TEST(PackedStructTest, AddressBeaconRoundTrip) {
+  AddressBeaconInfo info{MeshAddress::from_node(7), BleAddress::from_node(7)};
+  PackedStruct p = PackedStruct::address_beacon(OmniAddress{0xABCD}, info);
+  auto decoded = PackedStruct::decode(p.encode());
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_EQ(decoded.value(), p);
+  EXPECT_EQ(decoded.value().beacon.mesh, MeshAddress::from_node(7));
+  EXPECT_EQ(decoded.value().beacon.ble, BleAddress::from_node(7));
+}
+
+TEST(PackedStructTest, ContextRoundTrip) {
+  PackedStruct p = PackedStruct::context(OmniAddress{1}, Bytes{9, 8, 7});
+  auto decoded = PackedStruct::decode(p.encode());
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_EQ(decoded.value().kind, PacketKind::kContext);
+  EXPECT_EQ(decoded.value().source, OmniAddress{1});
+  EXPECT_EQ(decoded.value().payload, (Bytes{9, 8, 7}));
+}
+
+TEST(PackedStructTest, DataRoundTripEmptyPayload) {
+  PackedStruct p = PackedStruct::data(OmniAddress{2}, {});
+  auto decoded = PackedStruct::decode(p.encode());
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_EQ(decoded.value().kind, PacketKind::kData);
+  EXPECT_TRUE(decoded.value().payload.empty());
+}
+
+TEST(PackedStructTest, FirstByteIsKind) {
+  EXPECT_EQ(PackedStruct::context(OmniAddress{1}, {}).encode()[0], 1);
+  EXPECT_EQ(PackedStruct::data(OmniAddress{1}, {}).encode()[0], 2);
+  EXPECT_EQ(PackedStruct::address_beacon(OmniAddress{1}, {}).encode()[0], 0);
+}
+
+TEST(PackedStructTest, RejectsUnknownKind) {
+  Bytes wire = PackedStruct::context(OmniAddress{1}, Bytes{1}).encode();
+  wire[0] = 9;
+  EXPECT_FALSE(PackedStruct::decode(wire).is_ok());
+}
+
+TEST(PackedStructTest, RejectsZeroSourceAddress) {
+  ByteWriter w;
+  w.u8(1);
+  w.u64(0);
+  EXPECT_FALSE(PackedStruct::decode(w.bytes()).is_ok());
+}
+
+TEST(PackedStructTest, RejectsTruncatedHeader) {
+  EXPECT_FALSE(PackedStruct::decode(Bytes{}).is_ok());
+  EXPECT_FALSE(PackedStruct::decode(Bytes{1, 2, 3}).is_ok());
+}
+
+TEST(PackedStructTest, RejectsMalformedBeacon) {
+  Bytes wire = PackedStruct::address_beacon(
+                   OmniAddress{5},
+                   {MeshAddress::from_node(1), BleAddress::from_node(1)})
+                   .encode();
+  Bytes truncated(wire.begin(), wire.end() - 3);
+  EXPECT_FALSE(PackedStruct::decode(truncated).is_ok());
+  Bytes padded = wire;
+  padded.push_back(0);
+  EXPECT_FALSE(PackedStruct::decode(padded).is_ok());
+}
+
+// Property check: arbitrary payload bytes survive a round trip unchanged.
+class PackedStructPayloadSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(PackedStructPayloadSweep, RandomPayloadRoundTrip) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  std::size_t size = static_cast<std::size_t>(rng.uniform_int(0, 4096));
+  Bytes payload(size);
+  for (auto& b : payload) {
+    b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+  }
+  OmniAddress src{static_cast<std::uint64_t>(rng.uniform_int(1, INT64_MAX))};
+  PackedStruct p = (GetParam() % 2 == 0)
+                       ? PackedStruct::context(src, payload)
+                       : PackedStruct::data(src, payload);
+  auto decoded = PackedStruct::decode(p.encode());
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_EQ(decoded.value(), p);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PackedStructPayloadSweep,
+                         ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace omni

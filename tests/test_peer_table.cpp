@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include "omni/peer_table.h"
+
+namespace omni {
+namespace {
+
+TimePoint at_s(double s) {
+  return TimePoint::origin() + Duration::seconds(s);
+}
+
+const OmniAddress kPeer{0x1111};
+const Duration kTtl = Duration::seconds(10);
+
+TEST(PeerTableTest, ObserveAndFind) {
+  PeerTable table;
+  table.observe(kPeer, Technology::kBle,
+                LowLevelAddress{BleAddress::from_node(1)}, at_s(0), false);
+  const PeerEntry* entry = table.find(kPeer);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_TRUE(entry->reachable_on(Technology::kBle));
+  EXPECT_FALSE(entry->reachable_on(Technology::kWifiUnicast));
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(PeerTableTest, IgnoresInvalidInput) {
+  PeerTable table;
+  table.observe(OmniAddress{0}, Technology::kBle,
+                LowLevelAddress{BleAddress::from_node(1)}, at_s(0), false);
+  table.observe(kPeer, Technology::kBle, LowLevelAddress{}, at_s(0), false);
+  EXPECT_TRUE(table.empty());
+}
+
+TEST(PeerTableTest, FreshnessOnlyUpgrades) {
+  PeerTable table;
+  LowLevelAddress mesh{MeshAddress::from_node(1)};
+  // First heard via multicast: requires refresh.
+  table.observe(kPeer, Technology::kWifiUnicast, mesh, at_s(0), true);
+  EXPECT_TRUE(
+      table.find(kPeer)->techs.at(Technology::kWifiUnicast).requires_refresh);
+  // Then proven fresh.
+  table.observe(kPeer, Technology::kWifiUnicast, mesh, at_s(1), false);
+  EXPECT_FALSE(
+      table.find(kPeer)->techs.at(Technology::kWifiUnicast).requires_refresh);
+  // A later multicast sighting does not mark it stale again.
+  table.observe(kPeer, Technology::kWifiUnicast, mesh, at_s(2), true);
+  EXPECT_FALSE(
+      table.find(kPeer)->techs.at(Technology::kWifiUnicast).requires_refresh);
+}
+
+TEST(PeerTableTest, MarkFresh) {
+  PeerTable table;
+  table.observe(kPeer, Technology::kWifiUnicast,
+                LowLevelAddress{MeshAddress::from_node(1)}, at_s(0), true);
+  table.mark_fresh(kPeer, Technology::kWifiUnicast);
+  EXPECT_FALSE(
+      table.find(kPeer)->techs.at(Technology::kWifiUnicast).requires_refresh);
+  // Unknown peers/techs are a no-op.
+  table.mark_fresh(OmniAddress{0x9}, Technology::kBle);
+}
+
+TEST(PeerTableTest, ReverseLookup) {
+  PeerTable table;
+  LowLevelAddress ble{BleAddress::from_node(3)};
+  table.observe(kPeer, Technology::kBle, ble, at_s(0), false);
+  EXPECT_EQ(table.find_by_low_level(Technology::kBle, ble), kPeer);
+  EXPECT_EQ(table.find_by_low_level(Technology::kWifiUnicast, ble),
+            std::nullopt);
+  EXPECT_EQ(table.find_by_low_level(Technology::kBle,
+                                    LowLevelAddress{BleAddress::from_node(4)}),
+            std::nullopt);
+}
+
+TEST(PeerTableTest, PeersOnTechRespectsTtl) {
+  PeerTable table;
+  table.observe(kPeer, Technology::kBle,
+                LowLevelAddress{BleAddress::from_node(1)}, at_s(0), false);
+  EXPECT_EQ(table.peers_on(Technology::kBle, at_s(5), kTtl).size(), 1u);
+  EXPECT_EQ(table.peers_on(Technology::kBle, at_s(15), kTtl).size(), 0u);
+}
+
+TEST(PeerTableTest, LowerEnergyReachability) {
+  PeerTable table;
+  table.observe(kPeer, Technology::kWifiMulticast,
+                LowLevelAddress{MeshAddress::from_node(1)}, at_s(0), true);
+  // Only on multicast: nothing cheaper reaches it.
+  EXPECT_FALSE(table.reachable_on_lower_energy(kPeer,
+                                               Technology::kWifiMulticast,
+                                               at_s(1), kTtl));
+  table.observe(kPeer, Technology::kBle,
+                LowLevelAddress{BleAddress::from_node(1)}, at_s(1), false);
+  EXPECT_TRUE(table.reachable_on_lower_energy(kPeer,
+                                              Technology::kWifiMulticast,
+                                              at_s(2), kTtl));
+  // BLE itself has nothing cheaper.
+  EXPECT_FALSE(table.reachable_on_lower_energy(kPeer, Technology::kBle,
+                                               at_s(2), kTtl));
+  // The BLE sighting ages out.
+  EXPECT_FALSE(table.reachable_on_lower_energy(kPeer,
+                                               Technology::kWifiMulticast,
+                                               at_s(20), kTtl));
+}
+
+TEST(PeerTableTest, ExpireDropsStaleMappingsAndEmptyPeers) {
+  PeerTable table;
+  table.observe(kPeer, Technology::kBle,
+                LowLevelAddress{BleAddress::from_node(1)}, at_s(0), false);
+  table.observe(kPeer, Technology::kWifiUnicast,
+                LowLevelAddress{MeshAddress::from_node(1)}, at_s(8), false);
+  // At t=12 the BLE mapping (age 12) expires but WiFi (age 4) survives.
+  EXPECT_EQ(table.expire(at_s(12), kTtl), 0u);
+  ASSERT_NE(table.find(kPeer), nullptr);
+  EXPECT_FALSE(table.find(kPeer)->reachable_on(Technology::kBle));
+  EXPECT_TRUE(table.find(kPeer)->reachable_on(Technology::kWifiUnicast));
+  // At t=30 everything is stale: the peer disappears.
+  EXPECT_EQ(table.expire(at_s(30), kTtl), 1u);
+  EXPECT_EQ(table.find(kPeer), nullptr);
+}
+
+TEST(PeerTableTest, MultiplePeers) {
+  PeerTable table;
+  for (std::uint64_t i = 1; i <= 5; ++i) {
+    table.observe(OmniAddress{i}, Technology::kBle,
+                  LowLevelAddress{BleAddress::from_node(
+                      static_cast<NodeId>(i))},
+                  at_s(0), false);
+  }
+  EXPECT_EQ(table.peers().size(), 5u);
+  EXPECT_EQ(table.peers_on(Technology::kBle, at_s(1), kTtl).size(), 5u);
+}
+
+}  // namespace
+}  // namespace omni

@@ -1,0 +1,54 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/result.h"
+
+namespace omni {
+namespace {
+
+TEST(StatusTest, OkAndError) {
+  Status ok = Status::ok();
+  EXPECT_TRUE(ok.is_ok());
+  EXPECT_TRUE(static_cast<bool>(ok));
+  EXPECT_TRUE(ok.message().empty());
+
+  Status err = Status::error("boom");
+  EXPECT_FALSE(err.is_ok());
+  EXPECT_EQ(err.message(), "boom");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_TRUE(r.error_message().empty());
+}
+
+TEST(ResultTest, HoldsError) {
+  auto r = Result<int>::error("nope");
+  EXPECT_FALSE(r.is_ok());
+  EXPECT_FALSE(static_cast<bool>(r));
+  EXPECT_EQ(r.error_message(), "nope");
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, ValueOrPassesThrough) {
+  Result<std::string> r = std::string("hi");
+  EXPECT_EQ(r.value_or("fallback"), "hi");
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r = std::string(1000, 'x');
+  std::string s = std::move(r).value();
+  EXPECT_EQ(s.size(), 1000u);
+}
+
+TEST(ResultTest, WorksWithMoveOnlyTypes) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(9);
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(*r.value(), 9);
+}
+
+}  // namespace
+}  // namespace omni

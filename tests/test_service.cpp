@@ -1,0 +1,211 @@
+// The typed service-discovery layer: descriptor codec, filters, publisher
+// lifecycle, and browser found/lost tracking over live Omni nodes.
+#include <gtest/gtest.h>
+
+#include "net/testbed.h"
+#include "omni/omni_node.h"
+#include "omni/service.h"
+
+namespace omni {
+namespace {
+
+ServiceDescriptor printer_descriptor() {
+  ServiceDescriptor d;
+  d.service_type = service_types::kPrinter;
+  d.name = "lobby";
+  d.attributes[1] = Bytes{0x02};  // e.g. pages-per-minute class
+  return d;
+}
+
+TEST(ServiceDescriptorTest, RoundTrip) {
+  ServiceDescriptor d = printer_descriptor();
+  Bytes wire = d.encode();
+  EXPECT_TRUE(ServiceDescriptor::looks_like_service(wire));
+  auto decoded = ServiceDescriptor::decode(wire);
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_EQ(decoded.value(), d);
+}
+
+TEST(ServiceDescriptorTest, FitsBleBudgetWhenCompact) {
+  ServiceDescriptor d;
+  d.service_type = service_types::kSensor;
+  d.name = "thermo";  // 6 chars
+  d.attributes[1] = Bytes{0x17};
+  // 2 magic + 2 type + 1 len + 6 name + (1+1+1) attr = 14 <= 21.
+  EXPECT_LE(d.encoded_size(), 21u);
+  EXPECT_EQ(d.encode().size(), d.encoded_size());
+}
+
+TEST(ServiceDescriptorTest, RejectsForeignContext) {
+  EXPECT_FALSE(ServiceDescriptor::decode(Bytes{1, 2, 3}).is_ok());
+  EXPECT_FALSE(ServiceDescriptor::decode(Bytes{}).is_ok());
+  EXPECT_FALSE(ServiceDescriptor::looks_like_service(Bytes{0x53, 99}));
+}
+
+TEST(ServiceDescriptorTest, RejectsTruncation) {
+  Bytes wire = printer_descriptor().encode();
+  for (std::size_t cut = 3; cut < wire.size(); ++cut) {
+    Bytes truncated(wire.begin(), wire.begin() + static_cast<long>(cut));
+    // Some prefixes happen to parse as a shorter valid descriptor (fewer
+    // attributes); what must never happen is a crash or an error-free parse
+    // with trailing garbage. Just require no crash:
+    (void)ServiceDescriptor::decode(truncated);
+  }
+  SUCCEED();
+}
+
+TEST(ServiceFilterTest, Matching) {
+  ServiceDescriptor d = printer_descriptor();
+  EXPECT_TRUE(ServiceFilter{}.matches(d));
+  ServiceFilter by_type{service_types::kPrinter, std::nullopt};
+  EXPECT_TRUE(by_type.matches(d));
+  ServiceFilter wrong_type{service_types::kSensor, std::nullopt};
+  EXPECT_FALSE(wrong_type.matches(d));
+  ServiceFilter by_prefix{std::nullopt, std::string("lob")};
+  EXPECT_TRUE(by_prefix.matches(d));
+  ServiceFilter wrong_prefix{std::nullopt, std::string("kitchen")};
+  EXPECT_FALSE(wrong_prefix.matches(d));
+}
+
+class ServiceLayerTest : public ::testing::Test {
+ protected:
+  net::Testbed bed{401};
+};
+
+TEST_F(ServiceLayerTest, PublishDiscoverWithdraw) {
+  auto& dp = bed.add_device("printer", {0, 0});
+  auto& dc = bed.add_device("client", {10, 0});
+  OmniNode provider(dp, bed.mesh());
+  OmniNode client(dc, bed.mesh());
+  provider.start();
+  client.start();
+
+  ServicePublisher publisher(provider.manager());
+  ServiceBrowser browser(client.manager(), bed.simulator(),
+                         Duration::seconds(4));
+  int found = 0, lost = 0;
+  browser.on_found([&](const ServiceBrowser::Entry& e) {
+    EXPECT_EQ(e.provider, provider.address());
+    EXPECT_EQ(e.descriptor.name, "lobby");
+    ++found;
+  });
+  browser.on_lost([&](const ServiceBrowser::Entry&) { ++lost; });
+
+  publisher.publish(printer_descriptor());
+  bed.simulator().run_for(Duration::seconds(3));
+  EXPECT_EQ(found, 1);
+  EXPECT_EQ(lost, 0);
+  ASSERT_EQ(browser.services().size(), 1u);
+  EXPECT_EQ(browser.providers_of(service_types::kPrinter).size(), 1u);
+
+  publisher.withdraw();
+  bed.simulator().run_for(Duration::seconds(10));
+  EXPECT_EQ(lost, 1);
+  EXPECT_TRUE(browser.services().empty());
+}
+
+TEST_F(ServiceLayerTest, FilterSuppressesCallbacks) {
+  auto& dp = bed.add_device("printer", {0, 0});
+  auto& dc = bed.add_device("client", {10, 0});
+  OmniNode provider(dp, bed.mesh());
+  OmniNode client(dc, bed.mesh());
+  provider.start();
+  client.start();
+
+  ServicePublisher publisher(provider.manager());
+  ServiceBrowser browser(client.manager(), bed.simulator());
+  browser.set_filter(ServiceFilter{service_types::kSensor, std::nullopt});
+  int found = 0;
+  browser.on_found([&](const ServiceBrowser::Entry&) { ++found; });
+  publisher.publish(printer_descriptor());
+  bed.simulator().run_for(Duration::seconds(3));
+  EXPECT_EQ(found, 0);
+  EXPECT_TRUE(browser.services().empty());          // filtered view
+  EXPECT_EQ(browser.providers_of(service_types::kPrinter).size(), 1u);
+}
+
+TEST_F(ServiceLayerTest, MultipleServicesPerProvider) {
+  auto& dp = bed.add_device("hub", {0, 0});
+  auto& dc = bed.add_device("client", {10, 0});
+  OmniNode provider(dp, bed.mesh());
+  OmniNode client(dc, bed.mesh());
+  provider.start();
+  client.start();
+
+  ServicePublisher p1(provider.manager());
+  ServicePublisher p2(provider.manager());
+  ServiceDescriptor printer = printer_descriptor();
+  ServiceDescriptor sensor;
+  sensor.service_type = service_types::kSensor;
+  sensor.name = "temp";
+  p1.publish(printer);
+  p2.publish(sensor);
+  ServiceBrowser browser(client.manager(), bed.simulator());
+  bed.simulator().run_for(Duration::seconds(3));
+  EXPECT_EQ(browser.services().size(), 2u);
+}
+
+TEST_F(ServiceLayerTest, UpdatePropagates) {
+  auto& dp = bed.add_device("printer", {0, 0});
+  auto& dc = bed.add_device("client", {10, 0});
+  OmniNode provider(dp, bed.mesh());
+  OmniNode client(dc, bed.mesh());
+  provider.start();
+  client.start();
+
+  ServicePublisher publisher(provider.manager());
+  ServiceBrowser browser(client.manager(), bed.simulator());
+  publisher.publish(printer_descriptor());
+  bed.simulator().run_for(Duration::seconds(2));
+
+  ServiceDescriptor updated = printer_descriptor();
+  updated.attributes[1] = Bytes{0x09};
+  publisher.publish(updated);
+  bed.simulator().run_for(Duration::seconds(2));
+  auto services = browser.services();
+  ASSERT_EQ(services.size(), 1u);
+  EXPECT_EQ(services[0].descriptor.attributes.at(1), (Bytes{0x09}));
+}
+
+TEST_F(ServiceLayerTest, DestroyedBrowserIsInert) {
+  auto& dp = bed.add_device("printer", {0, 0});
+  auto& dc = bed.add_device("client", {10, 0});
+  OmniNode provider(dp, bed.mesh());
+  OmniNode client(dc, bed.mesh());
+  provider.start();
+  client.start();
+  {
+    ServiceBrowser browser(client.manager(), bed.simulator());
+    bed.simulator().run_for(Duration::seconds(1));
+  }
+  // Browser gone; context packs keep arriving and must not crash.
+  ServicePublisher publisher(provider.manager());
+  publisher.publish(printer_descriptor());
+  bed.simulator().run_for(Duration::seconds(3));
+  SUCCEED();
+}
+
+TEST_F(ServiceLayerTest, CoexistsWithRawContextApplications) {
+  // An application using raw context payloads and the service layer can
+  // run side by side on one manager (the multi-callback OS-service model).
+  auto& dp = bed.add_device("provider", {0, 0});
+  auto& dc = bed.add_device("client", {10, 0});
+  OmniNode provider(dp, bed.mesh());
+  OmniNode client(dc, bed.mesh());
+
+  int raw_seen = 0;
+  client.manager().request_context(
+      [&](const OmniAddress&, const Bytes&) { ++raw_seen; });
+  provider.start();
+  client.start();
+  ServiceBrowser browser(client.manager(), bed.simulator());
+  ServicePublisher publisher(provider.manager());
+  publisher.publish(printer_descriptor());
+  provider.manager().add_context(ContextParams{}, Bytes{0x01}, nullptr);
+  bed.simulator().run_for(Duration::seconds(3));
+  EXPECT_EQ(browser.services().size(), 1u);
+  EXPECT_GT(raw_seen, 2);  // raw app saw both context streams
+}
+
+}  // namespace
+}  // namespace omni

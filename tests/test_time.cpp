@@ -1,0 +1,60 @@
+#include <gtest/gtest.h>
+
+#include "common/time.h"
+
+namespace omni {
+namespace {
+
+TEST(DurationTest, ConstructorsAndAccessors) {
+  EXPECT_EQ(Duration::micros(1500).as_micros(), 1500);
+  EXPECT_EQ(Duration::millis(2).as_micros(), 2000);
+  EXPECT_EQ(Duration::seconds(1.5).as_micros(), 1'500'000);
+  EXPECT_DOUBLE_EQ(Duration::millis(250).as_seconds(), 0.25);
+  EXPECT_DOUBLE_EQ(Duration::micros(1500).as_millis(), 1.5);
+}
+
+TEST(DurationTest, Arithmetic) {
+  Duration a = Duration::millis(100);
+  Duration b = Duration::millis(40);
+  EXPECT_EQ((a + b).as_micros(), 140'000);
+  EXPECT_EQ((a - b).as_micros(), 60'000);
+  EXPECT_EQ((a * 2.5).as_micros(), 250'000);
+  EXPECT_EQ((a / 4).as_micros(), 25'000);
+  EXPECT_DOUBLE_EQ(a / b, 2.5);
+  a += b;
+  EXPECT_EQ(a.as_micros(), 140'000);
+  a -= b;
+  EXPECT_EQ(a.as_micros(), 100'000);
+}
+
+TEST(DurationTest, Comparisons) {
+  EXPECT_LT(Duration::millis(1), Duration::millis(2));
+  EXPECT_EQ(Duration::millis(1), Duration::micros(1000));
+  EXPECT_TRUE(Duration::zero().is_zero());
+  EXPECT_TRUE((Duration::zero() - Duration::millis(1)).is_negative());
+  EXPECT_FALSE(Duration::millis(1).is_negative());
+}
+
+TEST(DurationTest, ToStringPicksUnit) {
+  EXPECT_EQ(Duration::seconds(2).to_string(), "2s");
+  EXPECT_EQ(Duration::millis(250).to_string(), "250ms");
+  EXPECT_EQ(Duration::micros(42).to_string(), "42us");
+}
+
+TEST(TimePointTest, OriginAndArithmetic) {
+  TimePoint t0 = TimePoint::origin();
+  EXPECT_EQ(t0.as_micros(), 0);
+  TimePoint t1 = t0 + Duration::seconds(2);
+  EXPECT_EQ(t1.as_micros(), 2'000'000);
+  EXPECT_EQ((t1 - t0).as_micros(), 2'000'000);
+  EXPECT_EQ((t1 - Duration::millis(500)).as_micros(), 1'500'000);
+  EXPECT_LT(t0, t1);
+  EXPECT_EQ(TimePoint::from_micros(5).as_micros(), 5);
+}
+
+TEST(TimePointTest, MaxIsSentinel) {
+  EXPECT_GT(TimePoint::max(), TimePoint::origin() + Duration::seconds(1e9));
+}
+
+}  // namespace
+}  // namespace omni

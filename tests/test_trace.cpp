@@ -1,0 +1,64 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/trace.h"
+
+namespace omni::sim {
+namespace {
+
+TimePoint at_s(double s) {
+  return TimePoint::origin() + Duration::seconds(s);
+}
+
+TEST(TraceRecorderTest, RecordAndQuery) {
+  TraceRecorder trace;
+  trace.record(at_s(1), "chunk", "infra", 3);
+  trace.record(at_s(2), "chunk", "d2d", 5);
+  trace.record(at_s(3), "complete", "", 0);
+  EXPECT_EQ(trace.events().size(), 3u);
+  EXPECT_EQ(trace.count("chunk"), 2u);
+  EXPECT_EQ(trace.count("missing"), 0u);
+  EXPECT_DOUBLE_EQ(trace.sum("chunk"), 8.0);
+}
+
+TEST(TraceRecorderTest, FirstAndLastTimes) {
+  TraceRecorder trace;
+  trace.record(at_s(1), "x", "a");
+  trace.record(at_s(2), "x", "b");
+  trace.record(at_s(3), "x", "a");
+  EXPECT_EQ(trace.first_time("x"), at_s(1));
+  EXPECT_EQ(trace.last_time("x"), at_s(3));
+  EXPECT_EQ(trace.first_time("x", "b"), at_s(2));
+  EXPECT_EQ(trace.last_time("x", "b"), at_s(2));
+  EXPECT_EQ(trace.first_time("nope"), TimePoint::max());
+}
+
+TEST(TraceRecorderTest, CategoryFilter) {
+  TraceRecorder trace;
+  trace.record(at_s(1), "a", "1");
+  trace.record(at_s(2), "b", "2");
+  trace.record(at_s(3), "a", "3");
+  auto in_a = trace.in_category("a");
+  ASSERT_EQ(in_a.size(), 2u);
+  EXPECT_EQ(in_a[0].label, "1");
+  EXPECT_EQ(in_a[1].label, "3");
+}
+
+TEST(TraceRecorderTest, CsvOutput) {
+  TraceRecorder trace;
+  trace.record(at_s(1.5), "cat", "lbl", 2.5);
+  std::ostringstream os;
+  trace.write_csv(os);
+  EXPECT_EQ(os.str(), "time_s,category,label,value\n1.5,cat,lbl,2.5\n");
+}
+
+TEST(TraceRecorderTest, Clear) {
+  TraceRecorder trace;
+  trace.record(at_s(1), "a", "");
+  trace.clear();
+  EXPECT_TRUE(trace.events().empty());
+}
+
+}  // namespace
+}  // namespace omni::sim

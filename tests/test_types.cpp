@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "common/types.h"
+#include "omni/comm_tech.h"
+#include "omni/status.h"
+
+namespace omni {
+namespace {
+
+TEST(TypesTest, TechnologyOrderingIsEnergyOrdering) {
+  // The manager relies on the enum order: BLE cheapest, then WiFi-Aware,
+  // multicast, and unicast dearest.
+  EXPECT_LT(static_cast<int>(Technology::kBle),
+            static_cast<int>(Technology::kWifiAware));
+  EXPECT_LT(static_cast<int>(Technology::kWifiAware),
+            static_cast<int>(Technology::kWifiMulticast));
+  EXPECT_LT(static_cast<int>(Technology::kWifiMulticast),
+            static_cast<int>(Technology::kWifiUnicast));
+  EXPECT_EQ(kAllTechnologies.size(), 4u);
+}
+
+TEST(TypesTest, TechnologyNames) {
+  EXPECT_EQ(to_string(Technology::kBle), "BLE");
+  EXPECT_EQ(to_string(Technology::kWifiAware), "WiFi-Aware");
+  EXPECT_EQ(to_string(Technology::kWifiMulticast), "WiFi-Multicast");
+  EXPECT_EQ(to_string(Technology::kWifiUnicast), "WiFi-Unicast");
+}
+
+TEST(TypesTest, AddressZeroChecks) {
+  EXPECT_TRUE(BleAddress{}.is_zero());
+  EXPECT_FALSE(BleAddress::from_node(1).is_zero());
+  EXPECT_TRUE(MeshAddress{}.is_zero());
+  EXPECT_FALSE(MeshAddress::from_node(1).is_zero());
+  EXPECT_FALSE(OmniAddress{}.is_valid());
+  EXPECT_TRUE(OmniAddress{1}.is_valid());
+}
+
+TEST(TypesTest, AddressesHashable) {
+  std::unordered_set<OmniAddress> omnis{{1}, {2}, {1}};
+  EXPECT_EQ(omnis.size(), 2u);
+  std::unordered_set<MeshAddress> meshes{MeshAddress::from_node(1),
+                                         MeshAddress::from_node(2)};
+  EXPECT_EQ(meshes.size(), 2u);
+  std::unordered_set<BleAddress> bles{BleAddress::from_node(1),
+                                      BleAddress::from_node(1)};
+  EXPECT_EQ(bles.size(), 1u);
+}
+
+TEST(TypesTest, NodeDerivedAddressesAreDistinct) {
+  for (NodeId i = 0; i < 100; ++i) {
+    EXPECT_NE(BleAddress::from_node(i), BleAddress::from_node(i + 1));
+    EXPECT_NE(MeshAddress::from_node(i), MeshAddress::from_node(i + 1));
+  }
+}
+
+TEST(StatusCodeTest, NamesAndSuccessFlags) {
+  EXPECT_EQ(to_string(StatusCode::kAddContextSuccess),
+            "ADD_CONTEXT_SUCCESS");
+  EXPECT_EQ(to_string(StatusCode::kSendDataFailure), "SEND_DATA_FAILURE");
+  EXPECT_TRUE(is_success(StatusCode::kAddContextSuccess));
+  EXPECT_TRUE(is_success(StatusCode::kUpdateContextSuccess));
+  EXPECT_TRUE(is_success(StatusCode::kRemoveContextSuccess));
+  EXPECT_TRUE(is_success(StatusCode::kSendDataSuccess));
+  EXPECT_FALSE(is_success(StatusCode::kAddContextFailure));
+  EXPECT_FALSE(is_success(StatusCode::kUpdateContextFailure));
+  EXPECT_FALSE(is_success(StatusCode::kRemoveContextFailure));
+  EXPECT_FALSE(is_success(StatusCode::kSendDataFailure));
+}
+
+TEST(LowLevelAddressTest, VariantHelpers) {
+  LowLevelAddress unset;
+  EXPECT_TRUE(is_unset(unset));
+  EXPECT_EQ(to_string(unset), "(unset)");
+  LowLevelAddress ble{BleAddress::from_node(1)};
+  EXPECT_FALSE(is_unset(ble));
+  EXPECT_EQ(to_string(ble), BleAddress::from_node(1).to_string());
+  LowLevelAddress mesh{MeshAddress::from_node(1)};
+  EXPECT_EQ(to_string(mesh), MeshAddress::from_node(1).to_string());
+}
+
+TEST(SendOpTest, Names) {
+  EXPECT_EQ(to_string(SendOp::kAddContext), "add_context");
+  EXPECT_EQ(to_string(SendOp::kUpdateContext), "update_context");
+  EXPECT_EQ(to_string(SendOp::kRemoveContext), "remove_context");
+  EXPECT_EQ(to_string(SendOp::kSendData), "send_data");
+}
+
+}  // namespace
+}  // namespace omni

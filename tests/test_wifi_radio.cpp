@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include "net/testbed.h"
+#include "radio/mesh.h"
+#include "radio/wifi_radio.h"
+
+namespace omni::radio {
+namespace {
+
+class WifiRadioTest : public ::testing::Test {
+ protected:
+  net::Testbed bed{4};
+};
+
+TEST_F(WifiRadioTest, ScanTakesCalibratedDurationAndEnergy) {
+  auto& a = bed.add_device("a", {0, 0});
+  a.wifi().set_powered(true);
+  TimePoint t0 = bed.simulator().now();
+  TimePoint done;
+  a.wifi().scan([&](std::vector<MeshNetwork*>) {
+    done = bed.simulator().now();
+  });
+  EXPECT_TRUE(a.wifi().management_busy());
+  bed.simulator().run_for(Duration::seconds(5));
+  EXPECT_EQ(done - t0, bed.calibration().wifi_scan_duration);
+  EXPECT_FALSE(a.wifi().management_busy());
+  // Scan current on top of standby for the scan window.
+  double avg = a.meter().average_ma(t0, done);
+  EXPECT_NEAR(avg,
+              bed.calibration().wifi_standby_ma + bed.calibration().wifi_scan_ma,
+              1e-6);
+}
+
+TEST_F(WifiRadioTest, ScanSeesMeshesWithMembersInRange) {
+  auto& a = bed.add_device("a", {0, 0});
+  auto& b = bed.add_device("b", {50, 0});
+  a.wifi().set_powered(true);
+  b.wifi().set_powered(true);
+  b.wifi().join(bed.mesh(), [](Status) {});
+  bed.simulator().run_for(Duration::seconds(1));
+
+  std::vector<MeshNetwork*> found;
+  a.wifi().scan([&](std::vector<MeshNetwork*> meshes) {
+    found = std::move(meshes);
+  });
+  bed.simulator().run_for(Duration::seconds(5));
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0], &bed.mesh());
+}
+
+TEST_F(WifiRadioTest, ScanFindsNothingWhenMembersOutOfRange) {
+  auto& a = bed.add_device("a", {0, 0});
+  auto& b = bed.add_device("b", {500, 0});  // beyond wifi_range_m
+  a.wifi().set_powered(true);
+  b.wifi().set_powered(true);
+  b.wifi().join(bed.mesh(), [](Status) {});
+  bed.simulator().run_for(Duration::seconds(1));
+
+  std::vector<MeshNetwork*> found{nullptr};
+  a.wifi().scan([&](std::vector<MeshNetwork*> meshes) {
+    found = std::move(meshes);
+  });
+  bed.simulator().run_for(Duration::seconds(5));
+  EXPECT_TRUE(found.empty());
+}
+
+TEST_F(WifiRadioTest, JoinAddsMembershipAfterDelay) {
+  auto& a = bed.add_device("a", {0, 0});
+  a.wifi().set_powered(true);
+  TimePoint t0 = bed.simulator().now();
+  TimePoint done;
+  bool ok = false;
+  a.wifi().join(bed.mesh(), [&](Status s) {
+    ok = s.is_ok();
+    done = bed.simulator().now();
+  });
+  EXPECT_EQ(a.wifi().mesh(), nullptr);  // not yet
+  bed.simulator().run_for(Duration::seconds(2));
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(done - t0, bed.calibration().wifi_join_duration);
+  EXPECT_EQ(a.wifi().mesh(), &bed.mesh());
+  EXPECT_TRUE(bed.mesh().is_member(a.wifi()));
+}
+
+TEST_F(WifiRadioTest, ManagementOpsAreSerialized) {
+  auto& a = bed.add_device("a", {0, 0});
+  a.wifi().set_powered(true);
+  std::vector<int> order;
+  a.wifi().scan([&](std::vector<MeshNetwork*>) { order.push_back(1); });
+  a.wifi().join(bed.mesh(), [&](Status) { order.push_back(2); });
+  a.wifi().scan([&](std::vector<MeshNetwork*>) { order.push_back(3); });
+  bed.simulator().run_for(Duration::seconds(10));
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  // Total time = scan + join + scan.
+  const auto& cal = bed.calibration();
+  Duration expected = cal.wifi_scan_duration * 2.0 + cal.wifi_join_duration;
+  (void)expected;
+}
+
+TEST_F(WifiRadioTest, LeaveRemovesMembership) {
+  auto& a = bed.add_device("a", {0, 0});
+  a.wifi().set_powered(true);
+  a.wifi().join(bed.mesh(), [](Status) {});
+  bed.simulator().run_for(Duration::seconds(1));
+  ASSERT_TRUE(bed.mesh().is_member(a.wifi()));
+  a.wifi().leave();
+  EXPECT_FALSE(bed.mesh().is_member(a.wifi()));
+  EXPECT_EQ(a.wifi().mesh(), nullptr);
+}
+
+TEST_F(WifiRadioTest, PowerOffAbortsQueuedOps) {
+  auto& a = bed.add_device("a", {0, 0});
+  a.wifi().set_powered(true);
+  bool join_failed = false;
+  a.wifi().scan([](std::vector<MeshNetwork*>) {});
+  a.wifi().join(bed.mesh(),
+                [&](Status s) { join_failed = !s.is_ok(); });
+  a.wifi().set_powered(false);
+  bed.simulator().run_for(Duration::seconds(10));
+  EXPECT_TRUE(join_failed);
+  EXPECT_EQ(a.wifi().mesh(), nullptr);
+}
+
+TEST_F(WifiRadioTest, OpsWhileOffFailImmediately) {
+  auto& a = bed.add_device("a", {0, 0});
+  bool scan_empty = false;
+  bool join_err = false;
+  a.wifi().scan([&](std::vector<MeshNetwork*> found) {
+    scan_empty = found.empty();
+  });
+  a.wifi().join(bed.mesh(), [&](Status s) { join_err = !s.is_ok(); });
+  EXPECT_TRUE(scan_empty);
+  EXPECT_TRUE(join_err);
+}
+
+TEST_F(WifiRadioTest, StandbyDrawWhilePowered) {
+  auto& a = bed.add_device("a", {0, 0});
+  a.wifi().set_powered(true);
+  bed.simulator().run_for(Duration::seconds(10));
+  a.wifi().set_powered(false);
+  bed.simulator().run_for(Duration::seconds(10));
+  double total = a.meter().total_mAs(TimePoint::origin(),
+                                     bed.simulator().now());
+  EXPECT_NEAR(total, bed.calibration().wifi_standby_ma * 10, 1e-6);
+}
+
+TEST_F(WifiRadioTest, JoinSwitchesMeshes) {
+  auto& a = bed.add_device("a", {0, 0});
+  auto& other = bed.wifi_system().create_mesh("other-mesh");
+  a.wifi().set_powered(true);
+  a.wifi().join(bed.mesh(), [](Status) {});
+  bed.simulator().run_for(Duration::seconds(1));
+  a.wifi().join(other, [](Status) {});
+  bed.simulator().run_for(Duration::seconds(1));
+  EXPECT_EQ(a.wifi().mesh(), &other);
+  EXPECT_FALSE(bed.mesh().is_member(a.wifi()));
+  EXPECT_TRUE(other.is_member(a.wifi()));
+}
+
+}  // namespace
+}  // namespace omni::radio

@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "sim/world.h"
+
+namespace omni::sim {
+namespace {
+
+TEST(WorldTest, AddAndQueryNodes) {
+  Simulator sim;
+  World world(sim);
+  NodeId a = world.add_node("a", {0, 0});
+  NodeId b = world.add_node("b", {3, 4});
+  EXPECT_EQ(world.node_count(), 2u);
+  EXPECT_EQ(world.name(a), "a");
+  EXPECT_DOUBLE_EQ(world.distance(a, b), 5.0);
+  EXPECT_TRUE(world.in_range(a, b, 5.0));
+  EXPECT_FALSE(world.in_range(a, b, 4.9));
+}
+
+TEST(WorldTest, Teleport) {
+  Simulator sim;
+  World world(sim);
+  NodeId a = world.add_node("a", {0, 0});
+  world.set_position(a, {10, 0});
+  EXPECT_EQ(world.position(a), (Vec2{10, 0}));
+}
+
+TEST(WorldTest, LinearMotionInterpolates) {
+  Simulator sim;
+  World world(sim);
+  NodeId a = world.add_node("a", {0, 0});
+  world.move_to(a, {10, 0}, 1.0);  // 10 m at 1 m/s
+
+  sim.run_for(Duration::seconds(5));
+  EXPECT_NEAR(world.position(a).x, 5.0, 1e-9);
+
+  sim.run_for(Duration::seconds(5));
+  EXPECT_NEAR(world.position(a).x, 10.0, 1e-9);
+
+  // Past arrival the node stays put.
+  sim.run_for(Duration::seconds(100));
+  EXPECT_NEAR(world.position(a).x, 10.0, 1e-9);
+}
+
+TEST(WorldTest, MoveReplacesInProgressMove) {
+  Simulator sim;
+  World world(sim);
+  NodeId a = world.add_node("a", {0, 0});
+  world.move_to(a, {10, 0}, 1.0);
+  sim.run_for(Duration::seconds(5));  // at x=5
+  world.move_to(a, {5, 10}, 2.0);     // turn north from current position
+  sim.run_for(Duration::seconds(5));  // 10 m at 2 m/s = arrive
+  EXPECT_NEAR(world.position(a).x, 5.0, 1e-9);
+  EXPECT_NEAR(world.position(a).y, 10.0, 1e-9);
+}
+
+TEST(WorldTest, NeighborsWithinRange) {
+  Simulator sim;
+  World world(sim);
+  NodeId a = world.add_node("a", {0, 0});
+  world.add_node("b", {10, 0});
+  world.add_node("c", {50, 0});
+  world.add_node("d", {200, 0});
+  auto near = world.neighbors(a, 60.0);
+  EXPECT_EQ(near.size(), 2u);
+  auto all = world.neighbors(a, 1000.0);
+  EXPECT_EQ(all.size(), 3u);
+}
+
+TEST(WorldTest, MovingNodesChangeNeighborhoods) {
+  Simulator sim;
+  World world(sim);
+  NodeId a = world.add_node("a", {0, 0});
+  NodeId b = world.add_node("b", {100, 0});
+  EXPECT_FALSE(world.in_range(a, b, 50));
+  world.move_to(b, {20, 0}, 10.0);  // 80 m at 10 m/s
+  sim.run_for(Duration::seconds(4));
+  // At t=4, b is at x=60: still outside 50 m.
+  EXPECT_FALSE(world.in_range(a, b, 50));
+  sim.run_for(Duration::seconds(4));  // b arrives at x=20
+  EXPECT_TRUE(world.in_range(a, b, 50));
+}
+
+TEST(WorldTest, Vec2Math) {
+  Vec2 v{3, 4};
+  EXPECT_DOUBLE_EQ(v.norm(), 5.0);
+  EXPECT_EQ((v * 2).x, 6.0);
+  EXPECT_EQ((v + Vec2{1, 1}).y, 5.0);
+  EXPECT_DOUBLE_EQ(Vec2::distance({0, 0}, {0, 7}), 7.0);
+}
+
+}  // namespace
+}  // namespace omni::sim
