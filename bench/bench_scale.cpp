@@ -1,0 +1,125 @@
+// bench_scale: device-count sweep over the full Omni stack.
+//
+// For each device count, lay nodes out on a constant-density grid (25 m
+// spacing: everyone has BLE neighbors, nobody hears the whole city), start
+// every node with address beaconing + engagement enabled, and run a span of
+// virtual time. Reports wall-clock events/sec and the event-queue high-water
+// mark, and writes BENCH_scale.json so the numbers seed the perf trajectory.
+//
+//   $ ./bench/bench_scale              # full sweep: 10..1000 nodes
+//   $ ./bench/bench_scale 500          # just one count (before/after checks)
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "net/testbed.h"
+#include "omni/omni_node.h"
+
+namespace {
+
+using namespace omni;
+
+constexpr double kSpacingM = 25.0;
+constexpr double kSimSeconds = 20.0;
+
+struct ScalePoint {
+  std::size_t nodes;
+  double sim_seconds;
+  std::uint64_t events;
+  double wall_seconds;
+  double events_per_sec;
+  std::uint64_t peak_pending_events;
+  std::uint64_t contexts_received;
+  std::size_t min_peers;
+};
+
+ScalePoint run_point(std::size_t n) {
+  net::Testbed bed(42);
+  std::size_t side = static_cast<std::size_t>(
+      std::ceil(std::sqrt(static_cast<double>(n))));
+  std::vector<net::Device*> devices;
+  std::vector<std::unique_ptr<OmniNode>> nodes;
+  devices.reserve(n);
+  nodes.reserve(n);
+  std::uint64_t contexts = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    double x = static_cast<double>(i % side) * kSpacingM;
+    double y = static_cast<double>(i / side) * kSpacingM;
+    devices.push_back(&bed.add_device("n" + std::to_string(i), {x, y}));
+    nodes.push_back(std::make_unique<OmniNode>(*devices.back(), bed.mesh()));
+    nodes.back()->manager().request_context(
+        [&contexts](const OmniAddress&, const Bytes&) { ++contexts; });
+  }
+  for (auto& node : nodes) {
+    node->start();
+    node->manager().add_context(ContextParams{}, Bytes{0x5c}, nullptr);
+  }
+
+  auto t0 = std::chrono::steady_clock::now();
+  bed.simulator().run_for(Duration::seconds(kSimSeconds));
+  auto t1 = std::chrono::steady_clock::now();
+
+  ScalePoint p;
+  p.nodes = n;
+  p.sim_seconds = kSimSeconds;
+  p.events = bed.simulator().executed_events();
+  p.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+  p.events_per_sec =
+      p.wall_seconds > 0 ? static_cast<double>(p.events) / p.wall_seconds : 0;
+  p.peak_pending_events = bed.simulator().peak_pending_events();
+  p.contexts_received = contexts;
+  p.min_peers = nodes.empty() ? 0 : SIZE_MAX;
+  for (auto& node : nodes) {
+    p.min_peers = std::min(p.min_peers, node->manager().peer_table().size());
+  }
+  return p;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::size_t> counts = {10, 50, 100, 250, 500, 1000};
+  if (argc > 1) {
+    counts.clear();
+    for (int i = 1; i < argc; ++i) {
+      counts.push_back(static_cast<std::size_t>(std::atoll(argv[i])));
+    }
+  }
+
+  bench::print_heading("Simulator scale sweep (beaconing + engagement on)");
+  bench::Table table({"nodes", "events", "wall s", "events/s", "peak heap",
+                      "min peers"});
+  bench::BenchReport report("scale");
+  report.set_meta("sim_seconds", bench::fmt(kSimSeconds, 0));
+  report.set_meta("spacing_m", bench::fmt(kSpacingM, 0));
+  report.set_meta("seed", "42");
+
+  for (std::size_t n : counts) {
+    ScalePoint p = run_point(n);
+    table.add_row({std::to_string(p.nodes), std::to_string(p.events),
+                   bench::fmt(p.wall_seconds, 3),
+                   bench::fmt(p.events_per_sec, 0),
+                   std::to_string(p.peak_pending_events),
+                   std::to_string(p.min_peers)});
+    report.add_row()
+        .field("nodes", static_cast<std::uint64_t>(p.nodes))
+        .field("sim_seconds", p.sim_seconds)
+        .field("events", p.events)
+        .field("wall_seconds", p.wall_seconds)
+        .field("events_per_sec", p.events_per_sec)
+        .field("peak_pending_events", p.peak_pending_events)
+        .field("contexts_received", p.contexts_received)
+        .field("min_peers", static_cast<std::uint64_t>(p.min_peers));
+    std::printf("  %4zu nodes: %8.3f s wall, %10.0f events/s\n", p.nodes,
+                p.wall_seconds, p.events_per_sec);
+  }
+  std::printf("\n");
+  table.print();
+  report.write_file();
+  return 0;
+}

@@ -1,10 +1,16 @@
 // Shared table/report formatting for the experiment benches. Each bench
 // prints the paper's value next to the measured value so EXPERIMENTS.md can
-// be regenerated directly from the bench output.
+// be regenerated directly from the bench output. Benches that feed the perf
+// trajectory additionally emit a machine-readable BENCH_<name>.json via
+// BenchReport below.
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace omni::bench {
@@ -23,9 +29,15 @@ inline void print_compare(const std::string& label, double paper,
                 label.c_str(), measured, unit);
     return;
   }
-  double ratio = paper != 0 ? measured / paper : 0;
+  if (paper == 0) {
+    // A zero paper value has no meaningful ratio; "(x0.00)" would read as a
+    // regression.
+    std::printf("  %-38s paper: %9.2f   measured: %9.2f %s  (n/a)\n",
+                label.c_str(), paper, measured, unit);
+    return;
+  }
   std::printf("  %-38s paper: %9.2f   measured: %9.2f %s  (x%.2f)\n",
-              label.c_str(), paper, measured, unit, ratio);
+              label.c_str(), paper, measured, unit, measured / paper);
 }
 
 inline void print_na(const std::string& label) {
@@ -77,5 +89,107 @@ inline std::string fmt(double v, int decimals = 2) {
   std::snprintf(buf, sizeof buf, "%.*f", decimals, v);
   return buf;
 }
+
+/// Machine-readable bench output: one report = one BENCH_<name>.json file.
+///
+/// Schema (stable; consumed by the perf-trajectory tooling):
+///   {
+///     "bench": "<name>",
+///     "schema_version": 1,
+///     "meta": { "<key>": "<value>", ... },
+///     "results": [ { "<field>": <number|string>, ... }, ... ]
+///   }
+/// Field order within a row follows insertion order; numbers are emitted
+/// with enough precision to round-trip.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name) : name_(std::move(name)) {}
+
+  void set_meta(const std::string& key, const std::string& value) {
+    meta_.emplace_back(key, value);
+  }
+
+  /// Start a new result row; subsequent field() calls fill it.
+  BenchReport& add_row() {
+    rows_.emplace_back();
+    return *this;
+  }
+  BenchReport& field(const std::string& key, double value) {
+    rows_.back().emplace_back(key, number_repr(value));
+    return *this;
+  }
+  BenchReport& field(const std::string& key, std::uint64_t value) {
+    rows_.back().emplace_back(key, std::to_string(value));
+    return *this;
+  }
+  BenchReport& field(const std::string& key, const std::string& value) {
+    rows_.back().emplace_back(key, "\"" + escape(value) + "\"");
+    return *this;
+  }
+
+  std::string to_json() const {
+    std::ostringstream out;
+    out << "{\n  \"bench\": \"" << escape(name_) << "\",\n"
+        << "  \"schema_version\": 1,\n  \"meta\": {";
+    for (std::size_t i = 0; i < meta_.size(); ++i) {
+      out << (i ? ", " : "") << "\"" << escape(meta_[i].first) << "\": \""
+          << escape(meta_[i].second) << "\"";
+    }
+    out << "},\n  \"results\": [\n";
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+      out << "    {";
+      for (std::size_t i = 0; i < rows_[r].size(); ++i) {
+        out << (i ? ", " : "") << "\"" << escape(rows_[r][i].first)
+            << "\": " << rows_[r][i].second;
+      }
+      out << "}" << (r + 1 < rows_.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    return out.str();
+  }
+
+  /// Write BENCH_<name>.json into `dir` (default: current directory).
+  /// Returns false (and prints a warning) if the file cannot be written.
+  bool write_file(const std::string& dir = ".") const {
+    std::string path = dir + "/BENCH_" + name_ + ".json";
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+      return false;
+    }
+    out << to_json();
+    std::printf("\nwrote %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  static std::string escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      if (static_cast<unsigned char>(c) < 0x20) {
+        char buf[8];
+        std::snprintf(buf, sizeof buf, "\\u%04x", c);
+        out += buf;
+        continue;
+      }
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  static std::string number_repr(double v) {
+    if (v != v) return "null";  // NaN has no JSON literal
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    return buf;
+  }
+
+  using Fields = std::vector<std::pair<std::string, std::string>>;
+  std::string name_;
+  Fields meta_;
+  std::vector<Fields> rows_;
+};
 
 }  // namespace omni::bench

@@ -33,35 +33,6 @@ void ByteWriter::str(const std::string& s) {
   out_.insert(out_.end(), s.begin(), s.end());
 }
 
-Result<std::uint8_t> ByteReader::u8() {
-  if (!need(1)) return Result<std::uint8_t>::error("truncated u8");
-  return data_[pos_++];
-}
-
-Result<std::uint16_t> ByteReader::u16() {
-  if (!need(2)) return Result<std::uint16_t>::error("truncated u16");
-  std::uint16_t v = static_cast<std::uint16_t>(
-      (static_cast<std::uint16_t>(data_[pos_]) << 8) | data_[pos_ + 1]);
-  pos_ += 2;
-  return v;
-}
-
-Result<std::uint32_t> ByteReader::u32() {
-  if (!need(4)) return Result<std::uint32_t>::error("truncated u32");
-  std::uint32_t v = 0;
-  for (int i = 0; i < 4; ++i) v = (v << 8) | data_[pos_ + i];
-  pos_ += 4;
-  return v;
-}
-
-Result<std::uint64_t> ByteReader::u64() {
-  if (!need(8)) return Result<std::uint64_t>::error("truncated u64");
-  std::uint64_t v = 0;
-  for (int i = 0; i < 8; ++i) v = (v << 8) | data_[pos_ + i];
-  pos_ += 8;
-  return v;
-}
-
 Result<Bytes> ByteReader::raw(std::size_t n) {
   if (!need(n)) return Result<Bytes>::error("truncated raw bytes");
   Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),

@@ -6,6 +6,7 @@
 // (network order), matching the paper's packed-struct framing.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <span>
 #include <string>
@@ -42,10 +43,43 @@ class ByteReader {
  public:
   explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
 
-  Result<std::uint8_t> u8();
-  Result<std::uint16_t> u16();
-  Result<std::uint32_t> u32();
-  Result<std::uint64_t> u64();
+  // The fixed-width readers are inline: packet decoding runs once per
+  // received frame, and an out-of-line call per field costs more than the
+  // read itself (GCC folds the shift loops into single byte-swapped loads).
+  Result<std::uint8_t> u8() {
+    if (!need(1)) return Result<std::uint8_t>::error("truncated u8");
+    return data_[pos_++];
+  }
+  Result<std::uint16_t> u16() {
+    if (!need(2)) return Result<std::uint16_t>::error("truncated u16");
+    std::uint16_t v = static_cast<std::uint16_t>(
+        (static_cast<std::uint16_t>(data_[pos_]) << 8) | data_[pos_ + 1]);
+    pos_ += 2;
+    return v;
+  }
+  Result<std::uint32_t> u32() {
+    if (!need(4)) return Result<std::uint32_t>::error("truncated u32");
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v = (v << 8) | data_[pos_ + i];
+    pos_ += 4;
+    return v;
+  }
+  Result<std::uint64_t> u64() {
+    if (!need(8)) return Result<std::uint64_t>::error("truncated u64");
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v = (v << 8) | data_[pos_ + i];
+    pos_ += 8;
+    return v;
+  }
+  /// Read exactly out.size() bytes into a caller-provided buffer (no
+  /// allocation, unlike raw()). False on truncation, consuming nothing.
+  bool raw_into(std::span<std::uint8_t> out) {
+    if (!need(out.size())) return false;
+    std::copy_n(data_.begin() + static_cast<std::ptrdiff_t>(pos_), out.size(),
+                out.begin());
+    pos_ += out.size();
+    return true;
+  }
   /// Read exactly n raw bytes.
   Result<Bytes> raw(std::size_t n);
   /// Read a u32 length prefix then that many bytes.

@@ -2,30 +2,44 @@
 
 namespace omni {
 
-std::optional<Bytes> unframe_ble(std::span<const std::uint8_t> frame,
-                                 const BleAddress& self) {
+std::optional<std::span<const std::uint8_t>> unframe_ble_view(
+    std::span<const std::uint8_t> frame, const BleAddress& self) {
   if (frame.empty()) return std::nullopt;
   if (frame[0] == kFrameBroadcast || frame[0] == kFrameBroadcastData) {
-    return Bytes(frame.begin() + 1, frame.end());
+    return frame.subspan(1);
   }
   if (frame[0] != kFrameUnicast || frame.size() < 7) return std::nullopt;
   BleAddress dest;
   for (int i = 0; i < 6; ++i) dest.octets[i] = frame[1 + i];
   if (dest != self) return std::nullopt;
-  return Bytes(frame.begin() + 7, frame.end());
+  return frame.subspan(7);
 }
 
-std::optional<Bytes> unframe_mesh(std::span<const std::uint8_t> frame,
-                                  const MeshAddress& self) {
+std::optional<std::span<const std::uint8_t>> unframe_mesh_view(
+    std::span<const std::uint8_t> frame, const MeshAddress& self) {
   if (frame.empty()) return std::nullopt;
   if (frame[0] == kFrameBroadcast || frame[0] == kFrameBroadcastData) {
-    return Bytes(frame.begin() + 1, frame.end());
+    return frame.subspan(1);
   }
   if (frame[0] != kFrameUnicast || frame.size() < 9) return std::nullopt;
   std::uint64_t v = 0;
   for (int i = 0; i < 8; ++i) v = (v << 8) | frame[1 + i];
   if (MeshAddress{v} != self) return std::nullopt;
-  return Bytes(frame.begin() + 9, frame.end());
+  return frame.subspan(9);
+}
+
+std::optional<Bytes> unframe_ble(std::span<const std::uint8_t> frame,
+                                 const BleAddress& self) {
+  auto view = unframe_ble_view(frame, self);
+  if (!view) return std::nullopt;
+  return Bytes(view->begin(), view->end());
+}
+
+std::optional<Bytes> unframe_mesh(std::span<const std::uint8_t> frame,
+                                  const MeshAddress& self) {
+  auto view = unframe_mesh_view(frame, self);
+  if (!view) return std::nullopt;
+  return Bytes(view->begin(), view->end());
 }
 
 Bytes frame_aggregate(const std::vector<Bytes>& payloads) {

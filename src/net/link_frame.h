@@ -77,6 +77,14 @@ std::optional<Bytes> unframe_ble(std::span<const std::uint8_t> frame,
 std::optional<Bytes> unframe_mesh(std::span<const std::uint8_t> frame,
                                   const MeshAddress& self);
 
+/// Zero-copy unframe: the payload as a view into `frame`. The receive hot
+/// path copies it straight into a recycled packet buffer instead of through
+/// a temporary allocation. The view is valid only as long as `frame`.
+std::optional<std::span<const std::uint8_t>> unframe_ble_view(
+    std::span<const std::uint8_t> frame, const BleAddress& self);
+std::optional<std::span<const std::uint8_t>> unframe_mesh_view(
+    std::span<const std::uint8_t> frame, const MeshAddress& self);
+
 /// Link-frame overhead for a unicast BLE frame.
 inline constexpr std::size_t kBleUnicastFrameOverhead = 7;
 inline constexpr std::size_t kBleBroadcastFrameOverhead = 1;

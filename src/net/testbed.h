@@ -5,6 +5,7 @@
 // and benches build scenarios from this.
 #pragma once
 
+#include <algorithm>
 #include <memory>
 #include <string>
 #include <vector>
@@ -27,7 +28,12 @@ class Testbed {
                    radio::Calibration cal = radio::Calibration::defaults())
       : cal_(cal),
         sim_(seed),
-        world_(sim_),
+        // Grid cells sized to the smallest radio range: BLE beacons are by
+        // far the most frequent queries, and matching their 40 m disc keeps
+        // candidate sets tight. Longer-range queries (WiFi/NAN) just probe a
+        // few more cells — the disc query is exact at any cell size.
+        world_(sim_, std::min({cal.ble_range_m, cal.wifi_range_m,
+                               cal.nan_range_m})),
         ble_medium_(world_, cal_),
         wifi_system_(world_, cal_),
         nan_system_(world_, cal_),

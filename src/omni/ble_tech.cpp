@@ -145,11 +145,16 @@ void BleTech::process(SendRequest request) {
 
 void BleTech::on_radio_receive(const BleAddress& from, const Bytes& frame) {
   if (!enabled_) return;
-  auto packed = unframe_ble(frame, radio_.address());
+  auto packed = unframe_ble_view(frame, radio_.address());
   if (!packed) return;  // malformed or addressed to another device
-  queues_.receive->push(ReceivedPacket{Technology::kBle,
-                                       LowLevelAddress{from},
-                                       std::move(*packed)});
+  // Copy the view into a recycled queue slot: with beacons arriving at every
+  // scan interval this path runs more than anything else in a simulation,
+  // and reusing drained packets' buffers keeps it allocation-free.
+  queues_.receive->produce([&](ReceivedPacket& pkt) {
+    pkt.tech = Technology::kBle;
+    pkt.from = LowLevelAddress{from};
+    pkt.packed.assign(packed->begin(), packed->end());
+  });
 }
 
 void BleTech::respond(const SendRequest& request, bool success,

@@ -15,10 +15,6 @@ std::string to_string(const LowLevelAddress& addr) {
   return "(unset)";
 }
 
-bool is_unset(const LowLevelAddress& addr) {
-  return std::holds_alternative<std::monostate>(addr);
-}
-
 std::string to_string(SendOp op) {
   switch (op) {
     case SendOp::kAddContext:

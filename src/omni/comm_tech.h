@@ -38,7 +38,9 @@ using LowLevelAddress =
     std::variant<std::monostate, BleAddress, MeshAddress, NanAddress>;
 
 std::string to_string(const LowLevelAddress& addr);
-bool is_unset(const LowLevelAddress& addr);
+inline bool is_unset(const LowLevelAddress& addr) {
+  return std::holds_alternative<std::monostate>(addr);
+}
 
 enum class SendOp : std::uint8_t {
   kAddContext,

@@ -1,6 +1,7 @@
 #include "omni/manager.h"
 
 #include <algorithm>
+#include <array>
 
 #include "common/hash.h"
 #include "common/logging.h"
@@ -47,20 +48,22 @@ void OmniManager::add_technology(CommTechnology& tech) {
   }
   TechSlot slot;
   slot.tech = &tech;
+  slot.type = tech.type();
+  slot.supports_context = tech.supports_context();
   slot.send_queue = std::make_unique<SimQueue<SendRequest>>(sim_);
   slots_.push_back(std::move(slot));
 }
 
 OmniManager::TechSlot* OmniManager::slot(Technology tech) {
   for (auto& s : slots_) {
-    if (s.tech->type() == tech) return &s;
+    if (s.type == tech) return &s;
   }
   return nullptr;
 }
 
 const OmniManager::TechSlot* OmniManager::slot(Technology tech) const {
   for (const auto& s : slots_) {
-    if (s.tech->type() == tech) return &s;
+    if (s.type == tech) return &s;
   }
   return nullptr;
 }
@@ -259,9 +262,18 @@ void OmniManager::maintenance_tick() {
 // --- Receive path ------------------------------------------------------------
 
 void OmniManager::drain_receive_queue() {
-  while (auto packet = receive_queue_.try_pop()) {
-    handle_packet(*packet);
+  // Batch drain: one queue swap per tick instead of one pop per packet
+  // (and, for the concurrent deployment queue, one lock per tick). The
+  // outer loop catches packets enqueued while this batch was processed;
+  // the scratch buffer ping-pongs with the queue's, so steady-state
+  // draining allocates nothing.
+  while (!receive_queue_.empty()) {
+    std::size_t n = receive_queue_.drain_into(receive_scratch_);
+    for (std::size_t i = 0; i < n; ++i) handle_packet(receive_scratch_[i]);
   }
+  // Deliberately no clear(): the processed packets swap back into the queue
+  // as recycled slots, whose payload buffers the technologies refill in
+  // place — the receive path allocates nothing in steady state.
 }
 
 void OmniManager::handle_packet(const ReceivedPacket& packet) {
@@ -282,14 +294,16 @@ void OmniManager::handle_packet(const ReceivedPacket& packet) {
     opened = std::move(*plain);
     wire = opened;
   }
-  auto decoded = PackedStruct::decode(wire);
-  if (!decoded) {
+  // Decode into a reused scratch struct so the payload buffer survives
+  // across packets (handle_packet never runs re-entrantly: packets only
+  // arrive through the queue this drains).
+  Status decoded = PackedStruct::decode_into(wire, decode_scratch_);
+  if (!decoded.is_ok()) {
     OMNI_WARN(sim_.now(), kTag, "dropping undecodable packet on %s: %s",
-              to_string(packet.tech).c_str(),
-              decoded.error_message().c_str());
+              to_string(packet.tech).c_str(), decoded.message().c_str());
     return;
   }
-  const PackedStruct& p = decoded.value();
+  const PackedStruct& p = decode_scratch_;
   if (p.source == self_) return;  // our own broadcast echoed back
   ++stats_.packets_received;
 
@@ -304,17 +318,25 @@ void OmniManager::handle_packet(const ReceivedPacket& packet) {
   // Direct mapping: the packet physically arrived from this address on this
   // technology. Multicast-derived mappings need re-validation before data
   // transfer; ND-integrated (BLE) and connection-proven (unicast) ones do
-  // not.
+  // not. For an address beacon the direct mapping joins the batched
+  // observe_all below — one table probe for the whole sighting. Deferring
+  // it past the engagement trigger is safe: the trigger consults only
+  // strictly lower-energy mappings, which a same-technology observation
+  // never adds.
   bool refresh_needed = packet.tech == Technology::kWifiMulticast;
-  peers_.observe(p.source, packet.tech, packet.from, now, refresh_needed);
+  if (p.kind != PacketKind::kAddressBeacon) {
+    peers_.observe(p.source, packet.tech, packet.from, now, refresh_needed);
+  }
 
   // Engagement trigger: an unknown peer (no lower-energy reachability)
-  // appeared on a non-engaged context technology.
+  // appeared on a non-engaged context technology. BLE is the lowest energy
+  // rank, so for BLE packets the reachability probe is statically false.
   if (options_.enable_engagement &&
-      !peers_.reachable_on_lower_energy(p.source, packet.tech, now,
-                                        options_.peer_ttl)) {
+      (packet.tech == Technology::kBle ||
+       !peers_.reachable_on_lower_energy(p.source, packet.tech, now,
+                                         options_.peer_ttl))) {
     TechSlot* s = slot(packet.tech);
-    if (s != nullptr && s->up && s->tech->supports_context() &&
+    if (s != nullptr && s->up && s->supports_context &&
         !s->tech->engaged()) {
       engage(packet.tech);
     }
@@ -325,27 +347,39 @@ void OmniManager::handle_packet(const ReceivedPacket& packet) {
   if (options_.context_relay_hops > 0 &&
       (p.kind == PacketKind::kContext ||
        p.kind == PacketKind::kAddressBeacon)) {
-    maybe_relay(p, Bytes(wire.begin(), wire.end()));
+    maybe_relay(p, wire);
   }
 
   switch (p.kind) {
     case PacketKind::kAddressBeacon: {
       ++stats_.beacons_received;
-      // The beacon carries the peer's full address map: record reachability
-      // for every technology it names. Mappings delivered over integrated
-      // low-level ND (BLE) are immediately usable; those delivered over
+      // The beacon carries the peer's full address map: record the direct
+      // mapping plus reachability for every technology it names, in one
+      // batched table probe. Mappings delivered over integrated low-level
+      // ND (BLE) are immediately usable; those delivered over
       // application-level multicast still need the re-validation ritual.
-      if (!p.beacon.ble.is_zero()) {
-        peers_.observe(p.source, Technology::kBle,
-                       LowLevelAddress{p.beacon.ble}, now,
-                       /*requires_refresh=*/false);
+      // The BLE self-mapping duplicate — a beacon heard over BLE from the
+      // very address it advertises — is covered by the direct sighting.
+      std::array<Sighting, 4> sightings;
+      std::size_t n = 0;
+      sightings[n++] = Sighting{packet.tech, packet.from, refresh_needed};
+      if (!p.beacon.ble.is_zero() &&
+          !(packet.tech == Technology::kBle &&
+            std::holds_alternative<BleAddress>(packet.from) &&
+            std::get<BleAddress>(packet.from) == p.beacon.ble)) {
+        sightings[n++] = Sighting{Technology::kBle,
+                                  LowLevelAddress{p.beacon.ble},
+                                  /*requires_refresh=*/false};
       }
       if (!p.beacon.mesh.is_zero()) {
-        peers_.observe(p.source, Technology::kWifiUnicast,
-                       LowLevelAddress{p.beacon.mesh}, now, refresh_needed);
-        peers_.observe(p.source, Technology::kWifiMulticast,
-                       LowLevelAddress{p.beacon.mesh}, now, refresh_needed);
+        sightings[n++] = Sighting{Technology::kWifiUnicast,
+                                  LowLevelAddress{p.beacon.mesh},
+                                  refresh_needed};
+        sightings[n++] = Sighting{Technology::kWifiMulticast,
+                                  LowLevelAddress{p.beacon.mesh},
+                                  refresh_needed};
       }
+      peers_.observe_all(p.source, std::span(sightings.data(), n), now);
       break;
     }
     case PacketKind::kContext:
@@ -401,7 +435,7 @@ void OmniManager::handle_relayed_packet(const PackedStruct& outer) {
 }
 
 void OmniManager::maybe_relay(const PackedStruct& packet,
-                              const Bytes& inner_encoded) {
+                              std::span<const std::uint8_t> inner_encoded) {
   // Content-addressed dedup: one active relay per distinct packet.
   std::uint64_t key = fnv1a64(inner_encoded);
   if (active_relays_.count(key) > 0) return;
@@ -413,7 +447,10 @@ void OmniManager::maybe_relay(const PackedStruct& packet,
     hops = static_cast<std::uint8_t>(options_.context_relay_hops - 1);
   }
   Bytes packed = maybe_seal(
-      PackedStruct::relayed(packet.source, inner_encoded, hops).encode());
+      PackedStruct::relayed(packet.source,
+                            Bytes(inner_encoded.begin(), inner_encoded.end()),
+                            hops)
+          .encode());
   auto tech = pick_context_tech(packed.size(), {});
   if (!tech) return;  // nothing can carry it (e.g. legacy BLE)
 
@@ -447,8 +484,15 @@ void OmniManager::maybe_relay(const PackedStruct& packet,
 // --- Response path -----------------------------------------------------------
 
 void OmniManager::drain_response_queue() {
-  while (auto response = response_queue_.try_pop()) {
-    handle_response(std::move(*response));
+  // Batch drain; see drain_receive_queue for rationale.
+  while (!response_queue_.empty()) {
+    std::size_t n = response_queue_.drain_into(response_scratch_);
+    for (std::size_t i = 0; i < n; ++i) {
+      handle_response(std::move(response_scratch_[i]));
+    }
+    // Unlike received packets, responses carry callbacks and shared send
+    // state: destroy them promptly instead of recycling the slots.
+    response_scratch_.clear();
   }
 }
 

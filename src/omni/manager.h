@@ -25,6 +25,7 @@
 #include <map>
 #include <memory>
 #include <set>
+#include <span>
 #include <vector>
 
 #include "common/time.h"
@@ -156,6 +157,10 @@ class OmniManager {
  private:
   struct TechSlot {
     CommTechnology* tech = nullptr;
+    // Immutable per-plugin facts, cached so the per-packet slot() scan and
+    // engagement check avoid virtual dispatch.
+    Technology type = Technology::kBle;
+    bool supports_context = false;
     std::unique_ptr<SimQueue<SendRequest>> send_queue;
     LowLevelAddress address;
     bool up = false;
@@ -203,7 +208,8 @@ class OmniManager {
   void adapt_beacon_interval();
 
   // Multi-hop relay.
-  void maybe_relay(const PackedStruct& packet, const Bytes& inner_encoded);
+  void maybe_relay(const PackedStruct& packet,
+                   std::span<const std::uint8_t> inner_encoded);
   void handle_relayed_packet(const PackedStruct& outer);
 
   // Context handling.
@@ -234,6 +240,11 @@ class OmniManager {
   std::vector<TechSlot> slots_;
   SimQueue<ReceivedPacket> receive_queue_;
   SimQueue<TechResponse> response_queue_;
+  // Reused drain buffers (see drain_receive_queue).
+  std::vector<ReceivedPacket> receive_scratch_;
+  std::vector<TechResponse> response_scratch_;
+  // Reused decode target (see handle_packet).
+  PackedStruct decode_scratch_;
 
   AddressBeaconInfo beacon_info_;
   Bytes beacon_packed_;

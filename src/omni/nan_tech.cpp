@@ -132,9 +132,11 @@ void NanTech::process(SendRequest request) {
 void NanTech::on_receive(const NanAddress& from, const Bytes& frame) {
   if (!enabled_ || frame.empty()) return;
   if (frame[0] != kFrameBroadcast && frame[0] != kFrameBroadcastData) return;
-  queues_.receive->push(ReceivedPacket{
-      Technology::kWifiAware, LowLevelAddress{from},
-      Bytes(frame.begin() + 1, frame.end())});
+  queues_.receive->produce([&](ReceivedPacket& pkt) {
+    pkt.tech = Technology::kWifiAware;
+    pkt.from = LowLevelAddress{from};
+    pkt.packed.assign(frame.begin() + 1, frame.end());
+  });
 }
 
 void NanTech::respond(const SendRequest& request, bool success,

@@ -79,40 +79,50 @@ Bytes PackedStruct::encode() const {
 
 Result<PackedStruct> PackedStruct::decode(
     std::span<const std::uint8_t> wire) {
+  PackedStruct p;
+  Status s = decode_into(wire, p);
+  if (!s.is_ok()) return Result<PackedStruct>::error(s.message());
+  return p;
+}
+
+Status PackedStruct::decode_into(std::span<const std::uint8_t> wire,
+                                 PackedStruct& out) {
   ByteReader r(wire);
   auto kind_byte = r.u8();
-  if (!kind_byte) return Result<PackedStruct>::error("empty packet");
+  if (!kind_byte) return Status::error("empty packet");
   if (kind_byte.value() > static_cast<std::uint8_t>(PacketKind::kRelayed)) {
-    return Result<PackedStruct>::error("unknown packet kind");
+    return Status::error("unknown packet kind");
   }
-  PackedStruct p;
-  p.kind = static_cast<PacketKind>(kind_byte.value());
+  out.kind = static_cast<PacketKind>(kind_byte.value());
+  out.beacon = AddressBeaconInfo{};
+  out.hops_remaining = 0;
+  out.payload.clear();
   auto source = r.u64();
-  if (!source) return Result<PackedStruct>::error("truncated omni_address");
-  p.source = OmniAddress{source.value()};
-  if (!p.source.is_valid()) {
-    return Result<PackedStruct>::error("invalid (zero) omni_address");
+  if (!source) return Status::error("truncated omni_address");
+  out.source = OmniAddress{source.value()};
+  if (!out.source.is_valid()) {
+    return Status::error("invalid (zero) omni_address");
   }
-  if (p.kind == PacketKind::kAddressBeacon) {
+  if (out.kind == PacketKind::kAddressBeacon) {
     auto mesh = r.u64();
-    if (!mesh) return Result<PackedStruct>::error("truncated mesh address");
-    p.beacon.mesh = MeshAddress{mesh.value()};
-    auto ble = r.raw(6);
-    if (!ble) return Result<PackedStruct>::error("truncated BLE address");
-    for (int i = 0; i < 6; ++i) p.beacon.ble.octets[i] = ble.value()[i];
-    if (!r.exhausted()) {
-      return Result<PackedStruct>::error("trailing bytes after beacon");
+    if (!mesh) return Status::error("truncated mesh address");
+    out.beacon.mesh = MeshAddress{mesh.value()};
+    if (!r.raw_into(out.beacon.ble.octets)) {
+      return Status::error("truncated BLE address");
     }
-    return p;
+    if (!r.exhausted()) {
+      return Status::error("trailing bytes after beacon");
+    }
+    return Status::ok();
   }
-  if (p.kind == PacketKind::kRelayed) {
+  if (out.kind == PacketKind::kRelayed) {
     auto hops = r.u8();
-    if (!hops) return Result<PackedStruct>::error("truncated hop budget");
-    p.hops_remaining = hops.value();
+    if (!hops) return Status::error("truncated hop budget");
+    out.hops_remaining = hops.value();
   }
-  auto rest = r.raw(r.remaining());
-  p.payload = std::move(rest).value();
-  return p;
+  std::span<const std::uint8_t> rest = wire.last(r.remaining());
+  out.payload.assign(rest.begin(), rest.end());
+  return Status::ok();
 }
 
 }  // namespace omni

@@ -1,13 +1,13 @@
 #include "omni/peer_table.h"
 
+#include <algorithm>
+
 namespace omni {
 
-void PeerTable::observe(OmniAddress peer, Technology tech, LowLevelAddress low,
-                        TimePoint now, bool requires_refresh) {
-  if (!peer.is_valid() || is_unset(low)) return;
-  PeerEntry& entry = peers_[peer];
-  entry.address = peer;
-  entry.last_seen = now;
+namespace {
+
+void record(PeerEntry& entry, Technology tech, LowLevelAddress low,
+            TimePoint now, bool requires_refresh) {
   auto it = entry.techs.find(tech);
   if (it == entry.techs.end()) {
     entry.techs.emplace(tech,
@@ -18,6 +18,33 @@ void PeerTable::observe(OmniAddress peer, Technology tech, LowLevelAddress low,
   it->second.last_seen = now;
   // Freshness only upgrades.
   if (!requires_refresh) it->second.requires_refresh = false;
+}
+
+}  // namespace
+
+void PeerTable::observe(OmniAddress peer, Technology tech, LowLevelAddress low,
+                        TimePoint now, bool requires_refresh) {
+  if (!peer.is_valid() || is_unset(low)) return;
+  PeerEntry& entry = peers_[peer];
+  entry.address = peer;
+  entry.last_seen = now;
+  record(entry, tech, std::move(low), now, requires_refresh);
+}
+
+void PeerTable::observe_all(OmniAddress peer,
+                            std::span<const Sighting> sightings,
+                            TimePoint now) {
+  if (!peer.is_valid()) return;
+  PeerEntry* entry = nullptr;
+  for (const Sighting& s : sightings) {
+    if (is_unset(s.low)) continue;
+    if (entry == nullptr) {
+      entry = &peers_[peer];
+      entry->address = peer;
+      entry->last_seen = now;
+    }
+    record(*entry, s.tech, s.low, now, s.requires_refresh);
+  }
 }
 
 void PeerTable::mark_fresh(OmniAddress peer, Technology tech) {
@@ -34,17 +61,24 @@ const PeerEntry* PeerTable::find(OmniAddress peer) const {
 
 std::optional<OmniAddress> PeerTable::find_by_low_level(
     Technology tech, const LowLevelAddress& low) const {
+  // Lowest matching address wins, mirroring the ordered-map era when the
+  // first hit in ascending key order was returned.
+  std::optional<OmniAddress> best;
   for (const auto& [addr, entry] : peers_) {
     auto it = entry.techs.find(tech);
-    if (it != entry.techs.end() && it->second.address == low) return addr;
+    if (it != entry.techs.end() && it->second.address == low &&
+        (!best || addr < *best)) {
+      best = addr;
+    }
   }
-  return std::nullopt;
+  return best;
 }
 
 std::vector<OmniAddress> PeerTable::peers() const {
   std::vector<OmniAddress> out;
   out.reserve(peers_.size());
   for (const auto& [addr, entry] : peers_) out.push_back(addr);
+  std::sort(out.begin(), out.end());
   return out;
 }
 
@@ -57,6 +91,7 @@ std::vector<OmniAddress> PeerTable::peers_on(Technology tech, TimePoint now,
       out.push_back(addr);
     }
   }
+  std::sort(out.begin(), out.end());
   return out;
 }
 

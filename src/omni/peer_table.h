@@ -8,10 +8,16 @@
 // multicast require re-validation before data transfer.
 #pragma once
 
-#include <map>
+#include <array>
+#include <cstdint>
 #include <optional>
+#include <span>
+#include <type_traits>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "common/result.h"
 #include "common/time.h"
 #include "common/types.h"
 #include "omni/comm_tech.h"
@@ -24,14 +30,118 @@ struct PeerTechInfo {
   bool requires_refresh = false;
 };
 
+/// Fixed-capacity map from Technology to PeerTechInfo, API-compatible with
+/// the std::map it replaces for the operations the code uses. The receive
+/// hot path touches a peer's mapping on every packet; with only four
+/// technologies, a presence-bitmask over an inline array beats a red-black
+/// tree and keeps the whole mapping on two cache lines.
+class TechMap {
+ public:
+  using value_type = std::pair<Technology, PeerTechInfo>;
+
+  template <bool Const>
+  class Iter {
+   public:
+    using Map = std::conditional_t<Const, const TechMap, TechMap>;
+    using Ref = std::conditional_t<Const, const value_type&, value_type&>;
+
+    Ref operator*() const { return map_->slots_[i_]; }
+    auto* operator->() const { return &map_->slots_[i_]; }
+    Iter& operator++() {
+      ++i_;
+      skip();
+      return *this;
+    }
+    bool operator==(const Iter&) const = default;
+
+   private:
+    friend class TechMap;
+    Iter(Map* map, std::size_t i) : map_(map), i_(i) { skip(); }
+    void skip() {
+      while (i_ < kSlots && !(map_->mask_ & (1u << i_))) ++i_;
+    }
+
+    Map* map_;
+    std::size_t i_;
+  };
+  using iterator = Iter<false>;
+  using const_iterator = Iter<true>;
+
+  TechMap() {
+    for (std::size_t i = 0; i < kSlots; ++i) {
+      slots_[i].first = static_cast<Technology>(i);
+    }
+  }
+
+  // Iteration visits technologies in enum (energy-rank) order, matching the
+  // ordered map this replaces — peers_on/expire/report output is unchanged.
+  iterator begin() { return {this, 0}; }
+  iterator end() { return {this, kSlots}; }
+  const_iterator begin() const { return {this, 0}; }
+  const_iterator end() const { return {this, kSlots}; }
+
+  iterator find(Technology t) {
+    return has(t) ? iterator{this, idx(t)} : end();
+  }
+  const_iterator find(Technology t) const {
+    return has(t) ? const_iterator{this, idx(t)} : end();
+  }
+
+  PeerTechInfo& at(Technology t) {
+    OMNI_CHECK_MSG(has(t), "TechMap::at on absent technology");
+    return slots_[idx(t)].second;
+  }
+  const PeerTechInfo& at(Technology t) const {
+    OMNI_CHECK_MSG(has(t), "TechMap::at on absent technology");
+    return slots_[idx(t)].second;
+  }
+
+  /// Insert if absent (std::map semantics: no overwrite of an existing
+  /// entry). Returns the entry and whether it was inserted.
+  std::pair<iterator, bool> emplace(Technology t, PeerTechInfo info) {
+    if (has(t)) return {iterator{this, idx(t)}, false};
+    mask_ |= static_cast<std::uint8_t>(1u << idx(t));
+    slots_[idx(t)].second = std::move(info);
+    return {iterator{this, idx(t)}, true};
+  }
+
+  iterator erase(iterator it) {
+    mask_ &= static_cast<std::uint8_t>(~(1u << it.i_));
+    slots_[it.i_].second = PeerTechInfo{};
+    return ++it;
+  }
+
+  bool empty() const { return mask_ == 0; }
+  std::size_t size() const {
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < kSlots; ++i) n += (mask_ >> i) & 1u;
+    return n;
+  }
+
+ private:
+  static constexpr std::size_t kSlots = kAllTechnologies.size();
+  static std::size_t idx(Technology t) { return static_cast<std::size_t>(t); }
+  bool has(Technology t) const { return (mask_ >> idx(t)) & 1u; }
+
+  std::array<value_type, kSlots> slots_{};
+  std::uint8_t mask_ = 0;
+};
+
 struct PeerEntry {
   OmniAddress address;
-  std::map<Technology, PeerTechInfo> techs;
+  TechMap techs;
   TimePoint last_seen;
 
   bool reachable_on(Technology tech) const {
     return techs.find(tech) != techs.end();
   }
+};
+
+/// One technology mapping carried by a sighting (see PeerTable::observe_all).
+struct Sighting {
+  Technology tech;
+  LowLevelAddress low;
+  bool requires_refresh = false;
 };
 
 class PeerTable {
@@ -41,6 +151,12 @@ class PeerTable {
   /// stale again, matching the paper: every message refreshes the mapping).
   void observe(OmniAddress peer, Technology tech, LowLevelAddress low,
                TimePoint now, bool requires_refresh);
+
+  /// Record several technology mappings from one sighting of `peer` (an
+  /// address beacon names every technology the peer is reachable on) with a
+  /// single table probe. Unset addresses are skipped.
+  void observe_all(OmniAddress peer, std::span<const Sighting> sightings,
+                   TimePoint now);
 
   /// Mark a mapping validated (e.g., after a successful data exchange).
   void mark_fresh(OmniAddress peer, Technology tech);
@@ -69,7 +185,10 @@ class PeerTable {
   bool empty() const { return peers_.empty(); }
 
  private:
-  std::map<OmniAddress, PeerEntry> peers_;
+  // Hashed for O(1) observe on the receive hot path. Every accessor that
+  // exposes multiple peers sorts (or minimizes) by address, so observable
+  // ordering matches the ordered map this replaces.
+  std::unordered_map<OmniAddress, PeerEntry> peers_;
 };
 
 }  // namespace omni

@@ -8,10 +8,10 @@
 // interface for real-time deployments.
 #pragma once
 
-#include <deque>
 #include <functional>
 #include <optional>
 #include <utility>
+#include <vector>
 
 #include "common/time.h"
 #include "sim/simulator.h"
@@ -26,28 +26,69 @@ class SimQueue {
   SimQueue& operator=(const SimQueue&) = delete;
 
   void push(T item) {
-    items_.push_back(std::move(item));
+    if (count_ < items_.size()) {
+      items_[count_] = std::move(item);
+    } else {
+      items_.push_back(std::move(item));
+    }
+    ++count_;
+    wake();
+  }
+
+  /// Append a slot and let `fill` write it in place. A slot recycled from an
+  /// earlier drained batch keeps its heap buffers (a packet's payload vector,
+  /// say), so a producer that fills via assign() allocates nothing in steady
+  /// state.
+  template <typename Fill>
+  void produce(Fill&& fill) {
+    if (count_ == items_.size()) items_.emplace_back();
+    fill(items_[count_]);
+    ++count_;
     wake();
   }
 
   std::optional<T> try_pop() {
-    if (items_.empty()) return std::nullopt;
+    if (count_ == 0) return std::nullopt;
     T out = std::move(items_.front());
-    items_.pop_front();
+    items_.erase(items_.begin());
+    --count_;
     return out;
+  }
+
+  /// Swap out the entire backlog (mirrors ConcurrentQueue::drain so
+  /// consumers written against one queue type work against the other).
+  std::vector<T> drain() {
+    std::vector<T> out;
+    out.swap(items_);
+    out.resize(count_);  // drop recycled slots past the live prefix
+    count_ = 0;
+    return out;
+  }
+
+  /// drain() into a reused buffer: the backlog is exchanged with `out` and
+  /// the number of live items — a prefix of `out` — is returned. Elements
+  /// past that prefix are dead slots from earlier batches; a caller that
+  /// leaves them in place (no clear()) hands their buffers back to
+  /// produce()/push() at the next exchange, so steady-state draining
+  /// allocates nothing.
+  std::size_t drain_into(std::vector<T>& out) {
+    std::swap(items_, out);
+    std::size_t live = count_;
+    count_ = 0;
+    return live;
   }
 
   /// Register the consumer's wakeup. After every push, the consumer runs in
   /// its own event (coalesced: one wakeup per batch of same-instant pushes).
   void set_consumer(std::function<void()> fn) {
     consumer_ = std::move(fn);
-    if (!items_.empty()) wake();
+    if (count_ > 0) wake();
   }
 
   void clear_consumer() { consumer_ = nullptr; }
 
-  std::size_t size() const { return items_.size(); }
-  bool empty() const { return items_.empty(); }
+  std::size_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
 
  private:
   void wake() {
@@ -60,7 +101,12 @@ class SimQueue {
   }
 
   sim::Simulator* sim_;
-  std::deque<T> items_;
+  // Vector, not deque: consumers batch-drain, so FIFO pop-front is rare
+  // (short send queues only) while push/drain are hot. The live backlog is
+  // items_[0, count_); later elements are recycled slots whose buffers
+  // produce() reuses (see drain_into).
+  std::vector<T> items_;
+  std::size_t count_ = 0;
   std::function<void()> consumer_;
   bool wake_pending_ = false;
 };

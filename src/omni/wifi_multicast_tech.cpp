@@ -151,11 +151,13 @@ void WifiMulticastTech::on_multicast(const MeshAddress& from,
     }
     return;
   }
-  auto packed = unframe_mesh(frame, radio_.address());
+  auto packed = unframe_mesh_view(frame, radio_.address());
   if (!packed) return;
-  queues_.receive->push(ReceivedPacket{Technology::kWifiMulticast,
-                                       LowLevelAddress{from},
-                                       std::move(*packed)});
+  queues_.receive->produce([&](ReceivedPacket& pkt) {
+    pkt.tech = Technology::kWifiMulticast;
+    pkt.from = LowLevelAddress{from};
+    pkt.packed.assign(packed->begin(), packed->end());
+  });
 }
 
 void WifiMulticastTech::drain_send_queue() {

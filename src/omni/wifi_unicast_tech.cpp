@@ -18,8 +18,11 @@ EnableResult WifiUnicastTech::enable(const TechQueues& queues) {
   radio_.add_datagram_handler(
       [this](const MeshAddress& from, const Bytes& payload, bool multicast) {
         if (multicast || !enabled_) return;
-        queues_.receive->push(ReceivedPacket{Technology::kWifiUnicast,
-                                             LowLevelAddress{from}, payload});
+        queues_.receive->produce([&](ReceivedPacket& pkt) {
+          pkt.tech = Technology::kWifiUnicast;
+          pkt.from = LowLevelAddress{from};
+          pkt.packed.assign(payload.begin(), payload.end());
+        });
       });
   radio_.add_power_handler([this](bool powered) {
     if (!enabled_) return;
@@ -63,6 +66,14 @@ void WifiUnicastTech::disable() {
     respond(req, false, "technology disabled");
   }
   waiting_for_join_.clear();
+  // Withdraw in-flight flows (see open_flows_): cancel first so the mesh
+  // drops its callback, then fail the request on the response queue.
+  auto flows = std::move(open_flows_);
+  open_flows_.clear();
+  for (auto& [id, req] : flows) {
+    mesh_.cancel_flow(id);
+    respond(*req, false, "technology disabled");
+  }
   enabled_ = false;
 }
 
@@ -122,11 +133,22 @@ void WifiUnicastTech::process(SendRequest request) {
 void WifiUnicastTech::do_send(std::shared_ptr<SendRequest> request) {
   const MeshAddress dest = std::get<MeshAddress>(request->dest);
   auto req = request;
+  // The flow id is only known after open_flow returns, but the completion
+  // callback needs it to deregister itself; route it through a shared slot.
+  auto id_slot = std::make_shared<radio::FlowId>(0);
   auto flow = mesh_.open_flow(
       radio_, dest, req->packed.size(),
-      [this, req](Status s) { respond(*req, s.is_ok(), s.message()); },
+      [this, req, id_slot](Status s) {
+        open_flows_.erase(*id_slot);
+        respond(*req, s.is_ok(), s.message());
+      },
       /*progress=*/nullptr, /*payload=*/req->packed);
-  if (!flow) respond(*request, false, flow.error_message());
+  if (!flow) {
+    respond(*request, false, flow.error_message());
+    return;
+  }
+  *id_slot = flow.value();
+  open_flows_.emplace(flow.value(), std::move(req));
 }
 
 void WifiUnicastTech::respond(const SendRequest& request, bool success,

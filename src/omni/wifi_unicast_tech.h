@@ -11,6 +11,7 @@
 #pragma once
 
 #include <deque>
+#include <map>
 #include <memory>
 
 #include "net/discovery_ritual.h"
@@ -57,6 +58,11 @@ class WifiUnicastTech final : public CommTechnology {
   bool joined_ = false;
   /// Requests arriving before the initial mesh join completes.
   std::deque<SendRequest> waiting_for_join_;
+  /// Flows this plugin opened that have not completed. The mesh outlives
+  /// the plugin, so disable() must withdraw these flows' completion
+  /// callbacks — a flow failing later (radio teardown, membership loss)
+  /// would otherwise call back into freed memory.
+  std::map<radio::FlowId, std::shared_ptr<SendRequest>> open_flows_;
 };
 
 }  // namespace omni

@@ -75,7 +75,7 @@ Result<AdvertisementId> BleRadio::start_advertising(Bytes payload,
     return Result<AdvertisementId>::error("advertisement interval must be >0");
   }
   AdvertisementId id = next_adv_id_++;
-  advertisements_.emplace(
+  advertisements_.emplace_back(
       id, Advertisement{std::move(payload), interval, sim::EventHandle{}});
   // First event after a full interval: a freshly added advertisement is not
   // instantly on the air.
@@ -83,10 +83,17 @@ Result<AdvertisementId> BleRadio::start_advertising(Bytes payload,
   return id;
 }
 
+BleRadio::Advertisement* BleRadio::find_adv(AdvertisementId id) {
+  for (auto& [adv_id, adv] : advertisements_) {
+    if (adv_id == id) return &adv;
+  }
+  return nullptr;
+}
+
 Status BleRadio::update_advertising(AdvertisementId id, Bytes payload,
                                     Duration interval) {
-  auto it = advertisements_.find(id);
-  if (it == advertisements_.end()) {
+  Advertisement* adv = find_adv(id);
+  if (adv == nullptr) {
     return Status::error("unknown advertisement id");
   }
   if (payload.size() > max_payload()) {
@@ -96,38 +103,46 @@ Status BleRadio::update_advertising(AdvertisementId id, Bytes payload,
   if (interval <= Duration::zero()) {
     return Status::error("advertisement interval must be >0");
   }
-  bool reschedule = interval != it->second.interval;
-  it->second.payload = std::move(payload);
-  it->second.interval = interval;
+  bool reschedule = interval != adv->interval;
+  adv->payload = std::move(payload);
+  adv->interval = interval;
   if (reschedule) {
-    it->second.next_event.cancel();
+    adv->next_event.cancel();
     schedule_adv(id, interval);
   }
   return Status::ok();
 }
 
 Status BleRadio::stop_advertising(AdvertisementId id) {
-  auto it = advertisements_.find(id);
-  if (it == advertisements_.end()) {
-    return Status::error("unknown advertisement id");
+  for (auto it = advertisements_.begin(); it != advertisements_.end(); ++it) {
+    if (it->first == id) {
+      it->second.next_event.cancel();
+      advertisements_.erase(it);
+      return Status::ok();
+    }
   }
-  it->second.next_event.cancel();
-  advertisements_.erase(it);
-  return Status::ok();
+  return Status::error("unknown advertisement id");
 }
 
 void BleRadio::schedule_adv(AdvertisementId id, Duration delay) {
-  auto it = advertisements_.find(id);
-  if (it == advertisements_.end()) return;
-  it->second.next_event = sim_.after(delay, [this, id] { fire_adv(id); });
+  Advertisement* adv = find_adv(id);
+  if (adv == nullptr) return;
+  adv->next_event = sim_.after(delay, [this, id] { fire_adv(id); });
 }
 
 void BleRadio::fire_adv(AdvertisementId id) {
-  auto it = advertisements_.find(id);
-  if (it == advertisements_.end() || !powered_) return;
+  Advertisement* adv = find_adv(id);
+  if (adv == nullptr || !powered_) return;
   meter_.charge_for(cal_.ble_adv_event, cal_.ble_advertise_ma);
-  medium_.broadcast(*this, it->second.payload);
-  schedule_adv(id, it->second.interval);
+  // Reschedule before broadcasting, reusing this lookup. A receive handler
+  // that stops or retunes this advertisement mid-broadcast cancels/replaces
+  // the handle we just stored, so the outcome matches reschedule-after.
+  adv->next_event = sim_.after(adv->interval, [this, id] { fire_adv(id); });
+  // Broadcast from a reused scratch copy: a handler that adds or stops an
+  // advertisement mid-broadcast may reallocate or erase vector storage, so
+  // `adv` must not be dereferenced past this point.
+  adv_scratch_.assign(adv->payload.begin(), adv->payload.end());
+  medium_.broadcast(*this, adv_scratch_);
 }
 
 Status BleRadio::send_datagram(Bytes payload, SendDoneFn done,
@@ -166,23 +181,49 @@ void BleRadio::deliver(const BleAddress& from, const Bytes& payload) {
   if (on_receive_) on_receive_(from, payload);
 }
 
+void BleMedium::attach(BleRadio* radio) {
+  radios_.push_back(radio);
+  if (radio->node() >= radios_by_node_.size()) {
+    radios_by_node_.resize(radio->node() + 1);
+  }
+  radios_by_node_[radio->node()].push_back(radio);
+}
+
 void BleMedium::detach(BleRadio* radio) {
   radios_.erase(std::remove(radios_.begin(), radios_.end(), radio),
                 radios_.end());
+  if (radio->node() >= radios_by_node_.size()) return;
+  auto& on_node = radios_by_node_[radio->node()];
+  on_node.erase(std::remove(on_node.begin(), on_node.end(), radio),
+                on_node.end());
 }
 
 void BleMedium::broadcast(const BleRadio& from, const Bytes& payload,
                           bool reliable_burst) {
-  for (BleRadio* rx : radios_) {
-    if (rx == &from || !rx->powered() || !rx->scanning()) continue;
-    if (!world_.in_range(from.node(), rx->node(), cal_.ble_range_m)) continue;
-    if (!reliable_burst) {
-      double p = cal_.ble_capture_probability * rx->scan_duty();
-      if (p < 1.0 && !world_.simulator().rng().chance(p)) continue;
+  // Candidate nodes come from the world's spatial grid (exact-range
+  // filtered, ascending by node id, including the sender's own node so
+  // co-located radios still hear each other). The scratch buffer is swapped
+  // out for the duration of delivery: a receive handler that indirectly
+  // re-broadcasts then simply grows a temporary instead of corrupting this
+  // iteration.
+  std::vector<NodeId> nodes;
+  std::swap(nodes, scratch_nodes_);
+  world_.nodes_near(from.node(), cal_.ble_range_m, nodes);
+  Rng& rng = world_.simulator().rng();
+  const double capture_p = cal_.ble_capture_probability;
+  for (NodeId node : nodes) {
+    if (node >= radios_by_node_.size()) continue;
+    for (BleRadio* rx : radios_by_node_[node]) {
+      if (rx == &from || !rx->powered() || !rx->scanning()) continue;
+      if (!reliable_burst) {
+        double p = capture_p * rx->scan_duty();
+        if (p < 1.0 && !rng.chance(p)) continue;
+      }
+      ++delivered_;
+      rx->deliver(from.address(), payload);
     }
-    ++delivered_;
-    rx->deliver(from.address(), payload);
   }
+  std::swap(nodes, scratch_nodes_);
 }
 
 }  // namespace omni::radio

@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <functional>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/result.h"
@@ -107,6 +108,7 @@ class BleRadio {
   void schedule_adv(AdvertisementId id, Duration delay);
   void fire_adv(AdvertisementId id);
   void apply_scan_level();
+  Advertisement* find_adv(AdvertisementId id);
 
   BleMedium& medium_;
   sim::Simulator& sim_;
@@ -123,7 +125,11 @@ class BleRadio {
   AddressFn on_address_;
   std::uint32_t rotation_count_ = 0;
   AdvertisementId next_adv_id_ = 1;
-  std::unordered_map<AdvertisementId, Advertisement> advertisements_;
+  // A device runs a handful of advertisements (address beacon + a few
+  // contexts): a flat vector with linear lookup beats hashing on the
+  // per-fire hot path.
+  std::vector<std::pair<AdvertisementId, Advertisement>> advertisements_;
+  Bytes adv_scratch_;  ///< fire_adv broadcast staging (see fire_adv)
 };
 
 /// The shared BLE broadcast medium: tracks radios, resolves range via the
@@ -135,7 +141,7 @@ class BleMedium {
   BleMedium(const BleMedium&) = delete;
   BleMedium& operator=(const BleMedium&) = delete;
 
-  void attach(BleRadio* radio) { radios_.push_back(radio); }
+  void attach(BleRadio* radio);
   void detach(BleRadio* radio);
 
   /// Deliver `payload` from `from` to every powered, scanning radio in range
@@ -155,6 +161,12 @@ class BleMedium {
   sim::World& world_;
   const Calibration& cal_;
   std::vector<BleRadio*> radios_;
+  /// Grid-backed delivery: broadcast() asks the world for candidate nodes in
+  /// range and resolves them to radios here instead of scanning every
+  /// attached radio. Indexed directly by NodeId (ids are dense); a node may
+  /// host several radios (kept in attach order).
+  std::vector<std::vector<BleRadio*>> radios_by_node_;
+  std::vector<NodeId> scratch_nodes_;  // reused query buffer
   std::uint64_t delivered_ = 0;
 };
 

@@ -31,13 +31,27 @@ MeshNetwork::~MeshNetwork() {
 void MeshNetwork::add_member(WifiRadio& radio) {
   if (is_member(radio)) return;
   members_.push_back(&radio);
+  members_by_node_[radio.node()].push_back(&radio);
 }
 
 void MeshNetwork::remove_member(WifiRadio& radio) {
   auto it = std::find(members_.begin(), members_.end(), &radio);
   if (it == members_.end()) return;
   members_.erase(it);
+  auto by_node = members_by_node_.find(radio.node());
+  if (by_node != members_by_node_.end()) {
+    auto& on_node = by_node->second;
+    on_node.erase(std::remove(on_node.begin(), on_node.end(), &radio),
+                  on_node.end());
+    if (on_node.empty()) members_by_node_.erase(by_node);
+  }
   fail_flows_involving(radio, "peer left the mesh");
+}
+
+const std::vector<WifiRadio*>* MeshNetwork::members_on_node(
+    NodeId node) const {
+  auto it = members_by_node_.find(node);
+  return it == members_by_node_.end() ? nullptr : &it->second;
 }
 
 bool MeshNetwork::is_member(const WifiRadio& radio) const {
@@ -275,10 +289,17 @@ Status MeshNetwork::send_datagram(WifiRadio& src, const MeshAddress& dst,
 std::vector<WifiRadio*> MeshNetwork::receivers_in_range(
     const WifiRadio& src) const {
   const auto& cal = system_.calibration();
+  auto& world = system_.world();
   std::vector<WifiRadio*> out;
-  for (WifiRadio* r : members_) {
-    if (r == &src || !r->powered()) continue;
-    if (system_.world().in_range(src.node(), r->node(), cal.wifi_range_m)) {
+  // Grid-backed candidate iteration: ask the world for nodes within range
+  // (ascending by id, sender's node included for co-located members) and
+  // resolve them through the membership index.
+  world.nodes_near(src.node(), cal.wifi_range_m, scratch_nodes_);
+  for (NodeId node : scratch_nodes_) {
+    auto it = members_by_node_.find(node);
+    if (it == members_by_node_.end()) continue;
+    for (WifiRadio* r : it->second) {
+      if (r == &src || !r->powered()) continue;
       out.push_back(r);
     }
   }

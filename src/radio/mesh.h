@@ -16,6 +16,7 @@
 #include <functional>
 #include <map>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/result.h"
@@ -52,6 +53,9 @@ class MeshNetwork {
   bool is_member(const WifiRadio& radio) const;
   WifiRadio* find_member(const MeshAddress& addr) const;
   const std::vector<WifiRadio*>& members() const { return members_; }
+  /// Member radios hosted on `node` (attach order), or nullptr if none —
+  /// the grid-backed fan-out paths resolve candidate nodes through this.
+  const std::vector<WifiRadio*>* members_on_node(NodeId node) const;
 
   // --- Unicast TCP (fluid flows).
   /// Open a reliable flow of `bytes` from src to the member at `dst`.
@@ -138,6 +142,8 @@ class MeshNetwork {
   WifiSystem& system_;
   std::string name_;
   std::vector<WifiRadio*> members_;
+  std::unordered_map<NodeId, std::vector<WifiRadio*>> members_by_node_;
+  mutable std::vector<NodeId> scratch_nodes_;  // reused range-query buffer
 
   std::map<FlowId, Flow> flows_;
   FlowId next_flow_id_ = 1;

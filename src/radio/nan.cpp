@@ -46,33 +46,41 @@ void NanSystem::run_window() {
   std::uint64_t index = window_index(start);
   ++windows_run_;
 
-  // Wake every attending radio (charges the DW receive energy).
+  // Wake every attending radio (charges the DW receive energy) and index
+  // the awake set by node so publish fan-out can run off the spatial grid.
   std::vector<NanRadio*> awake;
+  awake_by_node_.clear();
   for (NanRadio* r : radios_) {
     if (r->enabled() && r->attends(index)) {
       r->window_wake(start);
       awake.push_back(r);
+      awake_by_node_[r->node()].push_back(r);
     }
   }
 
   // Service discovery frames: every publish reaches every other awake radio
-  // in range. Delivery lands just after the window (processing).
+  // in range. Delivery lands just after the window (processing). Candidate
+  // receivers come from the grid, not a scan of the whole awake set.
   Duration deliver_after = cal_.nan_dw_duration;
   for (NanRadio* tx : awake) {
     if (tx->publishes().empty() && tx->followups().empty()) continue;
     // Transmit airtime for this radio's frames.
     double frames = static_cast<double>(tx->publishes().size());
+    if (!tx->publishes().empty()) {
+      world_.nodes_near(tx->node(), cal_.nan_range_m, scratch_nodes_);
+    }
     for (const auto& [id, payload] : tx->publishes()) {
-      for (NanRadio* rx : awake) {
-        if (rx == tx) continue;
-        if (!world_.in_range(tx->node(), rx->node(), cal_.nan_range_m)) {
-          continue;
+      for (NodeId node : scratch_nodes_) {
+        auto it = awake_by_node_.find(node);
+        if (it == awake_by_node_.end()) continue;
+        for (NanRadio* rx : it->second) {
+          if (rx == tx) continue;
+          NanAddress from = tx->address();
+          Bytes copy = payload;
+          sim.after(deliver_after, [rx, from, copy = std::move(copy)] {
+            rx->deliver(from, copy);
+          });
         }
-        NanAddress from = tx->address();
-        Bytes copy = payload;
-        sim.after(deliver_after, [rx, from, copy = std::move(copy)] {
-          rx->deliver(from, copy);
-        });
       }
     }
     // Follow-ups: serviced FIFO; a follow-up whose destination is not awake

@@ -15,6 +15,7 @@
 #include <deque>
 #include <functional>
 #include <map>
+#include <unordered_map>
 #include <vector>
 
 #include "common/result.h"
@@ -59,6 +60,10 @@ class NanSystem {
   std::vector<NanRadio*> radios_;
   sim::EventHandle tick_event_;
   std::uint64_t windows_run_ = 0;
+  // Per-window scratch (cleared each window): awake radios indexed by node
+  // for grid-backed publish fan-out, and the candidate-node query buffer.
+  std::unordered_map<NodeId, std::vector<NanRadio*>> awake_by_node_;
+  std::vector<NodeId> scratch_nodes_;
 };
 
 class NanRadio {

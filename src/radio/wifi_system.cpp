@@ -32,11 +32,21 @@ void WifiSystem::detach(WifiRadio* radio) {
 std::vector<MeshNetwork*> WifiSystem::visible_meshes(
     const WifiRadio& from) const {
   std::vector<MeshNetwork*> out;
+  // One grid query covers every mesh: a mesh is visible iff some candidate
+  // node in WiFi range hosts one of its powered members.
+  world_.nodes_near(from.node(), cal_.wifi_range_m, scratch_nodes_);
   for (const auto& m : meshes_) {
-    for (WifiRadio* member : m->members()) {
-      if (member == &from) continue;
-      if (!member->powered()) continue;
-      if (world_.in_range(from.node(), member->node(), cal_.wifi_range_m)) {
+    for (NodeId node : scratch_nodes_) {
+      const std::vector<WifiRadio*>* members = m->members_on_node(node);
+      if (members == nullptr) continue;
+      bool visible = false;
+      for (WifiRadio* member : *members) {
+        if (member != &from && member->powered()) {
+          visible = true;
+          break;
+        }
+      }
+      if (visible) {
         out.push_back(m.get());
         break;
       }

@@ -48,6 +48,7 @@ class WifiSystem {
   const Calibration& cal_;
   std::vector<std::unique_ptr<MeshNetwork>> meshes_;
   std::vector<WifiRadio*> radios_;
+  mutable std::vector<NodeId> scratch_nodes_;  // reused range-query buffer
 };
 
 }  // namespace omni::radio

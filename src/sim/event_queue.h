@@ -2,15 +2,28 @@
 //
 // Events fire in (time, sequence) order so that two events scheduled for the
 // same instant run in scheduling order — this makes simulations fully
-// deterministic. Cancellation is O(1) lazy: a cancelled event stays in the
-// heap but is skipped when popped; the live count is maintained eagerly so
-// empty()/size() are always exact.
+// deterministic.
+//
+// Implementation: a slab of event slots (free-list reuse, no per-event heap
+// allocation beyond what the callback itself captures) indexed by a 4-ary
+// min-heap. Heap entries carry their (time, sequence) key inline, so sift
+// comparisons read contiguous heap memory instead of chasing slab cache
+// lines. Every slot carries its heap position, so
+// cancellation is a true O(log n) heap removal — cancelled events leave the
+// queue immediately instead of piling up as dead entries until popped, which
+// keeps memory bounded by the number of *live* events even under workloads
+// that cancel millions of periodic timers (address-beacon reschedules).
+//
+// Handles are (slot index, generation) pairs: generations are globally
+// unique per scheduled event, so a stale handle can never cancel an
+// unrelated event that happens to reuse its slot. Handles weigh two words
+// and involve no shared_ptr/atomics; they must not be used after the
+// EventQueue that issued them is destroyed (in this codebase the Simulator —
+// and thus its queue — always outlives the components holding handles).
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <memory>
-#include <queue>
 #include <vector>
 
 #include "common/time.h"
@@ -18,6 +31,8 @@
 namespace omni::sim {
 
 using EventFn = std::function<void()>;
+
+class EventQueue;
 
 /// Handle to a scheduled event, usable to cancel it. Default-constructed
 /// handles are inert. Copying shares the same underlying event.
@@ -34,53 +49,136 @@ class EventHandle {
 
  private:
   friend class EventQueue;
-  struct State {
-    bool done = false;         // ran or cancelled
-    std::size_t* live = nullptr;  // owner's live counter (null once done)
-  };
-  explicit EventHandle(std::weak_ptr<State> state) : state_(std::move(state)) {}
-  std::weak_ptr<State> state_;
+  EventHandle(EventQueue* queue, std::uint32_t slot, std::uint64_t generation)
+      : queue_(queue), slot_(slot), generation_(generation) {}
+
+  EventQueue* queue_ = nullptr;
+  std::uint32_t slot_ = 0;
+  std::uint64_t generation_ = 0;
 };
 
 class EventQueue {
  public:
+  EventQueue() = default;
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
   /// Add an event firing at `at`; later insertions at the same time fire
   /// later. Returns a handle usable for cancellation.
   EventHandle schedule(TimePoint at, EventFn fn);
 
-  bool empty() const { return live_ == 0; }
-  std::size_t size() const { return live_; }
+  /// Add an event firing at the current instant `now` (a zero-delay wakeup).
+  /// Same ordering contract as schedule(now, fn), but the event lands in a
+  /// FIFO instead of the heap: the bulk of a large simulation's events are
+  /// same-instant queue wakeups, and appending to a ring costs O(1) with no
+  /// sifting. Correct only when `now` never decreases between calls (true
+  /// for a simulator clock): every pending heap event at time `now` was
+  /// scheduled earlier — before the clock reached `now` — so draining the
+  /// heap's `now` entries before the FIFO preserves global (time, sequence)
+  /// order.
+  EventHandle schedule_now(TimePoint now, EventFn fn);
 
-  /// Earliest pending (non-cancelled) event time; TimePoint::max() if empty.
-  TimePoint next_time();
+  bool empty() const { return heap_.empty() && fifo_live_ == 0; }
+  std::size_t size() const { return heap_.size() + fifo_live_; }
+
+  /// True if a zero-delay event is pending. It fires at the current instant:
+  /// after heap events already due at that instant, before anything later.
+  bool has_immediate() const { return fifo_live_ > 0; }
+
+  /// High-water mark of pending (live) events over the queue's lifetime.
+  std::size_t peak_size() const { return peak_live_; }
+
+  /// Slots currently held by the slab (capacity bound; tests assert this
+  /// stays near the live high-water mark rather than growing with the
+  /// schedule/cancel churn count).
+  std::size_t slab_capacity() const { return slots_.size(); }
+
+  /// Earliest pending *heap* event time; TimePoint::max() if the heap is
+  /// empty. Zero-delay events are not represented here — they are due at the
+  /// caller's current instant whenever has_immediate() is true.
+  TimePoint next_time() const {
+    return heap_.empty() ? TimePoint::max() : heap_[0].at;
+  }
 
   /// Pop and return the earliest pending event; the caller runs it. Must not
-  /// be called when empty().
+  /// be called when empty(). `now` is the caller's clock: heap events due at
+  /// or before `now` fire ahead of queued zero-delay events (they carry
+  /// smaller sequence numbers — see schedule_now).
   struct Popped {
     TimePoint at;
     EventFn fn;
   };
-  Popped pop();
+  Popped pop(TimePoint now);
 
  private:
-  struct Entry {
+  friend class EventHandle;
+
+  static constexpr std::uint32_t kArity = 4;
+  static constexpr std::uint32_t kNone = 0xffffffffu;
+  /// heap_index marker for slots queued in the zero-delay FIFO.
+  static constexpr std::uint32_t kInFifo = 0xfffffffeu;
+  /// Slab sizes below this never trigger compaction (churn on tiny slabs is
+  /// cheap; compaction would just thrash).
+  static constexpr std::size_t kCompactMin = 64;
+
+  struct Slot {
     TimePoint at;
-    std::uint64_t seq;
+    std::uint64_t generation = 0;  ///< 0 = free; doubles as the fire sequence
     EventFn fn;
-    std::shared_ptr<EventHandle::State> state;
-  };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.at != b.at) return a.at > b.at;
-      return a.seq > b.seq;
-    }
+    std::uint32_t heap_index = kNone;  ///< kNone while free
+    std::uint32_t next_free = kNone;
   };
 
-  void drop_done();
+  /// One heap element: the slot's ordering key, duplicated here so sifts
+  /// never touch the slab.
+  struct HeapEntry {
+    TimePoint at;
+    std::uint64_t generation;
+    std::uint32_t slot;
+  };
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-  std::uint64_t next_seq_ = 0;
-  std::size_t live_ = 0;  // events neither run nor cancelled
+  /// Heap order: (at, generation) ascending — generation is assigned in
+  /// schedule order, preserving deterministic same-instant FIFO.
+  static bool before(const HeapEntry& a, const HeapEntry& b) {
+    if (a.at != b.at) return a.at < b.at;
+    return a.generation < b.generation;
+  }
+
+  void place(std::size_t i, const HeapEntry& e) {
+    heap_[i] = e;
+    slots_[e.slot].heap_index = static_cast<std::uint32_t>(i);
+  }
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i);
+  void remove_heap_at(std::size_t i);
+  Popped pop_heap();
+  Popped pop_fifo(TimePoint now);
+
+  std::uint32_t alloc_slot();
+  void free_slot(std::uint32_t idx);
+  void maybe_compact();
+
+  bool slot_live(std::uint32_t slot, std::uint64_t generation) const {
+    return slot < slots_.size() && slots_[slot].generation == generation;
+  }
+  void cancel_slot(std::uint32_t slot, std::uint64_t generation);
+
+  /// One zero-delay FIFO entry: the slot plus its generation, so entries
+  /// whose event was cancelled (slot freed or reused) are skipped on pop.
+  struct FifoEntry {
+    std::uint64_t generation;
+    std::uint32_t slot;
+  };
+
+  std::vector<Slot> slots_;       // slab; free slots linked via next_free
+  std::vector<HeapEntry> heap_;  // 4-ary min-heap of live events
+  std::vector<FifoEntry> fifo_;  // zero-delay events, fire order; ring-style
+  std::size_t fifo_head_ = 0;    // first unpopped fifo_ entry
+  std::size_t fifo_live_ = 0;    // non-cancelled events in fifo_
+  std::uint32_t free_head_ = kNone;
+  std::size_t free_count_ = 0;
+  std::uint64_t next_generation_ = 1;  // 0 is the "free slot" marker
+  std::size_t peak_live_ = 0;
 };
 
 }  // namespace omni::sim

@@ -6,9 +6,11 @@ std::uint64_t Simulator::run_until(TimePoint deadline) {
   stop_requested_ = false;
   std::uint64_t ran = 0;
   while (!events_.empty() && !stop_requested_) {
-    TimePoint next = events_.next_time();
+    // Zero-delay events are due at the current instant; otherwise the next
+    // heap event decides how far the clock jumps.
+    TimePoint next = events_.has_immediate() ? now_ : events_.next_time();
     if (next > deadline) break;
-    auto [at, fn] = events_.pop();
+    auto [at, fn] = events_.pop(now_);
     now_ = at;
     fn();
     ++ran;
@@ -22,7 +24,7 @@ std::uint64_t Simulator::run() {
   stop_requested_ = false;
   std::uint64_t ran = 0;
   while (!events_.empty() && !stop_requested_) {
-    auto [at, fn] = events_.pop();
+    auto [at, fn] = events_.pop(now_);
     now_ = at;
     fn();
     ++ran;

@@ -25,15 +25,18 @@ class Simulator {
   Rng& rng() { return rng_; }
 
   /// Schedule `fn` to run `delay` from now. Zero (or negative) delays run
-  /// after currently queued same-time events, never re-entrantly.
+  /// after currently queued same-time events, never re-entrantly; they take
+  /// the queue's O(1) zero-delay path instead of the heap.
   EventHandle after(Duration delay, EventFn fn) {
-    Duration d = delay.is_negative() ? Duration::zero() : delay;
-    return events_.schedule(now_ + d, std::move(fn));
+    if (delay <= Duration::zero()) {
+      return events_.schedule_now(now_, std::move(fn));
+    }
+    return events_.schedule(now_ + delay, std::move(fn));
   }
 
   /// Schedule `fn` at an absolute virtual time (clamped to now).
   EventHandle at(TimePoint when, EventFn fn) {
-    if (when < now_) when = now_;
+    if (when <= now_) return events_.schedule_now(now_, std::move(fn));
     return events_.schedule(when, std::move(fn));
   }
 
@@ -53,6 +56,8 @@ class Simulator {
 
   bool idle() const { return events_.empty(); }
   std::size_t pending_events() const { return events_.size(); }
+  /// High-water mark of simultaneously pending events (heap size bound).
+  std::size_t peak_pending_events() const { return events_.peak_size(); }
   std::uint64_t executed_events() const { return executed_; }
 
  private:

@@ -1,15 +1,22 @@
 #include "sim/world.h"
 
+#include <algorithm>
 #include <cmath>
 
 namespace omni::sim {
 
 double Vec2::norm() const { return std::sqrt(x * x + y * y); }
 
+std::int64_t World::cell_coord(double v) const {
+  return static_cast<std::int64_t>(std::floor(v / cell_m_));
+}
+
 NodeId World::add_node(std::string name, Vec2 position) {
   NodeId id = static_cast<NodeId>(nodes_.size());
   nodes_.push_back(Node{std::move(name), position, position, sim_.now(),
-                        sim_.now()});
+                        sim_.now(), {}});
+  rebucket(id);
+  ++topo_epoch_;
   return id;
 }
 
@@ -27,8 +34,9 @@ const std::string& World::name(NodeId id) const { return node(id).name; }
 
 Vec2 World::position(NodeId id) const {
   const Node& n = node(id);
+  if (n.arrive == n.depart) return n.to;
   TimePoint now = sim_.now();
-  if (now >= n.arrive || n.arrive == n.depart) return n.to;
+  if (now >= n.arrive) return n.to;
   double total = (n.arrive - n.depart).as_seconds();
   double done = (now - n.depart).as_seconds();
   double f = total > 0 ? done / total : 1.0;
@@ -39,6 +47,8 @@ void World::set_position(NodeId id, Vec2 position) {
   Node& n = node(id);
   n.from = n.to = position;
   n.depart = n.arrive = sim_.now();
+  rebucket(id);
+  ++topo_epoch_;
 }
 
 void World::move_to(NodeId id, Vec2 target, double speed_mps) {
@@ -50,17 +60,117 @@ void World::move_to(NodeId id, Vec2 target, double speed_mps) {
   n.to = target;
   n.depart = sim_.now();
   n.arrive = sim_.now() + Duration::seconds(dist / speed_mps);
+  rebucket(id);
+  ++topo_epoch_;
+  if (n.arrive > moving_until_) moving_until_ = n.arrive;
 }
 
 double World::distance(NodeId a, NodeId b) const {
   return Vec2::distance(position(a), position(b));
 }
 
+void World::unbucket(NodeId id) {
+  Node& n = nodes_[id];
+  for (std::uint64_t key : n.cells) {
+    auto it = grid_.find(key);
+    if (it == grid_.end()) continue;
+    auto& bucket = it->second;
+    bucket.erase(std::remove(bucket.begin(), bucket.end(), id), bucket.end());
+    if (bucket.empty()) grid_.erase(it);
+  }
+  n.cells.clear();
+}
+
+void World::rebucket(NodeId id) {
+  unbucket(id);
+  Node& n = nodes_[id];
+  std::int64_t cx0 = cell_coord(std::min(n.from.x, n.to.x));
+  std::int64_t cx1 = cell_coord(std::max(n.from.x, n.to.x));
+  std::int64_t cy0 = cell_coord(std::min(n.from.y, n.to.y));
+  std::int64_t cy1 = cell_coord(std::max(n.from.y, n.to.y));
+  for (std::int64_t cy = cy0; cy <= cy1; ++cy) {
+    for (std::int64_t cx = cx0; cx <= cx1; ++cx) {
+      std::uint64_t key = cell_key(cx, cy);
+      grid_[key].push_back(id);
+      n.cells.push_back(key);
+    }
+  }
+}
+
+void World::set_grid_cell_size(double meters) {
+  OMNI_CHECK_MSG(meters > 0, "grid cell size must be positive");
+  if (meters == cell_m_) return;
+  cell_m_ = meters;
+  grid_.clear();
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    nodes_[id].cells.clear();
+    rebucket(id);
+  }
+  ++topo_epoch_;
+}
+
+void World::nodes_in_disc(Vec2 center, double range,
+                          std::vector<NodeId>& out) const {
+  out.clear();
+  if (range < 0) return;
+  // Squared-distance filter: one multiply per candidate instead of a sqrt.
+  double range_sq = range * range;
+  auto within = [&](NodeId id) {
+    Vec2 d = position(id) - center;
+    return d.x * d.x + d.y * d.y <= range_sq;
+  };
+  std::int64_t cx0 = cell_coord(center.x - range);
+  std::int64_t cx1 = cell_coord(center.x + range);
+  std::int64_t cy0 = cell_coord(center.y - range);
+  std::int64_t cy1 = cell_coord(center.y + range);
+  // Very large query discs degenerate to a full scan: cheaper than probing
+  // more cells than there are nodes.
+  std::uint64_t cells = static_cast<std::uint64_t>(cx1 - cx0 + 1) *
+                        static_cast<std::uint64_t>(cy1 - cy0 + 1);
+  if (cells >= nodes_.size()) {
+    for (NodeId id = 0; id < nodes_.size(); ++id) {
+      if (within(id)) out.push_back(id);
+    }
+    return;
+  }
+  for (std::int64_t cy = cy0; cy <= cy1; ++cy) {
+    for (std::int64_t cx = cx0; cx <= cx1; ++cx) {
+      auto it = grid_.find(cell_key(cx, cy));
+      if (it == grid_.end()) continue;
+      for (NodeId id : it->second) {
+        if (within(id)) out.push_back(id);
+      }
+    }
+  }
+  // A moving node is listed in every cell its segment overlaps; sort and
+  // drop duplicates so callers see each node once, ascending by id.
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+}
+
+void World::nodes_near(NodeId of, double range,
+                       std::vector<NodeId>& out) const {
+  const Node& n = node(of);
+  if (sim_.now() < moving_until_) {
+    // Some motion segment may still be in flight: positions interpolate, so
+    // cached neighbor sets can silently rot. Query the grid directly.
+    nodes_in_disc(position(of), range, out);
+    return;
+  }
+  if (n.cache_epoch != topo_epoch_ || n.cache_range != range) {
+    // World static: every node sits at its segment endpoint (`to`), so the
+    // result stays valid until the next topology change.
+    nodes_in_disc(n.to, range, n.cache_ids);
+    n.cache_epoch = topo_epoch_;
+    n.cache_range = range;
+  }
+  out.assign(n.cache_ids.begin(), n.cache_ids.end());
+}
+
 std::vector<NodeId> World::neighbors(NodeId of, double range) const {
   std::vector<NodeId> out;
-  for (NodeId id = 0; id < nodes_.size(); ++id) {
-    if (id != of && in_range(of, id, range)) out.push_back(id);
-  }
+  nodes_in_disc(position(of), range, out);
+  out.erase(std::remove(out.begin(), out.end(), of), out.end());
   return out;
 }
 

@@ -3,11 +3,20 @@
 // Radios ask the world which peers are within their technology's range. The
 // world supports static placement, instantaneous teleports, and linear
 // waypoint motion (position is interpolated lazily — no per-tick events).
+//
+// Range fan-out queries run against a spatial hash grid (cell size ≈ the
+// largest radio range) instead of scanning every node. Nodes are re-bucketed
+// on mobility events only: a moving node is conservatively listed in every
+// cell its motion segment's bounding box overlaps, so lazily interpolated
+// positions stay query-correct without per-tick grid updates. Queries gather
+// candidates from the cells overlapping the search disc and apply the exact
+// distance test.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/result.h"
@@ -32,9 +41,20 @@ struct Vec2 {
 
 class World {
  public:
-  explicit World(Simulator& sim) : sim_(sim) {}
+  /// Default grid cell size: matches the largest calibrated radio range
+  /// (wifi/nan 100 m), so a range query touches at most ~9 cells.
+  static constexpr double kDefaultCellM = 100.0;
+
+  explicit World(Simulator& sim, double grid_cell_m = kDefaultCellM)
+      : sim_(sim), cell_m_(grid_cell_m) {}
   World(const World&) = delete;
   World& operator=(const World&) = delete;
+
+  /// Change the grid cell size (e.g. to the deployment's max radio range)
+  /// and re-bucket every node. Any positive size is correct; sizes near the
+  /// dominant query range are fastest.
+  void set_grid_cell_size(double meters);
+  double grid_cell_size() const { return cell_m_; }
 
   /// Register a node at a position; returns its id.
   NodeId add_node(std::string name, Vec2 position);
@@ -60,8 +80,21 @@ class World {
     return distance(a, b) <= range;
   }
 
-  /// All nodes (other than `of`) within `range` meters.
+  /// All nodes (other than `of`) within `range` meters, ascending by id.
   std::vector<NodeId> neighbors(NodeId of, double range) const;
+
+  /// All nodes within `range` of `center` (including any node exactly at
+  /// it), appended to `out` ascending by id. `out` is cleared first; hot
+  /// paths pass a reused scratch vector to stay allocation-free.
+  void nodes_in_disc(Vec2 center, double range,
+                     std::vector<NodeId>& out) const;
+
+  /// nodes_in_disc centred on node `of`'s current position (node itself
+  /// included). Equivalent to nodes_in_disc(position(of), range, out), but
+  /// while the world is static — no motion segment still in flight — the
+  /// result is served from a per-node cache invalidated by topology changes,
+  /// so periodic fan-out (beacons every 500 ms) skips the grid walk.
+  void nodes_near(NodeId of, double range, std::vector<NodeId>& out) const;
 
   Simulator& simulator() { return sim_; }
 
@@ -74,13 +107,39 @@ class World {
     Vec2 to;
     TimePoint depart;
     TimePoint arrive;
+    std::vector<std::uint64_t> cells;  // grid cells this node is listed in
+    // nodes_near cache: valid while the topology epoch matches and the
+    // world is static. One slot per node; a node alternating query ranges
+    // (40 m beacons, 100 m probes) just rebuilds on the rarer range.
+    mutable std::uint64_t cache_epoch = 0;
+    mutable double cache_range = -1.0;
+    mutable std::vector<NodeId> cache_ids;
   };
+
+  static std::uint64_t cell_key(std::int64_t cx, std::int64_t cy) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(cx)) << 32) |
+           static_cast<std::uint64_t>(static_cast<std::uint32_t>(cy));
+  }
+  std::int64_t cell_coord(double v) const;
+
+  /// Re-list the node under every cell overlapped by the axis-aligned
+  /// bounding box of its current motion segment (a point for static nodes).
+  void rebucket(NodeId id);
+  void unbucket(NodeId id);
 
   const Node& node(NodeId id) const;
   Node& node(NodeId id);
 
   Simulator& sim_;
+  double cell_m_;
   std::vector<Node> nodes_;
+  std::unordered_map<std::uint64_t, std::vector<NodeId>> grid_;
+  // Bumped on every topology change (add/teleport/move/regrid); nodes_near
+  // caches stamped with an older epoch are stale.
+  std::uint64_t topo_epoch_ = 1;
+  // Latest arrival time of any motion segment ever started; the world is
+  // static (every position() is constant) once now >= moving_until_.
+  TimePoint moving_until_ = TimePoint{};
 };
 
 }  // namespace omni::sim

@@ -94,6 +94,50 @@ TEST(ConcurrentQueueTest, ManyProducersManyConsumersLoseNothing) {
             static_cast<std::size_t>(kProducers * kPerProducer));
 }
 
+TEST(ConcurrentQueueTest, DrainSwapsOutTheWholeBacklog) {
+  ConcurrentQueue<int> q;
+  for (int i = 0; i < 5; ++i) q.push(i);
+  auto batch = q.drain();
+  EXPECT_EQ(batch, (std::deque<int>{0, 1, 2, 3, 4}));
+  EXPECT_TRUE(q.empty());
+  EXPECT_TRUE(q.drain().empty());
+}
+
+TEST(ConcurrentQueueTest, DrainThenPushStartsAFreshBatch) {
+  ConcurrentQueue<int> q;
+  q.push(1);
+  EXPECT_EQ(q.drain().size(), 1u);
+  q.push(2);
+  q.push(3);
+  EXPECT_EQ(q.drain(), (std::deque<int>{2, 3}));
+}
+
+TEST(ConcurrentQueueTest, DrainStillReturnsBacklogAfterClose) {
+  ConcurrentQueue<int> q;
+  q.push(9);
+  q.close();
+  EXPECT_EQ(q.drain(), (std::deque<int>{9}));
+}
+
+TEST(ConcurrentQueueTest, ConcurrentProducersVsDrainingConsumerLoseNothing) {
+  ConcurrentQueue<int> q;
+  constexpr int kItems = 5000;
+  std::thread producer([&] {
+    for (int i = 0; i < kItems; ++i) ASSERT_TRUE(q.push(i));
+    q.close();
+  });
+  // A batch consumer: one lock per drain instead of one per item, the
+  // pattern the manager's drain loops use.
+  std::vector<int> got;
+  while (!q.closed() || !q.empty()) {
+    for (int v : q.drain()) got.push_back(v);
+  }
+  for (int v : q.drain()) got.push_back(v);  // racing close vs last batch
+  producer.join();
+  ASSERT_EQ(got.size(), static_cast<std::size_t>(kItems));
+  for (int i = 0; i < kItems; ++i) EXPECT_EQ(got[i], i);
+}
+
 TEST(ConcurrentQueueTest, MoveOnlyPayloads) {
   ConcurrentQueue<std::unique_ptr<int>> q;
   q.push(std::make_unique<int>(5));

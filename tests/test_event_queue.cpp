@@ -17,7 +17,7 @@ TEST(EventQueueTest, FiresInTimeOrder) {
   q.schedule(at_ms(30), [&] { order.push_back(3); });
   q.schedule(at_ms(10), [&] { order.push_back(1); });
   q.schedule(at_ms(20), [&] { order.push_back(2); });
-  while (!q.empty()) q.pop().fn();
+  while (!q.empty()) q.pop(TimePoint::max()).fn();
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
 }
 
@@ -27,7 +27,7 @@ TEST(EventQueueTest, SameInstantFiresInScheduleOrder) {
   for (int i = 0; i < 10; ++i) {
     q.schedule(at_ms(5), [&order, i] { order.push_back(i); });
   }
-  while (!q.empty()) q.pop().fn();
+  while (!q.empty()) q.pop(TimePoint::max()).fn();
   for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
 }
 
@@ -50,14 +50,14 @@ TEST(EventQueueTest, CancelledEventsSkippedOnPop) {
   h1.cancel();
   EXPECT_EQ(q.size(), 1u);
   EXPECT_EQ(q.next_time(), at_ms(2));
-  q.pop().fn();
+  q.pop(TimePoint::max()).fn();
   EXPECT_EQ(order, (std::vector<int>{2}));
 }
 
 TEST(EventQueueTest, PopConsumesHandle) {
   EventQueue q;
   EventHandle h = q.schedule(at_ms(1), [] {});
-  auto popped = q.pop();
+  auto popped = q.pop(TimePoint::max());
   EXPECT_FALSE(h.pending());  // consumed, not cancellable anymore
   popped.fn();
 }
@@ -78,6 +78,123 @@ TEST(EventQueueTest, CancelTwiceIsSafe) {
   auto h = q.schedule(at_ms(1), [] {});
   h.cancel();
   h.cancel();
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueTest, StaleHandleCannotCancelReusedSlot) {
+  EventQueue q;
+  bool second_ran = false;
+  EventHandle h1 = q.schedule(at_ms(1), [] {});
+  h1.cancel();
+  // The freed slot is recycled; the stale handle must not reach the new
+  // occupant.
+  EventHandle h2 = q.schedule(at_ms(2), [&] { second_ran = true; });
+  h1.cancel();
+  EXPECT_FALSE(h1.pending());
+  EXPECT_TRUE(h2.pending());
+  q.pop(TimePoint::max()).fn();
+  EXPECT_TRUE(second_ran);
+}
+
+TEST(EventQueueTest, PeakSizeTracksHighWaterMark) {
+  EventQueue q;
+  std::vector<EventHandle> hs;
+  for (int i = 0; i < 50; ++i) hs.push_back(q.schedule(at_ms(i), [] {}));
+  for (auto& h : hs) h.cancel();
+  q.schedule(at_ms(99), [] {});
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_EQ(q.peak_size(), 50u);
+}
+
+// The memory-growth regression: 100k schedule+cancel churn cycles of a
+// periodic-timer workload (a bounded number live at any instant) must not
+// grow the slab or the heap with the churn count. The pre-slab queue kept a
+// dead entry per cancellation until its fire time drained it.
+TEST(EventQueueTest, ChurnOf100kPeriodicEventsKeepsSlabBounded) {
+  EventQueue q;
+  constexpr int kLive = 100;
+  constexpr int kCycles = 100'000;
+  std::vector<EventHandle> live;
+  live.reserve(kLive);
+  for (int i = 0; i < kLive; ++i) {
+    live.push_back(q.schedule(at_ms(i), [] {}));
+  }
+  for (int i = 0; i < kCycles; ++i) {
+    // Reschedule one timer: cancel, then schedule its next period — the
+    // beacon/maintenance pattern that once accumulated dead heap entries.
+    int k = i % kLive;
+    live[k].cancel();
+    live[k] = q.schedule(at_ms(kLive + i), [] {});
+  }
+  EXPECT_EQ(q.size(), static_cast<std::size_t>(kLive));
+  EXPECT_EQ(q.peak_size(), static_cast<std::size_t>(kLive));
+  // The slab holds a slot per *live* event (plus free-list slack), not one
+  // per historical schedule.
+  EXPECT_LE(q.slab_capacity(), static_cast<std::size_t>(2 * kLive));
+}
+
+TEST(EventQueueTest, ImmediateEventsFireAfterDueHeapEvents) {
+  EventQueue q;
+  std::vector<int> order;
+  TimePoint now = at_ms(10);
+  // Heap events scheduled for `now` before the clock reached it...
+  q.schedule(now, [&] { order.push_back(1); });
+  q.schedule(now, [&] { order.push_back(2); });
+  // ...fire ahead of zero-delay events queued at `now`, which fire ahead of
+  // anything later.
+  q.schedule_now(now, [&] { order.push_back(3); });
+  q.schedule_now(now, [&] { order.push_back(4); });
+  q.schedule(at_ms(20), [&] { order.push_back(5); });
+  while (!q.empty()) {
+    auto [at, fn] = q.pop(now);
+    now = at;
+    fn();
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4, 5}));
+}
+
+TEST(EventQueueTest, ImmediateEventsCancelable) {
+  EventQueue q;
+  std::vector<int> order;
+  TimePoint now = at_ms(0);
+  EventHandle h1 = q.schedule_now(now, [&] { order.push_back(1); });
+  EventHandle h2 = q.schedule_now(now, [&] { order.push_back(2); });
+  EventHandle h3 = q.schedule_now(now, [&] { order.push_back(3); });
+  EXPECT_TRUE(q.has_immediate());
+  EXPECT_EQ(q.size(), 3u);
+  h2.cancel();
+  EXPECT_FALSE(h2.pending());
+  EXPECT_EQ(q.size(), 2u);
+  while (!q.empty()) q.pop(now).fn();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+  EXPECT_TRUE(h1.pending() == false && h3.pending() == false);
+}
+
+TEST(EventQueueTest, ImmediateFifoRecyclesItsStorage) {
+  EventQueue q;
+  TimePoint now = at_ms(0);
+  // Sustained same-instant wakeup traffic (the dominant event class in a
+  // large simulation) must recycle FIFO storage instead of growing it.
+  for (int round = 0; round < 10'000; ++round) {
+    for (int i = 0; i < 8; ++i) q.schedule_now(now, [] {});
+    while (!q.empty()) q.pop(now).fn();
+  }
+  EXPECT_LE(q.slab_capacity(), 64u);
+  EXPECT_EQ(q.peak_size(), 8u);
+}
+
+TEST(EventQueueTest, EmptyAndSizeCoverBothStores) {
+  EventQueue q;
+  TimePoint now = at_ms(0);
+  q.schedule(at_ms(5), [] {});
+  q.schedule_now(now, [] {});
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_FALSE(q.empty());
+  EXPECT_TRUE(q.has_immediate());
+  q.pop(now).fn();  // the immediate (heap event is not yet due at t=0)
+  EXPECT_FALSE(q.has_immediate());
+  EXPECT_EQ(q.size(), 1u);
+  q.pop(TimePoint::max()).fn();
   EXPECT_TRUE(q.empty());
 }
 

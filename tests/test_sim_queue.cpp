@@ -82,5 +82,73 @@ TEST(SimQueueTest, PushFromConsumerSchedulesAnotherWakeup) {
   EXPECT_EQ(got, (std::vector<int>{1, 2}));
 }
 
+TEST(SimQueueTest, DrainReturnsBacklogInOrder) {
+  sim::Simulator sim;
+  SimQueue<int> q(sim);
+  for (int i = 0; i < 4; ++i) q.push(i);
+  EXPECT_EQ(q.drain(), (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_TRUE(q.empty());
+  EXPECT_TRUE(q.drain().empty());
+}
+
+TEST(SimQueueTest, DrainIntoReportsLivePrefixAndRecyclesSlots) {
+  sim::Simulator sim;
+  SimQueue<std::vector<int>> q(sim);
+  q.push({1});
+  q.push({2});
+  q.push({3});
+  std::vector<std::vector<int>> scratch;
+  ASSERT_EQ(q.drain_into(scratch), 3u);
+  EXPECT_EQ(scratch[0], (std::vector<int>{1}));
+  EXPECT_EQ(scratch[2], (std::vector<int>{3}));
+  EXPECT_TRUE(q.empty());
+
+  // Deliberately no clear() between exchanges: the processed batch swaps
+  // back into the queue as recycled slots.
+  q.push({4});
+  ASSERT_EQ(q.drain_into(scratch), 1u);  // queue now holds the 3 dead slots
+  EXPECT_EQ(scratch[0], (std::vector<int>{4}));
+
+  // A new batch overwrites the recycled slots in place; the third element
+  // of the swapped-out vector is still a dead slot from the first batch.
+  q.push({5});
+  q.produce([](std::vector<int>& slot) { slot.assign(1, 6); });
+  ASSERT_EQ(q.drain_into(scratch), 2u);
+  ASSERT_EQ(scratch.size(), 3u);
+  EXPECT_EQ(scratch[0], (std::vector<int>{5}));
+  EXPECT_EQ(scratch[1], (std::vector<int>{6}));
+  EXPECT_EQ(scratch[2], (std::vector<int>{3}));  // dead slot, buffer kept
+}
+
+TEST(SimQueueTest, ProduceWakesConsumerLikePush) {
+  sim::Simulator sim;
+  SimQueue<std::vector<int>> q(sim);
+  std::vector<int> sizes;
+  std::vector<std::vector<int>> scratch;
+  q.set_consumer([&] {
+    std::size_t n = q.drain_into(scratch);
+    for (std::size_t i = 0; i < n; ++i) {
+      sizes.push_back(static_cast<int>(scratch[i].size()));
+    }
+  });
+  q.produce([](std::vector<int>& slot) { slot.assign(2, 7); });
+  q.produce([](std::vector<int>& slot) { slot.assign(5, 7); });
+  EXPECT_EQ(q.size(), 2u);
+  sim.run();
+  EXPECT_EQ(sizes, (std::vector<int>{2, 5}));
+}
+
+TEST(SimQueueTest, TryPopInterleavesWithRecycledSlots) {
+  sim::Simulator sim;
+  SimQueue<int> q(sim);
+  q.push(1);
+  q.push(2);
+  EXPECT_EQ(q.try_pop(), 1);
+  q.push(3);
+  EXPECT_EQ(q.try_pop(), 2);
+  EXPECT_EQ(q.try_pop(), 3);
+  EXPECT_EQ(q.try_pop(), std::nullopt);
+}
+
 }  // namespace
 }  // namespace omni

@@ -81,6 +81,117 @@ TEST(WorldTest, MovingNodesChangeNeighborhoods) {
   EXPECT_TRUE(world.in_range(a, b, 50));
 }
 
+// --- Spatial grid / neighbor cache ------------------------------------------
+
+// Oracle: O(n) scan with the exact distance test.
+std::vector<NodeId> brute_force_near(const World& world, NodeId of,
+                                     double range) {
+  std::vector<NodeId> out;
+  for (NodeId id = 0; id < world.node_count(); ++id) {
+    if (world.distance(of, id) <= range) out.push_back(id);
+  }
+  return out;
+}
+
+TEST(WorldTest, NodesNearMatchesBruteForce) {
+  Simulator sim;
+  World world(sim, /*grid_cell_m=*/40.0);
+  // Deterministic pseudo-random scatter over several cells, including exact
+  // cell-boundary positions.
+  std::uint64_t s = 12345;
+  auto next = [&s] {
+    s = s * 6364136223846793005ull + 1442695040888963407ull;
+    return static_cast<double>((s >> 33) % 4000) / 10.0;  // [0, 400)
+  };
+  for (int i = 0; i < 80; ++i) {
+    world.add_node("n" + std::to_string(i), {next(), next()});
+  }
+  world.add_node("edge", {80.0, 40.0});  // on a cell corner exactly
+  std::vector<NodeId> got;
+  for (double range : {10.0, 40.0, 95.0, 400.0}) {
+    for (NodeId of = 0; of < world.node_count(); of += 7) {
+      world.nodes_near(of, range, got);
+      EXPECT_EQ(got, brute_force_near(world, of, range))
+          << "of=" << of << " range=" << range;
+    }
+  }
+}
+
+TEST(WorldTest, NodesNearSpansCellBoundaries) {
+  Simulator sim;
+  World world(sim, /*grid_cell_m=*/40.0);
+  NodeId a = world.add_node("a", {39.0, 0});   // cell (0,0)
+  NodeId b = world.add_node("b", {41.0, 0});   // cell (1,0)
+  NodeId c = world.add_node("c", {-39.0, 0});  // cell (-1,0)
+  std::vector<NodeId> got;
+  world.nodes_near(a, 5.0, got);
+  EXPECT_EQ(got, (std::vector<NodeId>{a, b}));
+  world.nodes_near(c, 79.0, got);  // a at 78 m, b at exactly 80 m
+  EXPECT_EQ(got, (std::vector<NodeId>{a, c}));
+}
+
+TEST(WorldTest, QueriesTrackAMovingNodeMidWalk) {
+  Simulator sim;
+  World world(sim, /*grid_cell_m=*/40.0);
+  NodeId a = world.add_node("a", {0, 0});
+  NodeId b = world.add_node("b", {200, 0});
+  world.move_to(b, {0, 0}, 10.0);  // 200 m at 10 m/s
+  std::vector<NodeId> got;
+  // Mid-segment: b's interpolated position (x=100) decides membership even
+  // though the grid listed it conservatively over the whole segment.
+  sim.run_for(Duration::seconds(10));
+  world.nodes_near(a, 50.0, got);
+  EXPECT_EQ(got, (std::vector<NodeId>{a}));
+  world.nodes_near(a, 150.0, got);
+  EXPECT_EQ(got, (std::vector<NodeId>{a, b}));
+  sim.run_for(Duration::seconds(10));  // b arrives on top of a
+  world.nodes_near(a, 50.0, got);
+  EXPECT_EQ(got, (std::vector<NodeId>{a, b}));
+}
+
+TEST(WorldTest, TeleportRebucketsImmediately) {
+  Simulator sim;
+  World world(sim, /*grid_cell_m=*/40.0);
+  NodeId a = world.add_node("a", {0, 0});
+  NodeId b = world.add_node("b", {500, 500});
+  std::vector<NodeId> got;
+  world.nodes_near(a, 60.0, got);
+  EXPECT_EQ(got, (std::vector<NodeId>{a}));
+  world.set_position(b, {10, 0});
+  world.nodes_near(a, 60.0, got);  // cached result must be invalidated
+  EXPECT_EQ(got, (std::vector<NodeId>{a, b}));
+  world.set_position(b, {500, 500});
+  world.nodes_near(a, 60.0, got);
+  EXPECT_EQ(got, (std::vector<NodeId>{a}));
+}
+
+TEST(WorldTest, SetGridCellSizeRebuildsBuckets) {
+  Simulator sim;
+  World world(sim);  // default 100 m cells
+  NodeId a = world.add_node("a", {0, 0});
+  world.add_node("b", {30, 0});
+  world.add_node("c", {170, 0});
+  std::vector<NodeId> before;
+  world.nodes_near(a, 50.0, before);
+  world.set_grid_cell_size(15.0);  // finer than the query range
+  std::vector<NodeId> after;
+  world.nodes_near(a, 50.0, after);
+  EXPECT_EQ(before, after);
+  EXPECT_DOUBLE_EQ(world.grid_cell_size(), 15.0);
+}
+
+TEST(WorldTest, NeighborsExcludesSelfNodesNearIncludesIt) {
+  Simulator sim;
+  World world(sim);
+  NodeId a = world.add_node("a", {0, 0});
+  world.add_node("b", {10, 0});
+  auto n = world.neighbors(a, 50.0);
+  EXPECT_EQ(n, (std::vector<NodeId>{1}));
+  std::vector<NodeId> got;
+  world.nodes_near(a, 50.0, got);
+  EXPECT_EQ(got, (std::vector<NodeId>{0, 1}));
+}
+
 TEST(WorldTest, Vec2Math) {
   Vec2 v{3, 4};
   EXPECT_DOUBLE_EQ(v.norm(), 5.0);
