@@ -1,14 +1,18 @@
-// bench_scale: device-count sweep over the full Omni stack.
+// bench_scale: device-count and thread-count sweep over the full Omni stack.
 //
 // For each device count, lay nodes out on a constant-density grid (25 m
 // spacing: everyone has BLE neighbors, nobody hears the whole city), start
 // every node with address beaconing + engagement enabled, and run a span of
-// virtual time. Reports wall-clock events/sec and the event-queue high-water
-// mark, and writes BENCH_scale.json so the numbers seed the perf trajectory.
+// virtual time — once per thread count in the sweep. Reports wall-clock
+// events/sec, the event-queue high-water mark, and the parallel speedup over
+// the single-threaded run, and writes BENCH_scale.json so the numbers seed
+// the perf trajectory.
 //
-//   $ ./bench/bench_scale              # full sweep: 10..1000 nodes
+//   $ ./bench/bench_scale              # full sweep: 10..1000 nodes x 1/2/4/8 threads
 //   $ ./bench/bench_scale 500          # just one count (before/after checks)
+#include <atomic>
 #include <chrono>
+#include <thread>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -29,31 +33,39 @@ constexpr double kSimSeconds = 20.0;
 
 struct ScalePoint {
   std::size_t nodes;
+  unsigned threads;
   double sim_seconds;
   std::uint64_t events;
   double wall_seconds;
   double events_per_sec;
   std::uint64_t peak_pending_events;
+  std::uint64_t windows;
+  std::uint64_t global_events;
+  std::uint64_t mailbox_posts;
   std::uint64_t contexts_received;
   std::size_t min_peers;
 };
 
-ScalePoint run_point(std::size_t n) {
-  net::Testbed bed(42);
+ScalePoint run_point(std::size_t n, unsigned threads) {
+  net::Testbed bed(42, radio::Calibration::defaults(), threads);
   std::size_t side = static_cast<std::size_t>(
       std::ceil(std::sqrt(static_cast<double>(n))));
   std::vector<net::Device*> devices;
   std::vector<std::unique_ptr<OmniNode>> nodes;
   devices.reserve(n);
   nodes.reserve(n);
-  std::uint64_t contexts = 0;
+  // Context receptions land on every shard concurrently; relaxed is enough
+  // for a total.
+  std::atomic<std::uint64_t> contexts{0};
   for (std::size_t i = 0; i < n; ++i) {
     double x = static_cast<double>(i % side) * kSpacingM;
     double y = static_cast<double>(i / side) * kSpacingM;
     devices.push_back(&bed.add_device("n" + std::to_string(i), {x, y}));
     nodes.push_back(std::make_unique<OmniNode>(*devices.back(), bed.mesh()));
     nodes.back()->manager().request_context(
-        [&contexts](const OmniAddress&, const Bytes&) { ++contexts; });
+        [&contexts](const OmniAddress&, const Bytes&) {
+          contexts.fetch_add(1, std::memory_order_relaxed);
+        });
   }
   for (auto& node : nodes) {
     node->start();
@@ -66,13 +78,17 @@ ScalePoint run_point(std::size_t n) {
 
   ScalePoint p;
   p.nodes = n;
+  p.threads = threads;
   p.sim_seconds = kSimSeconds;
   p.events = bed.simulator().executed_events();
   p.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
   p.events_per_sec =
       p.wall_seconds > 0 ? static_cast<double>(p.events) / p.wall_seconds : 0;
   p.peak_pending_events = bed.simulator().peak_pending_events();
-  p.contexts_received = contexts;
+  p.windows = bed.simulator().windows_run();
+  p.global_events = bed.simulator().global_events_run();
+  p.mailbox_posts = bed.simulator().mailbox_posts();
+  p.contexts_received = contexts.load(std::memory_order_relaxed);
   p.min_peers = nodes.empty() ? 0 : SIZE_MAX;
   for (auto& node : nodes) {
     p.min_peers = std::min(p.min_peers, node->manager().peer_table().size());
@@ -90,33 +106,67 @@ int main(int argc, char** argv) {
       counts.push_back(static_cast<std::size_t>(std::atoll(argv[i])));
     }
   }
+  const std::vector<unsigned> thread_counts = {1, 2, 4, 8};
 
   bench::print_heading("Simulator scale sweep (beaconing + engagement on)");
-  bench::Table table({"nodes", "events", "wall s", "events/s", "peak heap",
-                      "min peers"});
+  bench::Table table({"nodes", "threads", "events", "wall s", "events/s",
+                      "speedup", "peak heap", "min peers"});
   bench::BenchReport report("scale");
   report.set_meta("sim_seconds", bench::fmt(kSimSeconds, 0));
   report.set_meta("spacing_m", bench::fmt(kSpacingM, 0));
   report.set_meta("seed", "42");
+  // Speedup numbers only mean something relative to the cores that were
+  // actually available: on a 1-core box every thread count shares one core
+  // and speedup_vs_1t measures pure engine overhead.
+  report.set_meta("hardware_threads",
+                  std::to_string(std::thread::hardware_concurrency()));
 
   for (std::size_t n : counts) {
-    ScalePoint p = run_point(n);
-    table.add_row({std::to_string(p.nodes), std::to_string(p.events),
-                   bench::fmt(p.wall_seconds, 3),
-                   bench::fmt(p.events_per_sec, 0),
-                   std::to_string(p.peak_pending_events),
-                   std::to_string(p.min_peers)});
-    report.add_row()
-        .field("nodes", static_cast<std::uint64_t>(p.nodes))
-        .field("sim_seconds", p.sim_seconds)
-        .field("events", p.events)
-        .field("wall_seconds", p.wall_seconds)
-        .field("events_per_sec", p.events_per_sec)
-        .field("peak_pending_events", p.peak_pending_events)
-        .field("contexts_received", p.contexts_received)
-        .field("min_peers", static_cast<std::uint64_t>(p.min_peers));
-    std::printf("  %4zu nodes: %8.3f s wall, %10.0f events/s\n", p.nodes,
-                p.wall_seconds, p.events_per_sec);
+    double wall_1t = 0;
+    std::uint64_t events_1t = 0;
+    for (unsigned threads : thread_counts) {
+      ScalePoint p = run_point(n, threads);
+      if (threads == 1) {
+        wall_1t = p.wall_seconds;
+        events_1t = p.events;
+      }
+      // Determinism spot check: every thread count must execute the exact
+      // same event sequence.
+      if (p.events != events_1t) {
+        std::fprintf(stderr,
+                     "DETERMINISM VIOLATION at %zu nodes: %llu events at "
+                     "%u threads vs %llu at 1\n",
+                     n, static_cast<unsigned long long>(p.events), threads,
+                     static_cast<unsigned long long>(events_1t));
+        return 1;
+      }
+      double speedup = p.wall_seconds > 0 ? wall_1t / p.wall_seconds : 0;
+      table.add_row({std::to_string(p.nodes), std::to_string(p.threads),
+                     std::to_string(p.events), bench::fmt(p.wall_seconds, 3),
+                     bench::fmt(p.events_per_sec, 0), bench::fmt(speedup, 2),
+                     std::to_string(p.peak_pending_events),
+                     std::to_string(p.min_peers)});
+      report.add_row()
+          .field("nodes", static_cast<std::uint64_t>(p.nodes))
+          .field("threads", static_cast<std::uint64_t>(p.threads))
+          .field("sim_seconds", p.sim_seconds)
+          .field("events", p.events)
+          .field("wall_seconds", p.wall_seconds)
+          .field("events_per_sec", p.events_per_sec)
+          .field("speedup_vs_1t", speedup)
+          .field("peak_pending_events", p.peak_pending_events)
+          .field("windows", p.windows)
+          .field("global_events", p.global_events)
+          .field("mailbox_posts", p.mailbox_posts)
+          .field("contexts_received", p.contexts_received)
+          .field("min_peers", static_cast<std::uint64_t>(p.min_peers));
+      std::printf("  %4zu nodes, %u threads: %8.3f s wall, %10.0f events/s"
+                  " (%.2fx)  [windows %llu, global %llu, posts %llu]\n",
+                  p.nodes, p.threads, p.wall_seconds, p.events_per_sec,
+                  speedup, static_cast<unsigned long long>(p.windows),
+                  static_cast<unsigned long long>(p.global_events),
+                  static_cast<unsigned long long>(p.mailbox_posts));
+    }
   }
   std::printf("\n");
   table.print();

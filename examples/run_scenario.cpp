@@ -1,13 +1,17 @@
 // Scenario-runner CLI: execute an Omni scenario script.
 //
 //   $ ./examples/run_scenario path/to/scenario.txt
+//   $ ./examples/run_scenario --threads 8 path/to/scenario.txt
 //   $ ./examples/run_scenario            # runs the built-in demo scenario
 //
-// See src/scenario/scenario.h for the DSL reference.
+// --threads N runs the parallel sharded engine; the report is bit-identical
+// at any thread count. See src/scenario/scenario.h for the DSL reference.
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
+#include <string>
 
 #include "scenario/scenario.h"
 
@@ -37,11 +41,35 @@ report
 }  // namespace
 
 int main(int argc, char** argv) {
+  unsigned threads = 1;
+  const char* path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--threads") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--threads needs a count\n");
+        return 1;
+      }
+      long v = std::strtol(argv[++i], nullptr, 10);
+      if (v < 1) {
+        std::fprintf(stderr, "--threads must be >= 1\n");
+        return 1;
+      }
+      threads = static_cast<unsigned>(v);
+    } else if (path == nullptr) {
+      path = argv[i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--threads N] [scenario-file]\n",
+                   argv[0]);
+      return 1;
+    }
+  }
+
   std::string text;
-  if (argc > 1) {
-    std::ifstream file(argv[1]);
+  if (path != nullptr) {
+    std::ifstream file(path);
     if (!file) {
-      std::fprintf(stderr, "cannot open '%s'\n", argv[1]);
+      std::fprintf(stderr, "cannot open '%s'\n", path);
       return 1;
     }
     std::ostringstream ss;
@@ -61,7 +89,7 @@ int main(int argc, char** argv) {
   std::printf("scenario: %zu devices, %zu instructions\n\n",
               parsed.value()->device_count(),
               parsed.value()->instruction_count());
-  omni::Status s = parsed.value()->run(std::cout);
+  omni::Status s = parsed.value()->run(std::cout, threads);
   if (!s.is_ok()) {
     std::fprintf(stderr, "run error: %s\n", s.message().c_str());
     return 1;

@@ -24,10 +24,13 @@ namespace omni::net {
 
 class Testbed {
  public:
+  /// `threads` > 1 runs the parallel sharded engine; results are
+  /// bit-identical at any thread count.
   explicit Testbed(std::uint64_t seed = 1,
-                   radio::Calibration cal = radio::Calibration::defaults())
+                   radio::Calibration cal = radio::Calibration::defaults(),
+                   unsigned threads = 1)
       : cal_(cal),
-        sim_(seed),
+        sim_(seed, threads),
         // Grid cells sized to the smallest radio range: BLE beacons are by
         // far the most frequent queries, and matching their 40 m disc keeps
         // candidate sets tight. Longer-range queries (WiFi/NAN) just probe a
@@ -37,7 +40,13 @@ class Testbed {
         ble_medium_(world_, cal_),
         wifi_system_(world_, cal_),
         nan_system_(world_, cal_),
-        mesh_(&wifi_system_.create_mesh("omni-mesh")) {}
+        mesh_(&wifi_system_.create_mesh("omni-mesh")) {
+    // Conservative lookahead: BLE advertising is the fastest cross-node
+    // path any sharded (node-owned) event can take, so its event interval
+    // bounds how far shards may run ahead of each other. WiFi/NAN fan-out
+    // is barrier-serialized (global owner) and does not constrain this.
+    sim_.set_lookahead(ble_medium_.min_latency());
+  }
 
   Testbed(const Testbed&) = delete;
   Testbed& operator=(const Testbed&) = delete;

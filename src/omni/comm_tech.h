@@ -167,6 +167,13 @@ class CommTechnology {
   /// periodically. Data-only technologies may ignore this.
   virtual void set_engaged(bool engaged) = 0;
   virtual bool engaged() const = 0;
+
+  /// True when the plugin transmits through shared infrastructure (e.g. a
+  /// WiFi mesh) whose state spans many nodes. Under the parallel engine the
+  /// manager keeps such a plugin's send queue on the barrier-serialized
+  /// global owner; node-local media (BLE, NAN) run on the hosting node's
+  /// shard.
+  virtual bool uses_shared_medium() const { return false; }
 };
 
 }  // namespace omni

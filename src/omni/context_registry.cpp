@@ -1,6 +1,17 @@
 #include "omni/context_registry.h"
 
+#include <algorithm>
+
 namespace omni {
+
+namespace {
+// Binary search for the slot holding (or that would hold) `id`.
+auto lower_bound_id(auto& records, ContextId id) {
+  return std::lower_bound(
+      records.begin(), records.end(), id,
+      [](const ContextRecord& rec, ContextId key) { return rec.id < key; });
+}
+}  // namespace
 
 ContextId ContextRegistry::add(ContextParams params, Bytes content,
                                StatusCallback callback) {
@@ -10,33 +21,39 @@ ContextId ContextRegistry::add(ContextParams params, Bytes content,
   rec.params = params;
   rec.content = std::move(content);
   rec.callback = std::move(callback);
-  records_.emplace(id, std::move(rec));
+  // Ids are monotonic, so appending keeps records_ sorted.
+  records_.push_back(std::move(rec));
   return id;
 }
 
 ContextRecord* ContextRegistry::find(ContextId id) {
-  auto it = records_.find(id);
-  return it == records_.end() ? nullptr : &it->second;
+  auto it = lower_bound_id(records_, id);
+  return it == records_.end() || it->id != id ? nullptr : &*it;
 }
 
 const ContextRecord* ContextRegistry::find(ContextId id) const {
-  auto it = records_.find(id);
-  return it == records_.end() ? nullptr : &it->second;
+  auto it = lower_bound_id(records_, id);
+  return it == records_.end() || it->id != id ? nullptr : &*it;
 }
 
-bool ContextRegistry::remove(ContextId id) { return records_.erase(id) > 0; }
+bool ContextRegistry::remove(ContextId id) {
+  auto it = lower_bound_id(records_, id);
+  if (it == records_.end() || it->id != id) return false;
+  records_.erase(it);
+  return true;
+}
 
 std::vector<ContextId> ContextRegistry::ids() const {
   std::vector<ContextId> out;
   out.reserve(records_.size());
-  for (const auto& [id, rec] : records_) out.push_back(id);
+  for (const auto& rec : records_) out.push_back(rec.id);
   return out;
 }
 
 std::vector<ContextId> ContextRegistry::on_tech(Technology tech) const {
   std::vector<ContextId> out;
-  for (const auto& [id, rec] : records_) {
-    if (rec.tech == tech) out.push_back(id);
+  for (const auto& rec : records_) {
+    if (rec.tech == tech) out.push_back(rec.id);
   }
   return out;
 }

@@ -4,7 +4,6 @@
 // transmissions can be re-homed when a technology fails.
 #pragma once
 
-#include <map>
 #include <optional>
 #include <set>
 #include <vector>
@@ -36,6 +35,12 @@ struct ContextRecord {
   std::set<Technology> tried;
 };
 
+/// Registry backing store: a flat vector kept sorted by id. Ids are handed
+/// out monotonically, so add() is an O(1) push_back that preserves the sort;
+/// find() is a binary search over contiguous memory (a handful of cache
+/// lines for realistic registry sizes, vs. a pointer chase per node with
+/// std::map). Pointers returned by find() are invalidated by add() and
+/// remove() — callers must not hold them across mutations.
 class ContextRegistry {
  public:
   /// Reserve an id and store the record.
@@ -52,7 +57,7 @@ class ContextRegistry {
   std::size_t size() const { return records_.size(); }
 
  private:
-  std::map<ContextId, ContextRecord> records_;
+  std::vector<ContextRecord> records_;  // sorted by ContextRecord::id
   ContextId next_id_ = 1;
 };
 

@@ -18,8 +18,17 @@ OmniManager::OmniManager(sim::Simulator& sim, OmniAddress self,
       self_(self),
       options_(options),
       receive_queue_(sim),
+      shared_receive_queue_(sim),
       response_queue_(sim) {
   OMNI_CHECK_MSG(self_.is_valid(), "manager needs a valid omni_address");
+  // The manager's protocol state is single-context: drain its queues on the
+  // owning node's shard (or the global phase for standalone managers).
+  // Shared-medium receptions stay global (see shared_receive_queue_) —
+  // mutation from both contexts is safe because shard windows and the
+  // global phase never overlap.
+  receive_queue_.set_owner(options_.owner);
+  shared_receive_queue_.set_owner(sim::kGlobalOwner);
+  response_queue_.set_owner(options_.owner);
   current_beacon_interval_ = options_.adaptive_beacon.enabled
                                  ? options_.adaptive_beacon.min_interval
                                  : options_.beacon_interval;
@@ -51,6 +60,11 @@ void OmniManager::add_technology(CommTechnology& tech) {
   slot.type = tech.type();
   slot.supports_context = tech.supports_context();
   slot.send_queue = std::make_unique<SimQueue<SendRequest>>(sim_);
+  // Plugins whose send path drives shared infrastructure (the WiFi mesh)
+  // must process requests barrier-serialized; node-local radios drain on
+  // the owner's shard.
+  slot.send_queue->set_owner(tech.uses_shared_medium() ? sim::kGlobalOwner
+                                                       : options_.owner);
   slots_.push_back(std::move(slot));
 }
 
@@ -84,11 +98,15 @@ void OmniManager::start() {
   running_ = true;
 
   receive_queue_.set_consumer([this] { drain_receive_queue(); });
+  shared_receive_queue_.set_consumer([this] { drain_shared_receive_queue(); });
   response_queue_.set_consumer([this] { drain_response_queue(); });
 
   // Enable every technology and collect low-level addresses for the beacon.
   for (auto& s : slots_) {
-    TechQueues queues{s.send_queue.get(), &receive_queue_, &response_queue_};
+    TechQueues queues{s.send_queue.get(),
+                      s.tech->uses_shared_medium() ? &shared_receive_queue_
+                                                   : &receive_queue_,
+                      &response_queue_};
     EnableResult result = s.tech->enable(queues);
     s.address = result.address;
     s.up = true;
@@ -129,6 +147,7 @@ void OmniManager::stop() {
     s.beaconing = false;
   }
   receive_queue_.clear_consumer();
+  shared_receive_queue_.clear_consumer();
   response_queue_.clear_consumer();
 }
 
@@ -196,10 +215,14 @@ void OmniManager::disengage(Technology tech) {
 }
 
 void OmniManager::schedule_maintenance() {
-  maintenance_event_ = sim_.after(options_.probe_interval, [this] {
-    maintenance_tick();
-    if (running_) schedule_maintenance();
-  });
+  // Pinned to the manager's owner: start() runs in setup/global context, but
+  // the tick must live on the owning node's shard with the rest of the
+  // manager's state.
+  maintenance_event_ = sim_.after_on(options_.owner, options_.probe_interval,
+                                     [this] {
+                                       maintenance_tick();
+                                       if (running_) schedule_maintenance();
+                                     });
 }
 
 void OmniManager::adapt_beacon_interval() {
@@ -276,23 +299,31 @@ void OmniManager::drain_receive_queue() {
   // place — the receive path allocates nothing in steady state.
 }
 
+void OmniManager::drain_shared_receive_queue() {
+  // Same batch-drain contract as drain_receive_queue, but running in global
+  // context (see shared_receive_queue_). handle_packet tolerates both
+  // contexts; its scratch members are safe because windows and the global
+  // phase are mutually exclusive in time.
+  while (!shared_receive_queue_.empty()) {
+    std::size_t n = shared_receive_queue_.drain_into(shared_receive_scratch_);
+    for (std::size_t i = 0; i < n; ++i) {
+      handle_packet(shared_receive_scratch_[i]);
+    }
+  }
+}
+
 void OmniManager::handle_packet(const ReceivedPacket& packet) {
   std::span<const std::uint8_t> wire(packet.packed);
-  Bytes opened;
   if (BeaconCipher::looks_sealed(wire)) {
     // Encrypted beacon (paper §3.4): without the out-of-band key the packet
-    // is opaque — the device effectively does not exist to us.
-    if (!cipher_) {
+    // is opaque — the device effectively does not exist to us. Decrypt into
+    // the reused unseal buffer (handle_packet never runs re-entrantly), so
+    // the sealed-beacon fast path allocates nothing in steady state.
+    if (!cipher_ || !cipher_->open_into(wire, unseal_scratch_)) {
       ++stats_.sealed_drops;
       return;
     }
-    auto plain = cipher_->open(wire);
-    if (!plain) {
-      ++stats_.sealed_drops;
-      return;
-    }
-    opened = std::move(*plain);
-    wire = opened;
+    wire = unseal_scratch_;
   }
   // Decode into a reused scratch struct so the payload buffer survives
   // across packets (handle_packet never runs re-entrantly: packets only
@@ -397,9 +428,10 @@ void OmniManager::handle_packet(const ReceivedPacket& packet) {
 
 void OmniManager::handle_relayed_packet(const PackedStruct& outer) {
   ++stats_.relayed_in;
-  auto inner = PackedStruct::decode(outer.payload);
-  if (!inner) return;
-  const PackedStruct& p = inner.value();
+  // Separate scratch from decode_scratch_: `outer` aliases that buffer.
+  Status decoded = PackedStruct::decode_into(outer.payload, relay_scratch_);
+  if (!decoded.is_ok()) return;
+  const PackedStruct& p = relay_scratch_;
   if (p.source == self_ || p.source != outer.source) return;
 
   TimePoint now = sim_.now();

@@ -83,6 +83,13 @@ struct ManagerOptions {
     Duration max_interval = Duration::seconds(4);
   };
   AdaptiveBeacon adaptive_beacon;
+
+  /// Execution owner of this manager under the parallel engine: the hosting
+  /// device's node id pins the manager's queues and timers to that node's
+  /// shard (OmniNode sets this). The default keeps everything on the
+  /// barrier-serialized global owner — correct for standalone managers
+  /// driven directly by tests.
+  sim::OwnerId owner = sim::kGlobalOwner;
 };
 
 struct ManagerStats {
@@ -191,6 +198,7 @@ class OmniManager {
 
   // Queue consumers.
   void drain_receive_queue();
+  void drain_shared_receive_queue();
   void drain_response_queue();
   void handle_packet(const ReceivedPacket& packet);
   void handle_response(TechResponse response);
@@ -239,12 +247,25 @@ class OmniManager {
 
   std::vector<TechSlot> slots_;
   SimQueue<ReceivedPacket> receive_queue_;
+  /// Receptions from shared-medium technologies (WiFi mesh). Those arrive
+  /// from barrier-serialized global events, and any response they trigger
+  /// goes back to a global-owned send queue — processing them in global
+  /// context keeps the whole reception->response chain clamp-free under the
+  /// parallel engine (a node-shard detour would quantize the response to the
+  /// next epoch boundary, up to one lookahead of artificial latency on an
+  /// intra-device software path).
+  SimQueue<ReceivedPacket> shared_receive_queue_;
   SimQueue<TechResponse> response_queue_;
   // Reused drain buffers (see drain_receive_queue).
   std::vector<ReceivedPacket> receive_scratch_;
+  std::vector<ReceivedPacket> shared_receive_scratch_;
   std::vector<TechResponse> response_scratch_;
   // Reused decode target (see handle_packet).
   PackedStruct decode_scratch_;
+  // Reused unseal buffer (handle_packet) and relayed-inner decode target
+  // (handle_relayed_packet) — the beacon fast path allocates nothing.
+  Bytes unseal_scratch_;
+  PackedStruct relay_scratch_;
 
   AddressBeaconInfo beacon_info_;
   Bytes beacon_packed_;

@@ -5,6 +5,9 @@ namespace omni {
 OmniNode::OmniNode(net::Device& device, radio::MeshNetwork& mesh,
                    OmniNodeOptions options)
     : device_(device), options_(options) {
+  // Pin the manager's timers and node-local queues to the hosting node's
+  // shard so independent devices execute in parallel under the engine.
+  options_.manager.owner = device_.node();
   manager_ = std::make_unique<OmniManager>(device_.meter().simulator(),
                                            device_.omni_address(),
                                            options_.manager);

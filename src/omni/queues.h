@@ -1,10 +1,13 @@
 // Simulation-integrated queues for the Communication Technology API.
 //
 // Under simulation, producers and consumers are both driven by the event
-// loop, so "concurrent access" (paper §3.2) is modelled by deferring the
-// consumer's wakeup to a fresh event at the same virtual instant: a push
-// never re-entrantly invokes the consumer, exactly like a real queue between
-// threads. The thread-safe ConcurrentQueue in common/ provides the same
+// loop, so "concurrent access" (paper §3.2) is modelled by waking the
+// consumer at the same virtual instant as the push. When the producing event
+// already executes under the queue's pinned owner, the consumer is invoked
+// directly (guarded against recursion) — same virtual instant, no event
+// overhead, and the owner's events are serial so nothing can interleave.
+// Pushes from any other context defer the wakeup to a fresh event under the
+// owner. The thread-safe ConcurrentQueue in common/ provides the same
 // interface for real-time deployments.
 #pragma once
 
@@ -14,6 +17,7 @@
 #include <vector>
 
 #include "common/time.h"
+#include "sim/event_queue.h"
 #include "sim/simulator.h"
 
 namespace omni {
@@ -87,17 +91,53 @@ class SimQueue {
 
   void clear_consumer() { consumer_ = nullptr; }
 
+  /// Pin the consumer to an owner: wakeups are scheduled under `owner`
+  /// regardless of the producing context, so the parallel engine always
+  /// drains this queue on the owner's shard (or, for kGlobalOwner, in the
+  /// barrier-serialized global phase). Unpinned queues inherit the producing
+  /// event's owner — correct only when every producer already runs there.
+  void set_owner(sim::OwnerId owner) {
+    owner_ = owner;
+    pinned_ = true;
+  }
+
   std::size_t size() const { return count_; }
   bool empty() const { return count_ == 0; }
 
  private:
   void wake() {
-    if (!consumer_ || wake_pending_) return;
+    if (!consumer_) return;
+    // Already inside this queue's consumer: its drain loop picks the new
+    // item up; if it returns without doing so, the tail check below re-arms.
+    if (draining_) return;
+    if (wake_pending_) return;
+    // Same-owner fast path: the producing event already runs under this
+    // queue's owner (never taken for global-pinned queues — their producers,
+    // e.g. the mesh delivery sweep, must not re-enter shared subsystems).
+    // Whether a push takes this path depends only on event ownership, never
+    // on the thread count, so event sequences stay bit-identical.
+    if (pinned_ && owner_ != sim::kGlobalOwner &&
+        sim_->current_owner() == owner_) {
+      draining_ = true;
+      consumer_();
+      draining_ = false;
+      if (count_ > 0) deferred_wake();  // consumer returned with a backlog
+      return;
+    }
+    deferred_wake();
+  }
+
+  void deferred_wake() {
     wake_pending_ = true;
-    sim_->after(Duration::zero(), [this] {
+    auto fn = [this] {
       wake_pending_ = false;
       if (consumer_) consumer_();
-    });
+    };
+    if (pinned_) {
+      sim_->after_on(owner_, Duration::zero(), std::move(fn));
+    } else {
+      sim_->after(Duration::zero(), std::move(fn));
+    }
   }
 
   sim::Simulator* sim_;
@@ -108,7 +148,10 @@ class SimQueue {
   std::vector<T> items_;
   std::size_t count_ = 0;
   std::function<void()> consumer_;
+  sim::OwnerId owner_ = sim::kGlobalOwner;
+  bool pinned_ = false;
   bool wake_pending_ = false;
+  bool draining_ = false;
 };
 
 }  // namespace omni

@@ -82,18 +82,26 @@ Bytes BeaconCipher::seal(std::span<const std::uint8_t> plain,
 
 std::optional<Bytes> BeaconCipher::open(
     std::span<const std::uint8_t> sealed) const {
+  Bytes plain;
+  if (!open_into(sealed, plain)) return std::nullopt;
+  return plain;
+}
+
+bool BeaconCipher::open_into(std::span<const std::uint8_t> sealed,
+                             Bytes& out) const {
   if (sealed.size() < kSealOverhead || sealed[0] != kSealedPacketMarker) {
-    return std::nullopt;
+    return false;
   }
   ByteReader r(sealed.subspan(1));
   std::uint64_t nonce = r.u64().value();
   std::uint32_t expected_tag = r.u32().value();
-  Bytes plain = r.raw(r.remaining()).value();
-  Bytes stream(plain.size());
-  keystream(nonce, stream.size(), stream.data());
-  for (std::size_t i = 0; i < plain.size(); ++i) plain[i] ^= stream[i];
-  if (tag(plain, nonce) != expected_tag) return std::nullopt;
-  return plain;
+  std::span<const std::uint8_t> body = sealed.subspan(kSealOverhead);
+  out.resize(body.size());
+  // Keystream generated straight into `out`, then XORed with the ciphertext
+  // in place — no temporary buffer.
+  keystream(nonce, out.size(), out.data());
+  for (std::size_t i = 0; i < body.size(); ++i) out[i] ^= body[i];
+  return tag(out, nonce) == expected_tag;
 }
 
 }  // namespace omni

@@ -107,15 +107,23 @@ void WifiMulticastTech::set_engaged(bool engaged) {
   if (engaged_ == engaged) return;
   engaged_ = engaged;
   if (!enabled_) return;
-  if (engaged_) {
-    probe_event_.cancel();
-  } else {
-    schedule_probe();
-  }
+  // The probe event lives in the barrier-serialized global queue, but the
+  // manager may call set_engaged from its node-shard context. The flag flip
+  // above is safe (phase-serialized); the probe bookkeeping is deferred to
+  // the next barrier and re-checks the flags there.
+  radio_.simulator().after_global(Duration::zero(), [this] {
+    if (!enabled_) return;
+    if (engaged_) {
+      probe_event_.cancel();
+    } else if (!probe_event_.pending()) {
+      schedule_probe();
+    }
+  });
 }
 
 void WifiMulticastTech::schedule_probe() {
-  probe_event_ = radio_.simulator().after(options_.probe_interval, [this] {
+  probe_event_ = radio_.simulator().after_global(options_.probe_interval,
+                                                 [this] {
     if (!enabled_ || engaged_) return;
     const auto& cal = radio_.calibration();
     // Open a listen window spanning one beacon interval. The radio is in

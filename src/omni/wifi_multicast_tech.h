@@ -61,6 +61,9 @@ class WifiMulticastTech final : public CommTechnology {
 
   void set_engaged(bool engaged) override;
   bool engaged() const override { return engaged_; }
+  /// Multicast airtime accounting lives in the shared mesh: requests must be
+  /// processed barrier-serialized (global owner) under the parallel engine.
+  bool uses_shared_medium() const override { return true; }
 
   bool joined() const { return joined_; }
 

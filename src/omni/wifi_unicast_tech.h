@@ -40,6 +40,9 @@ class WifiUnicastTech final : public CommTechnology {
 
   void set_engaged(bool engaged) override { engaged_ = engaged; }
   bool engaged() const override { return engaged_; }
+  /// The mesh's fluid-flow state spans every member node: requests must be
+  /// processed barrier-serialized (global owner) under the parallel engine.
+  bool uses_shared_medium() const override { return true; }
 
   bool joined() const { return joined_; }
 

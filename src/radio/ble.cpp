@@ -12,6 +12,7 @@ BleRadio::BleRadio(BleMedium& medium, sim::Simulator& sim, EnergyMeter& meter,
       node_(node),
       cal_(cal),
       address_(BleAddress::from_node(node)) {
+  sim_.ensure_owner(node_);
   medium_.attach(this);
 }
 
@@ -33,6 +34,7 @@ void BleRadio::set_powered(bool on) {
     scanning_ = false;
   }
   apply_scan_level();
+  medium_.update_scan_state(this);
   if (on_power_) on_power_(powered_);
 }
 
@@ -56,6 +58,7 @@ void BleRadio::set_scanning(bool enabled, double duty) {
   scanning_ = enabled && powered_;
   scan_duty_ = duty;
   apply_scan_level();
+  medium_.update_scan_state(this);
 }
 
 std::size_t BleRadio::max_payload() const {
@@ -76,7 +79,8 @@ Result<AdvertisementId> BleRadio::start_advertising(Bytes payload,
   }
   AdvertisementId id = next_adv_id_++;
   advertisements_.emplace_back(
-      id, Advertisement{std::move(payload), interval, sim::EventHandle{}});
+      id, Advertisement{std::make_shared<const Bytes>(std::move(payload)),
+                        interval, sim::EventHandle{}});
   // First event after a full interval: a freshly added advertisement is not
   // instantly on the air.
   schedule_adv(id, interval);
@@ -104,7 +108,7 @@ Status BleRadio::update_advertising(AdvertisementId id, Bytes payload,
     return Status::error("advertisement interval must be >0");
   }
   bool reschedule = interval != adv->interval;
-  adv->payload = std::move(payload);
+  adv->payload = std::make_shared<const Bytes>(std::move(payload));
   adv->interval = interval;
   if (reschedule) {
     adv->next_event.cancel();
@@ -127,7 +131,9 @@ Status BleRadio::stop_advertising(AdvertisementId id) {
 void BleRadio::schedule_adv(AdvertisementId id, Duration delay) {
   Advertisement* adv = find_adv(id);
   if (adv == nullptr) return;
-  adv->next_event = sim_.after(delay, [this, id] { fire_adv(id); });
+  // Pinned to this node's owner: advertising chains run on the node's shard
+  // no matter which context (setup, queue drain) started them.
+  adv->next_event = sim_.after_on(node_, delay, [this, id] { fire_adv(id); });
 }
 
 void BleRadio::fire_adv(AdvertisementId id) {
@@ -137,12 +143,11 @@ void BleRadio::fire_adv(AdvertisementId id) {
   // Reschedule before broadcasting, reusing this lookup. A receive handler
   // that stops or retunes this advertisement mid-broadcast cancels/replaces
   // the handle we just stored, so the outcome matches reschedule-after.
-  adv->next_event = sim_.after(adv->interval, [this, id] { fire_adv(id); });
-  // Broadcast from a reused scratch copy: a handler that adds or stops an
-  // advertisement mid-broadcast may reallocate or erase vector storage, so
-  // `adv` must not be dereferenced past this point.
-  adv_scratch_.assign(adv->payload.begin(), adv->payload.end());
-  medium_.broadcast(*this, adv_scratch_);
+  adv->next_event =
+      sim_.after_on(node_, adv->interval, [this, id] { fire_adv(id); });
+  // The shared payload keeps delivery events valid even if a later event
+  // stops the advertisement (or reallocates the vector) before they fire.
+  medium_.broadcast(*this, adv->payload);
 }
 
 Status BleRadio::send_datagram(Bytes payload, SendDoneFn done,
@@ -161,17 +166,22 @@ Status BleRadio::send_datagram(Bytes payload, SendDoneFn done,
           : Duration::micros(static_cast<std::int64_t>(sim_.rng().uniform(
                 0, static_cast<double>(
                        cal_.ble_fast_adv_interval.as_micros()))));
-  Duration total = wait + cal_.ble_adv_event;
-  sim_.after(total, [this, payload = std::move(payload),
-                     done = std::move(done)]() mutable {
+  auto shared = std::make_shared<const Bytes>(std::move(payload));
+  // The burst goes on the air at `wait`; receivers hear it one advertising
+  // event later (the medium's delivery latency), and completion reports at
+  // the same instant the transmission ends.
+  sim_.after_on(node_, wait, [this, shared = std::move(shared),
+                              done = std::move(done)]() mutable {
     if (!powered_) {
       if (done) done(Status::error("BLE radio powered off mid-send"));
       return;
     }
-    meter_.charge(sim_.now() - cal_.ble_adv_event, sim_.now(),
-                  cal_.ble_advertise_ma);
-    medium_.broadcast(*this, payload, /*reliable_burst=*/true);
-    if (done) done(Status::ok());
+    meter_.charge_for(cal_.ble_adv_event, cal_.ble_advertise_ma);
+    medium_.broadcast(*this, shared, /*reliable_burst=*/true);
+    if (done) {
+      sim_.after_on(node_, cal_.ble_adv_event,
+                    [done = std::move(done)] { done(Status::ok()); });
+    }
   });
   return Status::ok();
 }
@@ -181,49 +191,218 @@ void BleRadio::deliver(const BleAddress& from, const Bytes& payload) {
   if (on_receive_) on_receive_(from, payload);
 }
 
+BleMedium::BleMedium(sim::World& world, const Calibration& cal)
+    : world_(world), cal_(cal), lanes_(world.simulator().threads() + 1) {
+  // One lane per shard plus the global lane (current_shard_index() returns
+  // threads() outside windows).
+  world_.simulator().add_barrier_hook([this] { flush_pending(); });
+}
+
+std::uint64_t BleMedium::delivered_count() const {
+  std::uint64_t n = 0;
+  for (const Lane& lane : lanes_) n += lane.delivered;
+  return n;
+}
+
 void BleMedium::attach(BleRadio* radio) {
-  radios_.push_back(radio);
   if (radio->node() >= radios_by_node_.size()) {
     radios_by_node_.resize(radio->node() + 1);
   }
-  radios_by_node_[radio->node()].push_back(radio);
+  radios_by_node_[radio->node()].push_back(
+      RadioState{radio, next_uid_++, radio->powered() && radio->scanning(),
+                 radio->scan_duty()});
 }
 
 void BleMedium::detach(BleRadio* radio) {
-  radios_.erase(std::remove(radios_.begin(), radios_.end(), radio),
-                radios_.end());
   if (radio->node() >= radios_by_node_.size()) return;
   auto& on_node = radios_by_node_[radio->node()];
-  on_node.erase(std::remove(on_node.begin(), on_node.end(), radio),
+  on_node.erase(std::remove_if(on_node.begin(), on_node.end(),
+                               [radio](const RadioState& st) {
+                                 return st.radio == radio;
+                               }),
                 on_node.end());
 }
 
-void BleMedium::broadcast(const BleRadio& from, const Bytes& payload,
+void BleMedium::apply_scan_state(BleRadio* radio) {
+  if (radio->node() >= radios_by_node_.size()) return;
+  for (RadioState& st : radios_by_node_[radio->node()]) {
+    if (st.radio != radio) continue;
+    st.scanning = radio->powered() && radio->scanning();
+    st.duty = radio->scan_duty();
+  }
+}
+
+void BleMedium::update_scan_state(BleRadio* radio) {
+  sim::Simulator& sim = world_.simulator();
+  if (sim.owns_context(sim::kGlobalOwner)) {
+    apply_scan_state(radio);
+    return;
+  }
+  // A node-owned event changed the state mid-window: defer the snapshot
+  // write to the barrier so concurrent senders keep reading a stable table.
+  // Until then the radio keeps its old *eligibility* for capture trials;
+  // actual delivery always revalidates against the receiver's live state.
+  sim.after_global(Duration::zero(),
+                   [this, radio] { apply_scan_state(radio); });
+}
+
+void BleMedium::broadcast(const BleRadio& from,
+                          const std::shared_ptr<const Bytes>& payload,
                           bool reliable_burst) {
   // Candidate nodes come from the world's spatial grid (exact-range
   // filtered, ascending by node id, including the sender's own node so
-  // co-located radios still hear each other). The scratch buffer is swapped
-  // out for the duration of delivery: a receive handler that indirectly
-  // re-broadcasts then simply grows a temporary instead of corrupting this
-  // iteration.
-  std::vector<NodeId> nodes;
-  std::swap(nodes, scratch_nodes_);
+  // co-located radios still hear each other). thread_local scratch: each
+  // shard broadcasts concurrently, and broadcast never re-enters itself
+  // (receive handlers run in posted delivery events, not inline).
+  thread_local std::vector<NodeId> scratch_nodes;
+  std::vector<NodeId>& nodes = scratch_nodes;
   world_.nodes_near(from.node(), cal_.ble_range_m, nodes);
-  Rng& rng = world_.simulator().rng();
+  sim::Simulator& sim = world_.simulator();
+  Rng& rng = sim.rng();
   const double capture_p = cal_.ble_capture_probability;
+  const Duration latency = cal_.ble_adv_event;
+  const BleAddress src_addr = from.address();
+  const std::size_t lane_idx = sim.current_shard_index();
+  const bool in_window = lane_idx < static_cast<std::size_t>(sim.threads());
+  const TimePoint at = sim.now() + latency;
+  // The transmission record is created lazily on the first winner, so a
+  // frame nobody captures costs nothing at the flush.
+  constexpr std::uint32_t kNoTx = 0xffffffffu;
+  std::uint32_t tx_idx = kNoTx;
   for (NodeId node : nodes) {
     if (node >= radios_by_node_.size()) continue;
-    for (BleRadio* rx : radios_by_node_[node]) {
-      if (rx == &from || !rx->powered() || !rx->scanning()) continue;
+    for (const RadioState& st : radios_by_node_[node]) {
+      if (st.radio == &from || !st.scanning) continue;
       if (!reliable_burst) {
-        double p = capture_p * rx->scan_duty();
+        double p = capture_p * st.duty;
         if (p < 1.0 && !rng.chance(p)) continue;
       }
-      ++delivered_;
-      rx->deliver(from.address(), payload);
+      if (in_window) {
+        // Record the winner in this shard's lane; the barrier hook batches
+        // the window's winners into one sweep event per (instant, receiver).
+        // The delivery instant (transmission + min_latency >= the engine's
+        // lookahead) always lands past the window end.
+        Lane& lane = lanes_[lane_idx];
+        if (tx_idx == kNoTx) {
+          tx_idx = static_cast<std::uint32_t>(lane.txs.size());
+          lane.txs.push_back(PendingTx{at, from.node(), src_addr, payload});
+        }
+        lane.winners.push_back(PendingWinner{node, st.uid, tx_idx});
+      } else {
+        // Setup code or a global event: every queue is quiescent, schedule
+        // the delivery on the receiver's owner directly.
+        sim.after_on(node, latency,
+                     [this, node, rx_uid = st.uid, src_addr, payload] {
+                       deliver(node, rx_uid, src_addr, *payload);
+                     });
+      }
     }
   }
-  std::swap(nodes, scratch_nodes_);
+}
+
+void BleMedium::flush_pending() {
+  std::size_t total = 0;
+  std::size_t total_tx = 0;
+  for (const Lane& lane : lanes_) {
+    total += lane.winners.size();
+    total_tx += lane.txs.size();
+  }
+  if (total == 0) return;
+  // Concatenate the per-shard transmission records, rebasing each lane's
+  // winner->tx indices by its lane offset as the winners are scattered.
+  auto txs = std::make_shared<std::vector<PendingTx>>();
+  txs->reserve(total_tx);
+  // Canonical order: each receiver hears the window's frames in (time,
+  // sending node) order — a total order independent of the shard partition.
+  // A comparison sort of the whole batch dominated the flush, so bucket by
+  // receiver with a counting scatter (dense node ids) and finish each
+  // receiver's handful of frames with a stable insertion sort. Ties (one
+  // sender, several same-instant frames) sit in a single lane in
+  // transmission order, and the scatter preserves lane order, so the result
+  // is identical at any thread count.
+  const std::size_t nbuckets = radios_by_node_.size();
+  bucket_starts_.assign(nbuckets + 1, 0);
+  for (const Lane& lane : lanes_) {
+    for (const PendingWinner& rec : lane.winners) {
+      ++bucket_starts_[rec.dst + 1];
+    }
+  }
+  for (std::size_t d = 0; d < nbuckets; ++d) {
+    bucket_starts_[d + 1] += bucket_starts_[d];
+  }
+  auto batch = std::make_shared<std::vector<PendingWinner>>(total);
+  bucket_fill_ = bucket_starts_;
+  for (Lane& lane : lanes_) {
+    const std::uint32_t base = static_cast<std::uint32_t>(txs->size());
+    for (PendingTx& tx : lane.txs) txs->push_back(std::move(tx));
+    lane.txs.clear();
+    for (const PendingWinner& rec : lane.winners) {
+      (*batch)[bucket_fill_[rec.dst]++] =
+          PendingWinner{rec.dst, rec.rx_uid, rec.tx + base};
+    }
+    lane.winners.clear();
+  }
+  auto earlier = [&txs](const PendingWinner& a, const PendingWinner& b) {
+    const PendingTx& ta = (*txs)[a.tx];
+    const PendingTx& tb = (*txs)[b.tx];
+    if (ta.at != tb.at) return ta.at < tb.at;
+    return ta.src < tb.src;
+  };
+  for (std::size_t d = 0; d < nbuckets; ++d) {
+    std::size_t b = bucket_starts_[d], e = bucket_starts_[d + 1];
+    if (e - b < 2) continue;
+    if (e - b > 64) {
+      // Degenerate fan-in (burst floods); insertion sort would go quadratic.
+      std::stable_sort(batch->begin() + static_cast<std::ptrdiff_t>(b),
+                       batch->begin() + static_cast<std::ptrdiff_t>(e),
+                       earlier);
+      continue;
+    }
+    for (std::size_t k = b + 1; k < e; ++k) {
+      PendingWinner rec = (*batch)[k];
+      std::size_t m = k;
+      for (; m > b && earlier(rec, (*batch)[m - 1]); --m) {
+        (*batch)[m] = (*batch)[m - 1];
+      }
+      (*batch)[m] = rec;
+    }
+  }
+  sim::Simulator& sim = world_.simulator();
+  std::size_t i = 0;
+  while (i < batch->size()) {
+    const PendingWinner& head = (*batch)[i];
+    const TimePoint head_at = (*txs)[head.tx].at;
+    std::size_t j = i + 1;
+    while (j < batch->size() && (*batch)[j].dst == head.dst &&
+           (*txs)[(*batch)[j].tx].at == head_at) {
+      ++j;
+    }
+    sim.at_on(head.dst, head_at, [this, txs, batch, i, j] {
+      deliver_batch(*txs, *batch, i, j);
+    });
+    i = j;
+  }
+}
+
+void BleMedium::deliver_batch(const std::vector<PendingTx>& txs,
+                              const std::vector<PendingWinner>& batch,
+                              std::size_t begin, std::size_t end) {
+  for (std::size_t k = begin; k < end; ++k) {
+    const PendingWinner& rec = batch[k];
+    const PendingTx& tx = txs[rec.tx];
+    deliver(rec.dst, rec.rx_uid, tx.from, *tx.payload);
+  }
+}
+
+void BleMedium::deliver(NodeId node, std::uint32_t rx_uid,
+                        const BleAddress& from, const Bytes& payload) {
+  if (node >= radios_by_node_.size()) return;
+  for (const RadioState& st : radios_by_node_[node]) {
+    if (st.uid != rx_uid) continue;  // radio detached since the broadcast
+    ++lanes_[world_.simulator().current_shard_index()].delivered;
+    st.radio->deliver(from, payload);
+    return;
+  }
 }
 
 }  // namespace omni::radio

@@ -8,11 +8,22 @@
 //
 // Energy: scanning is a level charge (scan duty * 7.0 mA); every advertising
 // event charges 8.2 mA for the event duration — matching the paper's Table 3.
+//
+// Parallel engine: BLE is the sharded medium. A broadcast runs on the
+// transmitting node's shard; it resolves candidates against a barrier-
+// maintained scan-state snapshot, draws capture trials from the sender's own
+// RNG stream, and records one pending delivery per winning radio, due one
+// advertising event (min_latency()) in the future — the strictly positive
+// latency the simulator's conservative lookahead is derived from. At the
+// window barrier the medium flushes the recorded winners into one sweep
+// event per (delivery instant, receiving node), owned by the receiver, so a
+// fire that reaches seven neighbors costs one batched event per neighbor
+// instead of seven mailbox posts through the serial merge.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <unordered_map>
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -95,12 +106,14 @@ class BleRadio {
   Status send_datagram(Bytes payload, SendDoneFn done,
                        bool deterministic_latency = true);
 
-  /// Called by the medium when an in-range advertisement fires.
+  /// Called by the medium when an in-range advertisement arrives.
   void deliver(const BleAddress& from, const Bytes& payload);
 
  private:
   struct Advertisement {
-    Bytes payload;
+    // Immutable once set (replaced wholesale on update): in-flight delivery
+    // events share it, and every fire broadcasts it without copying.
+    std::shared_ptr<const Bytes> payload;
     Duration interval;
     sim::EventHandle next_event;
   };
@@ -129,15 +142,13 @@ class BleRadio {
   // contexts): a flat vector with linear lookup beats hashing on the
   // per-fire hot path.
   std::vector<std::pair<AdvertisementId, Advertisement>> advertisements_;
-  Bytes adv_scratch_;  ///< fire_adv broadcast staging (see fire_adv)
 };
 
 /// The shared BLE broadcast medium: tracks radios, resolves range via the
 /// world, and applies the scan-capture model.
 class BleMedium {
  public:
-  BleMedium(sim::World& world, const Calibration& cal)
-      : world_(world), cal_(cal) {}
+  BleMedium(sim::World& world, const Calibration& cal);
   BleMedium(const BleMedium&) = delete;
   BleMedium& operator=(const BleMedium&) = delete;
 
@@ -145,29 +156,100 @@ class BleMedium {
   void detach(BleRadio* radio);
 
   /// Deliver `payload` from `from` to every powered, scanning radio in range
-  /// that wins its capture trial. A `reliable_burst` (fast-advertising
-  /// repetition, used for datagrams) bypasses the capture trial: repeating
-  /// the event across the window makes capture all but certain.
-  void broadcast(const BleRadio& from, const Bytes& payload,
+  /// that wins its capture trial, one advertising event from now. A
+  /// `reliable_burst` (fast-advertising repetition, used for datagrams)
+  /// bypasses the capture trial: repeating the event across the window makes
+  /// capture all but certain. Runs in the sender's execution context; trials
+  /// draw from the sender's RNG stream against the scan-state snapshot.
+  void broadcast(const BleRadio& from,
+                 const std::shared_ptr<const Bytes>& payload,
                  bool reliable_burst = false);
+
+  /// Smallest cross-node latency this medium can produce: one advertising
+  /// event (the 3-channel sweep airtime) separates every transmission from
+  /// its reception. The simulator's conservative lookahead derives from
+  /// this (Testbed calls set_lookahead(min_latency())).
+  Duration min_latency() const { return cal_.ble_adv_event; }
+
+  /// Called by radios whenever power/scanning/duty changes. Snapshot updates
+  /// apply immediately from barrier-serialized contexts and are deferred to
+  /// the next window barrier from node-owned events, so concurrent senders
+  /// always read a stable snapshot.
+  void update_scan_state(BleRadio* radio);
 
   sim::World& world() { return world_; }
   const Calibration& calibration() const { return cal_; }
 
-  /// Total advertisements delivered (for tests/telemetry).
-  std::uint64_t delivered_count() const { return delivered_; }
+  /// Total advertisements delivered (for tests/telemetry). Sums per-shard
+  /// counters; call it from barrier-serialized contexts (tests, reports).
+  std::uint64_t delivered_count() const;
 
  private:
+  /// Per-radio snapshot entry, mutated only at epoch barriers (attach,
+  /// detach, scan-state applies) and read concurrently by senders.
+  struct RadioState {
+    BleRadio* radio;
+    std::uint32_t uid;  ///< stable id; delivery events revalidate against it
+    bool scanning;      ///< powered && scanner enabled, at last barrier
+    double duty;
+  };
+
+  /// One frame on the air during the current window: the fields every
+  /// winner shares. Splitting these out keeps the per-winner record at 12
+  /// bytes and takes one payload refcount per transmission instead of one
+  /// per receiver.
+  struct PendingTx {
+    TimePoint at;  ///< delivery instant (transmission + min_latency)
+    NodeId src;    ///< transmitting node (canonical-order key)
+    BleAddress from;
+    std::shared_ptr<const Bytes> payload;
+  };
+  /// A capture-trial winner awaiting delivery. Produced on the sender's
+  /// shard during a window (one lane per shard, so recording is contention-
+  /// free), flushed at the barrier by flush_pending().
+  struct PendingWinner {
+    NodeId dst;  ///< receiving node (sweep events group on this)
+    std::uint32_t rx_uid;
+    std::uint32_t tx;  ///< PendingTx index: lane-local until the flush
+                       ///< concatenation rebases it
+  };
+
+  void apply_scan_state(BleRadio* radio);
+  void deliver(NodeId node, std::uint32_t rx_uid, const BleAddress& from,
+               const Bytes& payload);
+  /// Barrier hook: sort this window's recorded winners into canonical
+  /// (receiver, time, sender) order and schedule one sweep event per
+  /// (delivery instant, receiver) run of the sorted batch.
+  void flush_pending();
+  void deliver_batch(const std::vector<PendingTx>& txs,
+                     const std::vector<PendingWinner>& batch,
+                     std::size_t begin, std::size_t end);
+
+  /// Per-shard working set, padded to a cache line: the pending transmission
+  /// and winner lanes written while broadcasting and the delivered counter
+  /// bumped on every reception. Shards touch only their own Lane during
+  /// windows — without the padding, adjacent vector headers and counters
+  /// ping-pong a shared line across every core.
+  struct alignas(64) Lane {
+    std::vector<PendingTx> txs;
+    std::vector<PendingWinner> winners;
+    std::uint64_t delivered = 0;
+  };
+
   sim::World& world_;
   const Calibration& cal_;
-  std::vector<BleRadio*> radios_;
-  /// Grid-backed delivery: broadcast() asks the world for candidate nodes in
-  /// range and resolves them to radios here instead of scanning every
-  /// attached radio. Indexed directly by NodeId (ids are dense); a node may
-  /// host several radios (kept in attach order).
-  std::vector<std::vector<BleRadio*>> radios_by_node_;
-  std::vector<NodeId> scratch_nodes_;  // reused query buffer
-  std::uint64_t delivered_ = 0;
+  /// Snapshot table indexed by NodeId (ids are dense); a node may host
+  /// several radios (kept in attach order).
+  std::vector<std::vector<RadioState>> radios_by_node_;
+  std::uint32_t next_uid_ = 1;
+  /// Index nshards_ is the barrier-serialized global lane. The sorted flush
+  /// batch is handed to the sweep events via shared_ptr: sweeps fire up to
+  /// one lookahead after the barrier, past later flushes.
+  std::vector<Lane> lanes_;
+  /// Reused counting-scatter scratch (flush_pending): per-receiver bucket
+  /// boundaries and the scatter cursor.
+  std::vector<std::uint32_t> bucket_starts_;
+  std::vector<std::uint32_t> bucket_fill_;
 };
 
 }  // namespace omni::radio

@@ -23,6 +23,10 @@ constexpr Duration kFlowValidationPeriod = Duration::millis(500);
 MeshNetwork::MeshNetwork(WifiSystem& system, std::string name)
     : system_(system), name_(std::move(name)) {}
 
+Duration MeshNetwork::min_latency() const {
+  return system_.calibration().wifi_rtt * 0.5;
+}
+
 MeshNetwork::~MeshNetwork() {
   validator_.cancel();
   for (auto& [id, flow] : flows_) flow.completion.cancel();

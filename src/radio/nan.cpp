@@ -36,8 +36,12 @@ void NanSystem::ensure_ticking() {
   for (NanRadio* r : radios_) any_enabled |= r->enabled();
   if (!any_enabled) return;
   auto& sim = world_.simulator();
-  tick_event_ = sim.at(next_window_start(sim.now() + Duration::micros(1)),
-                       [this] { run_window(); });
+  // Pinned to the global owner: the DW tick scans every radio and fans out
+  // across nodes, so it must run barrier-serialized no matter which context
+  // (re-)starts the ticking.
+  TimePoint when = next_window_start(sim.now() + Duration::micros(1));
+  tick_event_ =
+      sim.after_global(when - sim.now(), [this] { run_window(); });
 }
 
 void NanSystem::run_window() {
@@ -126,8 +130,9 @@ void NanSystem::run_window() {
     }
   }
 
-  tick_event_ = sim.at(next_window_start(start + Duration::micros(1)),
-                       [this] { run_window(); });
+  tick_event_ = sim.after_global(
+      next_window_start(start + Duration::micros(1)) - sim.now(),
+      [this] { run_window(); });
   // Stop ticking entirely if nobody is enabled anymore.
   bool any_enabled = false;
   for (NanRadio* r : radios_) any_enabled |= r->enabled();

@@ -397,9 +397,9 @@ Result<std::unique_ptr<Scenario>> Scenario::parse(const std::string& text) {
   return scenario;
 }
 
-Status Scenario::run(std::ostream& out) {
+Status Scenario::run(std::ostream& out, unsigned threads) {
   Impl& impl = *impl_;
-  net::Testbed bed(impl.seed);
+  net::Testbed bed(impl.seed, radio::Calibration::defaults(), threads);
   std::vector<Impl::LiveDevice> live(impl.devices.size());
 
   for (std::size_t i = 0; i < impl.devices.size(); ++i) {
@@ -490,11 +490,11 @@ Status Scenario::run(std::ostream& out) {
   return Status::ok();
 }
 
-std::string run_scenario_text(const std::string& text) {
+std::string run_scenario_text(const std::string& text, unsigned threads) {
   auto parsed = Scenario::parse(text);
   if (!parsed.is_ok()) return "parse error: " + parsed.error_message();
   std::ostringstream os;
-  Status s = parsed.value()->run(os);
+  Status s = parsed.value()->run(os, threads);
   if (!s.is_ok()) return "run error: " + s.message();
   return os.str();
 }

@@ -43,11 +43,12 @@ class Scenario {
   Scenario& operator=(const Scenario&) = delete;
   ~Scenario();
 
-  /// Execute the scenario, writing report blocks to `out`.
+  /// Execute the scenario, writing report blocks to `out`. `threads` > 1
+  /// runs the parallel engine; the report is bit-identical at any count.
   /// Returns an error if execution hits an impossible instruction (e.g. a
   /// send between devices that never discovered each other is fine — it
   /// reports a failed send — but an unknown device name is not).
-  Status run(std::ostream& out);
+  Status run(std::ostream& out, unsigned threads = 1);
 
   // Introspection for tests.
   std::size_t device_count() const;
@@ -60,6 +61,6 @@ class Scenario {
 };
 
 /// Convenience: parse + run, returning the report (or the error message).
-std::string run_scenario_text(const std::string& text);
+std::string run_scenario_text(const std::string& text, unsigned threads = 1);
 
 }  // namespace omni::scenario

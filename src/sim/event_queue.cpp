@@ -106,12 +106,13 @@ void EventQueue::maybe_compact() {
 
 // --- Public API --------------------------------------------------------------
 
-EventHandle EventQueue::schedule(TimePoint at, EventFn fn) {
+EventHandle EventQueue::schedule(TimePoint at, EventFn fn, OwnerId owner) {
   std::uint32_t idx = alloc_slot();
   Slot& s = slots_[idx];
   s.at = at;
   s.generation = next_generation_++;
   s.fn = std::move(fn);
+  s.owner = owner;
   heap_.push_back(HeapEntry{at, s.generation, idx});
   s.heap_index = static_cast<std::uint32_t>(heap_.size() - 1);
   sift_up(heap_.size() - 1);
@@ -119,12 +120,14 @@ EventHandle EventQueue::schedule(TimePoint at, EventFn fn) {
   return EventHandle{this, idx, s.generation};
 }
 
-EventHandle EventQueue::schedule_now(TimePoint now, EventFn fn) {
+EventHandle EventQueue::schedule_now(TimePoint now, EventFn fn,
+                                     OwnerId owner) {
   std::uint32_t idx = alloc_slot();
   Slot& s = slots_[idx];
   s.at = now;
   s.generation = next_generation_++;
   s.fn = std::move(fn);
+  s.owner = owner;
   s.heap_index = kInFifo;
   fifo_.push_back(FifoEntry{s.generation, idx});
   ++fifo_live_;
@@ -144,7 +147,7 @@ EventQueue::Popped EventQueue::pop(TimePoint now) {
 
 EventQueue::Popped EventQueue::pop_heap() {
   std::uint32_t idx = heap_[0].slot;
-  Popped out{slots_[idx].at, std::move(slots_[idx].fn)};
+  Popped out{slots_[idx].at, slots_[idx].owner, std::move(slots_[idx].fn)};
   remove_heap_at(0);
   free_slot(idx);
   return out;
@@ -164,7 +167,7 @@ EventQueue::Popped EventQueue::pop_fifo(TimePoint now) {
       fifo_head_ = 0;
     }
     if (!slot_live(e.slot, e.generation)) continue;  // cancelled, then freed
-    Popped out{now, std::move(slots_[e.slot].fn)};
+    Popped out{now, slots_[e.slot].owner, std::move(slots_[e.slot].fn)};
     free_slot(e.slot);
     --fifo_live_;
     return out;

@@ -32,6 +32,13 @@ namespace omni::sim {
 
 using EventFn = std::function<void()>;
 
+/// Logical owner of scheduled work. Node-local events (radio fires, queue
+/// drains, per-device timers) carry their node id; work that touches shared
+/// subsystems (mesh, mobility, scenario instructions) carries kGlobalOwner
+/// and is executed serially at epoch barriers by the parallel engine.
+using OwnerId = std::uint32_t;
+inline constexpr OwnerId kGlobalOwner = 0xffffffffu;
+
 class EventQueue;
 
 /// Handle to a scheduled event, usable to cancel it. Default-constructed
@@ -64,8 +71,10 @@ class EventQueue {
   EventQueue& operator=(const EventQueue&) = delete;
 
   /// Add an event firing at `at`; later insertions at the same time fire
-  /// later. Returns a handle usable for cancellation.
-  EventHandle schedule(TimePoint at, EventFn fn);
+  /// later. Returns a handle usable for cancellation. `owner` rides along
+  /// and is reported by pop() so the simulator can restore the event's
+  /// execution context (per-owner RNG stream, shard clock).
+  EventHandle schedule(TimePoint at, EventFn fn, OwnerId owner = kGlobalOwner);
 
   /// Add an event firing at the current instant `now` (a zero-delay wakeup).
   /// Same ordering contract as schedule(now, fn), but the event lands in a
@@ -76,7 +85,8 @@ class EventQueue {
   /// scheduled earlier — before the clock reached `now` — so draining the
   /// heap's `now` entries before the FIFO preserves global (time, sequence)
   /// order.
-  EventHandle schedule_now(TimePoint now, EventFn fn);
+  EventHandle schedule_now(TimePoint now, EventFn fn,
+                           OwnerId owner = kGlobalOwner);
 
   bool empty() const { return heap_.empty() && fifo_live_ == 0; }
   std::size_t size() const { return heap_.size() + fifo_live_; }
@@ -106,6 +116,7 @@ class EventQueue {
   /// smaller sequence numbers — see schedule_now).
   struct Popped {
     TimePoint at;
+    OwnerId owner;
     EventFn fn;
   };
   Popped pop(TimePoint now);
@@ -125,6 +136,7 @@ class EventQueue {
     TimePoint at;
     std::uint64_t generation = 0;  ///< 0 = free; doubles as the fire sequence
     EventFn fn;
+    OwnerId owner = kGlobalOwner;
     std::uint32_t heap_index = kNone;  ///< kNone while free
     std::uint32_t next_free = kNone;
   };

@@ -1,13 +1,49 @@
-// The discrete-event simulator: a virtual clock plus an event loop.
+// The discrete-event simulator: a virtual clock plus a sharded event engine.
 //
 // Everything in the library that needs time — radio models, the Omni manager,
 // applications — takes a Simulator& and schedules callbacks on it. Virtual
 // time only advances between events, so a full multi-minute experiment runs
 // in milliseconds of wall time and is reproducible given a seed.
+//
+// Parallel execution model (conservative, deterministic):
+//
+// Every event carries an OwnerId — a node id for node-local work (radio
+// fires, queue drains, per-device timers) or kGlobalOwner for work touching
+// shared subsystems (mesh, mobility, scenario instructions). Node owners are
+// sharded across `threads` worker shards (shard = owner % threads), each with
+// its own EventQueue; global events live in a separate queue executed
+// serially by the driving thread.
+//
+// The run loop alternates two phases:
+//   * Global phase: while the earliest pending work is global, pop and run
+//     one global event at a time — exactly the classic sequential loop.
+//   * Window phase: when the earliest pending work is shard-local at time T,
+//     open a window [T, W) with W = min(T + lookahead, next global event,
+//     deadline⁺) and let every shard execute its own events inside the
+//     window concurrently.
+//
+// Lookahead is sound because every sharded medium has a strictly positive
+// minimum cross-node latency (BLE: one advertising event): an event executing
+// at t can only affect another owner at ≥ t + min_latency ≥ W, so shards
+// never need each other's state inside a window. Cross-owner schedules made
+// during a window go into per-shard-pair mailboxes as (time, src_owner, seq)
+// records, clamped to ≥ W, and are merged into the destination queues at the
+// window barrier in canonical (time, src_owner, seq) order. Merge order —
+// and therefore event sequence numbers, RNG consumption, and every simulated
+// outcome — depends only on simulated times and owner ids, never on thread
+// scheduling, so results are bit-identical for any thread count (threads=1
+// runs the same windowed loop with the single shard executed inline).
+//
+// Each owner also draws from its own RNG stream (seeded from the simulation
+// seed and the owner id), so random sequences are independent of how owners'
+// events interleave across shards.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <thread>
+#include <vector>
 
 #include "common/rng.h"
 #include "common/time.h"
@@ -17,55 +53,193 @@ namespace omni::sim {
 
 class Simulator {
  public:
-  explicit Simulator(std::uint64_t seed = 1) : rng_(seed) {}
+  explicit Simulator(std::uint64_t seed = 1, unsigned threads = 1);
+  ~Simulator();
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
-  TimePoint now() const { return now_; }
-  Rng& rng() { return rng_; }
+  /// Number of shards node-owned events are distributed over (1 = all events
+  /// execute on the driving thread).
+  unsigned threads() const { return static_cast<unsigned>(nshards_); }
 
-  /// Schedule `fn` to run `delay` from now. Zero (or negative) delays run
-  /// after currently queued same-time events, never re-entrantly; they take
-  /// the queue's O(1) zero-delay path instead of the heap.
+  /// Conservative lookahead: the smallest cross-owner latency any sharded
+  /// medium can produce (Testbed sets this from BleMedium::min_latency()).
+  /// Parallel windows span [t, t + lookahead).
+  void set_lookahead(Duration lookahead);
+  Duration lookahead() const { return lookahead_; }
+
+  /// Current virtual time. Inside a node-owned event this is the exact event
+  /// time on the owning shard's clock; elsewhere it is the global clock.
+  TimePoint now() const;
+
+  /// Deterministic random stream of the current execution context: each
+  /// owner draws from its own stream, the global context from the legacy
+  /// seed stream.
+  Rng& rng();
+
+  /// Register `owner` so it has an RNG stream and a mailbox sequence
+  /// counter. Must be called outside parallel windows (setup, or global
+  /// events); World::add_node does this for every node.
+  void ensure_owner(OwnerId owner);
+
+  /// Schedule `fn` to run `delay` from now under the *current* owner (the
+  /// global owner outside events). Zero (or negative) delays run after
+  /// currently queued same-time events, never re-entrantly; they take the
+  /// queue's O(1) zero-delay path instead of the heap.
   EventHandle after(Duration delay, EventFn fn) {
-    if (delay <= Duration::zero()) {
-      return events_.schedule_now(now_, std::move(fn));
-    }
-    return events_.schedule(now_ + delay, std::move(fn));
+    return after_on(current_owner(), delay, std::move(fn));
   }
 
-  /// Schedule `fn` at an absolute virtual time (clamped to now).
+  /// Schedule `fn` at an absolute virtual time (clamped to now) under the
+  /// current owner.
   EventHandle at(TimePoint when, EventFn fn) {
-    if (when <= now_) return events_.schedule_now(now_, std::move(fn));
-    return events_.schedule(when, std::move(fn));
+    return after_on(current_owner(), when - now(), std::move(fn));
   }
 
-  /// Run events until the queue empties or `deadline` is reached. The clock
-  /// finishes exactly at min(deadline, last event time >= deadline). Returns
-  /// the number of events executed.
+  /// Schedule `fn` under a specific owner. From the owner's own events (or
+  /// from any context when no parallel window is executing) this is a plain
+  /// schedule and returns a cancellable handle. From a *different* owner's
+  /// events during a window it becomes a mailbox post: the firing time is
+  /// clamped to the window end, the event is merged at the barrier in
+  /// canonical (time, src_owner, seq) order, and the returned handle is
+  /// inert (cross-owner posts cannot be cancelled).
+  EventHandle after_on(OwnerId owner, Duration delay, EventFn fn);
+
+  /// Schedule barrier-serialized work: after_on(kGlobalOwner, ...). Use for
+  /// anything touching shared state (mesh, world mutation, multi-node scans).
+  EventHandle after_global(Duration delay, EventFn fn) {
+    return after_on(kGlobalOwner, delay, std::move(fn));
+  }
+
+  /// after_on with an absolute firing time (clamped to now). Barrier hooks
+  /// use this to schedule work computed from recorded event times.
+  EventHandle at_on(OwnerId owner, TimePoint when, EventFn fn) {
+    return after_on(owner, when - now(), std::move(fn));
+  }
+
+  /// Register a hook that runs on the driving thread at every window
+  /// barrier, after cross-owner mailboxes have been merged. No window is
+  /// executing when it runs, so the hook may schedule onto any owner (media
+  /// use this to flush deliveries recorded during the window into batched
+  /// events). The hook's owner must outlive every run of this simulator.
+  void add_barrier_hook(std::function<void()> hook) {
+    barrier_hooks_.push_back(std::move(hook));
+  }
+
+  /// Index of the shard the calling thread is executing a window for, or
+  /// threads() when no window is executing in this context (setup, global
+  /// events, barrier hooks). Media use this to pick a per-shard scratch lane.
+  std::size_t current_shard_index() const {
+    const ExecCtx& c = tls_ctx_;
+    if (c.sim == this && c.shard != nullptr) {
+      return static_cast<std::size_t>(c.shard - shards_.data());
+    }
+    return nshards_;
+  }
+
+  /// Run events until all queues empty or `deadline` is reached. The clock
+  /// finishes exactly at min(deadline, last event time >= deadline). Events
+  /// scheduled exactly at `deadline` run. Returns the number of events
+  /// executed.
   std::uint64_t run_until(TimePoint deadline);
 
-  /// Run until the event queue is empty.
+  /// Run until every event queue is empty.
   std::uint64_t run();
 
   /// Run for a span of virtual time from the current instant.
   std::uint64_t run_for(Duration d) { return run_until(now_ + d); }
 
-  /// Request that the current run() stops after the executing event returns.
-  void stop() { stop_requested_ = true; }
+  /// Request that the current run stops. From a global event the loop stops
+  /// before the next event (classic behavior); from a node-owned event the
+  /// stop takes effect at the enclosing window barrier.
+  void stop() { stop_requested_.store(true, std::memory_order_relaxed); }
 
-  bool idle() const { return events_.empty(); }
-  std::size_t pending_events() const { return events_.size(); }
-  /// High-water mark of simultaneously pending events (heap size bound).
-  std::size_t peak_pending_events() const { return events_.peak_size(); }
+  bool idle() const;
+  std::size_t pending_events() const;
+  /// High-water mark of simultaneously pending events, summed per queue.
+  std::size_t peak_pending_events() const;
   std::uint64_t executed_events() const { return executed_; }
 
+  /// Parallel-engine telemetry: windows opened, events run in the serial
+  /// global phase, and cross-owner mailbox posts merged at barriers. The
+  /// ratio of global events and posts to total events bounds the achievable
+  /// parallel speedup (Amdahl); the bench reports all three.
+  std::uint64_t windows_run() const { return windows_; }
+  std::uint64_t global_events_run() const { return global_events_; }
+  std::uint64_t mailbox_posts() const { return mailbox_posts_; }
+
+  /// Owner of the currently executing event (kGlobalOwner outside events).
+  OwnerId current_owner() const;
+
+  /// True when the calling context may touch mutable state belonging to
+  /// `owner`: either no parallel window is executing (setup / global phase),
+  /// or the current event is owned by `owner` itself. World uses this to
+  /// police its per-node caches.
+  bool owns_context(OwnerId owner) const;
+
  private:
+  /// A cross-owner schedule captured during a window, merged at the barrier.
+  struct Post {
+    TimePoint at;
+    OwnerId src;
+    std::uint64_t seq;
+    OwnerId dst;
+    EventFn fn;
+  };
+
+  struct alignas(64) Shard {
+    EventQueue q;
+    TimePoint now = TimePoint::origin();  ///< last executed event time
+    std::uint64_t executed = 0;           ///< events run in the open window
+    /// Outgoing posts, one mailbox per destination shard; back() = global.
+    std::vector<std::vector<Post>> out;
+  };
+
+  /// Which simulator/owner/shard the calling thread is executing for.
+  struct ExecCtx {
+    const Simulator* sim = nullptr;
+    OwnerId owner = kGlobalOwner;
+    Shard* shard = nullptr;
+  };
+  static thread_local ExecCtx tls_ctx_;
+
+  static std::uint64_t derive_owner_seed(std::uint64_t seed, OwnerId owner);
+
+  std::uint64_t run_loop(TimePoint deadline, bool advance_clock);
+  void run_shard_window(Shard& sh, TimePoint window_end);
+  std::uint64_t run_windows(TimePoint window_end);
+  void merge_mailboxes();
+  void ensure_workers();
+  void worker_main(std::size_t shard_index);
+
+  Shard& shard_for(OwnerId owner) { return shards_[owner % nshards_]; }
+
+  const std::uint64_t seed_;
+  const std::size_t nshards_;
   TimePoint now_ = TimePoint::origin();
-  EventQueue events_;
-  Rng rng_;
-  bool stop_requested_ = false;
+  Duration lookahead_ = Duration::millis(10);
+  EventQueue global_q_;
+  std::vector<Shard> shards_;
+  Rng rng_;                          ///< global-context stream (legacy)
+  std::vector<Rng> owner_rngs_;      ///< per-owner streams, indexed by owner
+  std::vector<std::uint64_t> owner_seq_;  ///< per-owner mailbox post counters
+  std::vector<Post> merge_scratch_;
+  std::vector<std::function<void()>> barrier_hooks_;
   std::uint64_t executed_ = 0;
+  std::uint64_t windows_ = 0;
+  std::uint64_t global_events_ = 0;
+  std::uint64_t mailbox_posts_ = 0;
+
+  // Worker pool (lazily started on the first multi-shard window). Workers
+  // sleep on epoch_; the driver publishes window_end_, arms running_workers_,
+  // then bumps epoch_. Each worker runs its shard's window and decrements
+  // running_workers_; the driver waits for it to hit zero (the barrier).
+  std::vector<std::thread> workers_;
+  std::atomic<std::uint64_t> epoch_{0};
+  std::atomic<std::uint32_t> running_workers_{0};
+  std::atomic<bool> shutdown_{false};
+  std::atomic<bool> stop_requested_{false};
+  TimePoint window_end_ = TimePoint::origin();  ///< valid inside a window
 };
 
 }  // namespace omni::sim

@@ -12,11 +12,15 @@ std::int64_t World::cell_coord(double v) const {
 }
 
 NodeId World::add_node(std::string name, Vec2 position) {
+  OMNI_CHECK_MSG(sim_.owns_context(kGlobalOwner),
+                 "world mutation must be barrier-serialized (global events)");
   NodeId id = static_cast<NodeId>(nodes_.size());
   nodes_.push_back(Node{std::move(name), position, position, sim_.now(),
                         sim_.now(), {}});
   rebucket(id);
   ++topo_epoch_;
+  // Every node is an event owner: give it its RNG stream and mailbox lane.
+  sim_.ensure_owner(id);
   return id;
 }
 
@@ -44,6 +48,8 @@ Vec2 World::position(NodeId id) const {
 }
 
 void World::set_position(NodeId id, Vec2 position) {
+  OMNI_CHECK_MSG(sim_.owns_context(kGlobalOwner),
+                 "world mutation must be barrier-serialized (global events)");
   Node& n = node(id);
   n.from = n.to = position;
   n.depart = n.arrive = sim_.now();
@@ -52,6 +58,8 @@ void World::set_position(NodeId id, Vec2 position) {
 }
 
 void World::move_to(NodeId id, Vec2 target, double speed_mps) {
+  OMNI_CHECK_MSG(sim_.owns_context(kGlobalOwner),
+                 "world mutation must be barrier-serialized (global events)");
   OMNI_CHECK_MSG(speed_mps > 0, "move_to requires positive speed");
   Node& n = node(id);
   Vec2 start = position(id);
@@ -98,6 +106,8 @@ void World::rebucket(NodeId id) {
 }
 
 void World::set_grid_cell_size(double meters) {
+  OMNI_CHECK_MSG(sim_.owns_context(kGlobalOwner),
+                 "world mutation must be barrier-serialized (global events)");
   OMNI_CHECK_MSG(meters > 0, "grid cell size must be positive");
   if (meters == cell_m_) return;
   cell_m_ = meters;
@@ -150,6 +160,14 @@ void World::nodes_in_disc(Vec2 center, double range,
 
 void World::nodes_near(NodeId of, double range,
                        std::vector<NodeId>& out) const {
+  // The per-node cache below is written through a const method. That is safe
+  // under the parallel engine only because each node's cache has a single
+  // writer: shard events may consult *their own* node's cache (radio fan-out
+  // is always queried from the transmitting node), and everything else runs
+  // barrier-serialized. Enforce the contract rather than document it.
+  OMNI_CHECK_MSG(sim_.owns_context(of),
+                 "nodes_near: concurrent contexts may only query their own "
+                 "node's neighbor cache");
   const Node& n = node(of);
   if (sim_.now() < moving_until_) {
     // Some motion segment may still be in flight: positions interpolate, so

@@ -11,6 +11,15 @@
 // positions stay query-correct without per-tick grid updates. Queries gather
 // candidates from the cells overlapping the search disc and apply the exact
 // distance test.
+//
+// Concurrency contract (parallel engine): all mutation — add_node, teleports,
+// move_to, regrids — must run in barrier-serialized global events; const
+// queries (position, distance, nodes_in_disc) may then run concurrently from
+// shard events, since grid buckets and motion segments are stable inside a
+// window. nodes_near is the one exception: it lazily writes a per-node cache,
+// so concurrent contexts may only call it for their own node (single-writer).
+// Both rules are enforced with checks against the simulator's execution
+// context.
 #pragma once
 
 #include <cstdint>

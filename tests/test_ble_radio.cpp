@@ -88,6 +88,9 @@ TEST_F(BleRadioTest, UpdateChangesPayloadAndStopEndsTransmission) {
   EXPECT_EQ(last, (Bytes{2}));
 
   ASSERT_TRUE(a.ble().stop_advertising(adv.value()).is_ok());
+  // A frame broadcast at the stop instant is still on the air (delivery
+  // lands one adv event after transmission); flush it before sampling.
+  bed.simulator().run_for(bed.calibration().ble_adv_event);
   int count_at_stop = count;
   bed.simulator().run_for(Duration::seconds(2));
   EXPECT_EQ(count, count_at_stop);
@@ -138,6 +141,10 @@ TEST_F(BleRadioTest, PowerOffCancelsEverything) {
   int before = received;
   EXPECT_GT(before, 0);
   a.ble().set_powered(false);
+  // Power-off cannot recall a frame already on the air; flush the one
+  // adv event of in-flight latency before sampling.
+  bed.simulator().run_for(bed.calibration().ble_adv_event);
+  before = received;
   bed.simulator().run_for(Duration::seconds(2));
   EXPECT_EQ(received, before);
   EXPECT_FALSE(

@@ -146,9 +146,9 @@ TEST(EventQueueTest, ImmediateEventsFireAfterDueHeapEvents) {
   q.schedule_now(now, [&] { order.push_back(4); });
   q.schedule(at_ms(20), [&] { order.push_back(5); });
   while (!q.empty()) {
-    auto [at, fn] = q.pop(now);
-    now = at;
-    fn();
+    auto popped = q.pop(now);
+    now = popped.at;
+    popped.fn();
   }
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4, 5}));
 }

@@ -203,11 +203,18 @@ TEST(AdaptiveBeaconTest, ChurnResetsToMinimum) {
   ASSERT_EQ(a.manager().current_beacon_interval(),
             options.manager.adaptive_beacon.max_interval);
 
-  // b arrives: a's neighborhood changes, the beacon tightens again.
+  // b arrives: a's neighborhood changes, the beacon tightens again. The
+  // reset happens on the first maintenance tick after b's (backed-off, 4 s
+  // cadence) beacon is heard — poll rather than sample a fixed instant, as
+  // a later quiet tick starts doubling the interval again.
   bed.world().set_position(db.node(), {10, 0});
-  bed.simulator().run_for(Duration::seconds(12));
-  EXPECT_EQ(a.manager().current_beacon_interval(),
-            options.manager.adaptive_beacon.min_interval);
+  bool tightened = false;
+  for (int i = 0; i < 12 && !tightened; ++i) {
+    bed.simulator().run_for(Duration::seconds(1));
+    tightened = a.manager().current_beacon_interval() ==
+                options.manager.adaptive_beacon.min_interval;
+  }
+  EXPECT_TRUE(tightened);
 }
 
 TEST(AdaptiveBeaconTest, SavesIdleEnergy) {
