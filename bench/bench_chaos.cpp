@@ -1,0 +1,339 @@
+// bench_chaos: resilience metrics for the fault-injection engine and the
+// self-healing manager.
+//
+// Runs the chaos-soak world (a 12-node neighborhood under background
+// loss/corruption/latency, WiFi and BLE flap windows, two crash+restart
+// cycles, and a transient partition) once per thread count and reports:
+//
+//   * delivery_ratio          successful sends / sends issued
+//   * mean_success_latency_ms mean issue-to-terminal latency of the sends
+//                             that succeeded (failover cost shows up here)
+//   * ops_leaked              entries left in the manager op tables at the
+//                             end of the run (must be 0)
+//   * beacon_downtime_s       per-node-summed virtual seconds the BLE
+//                             address beacon was down, sampled at 250 ms
+//   * digest                  FNV-1a over every deterministic observable;
+//                             the bench exits 1 if any thread count
+//                             disagrees with the single-threaded digest
+//
+// Writes BENCH_chaos.json (one row per thread count) so the resilience
+// numbers feed the trajectory alongside BENCH_scale.json.
+//
+//   $ ./bench/bench_chaos            # threads 1, 2, 8
+//   $ ./bench/bench_chaos 1 4        # explicit thread counts
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "net/testbed.h"
+#include "omni/omni_node.h"
+
+namespace {
+
+using namespace omni;
+
+constexpr int kNodes = 12;
+constexpr std::uint64_t kSeed = 20260805;
+constexpr double kSimSeconds = 60.0;
+constexpr double kBeaconSamplePeriodS = 0.25;
+
+/// FNV-1a accumulator over 64-bit words.
+struct Digest {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  void add(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xFF;
+      h *= 0x00000100000001B3ull;
+    }
+  }
+};
+
+struct ChaosPoint {
+  unsigned threads = 1;
+  std::uint64_t digest = 0;
+  std::uint64_t events = 0;
+  double wall_seconds = 0;
+  int ops = 0;
+  int sends_ok = 0;
+  int sends_failed = 0;
+  double mean_success_latency_ms = 0;
+  std::size_t ops_leaked = 0;
+  double beacon_downtime_s = 0;
+  std::uint64_t deadline_failovers = 0;
+  std::uint64_t beacon_rearms = 0;
+  std::uint64_t quarantines = 0;
+  sim::FaultPlan::Stats fault_stats;
+};
+
+ChaosPoint run_point(unsigned threads) {
+  net::Testbed bed(kSeed, radio::Calibration::defaults(), threads);
+  std::vector<net::Device*> devices;
+  std::vector<std::unique_ptr<OmniNode>> nodes;
+  for (int i = 0; i < kNodes; ++i) {
+    sim::Vec2 pos{15.0 * (i % 6), 20.0 * (i / 6)};
+    devices.push_back(&bed.add_device("n" + std::to_string(i), pos));
+    nodes.push_back(std::make_unique<OmniNode>(*devices.back(), bed.mesh()));
+  }
+
+  auto at = [](double s) {
+    return TimePoint::origin() + Duration::seconds(s);
+  };
+  // Same composite schedule as tests/test_chaos_soak.cpp so the bench and
+  // the CI gate measure the same world.
+  auto& plan = bed.fault_plan();
+  sim::FaultPlan::LinkFault noisy;
+  noisy.loss = 0.15;
+  noisy.corrupt = 0.01;
+  noisy.extra_latency = Duration::millis(2);
+  plan.add_link_fault(noisy);
+  sim::FaultPlan::Blackout wifi_flap;
+  wifi_flap.node = devices[2]->node();
+  wifi_flap.radio = sim::FaultRadio::kWifi;
+  wifi_flap.start = at(10);
+  wifi_flap.end = at(30);
+  wifi_flap.period = Duration::seconds(3);
+  wifi_flap.off_fraction = 0.5;
+  plan.add_blackout(wifi_flap);
+  sim::FaultPlan::Blackout ble_flap;
+  ble_flap.node = devices[5]->node();
+  ble_flap.radio = sim::FaultRadio::kBle;
+  ble_flap.start = at(15);
+  ble_flap.end = at(35);
+  ble_flap.period = Duration::seconds(4);
+  ble_flap.off_fraction = 0.4;
+  plan.add_blackout(ble_flap);
+  sim::FaultPlan::Crash crash1;
+  crash1.node = devices[3]->node();
+  crash1.at = at(12);
+  crash1.restart = at(20);
+  plan.add_crash(crash1);
+  sim::FaultPlan::Crash crash2;
+  crash2.node = devices[8]->node();
+  crash2.at = at(25);
+  crash2.restart = at(33);
+  plan.add_crash(crash2);
+  sim::FaultPlan::Partition split;
+  split.start = at(20);
+  split.end = at(35);
+  split.a = 1.0;
+  split.b = 0.0;
+  split.c = 40.0;
+  plan.add_partition(split);
+  bed.schedule_faults();
+
+  for (auto& n : nodes) n->start();
+
+  // Ring traffic, two staggered sends per node. Completion callbacks fire
+  // on each sender's owner context (concurrently across shards), so each
+  // op records into its own pre-sized slot and shared tallies are atomic.
+  struct OpRecord {
+    TimePoint issued;
+    TimePoint completed;
+    bool ok = false;
+    bool done = false;
+  };
+  std::vector<OpRecord> records(static_cast<std::size_t>(kNodes) * 2);
+  std::atomic<int> sends_ok{0};
+  std::atomic<int> sends_failed{0};
+  int ops = 0;
+  auto& sim = bed.simulator();
+  for (int i = 0; i < kNodes; ++i) {
+    OmniManager& mgr = nodes[i]->manager();
+    OmniAddress dest = nodes[(i + 1) % kNodes]->address();
+    for (int round = 0; round < 2; ++round) {
+      std::size_t slot = static_cast<std::size_t>(i) * 2 + round;
+      double when = (round == 0 ? 8.0 : 28.0) + 1.5 * i;
+      std::size_t bytes =
+          round == 0 ? ((i % 3 == 0) ? 150'000 : 60 + i) : std::size_t{96};
+      sim.at(at(when), [&records, &sim, &sends_ok, &sends_failed, &ops, slot,
+                        bytes, dest, &mgr] {
+        ++ops;
+        records[slot].issued = sim.now();
+        mgr.send_data({dest}, Bytes(bytes, 0xC4),
+                      [&records, &sim, &sends_ok, &sends_failed,
+                       slot](StatusCode code, const ResponseInfo&) {
+                        OpRecord& rec = records[slot];
+                        rec.completed = sim.now();
+                        rec.ok = code == StatusCode::kSendDataSuccess;
+                        rec.done = true;
+                        if (rec.ok) {
+                          sends_ok.fetch_add(1, std::memory_order_relaxed);
+                        } else {
+                          sends_failed.fetch_add(1, std::memory_order_relaxed);
+                        }
+                      });
+      });
+    }
+  }
+
+  // Beacon-downtime sampler: global-owner events are serialized against
+  // every shard, so reading manager state from here is race-free.
+  std::uint64_t beacon_down_samples = 0;
+  const int total_samples =
+      static_cast<int>(kSimSeconds / kBeaconSamplePeriodS);
+  for (int s = 1; s <= total_samples; ++s) {
+    sim.at(at(s * kBeaconSamplePeriodS), [&] {
+      for (auto& n : nodes) {
+        if (!n->manager().technology_beaconing(Technology::kBle)) {
+          ++beacon_down_samples;
+        }
+      }
+    });
+  }
+
+  auto t0 = std::chrono::steady_clock::now();
+  sim.run_for(Duration::seconds(kSimSeconds));
+  auto t1 = std::chrono::steady_clock::now();
+
+  ChaosPoint p;
+  p.threads = threads;
+  p.events = sim.executed_events();
+  p.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+  p.ops = ops;
+  p.sends_ok = sends_ok.load(std::memory_order_relaxed);
+  p.sends_failed = sends_failed.load(std::memory_order_relaxed);
+  double latency_sum_ms = 0;
+  for (const OpRecord& rec : records) {
+    if (rec.done && rec.ok) {
+      latency_sum_ms += (rec.completed - rec.issued).as_millis();
+    }
+  }
+  p.mean_success_latency_ms =
+      p.sends_ok > 0 ? latency_sum_ms / p.sends_ok : 0;
+  p.beacon_downtime_s =
+      static_cast<double>(beacon_down_samples) * kBeaconSamplePeriodS;
+
+  Digest d;
+  d.add(p.events);
+  d.add(sim.now().as_micros());
+  for (auto& n : nodes) {
+    const ManagerStats& s = n->manager().stats();
+    p.ops_leaked += n->manager().pending_data_count() +
+                    n->manager().data_attempt_count() +
+                    n->manager().context_attempt_count();
+    d.add(n->manager().peer_table().size());
+    d.add(s.packets_received);
+    d.add(s.beacons_received);
+    d.add(s.data_received);
+    d.add(s.data_sends);
+    d.add(s.data_failovers);
+    d.add(s.context_failovers);
+    d.add(s.engagements);
+    d.add(s.disengagements);
+    d.add(s.deadline_failovers);
+    d.add(s.beacon_rearms);
+    d.add(s.quarantines);
+    d.add(s.overload_rejections);
+    p.deadline_failovers += s.deadline_failovers;
+    p.beacon_rearms += s.beacon_rearms;
+    p.quarantines += s.quarantines;
+  }
+  p.fault_stats = plan.stats();
+  d.add(p.fault_stats.drops);
+  d.add(p.fault_stats.corruptions);
+  d.add(p.fault_stats.delays);
+  d.add(p.fault_stats.partition_drops);
+  d.add(static_cast<std::uint64_t>(p.sends_ok));
+  d.add(static_cast<std::uint64_t>(p.sends_failed));
+  d.add(beacon_down_samples);
+  p.digest = d.h;
+
+  for (auto& n : nodes) n->stop();
+  sim.run_for(Duration::seconds(1));
+  return p;
+}
+
+std::string hex64(std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<unsigned> thread_counts = {1, 2, 8};
+  if (argc > 1) {
+    thread_counts.clear();
+    for (int i = 1; i < argc; ++i) {
+      thread_counts.push_back(
+          static_cast<unsigned>(std::atoi(argv[i])));
+    }
+  }
+
+  bench::print_heading("Chaos soak (faults + self-healing, thread sweep)");
+  bench::Table table({"threads", "delivery", "latency ms", "leaked",
+                      "beacon down s", "failovers", "rearms", "digest"});
+  bench::BenchReport report("chaos");
+  report.set_meta("nodes", std::to_string(kNodes));
+  report.set_meta("sim_seconds", bench::fmt(kSimSeconds, 0));
+  report.set_meta("seed", std::to_string(kSeed));
+  report.set_meta("beacon_sample_period_s",
+                  bench::fmt(kBeaconSamplePeriodS, 2));
+  report.set_meta("hardware_threads",
+                  std::to_string(std::thread::hardware_concurrency()));
+
+  bool ok = true;
+  std::uint64_t digest_1t = 0;
+  for (unsigned threads : thread_counts) {
+    ChaosPoint p = run_point(threads);
+    if (threads == thread_counts.front()) digest_1t = p.digest;
+    if (p.digest != digest_1t) {
+      std::fprintf(stderr,
+                   "DETERMINISM VIOLATION: digest %s at %u threads vs %s at "
+                   "%u\n",
+                   hex64(p.digest).c_str(), threads, hex64(digest_1t).c_str(),
+                   thread_counts.front());
+      ok = false;
+    }
+    if (p.ops_leaked != 0) {
+      std::fprintf(stderr, "LEAK: %zu op-table entries left at %u threads\n",
+                   p.ops_leaked, threads);
+      ok = false;
+    }
+    double delivery =
+        p.ops > 0 ? static_cast<double>(p.sends_ok) / p.ops : 0;
+    table.add_row({std::to_string(p.threads), bench::fmt(delivery, 3),
+                   bench::fmt(p.mean_success_latency_ms, 1),
+                   std::to_string(p.ops_leaked),
+                   bench::fmt(p.beacon_downtime_s, 2),
+                   std::to_string(p.deadline_failovers),
+                   std::to_string(p.beacon_rearms), hex64(p.digest)});
+    report.add_row()
+        .field("threads", static_cast<std::uint64_t>(p.threads))
+        .field("sim_seconds", kSimSeconds)
+        .field("wall_seconds", p.wall_seconds)
+        .field("events", p.events)
+        .field("ops", static_cast<std::uint64_t>(p.ops))
+        .field("sends_ok", static_cast<std::uint64_t>(p.sends_ok))
+        .field("sends_failed", static_cast<std::uint64_t>(p.sends_failed))
+        .field("delivery_ratio", delivery)
+        .field("mean_success_latency_ms", p.mean_success_latency_ms)
+        .field("ops_leaked", static_cast<std::uint64_t>(p.ops_leaked))
+        .field("beacon_downtime_s", p.beacon_downtime_s)
+        .field("deadline_failovers", p.deadline_failovers)
+        .field("beacon_rearms", p.beacon_rearms)
+        .field("quarantines", p.quarantines)
+        .field("fault_drops", p.fault_stats.drops)
+        .field("fault_corruptions", p.fault_stats.corruptions)
+        .field("fault_delays", p.fault_stats.delays)
+        .field("fault_partition_drops", p.fault_stats.partition_drops)
+        .field("digest", hex64(p.digest));
+    std::printf("  %u threads: delivery %.3f, mean ok-latency %.1f ms, "
+                "%zu leaked, beacon down %.2f s, digest %s\n",
+                p.threads, delivery, p.mean_success_latency_ms, p.ops_leaked,
+                p.beacon_downtime_s, hex64(p.digest).c_str());
+  }
+
+  std::printf("\n");
+  table.print();
+  report.write_file();
+  return ok ? 0 : 1;
+}

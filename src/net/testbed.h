@@ -16,6 +16,7 @@
 #include "radio/mesh.h"
 #include "radio/nan.h"
 #include "radio/wifi_system.h"
+#include "sim/fault_plan.h"
 #include "sim/simulator.h"
 #include "sim/trace.h"
 #include "sim/world.h"
@@ -73,7 +74,88 @@ class Testbed {
   Device& device(std::size_t i) { return *devices_.at(i); }
   std::size_t device_count() const { return devices_.size(); }
 
+  /// The testbed's fault plan. The first call arms the media hooks (the
+  /// world keeps a pointer to the plan); an untouched testbed pays nothing
+  /// on the delivery hot paths. Populate the plan, then call
+  /// schedule_faults() once every device has been added.
+  sim::FaultPlan& fault_plan() {
+    world_.set_fault_plan(&fault_plan_);
+    return fault_plan_;
+  }
+
+  /// Turn the plan's active entries — blackouts, flap windows, and node
+  /// crash/restart churn — into barrier-serialized global power events
+  /// against the matching devices. Passive entries (loss, corruption,
+  /// latency, partitions) need no scheduling; media query them directly.
+  void schedule_faults() {
+    const sim::FaultPlan& plan = fault_plan();
+    for (const auto& b : plan.blackouts()) {
+      Device* dev = device_for(b.node);
+      if (dev == nullptr) continue;
+      const bool ble = b.radio == sim::FaultRadio::kAll ||
+                       b.radio == sim::FaultRadio::kBle;
+      const bool wifi = b.radio == sim::FaultRadio::kAll ||
+                        b.radio == sim::FaultRadio::kWifi;
+      const bool nan = b.radio == sim::FaultRadio::kAll ||
+                       b.radio == sim::FaultRadio::kNan;
+      auto set_power = [dev, ble, wifi, nan](bool on) {
+        if (ble) dev->ble().set_powered(on);
+        if (wifi) dev->wifi().set_powered(on);
+        // NAN has no power rail of its own; enabling/disabling the NAN
+        // function models the same outage.
+        if (nan) dev->nan().set_enabled(on);
+      };
+      if (b.period <= Duration::zero() || b.off_fraction >= 1.0) {
+        sim_.at_on(sim::kGlobalOwner, b.start,
+                   [set_power] { set_power(false); });
+        if (b.end < TimePoint::max()) {
+          sim_.at_on(sim::kGlobalOwner, b.end,
+                     [set_power] { set_power(true); });
+        }
+      } else {
+        const Duration off = b.period * b.off_fraction;
+        for (TimePoint t = b.start; t < b.end; t = t + b.period) {
+          sim_.at_on(sim::kGlobalOwner, t, [set_power] { set_power(false); });
+          sim_.at_on(sim::kGlobalOwner, std::min(t + off, b.end),
+                     [set_power] { set_power(true); });
+        }
+      }
+    }
+    for (const auto& c : plan.crashes()) {
+      Device* dev = device_for(c.node);
+      if (dev == nullptr) continue;
+      // NAN enablement is app-driven; remember whether it was on at crash
+      // time so the restart only re-enables what the crash took down.
+      auto nan_was_enabled = std::make_shared<bool>(false);
+      sim_.at_on(sim::kGlobalOwner, c.at, [dev, nan_was_enabled] {
+        *nan_was_enabled = dev->nan().enabled();
+        dev->ble().set_powered(false);
+        dev->wifi().set_powered(false);
+        dev->nan().set_enabled(false);
+      });
+      if (c.restart > c.at) {
+        const bool rotate = c.rotate_addresses;
+        sim_.at_on(sim::kGlobalOwner, c.restart, [dev, nan_was_enabled,
+                                                  rotate] {
+          // Rotate before powering on: the node comes back with its fresh
+          // link addresses already in place, like a real reboot.
+          if (rotate) dev->ble().rotate_address();
+          dev->ble().set_powered(true);
+          dev->wifi().set_powered(true);
+          if (*nan_was_enabled) dev->nan().set_enabled(true);
+        });
+      }
+    }
+  }
+
  private:
+  Device* device_for(NodeId node) {
+    for (auto& d : devices_) {
+      if (d->node() == node) return d.get();
+    }
+    return nullptr;
+  }
+
   radio::Calibration cal_;
   sim::Simulator sim_;
   sim::World world_;
@@ -83,6 +165,7 @@ class Testbed {
   radio::MeshNetwork* mesh_;
   std::vector<std::unique_ptr<Device>> devices_;
   sim::TraceRecorder trace_;
+  sim::FaultPlan fault_plan_;
 };
 
 }  // namespace omni::net

@@ -10,6 +10,15 @@ namespace omni {
 
 namespace {
 constexpr const char* kTag = "omni.manager";
+
+/// splitmix64 finalizer: stateless deterministic jitter for backoff delays
+/// (no simulator RNG draw, so healing never perturbs existing streams).
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
 }  // namespace
 
 OmniManager::OmniManager(sim::Simulator& sim, OmniAddress self,
@@ -92,6 +101,125 @@ bool OmniManager::technology_engaged(Technology tech) const {
   return s != nullptr && s->up && s->tech->engaged();
 }
 
+bool OmniManager::technology_quarantined(Technology tech) const {
+  const TechSlot* s = slot(tech);
+  return s != nullptr && quarantined(*s);
+}
+
+bool OmniManager::technology_beaconing(Technology tech) const {
+  const TechSlot* s = slot(tech);
+  return s != nullptr && s->beaconing;
+}
+
+// --- Self-healing ------------------------------------------------------------
+
+Duration OmniManager::backoff_delay(int attempt) {
+  const auto& sh = options_.self_healing;
+  Duration d = sh.backoff_base;
+  for (int i = 1; i < attempt && d < sh.backoff_max; ++i) d = d + d;
+  if (d > sh.backoff_max) d = sh.backoff_max;
+  if (sh.backoff_jitter > 0) {
+    std::uint64_t h = mix64(self_.value ^ mix64(++backoff_draws_));
+    double u = static_cast<double>(h >> 11) * 0x1.0p-53;  // [0, 1)
+    d = d * (1.0 + sh.backoff_jitter * (2.0 * u - 1.0));
+  }
+  return d;
+}
+
+sim::EventHandle OmniManager::arm_deadline(std::uint64_t request_id,
+                                           Duration budget) {
+  return sim_.after_on(options_.owner, budget, [this, request_id] {
+    on_attempt_deadline(request_id);
+  });
+}
+
+void OmniManager::on_attempt_deadline(std::uint64_t request_id) {
+  // The attempt outlived its budget with no TechResponse (silently stalled
+  // technology): fail it over exactly as an explicit failure would (paper
+  // §3.3). A late real response finds the request id gone and is ignored.
+  if (auto it = data_attempts_.find(request_id); it != data_attempts_.end()) {
+    ++stats_.deadline_failovers;
+    TechResponse r;
+    r.request_id = request_id;
+    r.op = SendOp::kSendData;
+    r.tech = it->second.tech;
+    r.success = false;
+    r.failure_reason = "no response within deadline";
+    handle_data_response(r);
+    return;
+  }
+  auto it = context_attempts_.find(request_id);
+  if (it == context_attempts_.end()) return;
+  ++stats_.deadline_failovers;
+  TechResponse r;
+  r.request_id = request_id;
+  r.op = it->second.op;
+  r.tech = it->second.tech;
+  r.context_id = it->second.id;
+  r.success = false;
+  r.failure_reason = "no response within deadline";
+  handle_context_response(r);
+}
+
+void OmniManager::note_status_flap(TechSlot& s) {
+  const auto& sh = options_.self_healing;
+  if (!sh.enabled || !running_) return;
+  TimePoint now = sim_.now();
+  if (s.flaps == 0 || now - s.flap_window_start > sh.flap_window) {
+    s.flap_window_start = now;
+    s.flaps = 0;
+  }
+  ++s.flaps;
+  if (s.flaps < sh.flap_threshold || quarantined(s)) return;
+  // Circuit breaker: the radio is flapping faster than engagement can
+  // usefully follow. Bench it for a backoff-scaled hold, then re-probe.
+  ++stats_.quarantines;
+  ++s.quarantine_count;
+  s.flaps = 0;
+  Duration hold = backoff_delay(s.quarantine_count);
+  s.quarantined_until = now + hold;
+  OMNI_DEBUG(now, kTag, "quarantining flapping %s for %s",
+             to_string(s.type).c_str(), hold.to_string().c_str());
+  if (s.up) {
+    stop_beaconing_on(s.type);
+  } else {
+    s.beaconing = false;  // the carrier is gone; nothing to withdraw
+  }
+  if (s.tech->engaged()) s.tech->set_engaged(false);
+  Technology tech = s.type;
+  s.quarantine_end.cancel();
+  s.quarantine_end = sim_.after_on(options_.owner, hold, [this, tech] {
+    TechSlot* qs = slot(tech);
+    if (qs == nullptr || !running_) return;
+    qs->quarantined_until = TimePoint::origin();
+    qs->flaps = 0;
+    if (!qs->up) return;
+    // Re-probe: restore the role the technology would hold after a normal
+    // recovery (primary carrier, or beaconing everywhere sans engagement).
+    Technology primary = primary_context_tech();
+    if (qs->supports_context &&
+        (!options_.enable_engagement || tech == primary)) {
+      qs->tech->set_engaged(true);
+      start_beaconing_on(tech);
+    }
+  });
+}
+
+void OmniManager::schedule_beacon_rearm(TechSlot& s) {
+  const auto& sh = options_.self_healing;
+  if (!sh.enabled || !running_ || s.beacon_rearm.pending()) return;
+  ++stats_.beacon_rearms;
+  Technology tech = s.type;
+  s.beacon_rearm =
+      sim_.after_on(options_.owner, backoff_delay(s.beacon_failures),
+                    [this, tech] {
+                      TechSlot* rs = slot(tech);
+                      if (rs == nullptr || !running_ || !usable(*rs)) return;
+                      if (rs->beaconing || !rs->tech->engaged()) return;
+                      start_beaconing_on(tech);
+                    });
+}
+
 void OmniManager::start() {
   OMNI_CHECK_MSG(!running_, "manager already started");
   OMNI_CHECK_MSG(!slots_.empty(), "no technologies registered");
@@ -141,10 +269,33 @@ void OmniManager::stop() {
   if (!running_) return;
   running_ = false;
   maintenance_event_.cancel();
+  // Drain the op tables (leak invariant: nothing survives a stop). In-flight
+  // attempts are abandoned — their deadlines are cancelled and their pending
+  // ops fail asynchronously, like every other failure path.
+  for (auto& [rid, attempt] : data_attempts_) attempt.deadline.cancel();
+  data_attempts_.clear();
+  for (auto& [rid, attempt] : context_attempts_) attempt.deadline.cancel();
+  context_attempts_.clear();
+  for (auto& [op_id, op] : pending_data_) {
+    StatusCallback cb = op.callback;
+    OmniAddress dest = op.dest;
+    sim_.after(Duration::zero(), [cb, dest] {
+      ResponseInfo info;
+      info.destination = dest;
+      info.failure_description = "manager stopped";
+      if (cb) cb(StatusCode::kSendDataFailure, info);
+    });
+  }
+  pending_data_.clear();
   for (auto& s : slots_) {
     if (s.up) s.tech->disable();
     s.up = false;
     s.beaconing = false;
+    s.beacon_rearm.cancel();
+    s.quarantine_end.cancel();
+    s.beacon_failures = 0;
+    s.flaps = 0;
+    s.quarantined_until = TimePoint::origin();
   }
   receive_queue_.clear_consumer();
   shared_receive_queue_.clear_consumer();
@@ -156,7 +307,7 @@ Technology OmniManager::primary_context_tech() const {
   int best_rank = INT32_MAX;
   for (const auto& s : slots_) {
     if (!s.tech->supports_context()) continue;
-    if (running_ && !s.up) continue;
+    if (running_ && !usable(s)) continue;
     int rank = static_cast<int>(s.tech->type());
     if (rank < best_rank) {
       best_rank = rank;
@@ -194,7 +345,7 @@ void OmniManager::stop_beaconing_on(Technology tech) {
 
 void OmniManager::engage(Technology tech) {
   TechSlot* s = slot(tech);
-  if (s == nullptr || !s->up || !s->tech->supports_context()) return;
+  if (s == nullptr || !usable(*s) || !s->tech->supports_context()) return;
   if (s->tech->engaged()) return;
   OMNI_DEBUG(sim_.now(), kTag, "engaging %s", to_string(tech).c_str());
   ++stats_.engagements;
@@ -561,9 +712,12 @@ void OmniManager::handle_response(TechResponse response) {
     if (s == nullptr) return;
     bool was_up = s->up;
     s->up = response.up;
+    if (was_up != response.up) note_status_flap(*s);
     if (!was_up && response.up) {
       // Technology recovered: if it should carry beacons (primary, or
-      // engagement disabled), restart them.
+      // engagement disabled), restart them — unless the flap circuit
+      // breaker benched it; then the quarantine-end re-probe takes over.
+      if (quarantined(*s)) return;
       Technology primary = primary_context_tech();
       if (s->tech->supports_context() &&
           (!options_.enable_engagement || s->tech->type() == primary)) {
@@ -604,7 +758,8 @@ void OmniManager::handle_response(TechResponse response) {
 void OmniManager::handle_data_response(const TechResponse& response) {
   auto it = data_attempts_.find(response.request_id);
   if (it == data_attempts_.end()) return;
-  std::uint64_t op_id = it->second;
+  std::uint64_t op_id = it->second.op_id;
+  it->second.deadline.cancel();
   data_attempts_.erase(it);
 
   auto op_it = pending_data_.find(op_id);
@@ -632,18 +787,34 @@ void OmniManager::handle_data_response(const TechResponse& response) {
 
 void OmniManager::handle_context_response(const TechResponse& response) {
   if (is_beacon_context(response.context_id)) {
-    if (!response.success) {
-      OMNI_WARN(sim_.now(), kTag, "address beacon op failed on %s: %s",
-                to_string(response.tech).c_str(),
-                response.failure_reason.c_str());
-      if (TechSlot* s = slot(response.tech)) s->beaconing = false;
+    TechSlot* s = slot(response.tech);
+    if (response.success) {
+      // A beacon op landed: the carrier is healthy again.
+      if (s != nullptr && response.op == SendOp::kAddContext) {
+        s->beacon_failures = 0;
+      }
+      return;
+    }
+    OMNI_WARN(sim_.now(), kTag, "address beacon op failed on %s: %s",
+              to_string(response.tech).c_str(),
+              response.failure_reason.c_str());
+    if (s != nullptr) {
+      s->beaconing = false;
+      // Self-heal: re-arm the address beacon after a backoff instead of
+      // silently going dark until a tech status transition (which may
+      // never come for a transient send failure).
+      if (response.op != SendOp::kRemoveContext) {
+        ++s->beacon_failures;
+        schedule_beacon_rearm(*s);
+      }
     }
     return;
   }
 
   auto it = context_attempts_.find(response.request_id);
   if (it == context_attempts_.end()) return;
-  ContextId id = it->second;
+  ContextId id = it->second.id;
+  it->second.deadline.cancel();
   context_attempts_.erase(it);
 
   ContextRecord* rec = contexts_.find(id);
@@ -712,7 +883,7 @@ std::optional<Technology> OmniManager::pick_context_tech(
   // requiring the payload to fit.
   std::optional<Technology> best;
   for (const auto& s : slots_) {
-    if (!s.up || !s.tech->supports_context()) continue;
+    if (!usable(s) || !s.tech->supports_context()) continue;
     Technology t = s.tech->type();
     if (exclude.count(t) > 0) continue;
     if (s.tech->max_context_payload() < packed_size) continue;
@@ -744,7 +915,15 @@ void OmniManager::dispatch_context_add(ContextRecord& record) {
   req.interval = record.params.interval;
   req.packed = std::move(packed);
   req.callback = record.callback;
-  context_attempts_[req.request_id] = record.id;
+  ContextAttempt attempt;
+  attempt.id = record.id;
+  attempt.tech = *tech;
+  attempt.op = SendOp::kAddContext;
+  if (options_.self_healing.enabled) {
+    attempt.deadline =
+        arm_deadline(req.request_id, options_.self_healing.min_op_deadline);
+  }
+  context_attempts_[req.request_id] = std::move(attempt);
   slot(*tech)->send_queue->push(std::move(req));
 }
 
@@ -827,7 +1006,15 @@ void OmniManager::update_context(ContextId id, const ContextParams& params,
   req.interval = rec->params.interval;
   req.packed = std::move(packed);
   req.callback = rec->callback;
-  context_attempts_[req.request_id] = id;
+  ContextAttempt attempt;
+  attempt.id = id;
+  attempt.tech = *rec->tech;
+  attempt.op = SendOp::kUpdateContext;
+  if (options_.self_healing.enabled) {
+    attempt.deadline =
+        arm_deadline(req.request_id, options_.self_healing.min_op_deadline);
+  }
+  context_attempts_[req.request_id] = std::move(attempt);
   s->send_queue->push(std::move(req));
 }
 
@@ -869,7 +1056,15 @@ void OmniManager::remove_context(ContextId id, StatusCallback callback) {
   req.op = SendOp::kRemoveContext;
   req.context_id = id;
   req.callback = rec->callback;
-  context_attempts_[req.request_id] = id;
+  ContextAttempt attempt;
+  attempt.id = id;
+  attempt.tech = *rec->tech;
+  attempt.op = SendOp::kRemoveContext;
+  if (options_.self_healing.enabled) {
+    attempt.deadline =
+        arm_deadline(req.request_id, options_.self_healing.min_op_deadline);
+  }
+  context_attempts_[req.request_id] = std::move(attempt);
   slot(*rec->tech)->send_queue->push(std::move(req));
 }
 
@@ -884,7 +1079,7 @@ std::optional<Technology> OmniManager::pick_data_tech(
   Duration best_time = Duration::max();
   int best_rank = 0;
   for (const auto& s : slots_) {
-    if (!s.up || !s.tech->supports_data()) continue;
+    if (!usable(s) || !s.tech->supports_data()) continue;
     Technology t = s.tech->type();
     if (op.tried.count(t) > 0) continue;
     auto info_it = peer->techs.find(t);
@@ -956,7 +1151,21 @@ void OmniManager::dispatch_data(std::uint64_t op_id) {
     req.refresh_advert_wait = !heard_on_ble;
   }
   req.callback = op.callback;
-  data_attempts_[req.request_id] = op_id;
+  DataAttempt attempt;
+  attempt.op_id = op_id;
+  attempt.tech = *tech;
+  if (options_.self_healing.enabled) {
+    const auto& sh = options_.self_healing;
+    // Budget scaled to the expected transfer time (connection setup plus
+    // size/throughput), floored so tiny transfers get a sane minimum.
+    Duration est = slot(*tech)->tech->estimate_data_time(
+        op.packed.size(), info.requires_refresh);
+    Duration budget =
+        std::max(sh.min_op_deadline, est * sh.deadline_factor +
+                                         sh.deadline_slack);
+    attempt.deadline = arm_deadline(req.request_id, budget);
+  }
+  data_attempts_[req.request_id] = std::move(attempt);
   slot(*tech)->send_queue->push(std::move(req));
 }
 
@@ -986,6 +1195,19 @@ void OmniManager::send_data(const std::vector<OmniAddress>& destinations,
   }
   Bytes packed = PackedStruct::data(self_, std::move(data)).encode();
   for (OmniAddress dest : destinations) {
+    if (options_.self_healing.enabled &&
+        pending_data_.size() >= options_.self_healing.max_pending_ops) {
+      // Overload shed: bound the pending table rather than letting a dead
+      // network grow it without limit.
+      ++stats_.overload_rejections;
+      sim_.after(Duration::zero(), [callback, dest] {
+        ResponseInfo info;
+        info.destination = dest;
+        info.failure_description = "manager overloaded: pending data table full";
+        if (callback) callback(StatusCode::kSendDataFailure, info);
+      });
+      continue;
+    }
     ++stats_.data_sends;
     std::uint64_t op_id = next_data_op_id_++;
     PendingData op;

@@ -90,6 +90,35 @@ struct ManagerOptions {
   /// barrier-serialized global owner — correct for standalone managers
   /// driven directly by tests.
   sim::OwnerId owner = sim::kGlobalOwner;
+
+  /// Self-healing knobs (paper §3.3 "Handling Failures", hardened for the
+  /// wild). Defaults are chosen so fault-free behavior is unchanged: op
+  /// deadlines only fire when a technology never responds (healthy paths
+  /// cancel them first), and backoff/quarantine only engage after failures.
+  struct SelfHealing {
+    /// Master switch (ablation / A-B comparisons).
+    bool enabled = true;
+    /// Floor for the per-attempt response deadline.
+    Duration min_op_deadline = Duration::seconds(2);
+    /// Data-op deadline = max(min_op_deadline,
+    ///                        estimate_data_time * deadline_factor + slack).
+    double deadline_factor = 4.0;
+    Duration deadline_slack = Duration::seconds(1);
+    /// Exponential backoff (base * 2^(n-1), capped) for beacon re-arm and
+    /// quarantine re-probe, with deterministic seeded jitter.
+    Duration backoff_base = Duration::millis(500);
+    Duration backoff_max = Duration::seconds(8);
+    double backoff_jitter = 0.25;  ///< +/- fraction applied to each delay
+    /// Circuit breaker: this many up/down transitions inside flap_window
+    /// quarantines the technology (no beaconing, no new ops) for a
+    /// backoff-scaled hold before a re-probe.
+    int flap_threshold = 4;
+    Duration flap_window = Duration::seconds(10);
+    /// Hard cap on concurrently pending data ops (table leak bound); ops
+    /// beyond it fail immediately with an overload status.
+    std::size_t max_pending_ops = 1024;
+  };
+  SelfHealing self_healing;
 };
 
 struct ManagerStats {
@@ -106,6 +135,11 @@ struct ManagerStats {
   std::uint64_t disengagements = 0;
   std::uint64_t relayed_out = 0;  ///< packets this device re-broadcast
   std::uint64_t relayed_in = 0;   ///< relayed packets received
+  // Self-healing counters.
+  std::uint64_t deadline_failovers = 0;  ///< ops failed over by deadline
+  std::uint64_t beacon_rearms = 0;       ///< beacon re-arm retries scheduled
+  std::uint64_t quarantines = 0;         ///< flap circuit-breaker trips
+  std::uint64_t overload_rejections = 0; ///< sends refused at max_pending_ops
 };
 
 class OmniManager {
@@ -160,6 +194,15 @@ class OmniManager {
   Duration current_beacon_interval() const {
     return current_beacon_interval_;
   }
+  /// Leak-invariant probes: every op table must drain to empty once every
+  /// operation has completed or timed out (and always after stop()).
+  std::size_t pending_data_count() const { return pending_data_.size(); }
+  std::size_t data_attempt_count() const { return data_attempts_.size(); }
+  std::size_t context_attempt_count() const {
+    return context_attempts_.size();
+  }
+  bool technology_quarantined(Technology tech) const;
+  bool technology_beaconing(Technology tech) const;
 
  private:
   struct TechSlot {
@@ -172,6 +215,15 @@ class OmniManager {
     LowLevelAddress address;
     bool up = false;
     bool beaconing = false;  ///< an address-beacon context is active here
+
+    // Self-healing state.
+    int beacon_failures = 0;        ///< consecutive beacon op failures
+    sim::EventHandle beacon_rearm;  ///< pending backoff re-arm timer
+    int flaps = 0;                  ///< status transitions inside the window
+    TimePoint flap_window_start;
+    int quarantine_count = 0;       ///< scales the quarantine hold (backoff)
+    TimePoint quarantined_until;    ///< origin() = not quarantined
+    sim::EventHandle quarantine_end;
   };
 
   // Internal context-id spaces: address beacons (one per technology) and
@@ -229,6 +281,21 @@ class OmniManager {
   /// Seal `packed` when a context key is provisioned (paper §3.4).
   Bytes maybe_seal(Bytes packed);
 
+  // Self-healing.
+  bool quarantined(const TechSlot& s) const {
+    return s.quarantined_until > sim_.now();
+  }
+  /// Up and not benched by the flap circuit breaker.
+  bool usable(const TechSlot& s) const { return s.up && !quarantined(s); }
+  /// base * 2^(attempt-1) capped at backoff_max, with deterministic seeded
+  /// jitter (stateless hash of the manager identity and a draw counter).
+  Duration backoff_delay(int attempt);
+  /// Schedule the no-response deadline for an attempt just pushed to `tech`.
+  sim::EventHandle arm_deadline(std::uint64_t request_id, Duration budget);
+  void on_attempt_deadline(std::uint64_t request_id);
+  void note_status_flap(TechSlot& s);
+  void schedule_beacon_rearm(TechSlot& s);
+
   // Data handling.
   struct PendingData {
     std::uint64_t op_id = 0;
@@ -270,13 +337,29 @@ class OmniManager {
   AddressBeaconInfo beacon_info_;
   Bytes beacon_packed_;
 
+  /// One in-flight request against one technology. The deadline fires when
+  /// the technology never produces a TechResponse within the budget and
+  /// fails the attempt over exactly as an explicit failure would; healthy
+  /// responses cancel it first (O(log n), no event residue).
+  struct DataAttempt {
+    std::uint64_t op_id = 0;
+    Technology tech = Technology::kBle;
+    sim::EventHandle deadline;
+  };
+  struct ContextAttempt {
+    ContextId id = kInvalidContext;
+    Technology tech = Technology::kBle;
+    SendOp op = SendOp::kAddContext;
+    sim::EventHandle deadline;
+  };
+
   PeerTable peers_;
   ContextRegistry contexts_;
   std::map<std::uint64_t, PendingData> pending_data_;
-  /// request id -> data op id (attempt routing).
-  std::map<std::uint64_t, std::uint64_t> data_attempts_;
-  /// request id -> context id (attempt routing).
-  std::map<std::uint64_t, ContextId> context_attempts_;
+  /// request id -> data attempt (routing + deadline).
+  std::map<std::uint64_t, DataAttempt> data_attempts_;
+  /// request id -> context attempt (routing + deadline).
+  std::map<std::uint64_t, ContextAttempt> context_attempts_;
 
   std::vector<ReceiveContextCallback> on_context_;
   std::vector<ReceiveDataCallback> on_data_;
@@ -288,6 +371,9 @@ class OmniManager {
   std::uint64_t next_request_id_ = 1;
   std::uint64_t next_data_op_id_ = 1;
   sim::EventHandle maintenance_event_;
+  /// Monotonic draw counter for backoff jitter (deterministic: all draws
+  /// happen in this manager's owner context, in program order).
+  std::uint64_t backoff_draws_ = 0;
 
   // Relay state: content-hash -> active relay context id (entries expire
   // after relay_lifetime).

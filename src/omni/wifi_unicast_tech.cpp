@@ -66,6 +66,13 @@ void WifiUnicastTech::disable() {
     respond(req, false, "technology disabled");
   }
   waiting_for_join_.clear();
+  // Requests parked in the discovery ritual get a terminal response now; a
+  // ritual callback firing later finds its token gone and does nothing.
+  auto rituals = std::move(in_ritual_);
+  in_ritual_.clear();
+  for (auto& [token, req] : rituals) {
+    respond(*req, false, "technology disabled");
+  }
   // Withdraw in-flight flows (see open_flows_): cancel first so the mesh
   // drops its callback, then fail the request on the response queue.
   auto flows = std::move(open_flows_);
@@ -116,14 +123,21 @@ void WifiUnicastTech::process(SendRequest request) {
   }
   auto req = std::make_shared<SendRequest>(std::move(request));
   if (req->needs_refresh) {
+    const std::uint64_t token = next_ritual_token_++;
+    in_ritual_.emplace(token, req);
     net::run_discovery_ritual(
         radio_, mesh_, net::RitualOptions{req->refresh_advert_wait},
-        [this, req](Status s) {
+        [this, token, alive = std::weak_ptr<bool>(alive_)](Status s) {
+          if (alive.expired()) return;  // plugin destroyed mid-ritual
+          auto it = in_ritual_.find(token);
+          if (it == in_ritual_.end()) return;  // answered at disable()
+          auto req = std::move(it->second);
+          in_ritual_.erase(it);
           if (!s.is_ok()) {
             respond(*req, false, "discovery ritual failed: " + s.message());
             return;
           }
-          do_send(req);
+          do_send(std::move(req));
         });
     return;
   }

@@ -61,6 +61,14 @@ class WifiUnicastTech final : public CommTechnology {
   bool joined_ = false;
   /// Requests arriving before the initial mesh join completes.
   std::deque<SendRequest> waiting_for_join_;
+  /// Requests parked inside the discovery ritual (scan/join/resolve). The
+  /// ritual holds its callback in simulator events that may outlive a
+  /// disable(): each entry is answered terminally at disable() and the
+  /// late callback, finding its token gone, becomes a no-op.
+  std::map<std::uint64_t, std::shared_ptr<SendRequest>> in_ritual_;
+  std::uint64_t next_ritual_token_ = 1;
+  /// Liveness token for callbacks that can outlive the plugin itself.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
   /// Flows this plugin opened that have not completed. The mesh outlives
   /// the plugin, so disable() must withdraw these flows' completion
   /// callbacks — a flow failing later (radio teardown, membership loss)

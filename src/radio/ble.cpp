@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "sim/fault_plan.h"
+
 namespace omni::radio {
 
 BleRadio::BleRadio(BleMedium& medium, sim::Simulator& sim, EnergyMeter& meter,
@@ -208,6 +210,9 @@ void BleMedium::attach(BleRadio* radio) {
   if (radio->node() >= radios_by_node_.size()) {
     radios_by_node_.resize(radio->node() + 1);
   }
+  if (radio->node() >= fault_salts_.size()) {
+    fault_salts_.resize(radio->node() + 1, 0);
+  }
   radios_by_node_[radio->node()].push_back(
       RadioState{radio, next_uid_++, radio->powered() && radio->scanning(),
                  radio->scan_duty()});
@@ -264,36 +269,79 @@ void BleMedium::broadcast(const BleRadio& from,
   const BleAddress src_addr = from.address();
   const std::size_t lane_idx = sim.current_shard_index();
   const bool in_window = lane_idx < static_cast<std::size_t>(sim.threads());
-  const TimePoint at = sim.now() + latency;
+  // Fault injection: draws are stateless hashes of (plan seed, link, time,
+  // per-sender frame salt) — no simulator RNG is consumed, so arming a plan
+  // leaves the capture-trial sequence untouched, and the draws are
+  // independent of how shards interleave. Latency spikes only add delay, so
+  // the delivery instant stays >= the engine's lookahead bound.
+  const sim::FaultPlan* plan = world_.fault_plan();
+  const TimePoint now = sim.now();
+  std::uint64_t salt = 0;
+  Duration fault_delay = Duration::zero();
+  sim::Vec2 src_pos{};
+  std::shared_ptr<const Bytes> mangled;
+  if (plan != nullptr) {
+    salt = ++fault_salts_[from.node()];
+    fault_delay = plan->extra_latency(from.node(), sim::FaultPlan::kAnyNode,
+                                      sim::FaultRadio::kBle, now);
+    if (fault_delay > Duration::zero()) plan->note_delay();
+    src_pos = world_.position(from.node());
+  }
+  const TimePoint at = now + latency + fault_delay;
   // The transmission record is created lazily on the first winner, so a
-  // frame nobody captures costs nothing at the flush.
+  // frame nobody captures costs nothing at the flush. A corrupted frame gets
+  // its own record (same instant/sender, mangled payload).
   constexpr std::uint32_t kNoTx = 0xffffffffu;
   std::uint32_t tx_idx = kNoTx;
+  std::uint32_t mangled_tx_idx = kNoTx;
   for (NodeId node : nodes) {
     if (node >= radios_by_node_.size()) continue;
+    bool corrupt_here = false;
+    if (plan != nullptr && node != from.node()) {
+      if (plan->partitioned(src_pos, world_.position(node), now)) {
+        plan->note_partition_drop();
+        continue;
+      }
+      if (plan->dropped(from.node(), node, sim::FaultRadio::kBle, now,
+                        salt)) {
+        plan->note_drop();
+        continue;
+      }
+      corrupt_here =
+          plan->corrupted(from.node(), node, sim::FaultRadio::kBle, now, salt);
+      if (corrupt_here && mangled == nullptr) {
+        auto copy = std::make_shared<Bytes>(*payload);
+        sim::FaultPlan::corrupt_in_place(*copy, salt);
+        mangled = std::move(copy);
+      }
+    }
     for (const RadioState& st : radios_by_node_[node]) {
       if (st.radio == &from || !st.scanning) continue;
       if (!reliable_burst) {
         double p = capture_p * st.duty;
         if (p < 1.0 && !rng.chance(p)) continue;
       }
+      if (corrupt_here) plan->note_corruption();
       if (in_window) {
         // Record the winner in this shard's lane; the barrier hook batches
         // the window's winners into one sweep event per (instant, receiver).
         // The delivery instant (transmission + min_latency >= the engine's
         // lookahead) always lands past the window end.
         Lane& lane = lanes_[lane_idx];
-        if (tx_idx == kNoTx) {
-          tx_idx = static_cast<std::uint32_t>(lane.txs.size());
-          lane.txs.push_back(PendingTx{at, from.node(), src_addr, payload});
+        std::uint32_t& idx = corrupt_here ? mangled_tx_idx : tx_idx;
+        if (idx == kNoTx) {
+          idx = static_cast<std::uint32_t>(lane.txs.size());
+          lane.txs.push_back(PendingTx{at, from.node(), src_addr,
+                                       corrupt_here ? mangled : payload});
         }
-        lane.winners.push_back(PendingWinner{node, st.uid, tx_idx});
+        lane.winners.push_back(PendingWinner{node, st.uid, idx});
       } else {
         // Setup code or a global event: every queue is quiescent, schedule
         // the delivery on the receiver's owner directly.
-        sim.after_on(node, latency,
-                     [this, node, rx_uid = st.uid, src_addr, payload] {
-                       deliver(node, rx_uid, src_addr, *payload);
+        sim.after_on(node, latency + fault_delay,
+                     [this, node, rx_uid = st.uid, src_addr,
+                      pl = corrupt_here ? mangled : payload] {
+                       deliver(node, rx_uid, src_addr, *pl);
                      });
       }
     }

@@ -250,6 +250,11 @@ class BleMedium {
   /// boundaries and the scatter cursor.
   std::vector<std::uint32_t> bucket_starts_;
   std::vector<std::uint32_t> bucket_fill_;
+  /// Per-sender fault-draw salts (one frame counter per node). A node's
+  /// broadcasts all run on its own shard, so each slot is single-writer and
+  /// the sequence — and with it every fault draw — is thread-count
+  /// independent. Sized in attach() (barrier-serialized).
+  std::vector<std::uint64_t> fault_salts_;
 };
 
 }  // namespace omni::radio

@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "radio/wifi_radio.h"
+#include "sim/fault_plan.h"
 
 namespace omni::radio {
 
@@ -25,6 +26,19 @@ MeshNetwork::MeshNetwork(WifiSystem& system, std::string name)
 
 Duration MeshNetwork::min_latency() const {
   return system_.calibration().wifi_rtt * 0.5;
+}
+
+const sim::FaultPlan* MeshNetwork::fault_plan() const {
+  return system_.world().fault_plan();
+}
+
+bool MeshNetwork::fault_partitioned(const WifiRadio& a, const WifiRadio& b,
+                                    TimePoint at) const {
+  const sim::FaultPlan* plan = fault_plan();
+  if (plan == nullptr) return false;
+  auto& world = system_.world();
+  return plan->partitioned(world.position(a.node()), world.position(b.node()),
+                           at);
 }
 
 MeshNetwork::~MeshNetwork() {
@@ -124,7 +138,8 @@ Result<FlowId> MeshNetwork::open_flow(WifiRadio& src, const MeshAddress& dst,
 
   bool reachable =
       peer->powered() && system_.world().in_range(src.node(), peer->node(),
-                                                  cal.wifi_range_m);
+                                                  cal.wifi_range_m) &&
+      !fault_partitioned(src, *peer, sim.now());
   if (!reachable) {
     // SYN retries time out.
     flows_[id].completion = sim.after(cal.tcp_connect_timeout, [this, id] {
@@ -245,7 +260,9 @@ void MeshNetwork::validate_flow_ranges() {
     bool ok = flow.src->powered() && flow.dst->powered() &&
               flow.src->mesh() == this && flow.dst->mesh() == this &&
               system_.world().in_range(flow.src->node(), flow.dst->node(),
-                                       cal.wifi_range_m);
+                                       cal.wifi_range_m) &&
+              !fault_partitioned(*flow.src, *flow.dst,
+                                 system_.simulator().now());
     if (!ok) failed.push_back(id);
   }
   for (FlowId id : failed) {
@@ -280,8 +297,32 @@ Status MeshNetwork::send_datagram(WifiRadio& src, const MeshAddress& dst,
   auto& sim = system_.simulator();
   // Small frame: half an RTT of latency, short tx/rx bursts for energy.
   src.meter().charge_for(Duration::millis(2), cal.wifi_send_ma);
+  Duration extra = Duration::zero();
+  if (const sim::FaultPlan* plan = fault_plan()) {
+    // UDP semantics: a faulted frame vanishes (or arrives mangled) and the
+    // sender still sees ok — it already paid the tx energy.
+    const std::uint64_t salt = ++fault_salt_;
+    const TimePoint now = sim.now();
+    if (fault_partitioned(src, *peer, now)) {
+      plan->note_partition_drop();
+      return Status::ok();
+    }
+    if (plan->dropped(src.node(), peer->node(), sim::FaultRadio::kWifi, now,
+                      salt)) {
+      plan->note_drop();
+      return Status::ok();
+    }
+    if (plan->corrupted(src.node(), peer->node(), sim::FaultRadio::kWifi, now,
+                        salt)) {
+      plan->note_corruption();
+      sim::FaultPlan::corrupt_in_place(payload, salt);
+    }
+    extra = plan->extra_latency(src.node(), peer->node(),
+                                sim::FaultRadio::kWifi, now);
+    if (extra > Duration::zero()) plan->note_delay();
+  }
   MeshAddress from = src.address();
-  sim.after(cal.wifi_rtt * 0.5,
+  sim.after(cal.wifi_rtt * 0.5 + extra,
             [peer, from, payload = std::move(payload), &cal] {
               peer->meter().charge_for(Duration::millis(2),
                                        cal.wifi_receive_ma);
@@ -325,8 +366,30 @@ Status MeshNetwork::multicast_datagram(WifiRadio& src, Bytes payload) {
   MeshAddress from = src.address();
   sim.at(mc_busy_until_, [this, &src, from, payload = std::move(payload)] {
     const auto& c = system_.calibration();
+    const sim::FaultPlan* plan = fault_plan();
+    const TimePoint now = system_.simulator().now();
+    const std::uint64_t salt = plan != nullptr ? ++fault_salt_ : 0;
     for (WifiRadio* rx : receivers_in_range(src)) {
       rx->meter().charge_for(Duration::millis(3), c.wifi_receive_ma);
+      if (plan != nullptr) {
+        if (fault_partitioned(src, *rx, now)) {
+          plan->note_partition_drop();
+          continue;
+        }
+        if (plan->dropped(src.node(), rx->node(), sim::FaultRadio::kWifi, now,
+                          salt)) {
+          plan->note_drop();
+          continue;
+        }
+        if (plan->corrupted(src.node(), rx->node(), sim::FaultRadio::kWifi,
+                            now, salt)) {
+          plan->note_corruption();
+          Bytes mangled = payload;
+          sim::FaultPlan::corrupt_in_place(mangled, salt);
+          rx->deliver_datagram(from, mangled, /*multicast=*/true);
+          continue;
+        }
+      }
       rx->deliver_datagram(from, payload, /*multicast=*/true);
     }
   });
@@ -397,6 +460,26 @@ void MeshNetwork::service_bulk_queue() {
       bulk_queue_.pop_front();
       auto rx = receivers_in_range(*item.src);
       MeshAddress from = item.src->address();
+      const sim::FaultPlan* plan = fault_plan();
+      if (plan != nullptr) {
+        // A bulk chunk rides many fragments; model faults as whole-transfer
+        // loss per receiver (a partitioned or lossy receiver misses it).
+        const TimePoint now = system_.simulator().now();
+        const std::uint64_t salt = ++fault_salt_;
+        auto gone = [&](WifiRadio* r) {
+          if (fault_partitioned(*item.src, *r, now)) {
+            plan->note_partition_drop();
+            return true;
+          }
+          if (plan->dropped(item.src->node(), r->node(),
+                            sim::FaultRadio::kWifi, now, salt)) {
+            plan->note_drop();
+            return true;
+          }
+          return false;
+        };
+        rx.erase(std::remove_if(rx.begin(), rx.end(), gone), rx.end());
+      }
       for (WifiRadio* r : rx) {
         r->deliver_datagram(from, item.payload, /*multicast=*/true);
       }

@@ -163,6 +163,15 @@ class MeshNetwork {
   TimePoint mc_busy_until_ = TimePoint::origin();
 
   sim::EventHandle validator_;
+  /// Fault-draw salt, bumped per transmission. All mesh traffic is
+  /// barrier-serialized (global owner), so a single counter is
+  /// deterministic at any thread count.
+  std::uint64_t fault_salt_ = 0;
+
+  /// The world's fault plan, or nullptr when injection is unarmed.
+  const sim::FaultPlan* fault_plan() const;
+  bool fault_partitioned(const WifiRadio& a, const WifiRadio& b,
+                         TimePoint at) const;
 };
 
 }  // namespace omni::radio

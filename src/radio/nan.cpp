@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "sim/fault_plan.h"
+
 namespace omni::radio {
 
 // --- NanSystem ---------------------------------------------------------------
@@ -65,6 +67,10 @@ void NanSystem::run_window() {
   // Service discovery frames: every publish reaches every other awake radio
   // in range. Delivery lands just after the window (processing). Candidate
   // receivers come from the grid, not a scan of the whole awake set.
+  // Fault injection: the whole window runs barrier-serialized, so a single
+  // salt counter keeps draws deterministic; latency spikes only push
+  // delivery further past the window.
+  const sim::FaultPlan* plan = world_.fault_plan();
   Duration deliver_after = cal_.nan_dw_duration;
   for (NanRadio* tx : awake) {
     if (tx->publishes().empty() && tx->followups().empty()) continue;
@@ -73,7 +79,14 @@ void NanSystem::run_window() {
     if (!tx->publishes().empty()) {
       world_.nodes_near(tx->node(), cal_.nan_range_m, scratch_nodes_);
     }
+    Duration tx_extra = Duration::zero();
+    if (plan != nullptr) {
+      tx_extra = plan->extra_latency(tx->node(), sim::FaultPlan::kAnyNode,
+                                     sim::FaultRadio::kNan, start);
+      if (tx_extra > Duration::zero()) plan->note_delay();
+    }
     for (const auto& [id, payload] : tx->publishes()) {
+      const std::uint64_t salt = plan != nullptr ? ++fault_salt_ : 0;
       for (NodeId node : scratch_nodes_) {
         auto it = awake_by_node_.find(node);
         if (it == awake_by_node_.end()) continue;
@@ -81,9 +94,27 @@ void NanSystem::run_window() {
           if (rx == tx) continue;
           NanAddress from = tx->address();
           Bytes copy = payload;
-          sim.after(deliver_after, [rx, from, copy = std::move(copy)] {
-            rx->deliver(from, copy);
-          });
+          if (plan != nullptr) {
+            if (plan->partitioned(world_.position(tx->node()),
+                                  world_.position(rx->node()), start)) {
+              plan->note_partition_drop();
+              continue;
+            }
+            if (plan->dropped(tx->node(), rx->node(), sim::FaultRadio::kNan,
+                              start, salt)) {
+              plan->note_drop();
+              continue;
+            }
+            if (plan->corrupted(tx->node(), rx->node(), sim::FaultRadio::kNan,
+                                start, salt)) {
+              plan->note_corruption();
+              sim::FaultPlan::corrupt_in_place(copy, salt);
+            }
+          }
+          sim.after(deliver_after + tx_extra,
+                    [rx, from, copy = std::move(copy)] {
+                      rx->deliver(from, copy);
+                    });
         }
       }
     }
@@ -104,7 +135,10 @@ void NanSystem::run_window() {
       }
       bool reachable =
           dest != nullptr &&
-          world_.in_range(tx->node(), dest->node(), cal_.nan_range_m);
+          world_.in_range(tx->node(), dest->node(), cal_.nan_range_m) &&
+          !(plan != nullptr &&
+            plan->partitioned(world_.position(tx->node()),
+                              world_.position(dest->node()), start));
       if (!reachable) {
         if (--fu.windows_left <= 0) {
           if (fu.done) fu.done(Status::error("NAN follow-up timed out"));
@@ -114,9 +148,29 @@ void NanSystem::run_window() {
         continue;
       }
       frames += 1;
+      if (plan != nullptr) {
+        const std::uint64_t salt = ++fault_salt_;
+        if (plan->dropped(tx->node(), dest->node(), sim::FaultRadio::kNan,
+                          start, salt)) {
+          // The frame (or its ack) was lost: retry in a later window, like
+          // an unreachable destination.
+          plan->note_drop();
+          if (--fu.windows_left <= 0) {
+            if (fu.done) fu.done(Status::error("NAN follow-up timed out"));
+          } else {
+            queue.push_back(std::move(fu));
+          }
+          continue;
+        }
+        if (plan->corrupted(tx->node(), dest->node(), sim::FaultRadio::kNan,
+                            start, salt)) {
+          plan->note_corruption();
+          sim::FaultPlan::corrupt_in_place(fu.payload, salt);
+        }
+      }
       NanAddress from = tx->address();
       NanRadio* rx = dest;
-      sim.after(deliver_after,
+      sim.after(deliver_after + tx_extra,
                 [rx, from, payload = std::move(fu.payload),
                  done = std::move(fu.done)] {
                   rx->deliver(from, payload);

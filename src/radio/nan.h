@@ -66,6 +66,9 @@ class NanSystem {
   std::vector<NanRadio*> radios_;
   sim::EventHandle tick_event_;
   std::uint64_t windows_run_ = 0;
+  /// Fault-draw salt, bumped per frame. Windows run barrier-serialized, so
+  /// one counter is deterministic at any thread count.
+  std::uint64_t fault_salt_ = 0;
   // Per-window scratch (cleared each window): awake radios indexed by node
   // for grid-backed publish fan-out, and the candidate-node query buffer.
   std::unordered_map<NodeId, std::vector<NanRadio*>> awake_by_node_;

@@ -1,5 +1,6 @@
 #include "scenario/scenario.h"
 
+#include <array>
 #include <charconv>
 #include <variant>
 #include <optional>
@@ -90,6 +91,27 @@ std::optional<std::pair<std::string, std::string>> parse_kv(
   return std::make_pair(s.substr(0, eq), s.substr(eq + 1));
 }
 
+/// "a,b,c" -> three doubles (a partition line a*x + b*y = c).
+std::optional<std::array<double, 3>> parse_triple(const std::string& s) {
+  auto c1 = s.find(',');
+  if (c1 == std::string::npos) return std::nullopt;
+  auto c2 = s.find(',', c1 + 1);
+  if (c2 == std::string::npos) return std::nullopt;
+  auto a = parse_double(s.substr(0, c1));
+  auto b = parse_double(s.substr(c1 + 1, c2 - c1 - 1));
+  auto c = parse_double(s.substr(c2 + 1));
+  if (!a || !b || !c) return std::nullopt;
+  return std::array<double, 3>{*a, *b, *c};
+}
+
+std::optional<sim::FaultRadio> parse_fault_radio(const std::string& s) {
+  if (s == "all") return sim::FaultRadio::kAll;
+  if (s == "ble") return sim::FaultRadio::kBle;
+  if (s == "wifi") return sim::FaultRadio::kWifi;
+  if (s == "nan") return sim::FaultRadio::kNan;
+  return std::nullopt;
+}
+
 // --- Instruction set ----------------------------------------------------------
 
 struct DeviceDecl {
@@ -142,6 +164,28 @@ struct ReportInstr {};
 using Instr = std::variant<AdvertiseInstr, ServiceInstr, WalkInstr, SendInstr,
                            PowerInstr, RunInstr, ReportInstr>;
 
+// Fault declarations keep device *names*; node ids are resolved at run()
+// time, when the testbed has assigned them. An empty name means "any node".
+struct LinkFaultDecl {
+  std::string src;  ///< empty = any
+  std::string dst;  ///< empty = any
+  sim::FaultPlan::LinkFault fault;
+};
+
+struct PartitionDecl {
+  sim::FaultPlan::Partition partition;
+};
+
+struct BlackoutDecl {
+  std::string device;
+  sim::FaultPlan::Blackout blackout;
+};
+
+struct CrashDecl {
+  std::string device;
+  sim::FaultPlan::Crash crash;
+};
+
 }  // namespace
 
 // --- Scenario implementation ---------------------------------------------------
@@ -150,6 +194,11 @@ struct Scenario::Impl {
   std::uint64_t seed = 1;
   std::vector<DeviceDecl> devices;
   std::vector<Instr> instructions;
+  // Fault schedule (declarative; applied before the first run block).
+  std::vector<LinkFaultDecl> link_faults;
+  std::vector<PartitionDecl> partitions;
+  std::vector<BlackoutDecl> blackouts;
+  std::vector<CrashDecl> crashes;
 
   // Runtime state (created by run()).
   struct LiveDevice {
@@ -376,6 +425,162 @@ Result<std::unique_ptr<Scenario>> Scenario::parse(const std::string& text) {
       }
       impl.instructions.emplace_back(std::move(instr));
 
+    } else if (op == "linkfault") {
+      // linkfault [src=<dev>] [dst=<dev>] [radio=all|ble|wifi|nan]
+      //           [loss=<p>] [corrupt=<p>] [latency=<dur>]
+      //           [at=<t>] [until=<t>]
+      LinkFaultDecl decl;
+      for (std::size_t i = 1; i < tokens.size(); ++i) {
+        auto kv = parse_kv(tokens[i]);
+        if (!kv) return error("expected key=value, got '" + tokens[i] + "'");
+        if (kv->first == "src" || kv->first == "dst") {
+          if (impl.find_device(kv->second) < 0) {
+            return error("unknown device '" + kv->second + "'");
+          }
+          (kv->first == "src" ? decl.src : decl.dst) = kv->second;
+        } else if (kv->first == "radio") {
+          auto r = parse_fault_radio(kv->second);
+          if (!r) return error("radio must be all|ble|wifi|nan");
+          decl.fault.radio = *r;
+        } else if (kv->first == "loss" || kv->first == "corrupt") {
+          auto p = parse_double(kv->second);
+          if (!p || *p < 0 || *p > 1) return error("bad probability");
+          (kv->first == "loss" ? decl.fault.loss : decl.fault.corrupt) = *p;
+        } else if (kv->first == "latency") {
+          auto d = parse_duration(kv->second);
+          if (!d) return error("bad latency");
+          decl.fault.extra_latency = *d;
+        } else if (kv->first == "at") {
+          auto d = parse_duration(kv->second);
+          if (!d) return error("bad time");
+          decl.fault.start = TimePoint::origin() + *d;
+        } else if (kv->first == "until") {
+          auto d = parse_duration(kv->second);
+          if (!d) return error("bad time");
+          decl.fault.end = TimePoint::origin() + *d;
+        } else {
+          return error("unknown argument '" + kv->first + "'");
+        }
+      }
+      if (decl.fault.loss == 0 && decl.fault.corrupt == 0 &&
+          decl.fault.extra_latency.is_zero()) {
+        return error("linkfault needs loss=, corrupt= or latency=");
+      }
+      impl.link_faults.push_back(std::move(decl));
+
+    } else if (op == "partition") {
+      // partition line=<a,b,c> [at=<t>] [until=<t>]   (cuts a*x + b*y = c)
+      PartitionDecl decl;
+      bool have_line = false;
+      for (std::size_t i = 1; i < tokens.size(); ++i) {
+        auto kv = parse_kv(tokens[i]);
+        if (!kv) return error("expected key=value, got '" + tokens[i] + "'");
+        if (kv->first == "line") {
+          auto t = parse_triple(kv->second);
+          if (!t) return error("line needs a,b,c");
+          decl.partition.a = (*t)[0];
+          decl.partition.b = (*t)[1];
+          decl.partition.c = (*t)[2];
+          have_line = true;
+        } else if (kv->first == "at") {
+          auto d = parse_duration(kv->second);
+          if (!d) return error("bad time");
+          decl.partition.start = TimePoint::origin() + *d;
+        } else if (kv->first == "until") {
+          auto d = parse_duration(kv->second);
+          if (!d) return error("bad time");
+          decl.partition.end = TimePoint::origin() + *d;
+        } else {
+          return error("unknown argument '" + kv->first + "'");
+        }
+      }
+      if (!have_line) return error("partition needs line=a,b,c");
+      impl.partitions.push_back(decl);
+
+    } else if (op == "blackout" || op == "flap") {
+      // blackout <device> at=<t> until=<t> [radio=..]
+      // flap <device> at=<t> until=<t> period=<dur> [off=<frac>] [radio=..]
+      if (tokens.size() < 2) return error(op + " <device> at=.. until=..");
+      BlackoutDecl decl;
+      decl.device = tokens[1];
+      if (impl.find_device(decl.device) < 0) {
+        return error("unknown device '" + decl.device + "'");
+      }
+      bool have_at = false, have_until = false;
+      for (std::size_t i = 2; i < tokens.size(); ++i) {
+        auto kv = parse_kv(tokens[i]);
+        if (!kv) return error("expected key=value, got '" + tokens[i] + "'");
+        if (kv->first == "at") {
+          auto d = parse_duration(kv->second);
+          if (!d) return error("bad time");
+          decl.blackout.start = TimePoint::origin() + *d;
+          have_at = true;
+        } else if (kv->first == "until") {
+          auto d = parse_duration(kv->second);
+          if (!d) return error("bad time");
+          decl.blackout.end = TimePoint::origin() + *d;
+          have_until = true;
+        } else if (kv->first == "period" && op == "flap") {
+          auto d = parse_duration(kv->second);
+          if (!d || d->is_zero()) return error("bad period");
+          decl.blackout.period = *d;
+        } else if (kv->first == "off" && op == "flap") {
+          auto p = parse_double(kv->second);
+          if (!p || *p <= 0 || *p > 1) return error("bad off fraction");
+          decl.blackout.off_fraction = *p;
+        } else if (kv->first == "radio") {
+          auto r = parse_fault_radio(kv->second);
+          if (!r) return error("radio must be all|ble|wifi|nan");
+          decl.blackout.radio = *r;
+        } else {
+          return error("unknown argument '" + kv->first + "'");
+        }
+      }
+      if (!have_at || !have_until) return error(op + " needs at= and until=");
+      if (op == "flap") {
+        if (decl.blackout.period.is_zero()) return error("flap needs period=");
+        if (decl.blackout.off_fraction >= 1.0) {
+          decl.blackout.off_fraction = 0.5;
+        }
+      }
+      impl.blackouts.push_back(std::move(decl));
+
+    } else if (op == "crash") {
+      // crash <device> at=<t> [restart=<t>] [keepaddr]
+      if (tokens.size() < 3) return error("crash <device> at=<t> [restart=<t>]");
+      CrashDecl decl;
+      decl.device = tokens[1];
+      if (impl.find_device(decl.device) < 0) {
+        return error("unknown device '" + decl.device + "'");
+      }
+      bool have_at = false;
+      for (std::size_t i = 2; i < tokens.size(); ++i) {
+        if (tokens[i] == "keepaddr") {
+          decl.crash.rotate_addresses = false;
+          continue;
+        }
+        auto kv = parse_kv(tokens[i]);
+        if (!kv) return error("expected key=value, got '" + tokens[i] + "'");
+        if (kv->first == "at") {
+          auto d = parse_duration(kv->second);
+          if (!d) return error("bad time");
+          decl.crash.at = TimePoint::origin() + *d;
+          have_at = true;
+        } else if (kv->first == "restart") {
+          auto d = parse_duration(kv->second);
+          if (!d) return error("bad time");
+          decl.crash.restart = TimePoint::origin() + *d;
+        } else {
+          return error("unknown argument '" + kv->first + "'");
+        }
+      }
+      if (!have_at) return error("crash needs at=");
+      if (decl.crash.restart > TimePoint::origin() &&
+          decl.crash.restart <= decl.crash.at) {
+        return error("restart must be after the crash");
+      }
+      impl.crashes.push_back(std::move(decl));
+
     } else if (op == "run") {
       if (tokens.size() != 2) return error("run <duration>");
       auto d = parse_duration(tokens[1]);
@@ -413,6 +618,40 @@ Status Scenario::run(std::ostream& out, unsigned threads) {
     live[i].node->start();
   }
 
+  // Arm the fault plan once every device has a node id. An untouched plan
+  // costs nothing on the delivery paths.
+  const bool have_faults = !impl.link_faults.empty() ||
+                           !impl.partitions.empty() ||
+                           !impl.blackouts.empty() || !impl.crashes.empty();
+  if (have_faults) {
+    auto node_of = [&](const std::string& name) {
+      if (name.empty()) return sim::FaultPlan::kAnyNode;
+      return live[impl.find_device(name)].device->node();
+    };
+    sim::FaultPlan& plan = bed.fault_plan();
+    plan.set_seed(impl.seed ^ 0x0f4a17);
+    for (const auto& decl : impl.link_faults) {
+      auto fault = decl.fault;
+      fault.src = node_of(decl.src);
+      fault.dst = node_of(decl.dst);
+      plan.add_link_fault(fault);
+    }
+    for (const auto& decl : impl.partitions) {
+      plan.add_partition(decl.partition);
+    }
+    for (const auto& decl : impl.blackouts) {
+      auto blackout = decl.blackout;
+      blackout.node = node_of(decl.device);
+      plan.add_blackout(blackout);
+    }
+    for (const auto& decl : impl.crashes) {
+      auto crash = decl.crash;
+      crash.node = node_of(decl.device);
+      plan.add_crash(crash);
+    }
+    bed.schedule_faults();
+  }
+
   auto report = [&](std::ostream& os) {
     os << "=== report t=" << bed.simulator().now().as_seconds() << "s ===\n";
     for (std::size_t i = 0; i < live.size(); ++i) {
@@ -425,6 +664,12 @@ Status Scenario::run(std::ostream& out, unsigned threads) {
          << " rx_data=" << live[i].data_received
          << " sends=" << live[i].sends_ok << "/"
          << live[i].sends_ok + live[i].sends_failed << "\n";
+    }
+    if (have_faults) {
+      auto fs = bed.fault_plan().stats();
+      os << "  faults: drops=" << fs.drops
+         << " corruptions=" << fs.corruptions << " delays=" << fs.delays
+         << " partition_drops=" << fs.partition_drops << "\n";
     }
   };
 

@@ -13,6 +13,11 @@
 //   teleport tourist at=40s to=60,0
 //   send beacon tourist at=12s bytes=2000000
 //   poweroff embedded at=50s all
+//   linkfault src=beacon loss=0.2 corrupt=0.02 at=10s until=30s
+//   partition line=1,0,45 at=20s until=40s    # cuts the plane at x=45
+//   blackout kiosk at=15s until=25s radio=wifi
+//   flap beacon at=10s until=30s period=2s off=0.5
+//   crash embedded at=20s restart=35s         # fresh BLE address on reboot
 //   run 60s
 //   report
 //

@@ -35,6 +35,8 @@
 
 namespace omni::sim {
 
+class FaultPlan;
+
 struct Vec2 {
   double x = 0;
   double y = 0;
@@ -107,6 +109,12 @@ class World {
 
   Simulator& simulator() { return sim_; }
 
+  /// Arm (or disarm with nullptr) fault injection: media consult this plan
+  /// on every delivery. Must be set from a quiescent/global context; the
+  /// plan's delivery queries are const and safe from concurrent shards.
+  void set_fault_plan(const FaultPlan* plan) { fault_plan_ = plan; }
+  const FaultPlan* fault_plan() const { return fault_plan_; }
+
  private:
   struct Node {
     std::string name;
@@ -149,6 +157,8 @@ class World {
   // Latest arrival time of any motion segment ever started; the world is
   // static (every position() is constant) once now >= moving_until_.
   TimePoint moving_until_ = TimePoint{};
+  // Non-owning; armed by the testbed when a scenario declares faults.
+  const FaultPlan* fault_plan_ = nullptr;
 };
 
 }  // namespace omni::sim

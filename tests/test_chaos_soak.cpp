@@ -1,0 +1,217 @@
+// Chaos soak: a 12-node neighborhood runs a full minute of virtual time
+// under a composite fault schedule — background loss/corruption/latency,
+// WiFi and BLE flap windows, two crash+restart cycles with address
+// rotation, and a transient geometric partition — while every node keeps
+// sending data around the ring.
+//
+// Asserts the two properties the fault engine promises:
+//  * self-healing invariants: every op reaches a terminal status and all
+//    manager op tables drain to empty (during the run and after stop());
+//  * determinism: a digest over every deterministic observable is
+//    byte-identical at 1, 2, and 8 threads.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "net/testbed.h"
+#include "omni/omni_node.h"
+
+namespace omni {
+namespace {
+
+constexpr int kNodes = 12;
+constexpr std::uint64_t kSeed = 20260805;
+
+/// FNV-1a accumulator over 64-bit words.
+struct Digest {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  void add(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xFF;
+      h *= 0x00000100000001B3ull;
+    }
+  }
+};
+
+struct ChaosResult {
+  std::uint64_t digest = 0;
+  int sends_ok = 0;
+  int sends_failed = 0;
+  std::uint64_t deadline_failovers = 0;
+  std::uint64_t beacon_rearms = 0;
+  sim::FaultPlan::Stats fault_stats;
+};
+
+ChaosResult run_chaos(unsigned threads) {
+  net::Testbed bed(kSeed, radio::Calibration::defaults(), threads);
+  std::vector<net::Device*> devices;
+  std::vector<std::unique_ptr<OmniNode>> nodes;
+  for (int i = 0; i < kNodes; ++i) {
+    // Two rows of six, 15 m apart: everything inside BLE range of its
+    // neighbors, the whole field inside WiFi range.
+    sim::Vec2 pos{15.0 * (i % 6), 20.0 * (i / 6)};
+    devices.push_back(&bed.add_device("n" + std::to_string(i), pos));
+    nodes.push_back(std::make_unique<OmniNode>(*devices.back(), bed.mesh()));
+  }
+
+  auto at = [](double s) {
+    return TimePoint::origin() + Duration::seconds(s);
+  };
+  auto& plan = bed.fault_plan();
+  // Background degradation on every link for the entire run. Corruption is
+  // kept low: every corrupted frame is a decoder WARN line.
+  sim::FaultPlan::LinkFault noisy;
+  noisy.loss = 0.15;
+  noisy.corrupt = 0.01;
+  noisy.extra_latency = Duration::millis(2);
+  plan.add_link_fault(noisy);
+  // Radio flap windows.
+  sim::FaultPlan::Blackout wifi_flap;
+  wifi_flap.node = devices[2]->node();
+  wifi_flap.radio = sim::FaultRadio::kWifi;
+  wifi_flap.start = at(10);
+  wifi_flap.end = at(30);
+  wifi_flap.period = Duration::seconds(3);
+  wifi_flap.off_fraction = 0.5;
+  plan.add_blackout(wifi_flap);
+  sim::FaultPlan::Blackout ble_flap;
+  ble_flap.node = devices[5]->node();
+  ble_flap.radio = sim::FaultRadio::kBle;
+  ble_flap.start = at(15);
+  ble_flap.end = at(35);
+  ble_flap.period = Duration::seconds(4);
+  ble_flap.off_fraction = 0.4;
+  plan.add_blackout(ble_flap);
+  // Crash/restart churn with BLE address rotation.
+  sim::FaultPlan::Crash crash1;
+  crash1.node = devices[3]->node();
+  crash1.at = at(12);
+  crash1.restart = at(20);
+  plan.add_crash(crash1);
+  sim::FaultPlan::Crash crash2;
+  crash2.node = devices[8]->node();
+  crash2.at = at(25);
+  crash2.restart = at(33);
+  plan.add_crash(crash2);
+  // Transient partition cutting the field at x = 40.
+  sim::FaultPlan::Partition split;
+  split.start = at(20);
+  split.end = at(35);
+  split.a = 1.0;
+  split.b = 0.0;
+  split.c = 40.0;
+  plan.add_partition(split);
+  bed.schedule_faults();
+
+  for (auto& n : nodes) n->start();
+
+  // Ring traffic: node i sends to node (i+1) twice, staggered, with a mix
+  // of BLE-sized and WiFi-sized payloads.
+  // Completion callbacks run on each sender's owner context, so with
+  // threads > 1 they fire concurrently across shards; the tallies must be
+  // atomic (the totals are order-independent, so still deterministic).
+  ChaosResult result;
+  std::atomic<int> callbacks{0};
+  std::atomic<int> sends_ok{0};
+  std::atomic<int> sends_failed{0};
+  int ops = 0;
+  auto count = [&](StatusCode code, const ResponseInfo&) {
+    callbacks.fetch_add(1, std::memory_order_relaxed);
+    if (code == StatusCode::kSendDataSuccess) {
+      sends_ok.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      sends_failed.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+  for (int i = 0; i < kNodes; ++i) {
+    OmniManager& mgr = nodes[i]->manager();
+    OmniAddress dest = nodes[(i + 1) % kNodes]->address();
+    std::size_t bytes = (i % 3 == 0) ? 150'000 : 60 + i;
+    bed.simulator().at(at(8.0 + 1.5 * i), [&mgr, dest, bytes, &count, &ops] {
+      ++ops;
+      mgr.send_data({dest}, Bytes(bytes, 0xC4), count);
+    });
+    bed.simulator().at(at(28.0 + 1.5 * i), [&mgr, dest, &count, &ops] {
+      ++ops;
+      mgr.send_data({dest}, Bytes(96, 0xC5), count);
+    });
+  }
+
+  bed.simulator().run_for(Duration::seconds(60));
+
+  // Invariant: every op reached a terminal status and nothing leaked.
+  result.sends_ok = sends_ok.load(std::memory_order_relaxed);
+  result.sends_failed = sends_failed.load(std::memory_order_relaxed);
+  EXPECT_EQ(callbacks.load(std::memory_order_relaxed), ops);
+  for (auto& n : nodes) {
+    EXPECT_EQ(n->manager().pending_data_count(), 0u);
+    EXPECT_EQ(n->manager().data_attempt_count(), 0u);
+    EXPECT_EQ(n->manager().context_attempt_count(), 0u);
+  }
+
+  // Digest every deterministic observable.
+  Digest d;
+  d.add(bed.simulator().executed_events());
+  d.add(bed.simulator().now().as_micros());
+  for (auto& n : nodes) {
+    const ManagerStats& s = n->manager().stats();
+    d.add(n->manager().peer_table().size());
+    d.add(s.packets_received);
+    d.add(s.beacons_received);
+    d.add(s.data_received);
+    d.add(s.data_sends);
+    d.add(s.data_failovers);
+    d.add(s.context_failovers);
+    d.add(s.engagements);
+    d.add(s.disengagements);
+    d.add(s.deadline_failovers);
+    d.add(s.beacon_rearms);
+    d.add(s.quarantines);
+    d.add(s.overload_rejections);
+    result.deadline_failovers += s.deadline_failovers;
+    result.beacon_rearms += s.beacon_rearms;
+  }
+  result.fault_stats = plan.stats();
+  d.add(result.fault_stats.drops);
+  d.add(result.fault_stats.corruptions);
+  d.add(result.fault_stats.delays);
+  d.add(result.fault_stats.partition_drops);
+  d.add(static_cast<std::uint64_t>(result.sends_ok));
+  d.add(static_cast<std::uint64_t>(result.sends_failed));
+  result.digest = d.h;
+
+  for (auto& n : nodes) n->stop();
+  bed.simulator().run_for(Duration::seconds(1));
+  for (auto& n : nodes) {
+    EXPECT_EQ(n->manager().pending_data_count(), 0u);
+    EXPECT_EQ(n->manager().data_attempt_count(), 0u);
+    EXPECT_EQ(n->manager().context_attempt_count(), 0u);
+  }
+  return result;
+}
+
+TEST(ChaosSoakTest, FaultsActuallyInject) {
+  ChaosResult r = run_chaos(1);
+  EXPECT_GT(r.fault_stats.drops, 0u);
+  EXPECT_GT(r.fault_stats.corruptions, 0u);
+  EXPECT_GT(r.fault_stats.delays, 0u);
+  EXPECT_GT(r.fault_stats.partition_drops, 0u);
+  // The schedule is harsh but the neighborhood still mostly works.
+  EXPECT_GT(r.sends_ok, 0);
+  EXPECT_GT(r.sends_ok + r.sends_failed, 0);
+}
+
+TEST(ChaosSoakTest, DigestIsThreadCountInvariant) {
+  ChaosResult r1 = run_chaos(1);
+  ChaosResult r2 = run_chaos(2);
+  ChaosResult r8 = run_chaos(8);
+  EXPECT_EQ(r1.digest, r2.digest);
+  EXPECT_EQ(r1.digest, r8.digest);
+  EXPECT_EQ(r1.sends_ok, r8.sends_ok);
+  EXPECT_EQ(r1.sends_failed, r8.sends_failed);
+}
+
+}  // namespace
+}  // namespace omni

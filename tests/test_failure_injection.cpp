@@ -1,6 +1,7 @@
 // Failure injection across the stack: mid-transfer range loss with
-// technology failover, radio flapping, and mobility churn. Exercises the
-// paper's §3.3 "Handling Failures" behavior end to end.
+// technology failover, radio flapping, mobility churn, silently stalled
+// technologies, and crash/restart churn. Exercises the paper's §3.3
+// "Handling Failures" behavior end to end.
 #include <gtest/gtest.h>
 
 #include <memory>
@@ -15,6 +16,190 @@ class FailureInjectionTest : public ::testing::Test {
  protected:
   net::Testbed bed{71};
 };
+
+/// A data technology that accepts every request and never responds: the
+/// "silently stalled" plugin the manager's op deadlines exist for.
+class StallTech final : public CommTechnology {
+ public:
+  EnableResult enable(const TechQueues& queues) override {
+    queues_ = queues;
+    enabled_ = true;
+    queues_.send->set_consumer([this] {
+      while (auto request = queues_.send->try_pop()) ++swallowed_;
+    });
+    return EnableResult{Technology::kWifiUnicast,
+                        LowLevelAddress{MeshAddress{0xBEEF}}};
+  }
+  void disable() override {
+    queues_.send->clear_consumer();
+    enabled_ = false;
+  }
+  Technology type() const override { return Technology::kWifiUnicast; }
+  bool enabled() const override { return enabled_; }
+  bool supports_context() const override { return false; }
+  bool supports_data() const override { return true; }
+  std::size_t max_context_payload() const override { return 0; }
+  std::size_t max_data_payload() const override { return 0; }
+  Duration estimate_data_time(std::size_t, bool) const override {
+    return Duration::millis(20);
+  }
+  void set_engaged(bool engaged) override { engaged_ = engaged; }
+  bool engaged() const override { return engaged_; }
+
+  /// Fabricate an address-beacon sighting so the manager learns `peer`.
+  void inject_beacon(OmniAddress peer, MeshAddress from) {
+    queues_.receive->produce([&](ReceivedPacket& pkt) {
+      pkt.tech = Technology::kWifiUnicast;
+      pkt.from = LowLevelAddress{from};
+      AddressBeaconInfo info;
+      info.mesh = from;
+      pkt.packed = PackedStruct::address_beacon(peer, info).encode();
+    });
+  }
+
+  std::uint64_t swallowed() const { return swallowed_; }
+
+ private:
+  TechQueues queues_;
+  bool enabled_ = false;
+  bool engaged_ = false;
+  std::uint64_t swallowed_ = 0;
+};
+
+/// A context technology whose first `fail_first` beacon adds fail (the
+/// radio hiccuped), exercising the beacon re-arm backoff path.
+class FlakyBeaconTech final : public CommTechnology {
+ public:
+  explicit FlakyBeaconTech(int fail_first) : fail_first_(fail_first) {}
+
+  EnableResult enable(const TechQueues& queues) override {
+    queues_ = queues;
+    enabled_ = true;
+    queues_.send->set_consumer([this] {
+      while (auto request = queues_.send->try_pop()) {
+        bool ok = true;
+        if (request->op == SendOp::kAddContext) {
+          ok = add_attempts_++ >= fail_first_;
+        }
+        queues_.response->push(TechResponse::result(
+            Technology::kBle, *request, ok, ok ? "" : "radio hiccup"));
+      }
+    });
+    return EnableResult{Technology::kBle,
+                        LowLevelAddress{BleAddress::from_node(7)}};
+  }
+  void disable() override {
+    queues_.send->clear_consumer();
+    enabled_ = false;
+  }
+  Technology type() const override { return Technology::kBle; }
+  bool enabled() const override { return enabled_; }
+  bool supports_context() const override { return true; }
+  bool supports_data() const override { return false; }
+  std::size_t max_context_payload() const override { return 10'000; }
+  std::size_t max_data_payload() const override { return 0; }
+  Duration estimate_data_time(std::size_t, bool) const override {
+    return Duration::millis(50);
+  }
+  void set_engaged(bool engaged) override { engaged_ = engaged; }
+  bool engaged() const override { return engaged_; }
+
+  int add_attempts() const { return add_attempts_; }
+
+ private:
+  TechQueues queues_;
+  int fail_first_;
+  int add_attempts_ = 0;
+  bool enabled_ = false;
+  bool engaged_ = false;
+};
+
+TEST(SelfHealingTest, SilentlyStalledTechFailsOverByDeadline) {
+  sim::Simulator sim(9);
+  StallTech stall;
+  OmniManager manager(sim, OmniAddress{0xA11CE});
+  manager.add_technology(stall);
+  manager.start();
+
+  OmniAddress peer{0xB0B};
+  stall.inject_beacon(peer, MeshAddress{0xD00D});
+  sim.run_for(Duration::millis(10));
+  ASSERT_NE(manager.peer_table().find(peer), nullptr);
+
+  StatusCode code = StatusCode::kSendDataSuccess;
+  std::string why;
+  manager.send_data({peer}, Bytes{0x55},
+                    [&](StatusCode c, const ResponseInfo& info) {
+                      code = c;
+                      why = info.failure_description;
+                    });
+  sim.run_for(Duration::millis(500));
+  // The technology swallowed the request; nothing has failed yet.
+  EXPECT_GE(stall.swallowed(), 1u);
+  EXPECT_EQ(manager.pending_data_count(), 1u);
+  EXPECT_EQ(manager.data_attempt_count(), 1u);
+
+  // The deadline (>= min_op_deadline) fires and, with no alternative
+  // technology, the application hears a terminal failure. Tables drain.
+  sim.run_for(Duration::seconds(5));
+  EXPECT_EQ(code, StatusCode::kSendDataFailure);
+  EXPECT_GE(manager.stats().deadline_failovers, 1u);
+  EXPECT_EQ(manager.pending_data_count(), 0u);
+  EXPECT_EQ(manager.data_attempt_count(), 0u);
+  EXPECT_EQ(manager.context_attempt_count(), 0u);
+  manager.stop();
+  sim.run_for(Duration::seconds(1));
+}
+
+TEST(SelfHealingTest, BeaconRearmRetriesAfterBeaconOpFailure) {
+  sim::Simulator sim(11);
+  FlakyBeaconTech flaky(/*fail_first=*/1);
+  OmniManager manager(sim, OmniAddress{0xA11CE});
+  manager.add_technology(flaky);
+  manager.start();
+
+  // The first beacon add fails: beaconing drops and a backoff re-arm is
+  // scheduled instead of going dark forever.
+  sim.run_for(Duration::millis(100));
+  EXPECT_FALSE(manager.technology_beaconing(Technology::kBle));
+  EXPECT_GE(manager.stats().beacon_rearms, 1u);
+
+  // After the backoff (500 ms +/- jitter) the retry succeeds.
+  sim.run_for(Duration::seconds(2));
+  EXPECT_TRUE(manager.technology_beaconing(Technology::kBle));
+  EXPECT_GE(flaky.add_attempts(), 2);
+  manager.stop();
+  sim.run_for(Duration::seconds(1));
+}
+
+TEST(SelfHealingTest, OverloadShedsBeyondMaxPendingOps) {
+  sim::Simulator sim(13);
+  StallTech stall;
+  ManagerOptions options;
+  options.self_healing.max_pending_ops = 4;
+  OmniManager manager(sim, OmniAddress{0xA11CE}, options);
+  manager.add_technology(stall);
+  manager.start();
+  OmniAddress peer{0xB0B};
+  stall.inject_beacon(peer, MeshAddress{0xD00D});
+  sim.run_for(Duration::millis(10));
+
+  int failures = 0;
+  for (int i = 0; i < 8; ++i) {
+    manager.send_data({peer}, Bytes{0x55},
+                      [&](StatusCode c, const ResponseInfo&) {
+                        if (c == StatusCode::kSendDataFailure) ++failures;
+                      });
+  }
+  sim.run_for(Duration::millis(10));
+  EXPECT_EQ(manager.pending_data_count(), 4u);
+  EXPECT_EQ(manager.stats().overload_rejections, 4u);
+  EXPECT_EQ(failures, 4);  // the shed ops failed immediately
+  manager.stop();
+  sim.run_for(Duration::seconds(1));
+  EXPECT_EQ(manager.pending_data_count(), 0u);
+  EXPECT_EQ(failures, 8);  // stop() failed the queued ops too
+}
 
 TEST_F(FailureInjectionTest, MidTransferRangeLossFailsOverToBle) {
   auto& da = bed.add_device("a", {0, 0});
@@ -135,6 +320,121 @@ TEST_F(FailureInjectionTest, ConnectionlessContextSurvivesMeshCollapse) {
   db.wifi().set_powered(false);
   bed.simulator().run_for(Duration::seconds(3));
   EXPECT_GT(contexts, before + 3) << "context harvest continues over BLE";
+}
+
+TEST_F(FailureInjectionTest, PendingTablesDrainUnderRandomizedFaults) {
+  // Leak invariant: whatever a randomized fault schedule does to the
+  // network, every op table drains once every operation has completed or
+  // timed out — no pending_data_/attempt entries may survive.
+  auto& da = bed.add_device("a", {0, 0});
+  auto& db = bed.add_device("b", {10, 0});
+  auto& dc = bed.add_device("c", {20, 0});
+  OmniNode a(da, bed.mesh());
+  OmniNode b(db, bed.mesh());
+  OmniNode c(dc, bed.mesh());
+
+  auto& plan = bed.fault_plan();
+  sim::FaultPlan::LinkFault noisy;
+  noisy.loss = 0.3;
+  noisy.corrupt = 0.02;
+  noisy.extra_latency = Duration::millis(5);
+  plan.add_link_fault(noisy);
+  sim::FaultPlan::Blackout flap;
+  flap.node = db.node();
+  flap.radio = sim::FaultRadio::kWifi;
+  flap.start = TimePoint::origin() + Duration::seconds(6);
+  flap.end = TimePoint::origin() + Duration::seconds(14);
+  flap.period = Duration::seconds(2);
+  flap.off_fraction = 0.5;
+  plan.add_blackout(flap);
+  bed.schedule_faults();
+
+  a.start();
+  b.start();
+  c.start();
+  bed.simulator().run_for(Duration::seconds(4));
+
+  int callbacks = 0;
+  auto count = [&](StatusCode, const ResponseInfo&) { ++callbacks; };
+  int ops = 0;
+  for (int round = 0; round < 5; ++round) {
+    bed.simulator().run_for(Duration::seconds(2));
+    a.manager().send_data({b.address()}, Bytes(40 + round, 1), count);
+    b.manager().send_data({c.address()}, Bytes(200'000, 2), count);
+    c.manager().send_data({a.address()}, Bytes(64, 3), count);
+    ops += 3;
+  }
+  bed.simulator().run_for(Duration::seconds(40));
+
+  EXPECT_EQ(callbacks, ops) << "every op reached a terminal status";
+  for (OmniNode* n : {&a, &b, &c}) {
+    EXPECT_EQ(n->manager().pending_data_count(), 0u);
+    EXPECT_EQ(n->manager().data_attempt_count(), 0u);
+    EXPECT_EQ(n->manager().context_attempt_count(), 0u);
+  }
+  EXPECT_GT(plan.stats().drops, 0u) << "the schedule actually injected";
+
+  a.stop();
+  b.stop();
+  c.stop();
+  bed.simulator().run_for(Duration::seconds(1));
+  for (OmniNode* n : {&a, &b, &c}) {
+    EXPECT_EQ(n->manager().pending_data_count(), 0u);
+    EXPECT_EQ(n->manager().data_attempt_count(), 0u);
+    EXPECT_EQ(n->manager().context_attempt_count(), 0u);
+  }
+}
+
+TEST_F(FailureInjectionTest, CrashRestartChurnRelearnsRotatedAddress) {
+  // A crashed node that reboots with fresh link-layer addresses (BLE
+  // private-address rotation) must be re-learned under the same omni
+  // address — the stale mapping gets overwritten, not shadowed.
+  auto& da = bed.add_device("a", {0, 0});
+  auto& db = bed.add_device("b", {10, 0});
+  OmniNode a(da, bed.mesh());
+  OmniNode b(db, bed.mesh());
+
+  auto& plan = bed.fault_plan();
+  sim::FaultPlan::Crash crash;
+  crash.node = db.node();
+  crash.at = TimePoint::origin() + Duration::seconds(5);
+  crash.restart = TimePoint::origin() + Duration::seconds(8);
+  crash.rotate_addresses = true;
+  plan.add_crash(crash);
+  bed.schedule_faults();
+
+  a.start();
+  b.start();
+  bed.simulator().run_for(Duration::seconds(3));
+  const PeerEntry* entry = a.manager().peer_table().find(b.address());
+  ASSERT_NE(entry, nullptr);
+  auto ble_it = entry->techs.find(Technology::kBle);
+  ASSERT_NE(ble_it, entry->techs.end());
+  const BleAddress before = std::get<BleAddress>(ble_it->second.address);
+  EXPECT_EQ(before, db.ble().address());
+
+  // Through the crash, the restart, and a few beacon intervals.
+  bed.simulator().run_for(Duration::seconds(12));
+  const BleAddress after = db.ble().address();
+  EXPECT_NE(after, before) << "the reboot rotated the BLE address";
+
+  entry = a.manager().peer_table().find(b.address());
+  ASSERT_NE(entry, nullptr) << "the restarted node was re-learned";
+  ble_it = entry->techs.find(Technology::kBle);
+  ASSERT_NE(ble_it, entry->techs.end());
+  EXPECT_EQ(std::get<BleAddress>(ble_it->second.address), after)
+      << "the mapping tracks the fresh address, not the stale one";
+  EXPECT_GE(entry->last_seen,
+            bed.simulator().now() - Duration::seconds(2));
+
+  // And the mapping is actually usable: a data send lands.
+  StatusCode code = StatusCode::kSendDataFailure;
+  a.manager().send_data({b.address()}, Bytes{0x42},
+                        [&](StatusCode sc, const ResponseInfo&) {
+                          code = sc;
+                        });
+  bed.simulator().run_for(Duration::seconds(5));
+  EXPECT_EQ(code, StatusCode::kSendDataSuccess);
 }
 
 TEST_F(FailureInjectionTest, ManagerStopIsClean) {
