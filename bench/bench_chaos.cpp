@@ -21,6 +21,10 @@
 //
 //   $ ./bench/bench_chaos            # threads 1, 2, 8
 //   $ ./bench/bench_chaos 1 4        # explicit thread counts
+//   $ ./bench/bench_chaos 1 --trace chaos.json
+//       # additionally record a flight-recorder trace of the first run and
+//       # export it as Perfetto JSON (fault windows as labelled spans);
+//       # open at https://ui.perfetto.dev
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -32,6 +36,9 @@
 
 #include "bench_util.h"
 #include "net/testbed.h"
+#include "obs/omniscope.h"
+#include "obs/perfetto.h"
+#include "obs/trace_file.h"
 #include "omni/omni_node.h"
 
 namespace {
@@ -71,8 +78,9 @@ struct ChaosPoint {
   sim::FaultPlan::Stats fault_stats;
 };
 
-ChaosPoint run_point(unsigned threads) {
+ChaosPoint run_point(unsigned threads, const std::string& trace_path = "") {
   net::Testbed bed(kSeed, radio::Calibration::defaults(), threads);
+  if (!trace_path.empty()) bed.enable_observability(/*ring_capacity=*/1 << 20);
   std::vector<net::Device*> devices;
   std::vector<std::unique_ptr<OmniNode>> nodes;
   for (int i = 0; i < kNodes; ++i) {
@@ -244,6 +252,18 @@ ChaosPoint run_point(unsigned threads) {
   d.add(beacon_down_samples);
   p.digest = d.h;
 
+  if (!trace_path.empty()) {
+    obs::TraceCapture cap = obs::capture(*bed.observability());
+    if (obs::write_perfetto_json(trace_path, cap, bed.export_options())) {
+      std::printf("  wrote %s (%zu records, %llu dropped) — open at "
+                  "https://ui.perfetto.dev\n",
+                  trace_path.c_str(), cap.records.size(),
+                  static_cast<unsigned long long>(cap.dropped));
+    } else {
+      std::fprintf(stderr, "warning: cannot write %s\n", trace_path.c_str());
+    }
+  }
+
   for (auto& n : nodes) n->stop();
   sim.run_for(Duration::seconds(1));
   return p;
@@ -260,13 +280,16 @@ std::string hex64(std::uint64_t v) {
 
 int main(int argc, char** argv) {
   std::vector<unsigned> thread_counts = {1, 2, 8};
-  if (argc > 1) {
-    thread_counts.clear();
-    for (int i = 1; i < argc; ++i) {
-      thread_counts.push_back(
-          static_cast<unsigned>(std::atoi(argv[i])));
+  std::string trace_path;
+  std::vector<unsigned> explicit_counts;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--trace" && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else {
+      explicit_counts.push_back(static_cast<unsigned>(std::atoi(argv[i])));
     }
   }
+  if (!explicit_counts.empty()) thread_counts = explicit_counts;
 
   bench::print_heading("Chaos soak (faults + self-healing, thread sweep)");
   bench::Table table({"threads", "delivery", "latency ms", "leaked",
@@ -283,7 +306,11 @@ int main(int argc, char** argv) {
   bool ok = true;
   std::uint64_t digest_1t = 0;
   for (unsigned threads : thread_counts) {
-    ChaosPoint p = run_point(threads);
+    // The trace rides the first run only; instrumentation does not change
+    // the digest, so the traced run still participates in the invariance
+    // check.
+    const bool traced = threads == thread_counts.front();
+    ChaosPoint p = run_point(threads, traced ? trace_path : "");
     if (threads == thread_counts.front()) digest_1t = p.digest;
     if (p.digest != digest_1t) {
       std::fprintf(stderr,

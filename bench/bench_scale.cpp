@@ -17,11 +17,15 @@
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "bench_util.h"
 #include "net/testbed.h"
+#include "obs/omniscope.h"
+#include "obs/perfetto.h"
+#include "obs/trace_file.h"
 #include "omni/omni_node.h"
 
 namespace {
@@ -44,10 +48,24 @@ struct ScalePoint {
   std::uint64_t mailbox_posts;
   std::uint64_t contexts_received;
   std::size_t min_peers;
+  // Observability sweep extras (obs_mode > 0 only).
+  std::uint64_t trace_records = 0;
+  std::uint64_t trace_dropped = 0;
+  double export_seconds = 0;
 };
 
-ScalePoint run_point(std::size_t n, unsigned threads) {
+/// obs_mode: 0 = scope off (null-pointer branch per site), 1 = flight
+/// recorder + metrics live at the always-on profile (per-frame records
+/// gated off), 2 = additionally capture + serialize Perfetto JSON after the
+/// run (timed separately as export_seconds), 3 = full per-frame detail.
+ScalePoint run_point(std::size_t n, unsigned threads, int obs_mode = 0) {
   net::Testbed bed(42, radio::Calibration::defaults(), threads);
+  // Modes 1/2 measure the always-on profile (counters + lifecycle records,
+  // per-frame records off); mode 3 is full per-frame detail.
+  if (obs_mode > 0) {
+    bed.enable_observability(/*ring_capacity=*/1 << 16,
+                             /*detail=*/obs_mode == 3);
+  }
   std::size_t side = static_cast<std::size_t>(
       std::ceil(std::sqrt(static_cast<double>(n))));
   std::vector<net::Device*> devices;
@@ -92,6 +110,19 @@ ScalePoint run_point(std::size_t n, unsigned threads) {
   p.min_peers = nodes.empty() ? 0 : SIZE_MAX;
   for (auto& node : nodes) {
     p.min_peers = std::min(p.min_peers, node->manager().peer_table().size());
+  }
+  if (obs_mode > 0) {
+    obs::Omniscope& scope = *bed.observability();
+    p.trace_records = scope.recorder().total_written();
+    p.trace_dropped = scope.recorder().dropped();
+    if (obs_mode > 1) {
+      auto e0 = std::chrono::steady_clock::now();
+      obs::TraceCapture cap = obs::capture(scope);
+      std::ostringstream json;
+      obs::write_perfetto_json(json, cap);
+      auto e1 = std::chrono::steady_clock::now();
+      p.export_seconds = std::chrono::duration<double>(e1 - e0).count();
+    }
   }
   return p;
 }
@@ -168,6 +199,44 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(p.mailbox_posts));
     }
   }
+  // Observability overhead at the largest count in the sweep: the same
+  // workload with the scope off, with the flight recorder + metrics live,
+  // and with a Perfetto serialization after the run. Rows carry
+  // section="obs_overhead" in BENCH_scale.json (schema in README.md).
+  const std::size_t obs_nodes = counts.back();
+  bench::print_heading("Observability overhead");
+  const char* kModes[] = {"off", "ring", "ring_export", "ring_detail"};
+  double wall_off = 0;
+  for (int mode = 0; mode < 4; ++mode) {
+    // Best of five: these points run ~0.1 s of wall time each, where
+    // scheduler noise swamps a single-digit-percent effect.
+    ScalePoint p = run_point(obs_nodes, 1, mode);
+    for (int rep = 1; rep < 5; ++rep) {
+      ScalePoint q = run_point(obs_nodes, 1, mode);
+      if (q.wall_seconds < p.wall_seconds) p = q;
+    }
+    if (mode == 0) wall_off = p.wall_seconds;
+    double overhead =
+        wall_off > 0 ? p.wall_seconds / wall_off - 1.0 : 0.0;
+    report.add_row()
+        .field("section", std::string("obs_overhead"))
+        .field("mode", std::string(kModes[mode]))
+        .field("nodes", static_cast<std::uint64_t>(obs_nodes))
+        .field("threads", static_cast<std::uint64_t>(1))
+        .field("sim_seconds", p.sim_seconds)
+        .field("wall_seconds", p.wall_seconds)
+        .field("overhead_vs_off", overhead)
+        .field("trace_records", p.trace_records)
+        .field("trace_dropped", p.trace_dropped)
+        .field("export_seconds", p.export_seconds);
+    std::printf("  %-12s %8.3f s wall (%+5.1f%%)  [records %llu, dropped "
+                "%llu, export %.3f s]\n",
+                kModes[mode], p.wall_seconds, overhead * 100.0,
+                static_cast<unsigned long long>(p.trace_records),
+                static_cast<unsigned long long>(p.trace_dropped),
+                p.export_seconds);
+  }
+
   std::printf("\n");
   table.print();
   report.write_file();

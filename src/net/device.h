@@ -23,7 +23,7 @@ class Device {
          radio::WifiSystem& wifi_system, radio::NanSystem& nan_system,
          NodeId node)
       : node_(node),
-        meter_(world.simulator()),
+        meter_(world.simulator(), node),
         ble_(ble_medium, world.simulator(), meter_, node,
              ble_medium.calibration()),
         wifi_(wifi_system, meter_, node),

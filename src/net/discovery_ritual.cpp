@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/omniscope.h"
+
 namespace omni::net {
 
 void run_discovery_ritual(radio::WifiRadio& radio, radio::MeshNetwork& mesh,
@@ -29,8 +31,15 @@ void run_discovery_ritual(radio::WifiRadio& radio, radio::MeshNetwork& mesh,
       const auto& cal = radio.calibration();
       Duration wait = cal.wifi_resolve_query;
       if (options.wait_for_advertisement) wait += cal.wifi_advert_wait;
+      if (obs::Omniscope* sc = OMNI_SCOPE(radio.simulator());
+          sc != nullptr && sc->recording()) {
+        // The resolution wait is the span the paper's ritual spends parked
+        // on the mesh before contexts can flow.
+        sc->complete_on(radio.node(), obs::Cat::kRitual, wait);
+      }
       // The resolve query is one small multicast round-trip.
-      radio.meter().charge_for(Duration::millis(3), cal.wifi_send_ma);
+      radio.meter().charge_for(Duration::millis(3), cal.wifi_send_ma,
+                               obs::EnergyRail::kWifi);
       radio.simulator().after(wait, [&radio, &mesh,
                                      done = std::move(done)]() mutable {
         if (!radio.powered() || radio.mesh() != &mesh) {
@@ -38,7 +47,8 @@ void run_discovery_ritual(radio::WifiRadio& radio, radio::MeshNetwork& mesh,
           return;
         }
         radio.meter().charge_for(Duration::millis(3),
-                                 radio.calibration().wifi_receive_ma);
+                                 radio.calibration().wifi_receive_ma,
+                                 obs::EnergyRail::kWifi);
         done(Status::ok());
       });
     });

@@ -11,6 +11,8 @@
 #include <vector>
 
 #include "net/device.h"
+#include "obs/omniscope.h"
+#include "obs/perfetto.h"
 #include "radio/ble.h"
 #include "radio/calibration.h"
 #include "radio/mesh.h"
@@ -59,7 +61,72 @@ class Testbed {
     devices_.push_back(std::make_unique<Device>(world_, ble_medium_,
                                                 wifi_system_, nan_system_,
                                                 id));
+    if (scope_) {
+      scope_->ensure_owner_capacity(world_.node_count());
+      scope_->set_owner_name(id, name);
+    }
     return *devices_.back();
+  }
+
+  /// Attach an Omniscope to the simulator: metrics, flight recorder, and
+  /// energy ledger all come alive. Idempotent; call any time during setup
+  /// (devices added before or after are both covered). Costs one predicted
+  /// branch per instrumentation site when off — see obs/omniscope.h.
+  /// `detail` gates per-frame trace records (counters are unconditional);
+  /// turn it off for large fleets where only aggregates matter.
+  obs::Omniscope& enable_observability(std::size_t ring_capacity = 1 << 16,
+                                       bool detail = true) {
+    if (!scope_) {
+      scope_ = std::make_unique<obs::Omniscope>();
+      scope_->attach(sim_, ring_capacity);
+      scope_->set_detail(detail);
+      // Open energy levels (standby draws) only reach the ledger when
+      // closed; flush them whenever aggregates are read or exported.
+      scope_->add_flush_hook([this] {
+        for (auto& d : devices_) d->meter().flush_levels();
+      });
+      scope_->ensure_owner_capacity(world_.node_count());
+      for (auto& d : devices_) {
+        scope_->set_owner_name(d->node(), world_.name(d->node()));
+      }
+    }
+    return *scope_;
+  }
+
+  /// The attached scope, or nullptr when observability is off.
+  obs::Omniscope* observability() { return scope_.get(); }
+
+  /// Scripted fault windows as labelled spans for the Perfetto export.
+  /// Open-ended windows are clamped to the simulator's current time, so
+  /// call this after the run.
+  obs::ExportOptions export_options() const {
+    obs::ExportOptions opts;
+    const std::int64_t now_us = sim_.now().as_micros();
+    auto clamp_us = [now_us](TimePoint t) {
+      const std::int64_t us = t.as_micros();
+      return us > now_us ? now_us : us;
+    };
+    for (const auto& b : fault_plan_.blackouts()) {
+      opts.annotations.push_back(obs::AnnotationSpan{
+          "blackout " + world_.name(b.node), b.start.as_micros(),
+          clamp_us(b.end)});
+    }
+    for (const auto& c : fault_plan_.crashes()) {
+      opts.annotations.push_back(obs::AnnotationSpan{
+          "crash " + world_.name(c.node), c.at.as_micros(),
+          c.restart > c.at ? c.restart.as_micros() : now_us});
+    }
+    for (const auto& f : fault_plan_.link_faults()) {
+      std::string kind = f.loss > 0 ? "loss" : f.corrupt > 0 ? "corrupt"
+                                                             : "latency";
+      opts.annotations.push_back(obs::AnnotationSpan{
+          "link " + kind, f.start.as_micros(), clamp_us(f.end)});
+    }
+    for (const auto& p : fault_plan_.partitions()) {
+      opts.annotations.push_back(obs::AnnotationSpan{
+          "partition", p.start.as_micros(), clamp_us(p.end)});
+    }
+    return opts;
   }
 
   sim::Simulator& simulator() { return sim_; }
@@ -98,7 +165,11 @@ class Testbed {
                         b.radio == sim::FaultRadio::kWifi;
       const bool nan = b.radio == sim::FaultRadio::kAll ||
                        b.radio == sim::FaultRadio::kNan;
-      auto set_power = [dev, ble, wifi, nan](bool on) {
+      auto set_power = [this, dev, ble, wifi, nan](bool on) {
+        if (obs::Omniscope* sc = OMNI_SCOPE(sim_);
+            sc != nullptr && sc->recording()) {
+          sc->instant_on(dev->node(), obs::Cat::kFaultPower, on ? 1 : 0);
+        }
         if (ble) dev->ble().set_powered(on);
         if (wifi) dev->wifi().set_powered(on);
         // NAN has no power rail of its own; enabling/disabling the NAN
@@ -127,7 +198,11 @@ class Testbed {
       // NAN enablement is app-driven; remember whether it was on at crash
       // time so the restart only re-enables what the crash took down.
       auto nan_was_enabled = std::make_shared<bool>(false);
-      sim_.at_on(sim::kGlobalOwner, c.at, [dev, nan_was_enabled] {
+      sim_.at_on(sim::kGlobalOwner, c.at, [this, dev, nan_was_enabled] {
+        if (obs::Omniscope* sc = OMNI_SCOPE(sim_);
+            sc != nullptr && sc->recording()) {
+          sc->instant_on(dev->node(), obs::Cat::kCrash, 0);
+        }
         *nan_was_enabled = dev->nan().enabled();
         dev->ble().set_powered(false);
         dev->wifi().set_powered(false);
@@ -135,8 +210,12 @@ class Testbed {
       });
       if (c.restart > c.at) {
         const bool rotate = c.rotate_addresses;
-        sim_.at_on(sim::kGlobalOwner, c.restart, [dev, nan_was_enabled,
-                                                  rotate] {
+        sim_.at_on(sim::kGlobalOwner, c.restart, [this, dev,
+                                                  nan_was_enabled, rotate] {
+          if (obs::Omniscope* sc = OMNI_SCOPE(sim_);
+              sc != nullptr && sc->recording()) {
+            sc->instant_on(dev->node(), obs::Cat::kCrash, 1);
+          }
           // Rotate before powering on: the node comes back with its fresh
           // link addresses already in place, like a real reboot.
           if (rotate) dev->ble().rotate_address();
@@ -166,6 +245,7 @@ class Testbed {
   std::vector<std::unique_ptr<Device>> devices_;
   sim::TraceRecorder trace_;
   sim::FaultPlan fault_plan_;
+  std::unique_ptr<obs::Omniscope> scope_;
 };
 
 }  // namespace omni::net

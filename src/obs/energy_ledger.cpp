@@ -1,0 +1,32 @@
+#include "obs/energy_ledger.h"
+
+namespace omni::obs {
+
+const char* rail_name(EnergyRail r) {
+  switch (r) {
+    case EnergyRail::kOther: return "other";
+    case EnergyRail::kBle: return "ble";
+    case EnergyRail::kWifi: return "wifi";
+    case EnergyRail::kNan: return "nan";
+  }
+  return "other";
+}
+
+void EnergyLedger::bind(MetricsRegistry& registry) {
+  registry_ = &registry;
+  for (std::size_t r = 0; r < kEnergyRailCount; ++r) {
+    rails_[r] = registry.counter(
+        std::string("energy.") + rail_name(static_cast<EnergyRail>(r)) +
+        ".uAs");
+  }
+}
+
+double EnergyLedger::total_mAs(NodeId node) const {
+  double total = 0;
+  for (std::size_t r = 0; r < kEnergyRailCount; ++r) {
+    total += as_mAs(registry_->counter_value(rails_[r], node));
+  }
+  return total;
+}
+
+}  // namespace omni::obs

@@ -1,0 +1,58 @@
+#include "obs/flight_recorder.h"
+
+#include <algorithm>
+
+namespace omni::obs {
+
+namespace {
+std::size_t round_up_pow2(std::size_t v) {
+  std::size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+}  // namespace
+
+void FlightRecorder::configure(std::size_t lanes, std::size_t capacity) {
+  std::size_t cap = round_up_pow2(std::max<std::size_t>(capacity, 16));
+  mask_ = cap - 1;
+  if (lanes < lanes_.size()) lanes = lanes_.size();
+  lanes_.resize(lanes);
+  for (auto& lane : lanes_) {
+    if (lane == nullptr) lane = std::make_unique<Lane>();
+    lane->ring.assign(cap, TraceRecord{});
+    lane->head = 0;
+  }
+}
+
+std::uint64_t FlightRecorder::total_written() const {
+  std::uint64_t n = 0;
+  for (const auto& lane : lanes_) n += lane->head;
+  return n;
+}
+
+std::uint64_t FlightRecorder::dropped() const {
+  std::uint64_t n = 0;
+  for (const auto& lane : lanes_) {
+    if (lane->head > lane->ring.size()) n += lane->head - lane->ring.size();
+  }
+  return n;
+}
+
+void FlightRecorder::collect(std::vector<TraceRecord>& out) const {
+  std::size_t start = out.size();
+  for (const auto& lane : lanes_) {
+    std::uint64_t kept = std::min<std::uint64_t>(lane->head,
+                                                 lane->ring.size());
+    for (std::uint64_t i = lane->head - kept; i < lane->head; ++i) {
+      out.push_back(lane->ring[static_cast<std::size_t>(i & mask_)]);
+    }
+  }
+  std::sort(out.begin() + static_cast<std::ptrdiff_t>(start), out.end(),
+            canonical_less);
+}
+
+void FlightRecorder::clear() {
+  for (auto& lane : lanes_) lane->head = 0;
+}
+
+}  // namespace omni::obs

@@ -1,0 +1,65 @@
+// Omniscope binary flight-recorder: per-lane rings of fixed-size POD
+// TraceRecords.
+//
+// Each execution lane (one per simulator shard + one global) owns a
+// power-of-two ring written with a single store and index increment — no
+// allocation, no locking, no atomics. When a ring fills, the oldest records
+// are overwritten (flight-recorder semantics) and the overwrite count is
+// reported so lossy captures are never mistaken for complete ones.
+//
+// Reads (collect/clear) must happen outside parallel windows, which is true
+// for every caller: exporters, barrier hooks, benches, and tests all run on
+// the driving thread between windows.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "obs/trace_record.h"
+
+namespace omni::obs {
+
+class FlightRecorder {
+ public:
+  FlightRecorder() = default;
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Size `lanes` rings of `capacity` records each (capacity is rounded up
+  /// to a power of two). Existing records are dropped. Lanes only grow.
+  void configure(std::size_t lanes, std::size_t capacity);
+
+  std::size_t lane_count() const { return lanes_.size(); }
+  std::size_t capacity() const { return mask_ + 1; }
+
+  /// Hot path: append one record to the calling lane's ring.
+  void write(std::size_t lane, const TraceRecord& r) {
+    Lane& l = *lanes_[lane];
+    l.ring[static_cast<std::size_t>(l.head & mask_)] = r;
+    ++l.head;
+  }
+
+  /// Records written since the last clear (including overwritten ones).
+  std::uint64_t total_written() const;
+  /// Records lost to ring overwrite since the last clear.
+  std::uint64_t dropped() const;
+
+  /// Append every retained record, merged across lanes into canonical
+  /// (time, owner, cat, ...) order, to `out`.
+  void collect(std::vector<TraceRecord>& out) const;
+
+  /// Forget all records (ring memory is retained).
+  void clear();
+
+ private:
+  struct alignas(64) Lane {
+    std::vector<TraceRecord> ring;
+    std::uint64_t head = 0;  ///< total records ever written to this lane
+  };
+
+  std::vector<std::unique_ptr<Lane>> lanes_;
+  std::uint64_t mask_ = 0;
+};
+
+}  // namespace omni::obs

@@ -1,0 +1,185 @@
+#include "obs/perfetto.h"
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <set>
+
+#include "common/types.h"
+
+namespace omni::obs {
+
+namespace {
+
+void json_escape(std::ostream& os, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+}
+
+// pid 0 is the global/engine process; node n is process n + 1.
+std::uint32_t pid_for(std::uint32_t owner) {
+  return owner == sim::kGlobalOwner ? 0 : owner + 1;
+}
+
+std::uint32_t tid_for(const TraceRecord& r) {
+  if (r.cat < kCatCount) {
+    return static_cast<std::uint32_t>(cat_track(static_cast<Cat>(r.cat)));
+  }
+  return static_cast<std::uint32_t>(Track::kOps);
+}
+
+const char* tech_label(std::uint8_t tech) {
+  switch (tech) {
+    case 0: return "ble";
+    case 1: return "wifi_aware";
+    case 2: return "wifi_multicast";
+    case 3: return "wifi_unicast";
+    default: return nullptr;
+  }
+}
+
+class Emitter {
+ public:
+  explicit Emitter(std::ostream& os) : os_(os) {
+    os_ << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  }
+  void finish() { os_ << "\n]}\n"; }
+
+  void open() {
+    if (!first_) os_ << ",\n";
+    first_ = false;
+    os_ << "{";
+  }
+  std::ostream& os() { return os_; }
+
+ private:
+  std::ostream& os_;
+  bool first_ = true;
+};
+
+void emit_metadata(Emitter& e, const char* what, std::uint32_t pid,
+                   std::uint32_t tid, bool with_tid,
+                   const std::string& name) {
+  e.open();
+  e.os() << "\"name\":\"" << what << "\",\"ph\":\"M\",\"pid\":" << pid;
+  if (with_tid) e.os() << ",\"tid\":" << tid;
+  e.os() << ",\"args\":{\"name\":\"";
+  json_escape(e.os(), name);
+  e.os() << "\"}}";
+}
+
+void emit_args(std::ostream& os, const TraceRecord& r) {
+  os << "\"args\":{\"a0\":" << r.a0 << ",\"a1\":" << r.a1;
+  if (const char* t = tech_label(r.tech)) os << ",\"tech\":\"" << t << "\"";
+  os << "}";
+}
+
+}  // namespace
+
+void write_perfetto_json(std::ostream& os, const TraceCapture& cap,
+                         const ExportOptions& opts) {
+  Emitter e(os);
+
+  // Name every process and track that appears in the capture (Perfetto shows
+  // pids/tids raw otherwise).
+  std::set<std::uint32_t> pids;
+  std::set<std::pair<std::uint32_t, std::uint32_t>> tracks;
+  for (const TraceRecord& r : cap.records) {
+    pids.insert(pid_for(r.owner));
+    tracks.insert({pid_for(r.owner), tid_for(r)});
+  }
+  if (!opts.annotations.empty()) {
+    pids.insert(0);
+    tracks.insert({0, static_cast<std::uint32_t>(Track::kFaults)});
+  }
+  for (std::uint32_t pid : pids) {
+    std::string name =
+        pid == 0 ? "global" : cap.owner_name(pid - 1);
+    emit_metadata(e, "process_name", pid, 0, false, name);
+  }
+  for (const auto& [pid, tid] : tracks) {
+    emit_metadata(e, "thread_name", pid, tid, true,
+                  track_name(static_cast<Track>(tid)));
+  }
+
+  for (const TraceRecord& r : cap.records) {
+    const std::uint32_t pid = pid_for(r.owner);
+    const std::uint32_t tid = tid_for(r);
+    const std::string name = cap.category_name(r.cat);
+    e.open();
+    e.os() << "\"name\":\"";
+    json_escape(e.os(), name);
+    e.os() << "\",\"cat\":\"omni\",\"pid\":" << pid << ",\"tid\":" << tid
+           << ",\"ts\":" << r.t_us << ",";
+    switch (static_cast<Phase>(r.phase)) {
+      case Phase::kInstant:
+        e.os() << "\"ph\":\"i\",\"s\":\"t\",";
+        emit_args(e.os(), r);
+        break;
+      case Phase::kComplete:
+        e.os() << "\"ph\":\"X\",\"dur\":" << r.a1 << ",";
+        emit_args(e.os(), r);
+        break;
+      case Phase::kAsyncBegin:
+        e.os() << "\"ph\":\"b\",\"id\":" << r.a0 << ",";
+        emit_args(e.os(), r);
+        break;
+      case Phase::kAsyncEnd:
+        e.os() << "\"ph\":\"e\",\"id\":" << r.a0 << ",";
+        emit_args(e.os(), r);
+        break;
+      case Phase::kCounter:
+        e.os() << "\"ph\":\"C\",\"args\":{\"value\":" << r.a0 << "}";
+        break;
+      default:
+        e.os() << "\"ph\":\"i\",\"s\":\"t\",";
+        emit_args(e.os(), r);
+        break;
+    }
+    e.os() << "}";
+  }
+
+  // Scripted fault windows as async spans on the global fault track, so the
+  // timeline shows when chaos was active without hunting for instants.
+  std::uint64_t span_id = 1u << 30;
+  for (const AnnotationSpan& a : opts.annotations) {
+    for (int edge = 0; edge < 2; ++edge) {
+      e.open();
+      e.os() << "\"name\":\"";
+      json_escape(e.os(), a.name);
+      e.os() << "\",\"cat\":\"omni.fault\",\"pid\":0,\"tid\":"
+             << static_cast<std::uint32_t>(Track::kFaults)
+             << ",\"ts\":" << (edge == 0 ? a.begin_us : a.end_us)
+             << ",\"ph\":\"" << (edge == 0 ? 'b' : 'e')
+             << "\",\"id\":" << span_id << ",\"args\":{}}";
+    }
+    ++span_id;
+  }
+
+  e.finish();
+}
+
+bool write_perfetto_json(const std::string& path, const TraceCapture& cap,
+                         const ExportOptions& opts) {
+  std::ofstream os(path);
+  if (!os) return false;
+  write_perfetto_json(os, cap, opts);
+  return static_cast<bool>(os);
+}
+
+}  // namespace omni::obs

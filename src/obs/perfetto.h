@@ -1,0 +1,48 @@
+// Chrome trace_event / Perfetto JSON exporter.
+//
+// Maps a TraceCapture onto the trace_event JSON array format that
+// ui.perfetto.dev (and chrome://tracing) load directly:
+//
+//   * one *process* per node — pid = owner + 1, pid 0 is the global/engine
+//     process — named via process_name metadata events;
+//   * one *thread* per track inside each process (ops, ble, wifi, nan, mesh,
+//     faults, engine), named via thread_name metadata;
+//   * Phase::kInstant  -> "i" instant events,
+//     Phase::kComplete -> "X" complete events (dur from a1),
+//     Phase::kAsyncBegin/kAsyncEnd -> "b"/"e" async spans (id from a0) —
+//     the manager's op lifecycle and fault windows render as spans,
+//     Phase::kCounter  -> "C" counter tracks.
+//
+// Timestamps are virtual microseconds, which trace_event's "ts" field uses
+// natively, so the timeline in the UI is simulated time.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/trace_file.h"
+
+namespace omni::obs {
+
+/// A labelled interval rendered as an async span on the global process's
+/// fault track — Testbed turns scripted fault windows (blackouts, link
+/// faults, partitions) into these.
+struct AnnotationSpan {
+  std::string name;
+  std::int64_t begin_us = 0;
+  std::int64_t end_us = 0;
+};
+
+struct ExportOptions {
+  std::vector<AnnotationSpan> annotations;
+};
+
+void write_perfetto_json(std::ostream& os, const TraceCapture& cap,
+                         const ExportOptions& opts = {});
+bool write_perfetto_json(const std::string& path, const TraceCapture& cap,
+                         const ExportOptions& opts = {});
+
+}  // namespace omni::obs

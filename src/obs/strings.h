@@ -1,0 +1,52 @@
+// Interned label table for the flight recorder.
+//
+// Dynamic strings (node names, scenario labels, extra categories registered
+// by tools or tests) are interned once — at setup, on the driving thread —
+// into dense ids that ride in TraceRecord argument fields. The static
+// category table (obs/trace_record.h) occupies ids [0, kCatCount); dynamic
+// categories continue from kCatCount so one id space covers both.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace omni::obs {
+
+class StringTable {
+ public:
+  /// Intern `s`, returning its stable id. Ids start at `base` (the table
+  /// pretends `base` earlier ids exist — used to keep dynamic category ids
+  /// disjoint from the static Cat enum). Not safe during parallel windows;
+  /// intern at setup or from global events only.
+  explicit StringTable(std::uint32_t base = 0) : base_(base) {}
+
+  std::uint32_t intern(std::string_view s) {
+    auto it = index_.find(std::string(s));
+    if (it != index_.end()) return it->second;
+    std::uint32_t id = base_ + static_cast<std::uint32_t>(strings_.size());
+    strings_.emplace_back(s);
+    index_.emplace(strings_.back(), id);
+    return id;
+  }
+
+  /// Name for an id below `base` is unknown ("?").
+  const std::string& name(std::uint32_t id) const {
+    static const std::string kUnknown = "?";
+    if (id < base_ || id - base_ >= strings_.size()) return kUnknown;
+    return strings_[id - base_];
+  }
+
+  std::uint32_t base() const { return base_; }
+  std::size_t size() const { return strings_.size(); }
+  const std::vector<std::string>& all() const { return strings_; }
+
+ private:
+  std::uint32_t base_;
+  std::vector<std::string> strings_;
+  std::unordered_map<std::string, std::uint32_t> index_;
+};
+
+}  // namespace omni::obs

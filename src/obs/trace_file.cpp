@@ -1,0 +1,145 @@
+#include "obs/trace_file.h"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "obs/omniscope.h"
+
+namespace omni::obs {
+
+namespace {
+
+constexpr char kMagic[8] = {'O', 'M', 'N', 'I', 'T', 'R', 'C', '1'};
+// A capture larger than this is corrupt, not big (the recorder's rings are
+// bounded); the cap keeps a bad count field from driving a huge allocation.
+constexpr std::uint64_t kMaxRecords = 1ull << 28;
+constexpr std::uint32_t kMaxStrings = 1u << 20;
+
+template <typename T>
+void put(std::ostream& os, T v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+template <typename T>
+bool get(std::istream& is, T& v) {
+  is.read(reinterpret_cast<char*>(&v), sizeof(v));
+  return static_cast<bool>(is);
+}
+
+void put_string(std::ostream& os, const std::string& s) {
+  put(os, static_cast<std::uint32_t>(s.size()));
+  os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+bool get_string(std::istream& is, std::string& s) {
+  std::uint32_t len = 0;
+  if (!get(is, len) || len > kMaxStrings) return false;
+  s.resize(len);
+  is.read(s.data(), len);
+  return static_cast<bool>(is);
+}
+
+}  // namespace
+
+std::string TraceCapture::category_name(std::uint16_t cat) const {
+  if (cat < kCatCount) return cat_name(static_cast<Cat>(cat));
+  for (const auto& [id, name] : categories) {
+    if (id == cat) return name;
+  }
+  return "cat" + std::to_string(cat);
+}
+
+std::string TraceCapture::owner_name(std::uint32_t owner) const {
+  for (const auto& [o, name] : owner_names) {
+    if (o == owner) return name;
+  }
+  if (owner == sim::kGlobalOwner) return "global";
+  return "node" + std::to_string(owner);
+}
+
+TraceCapture capture(Omniscope& scope) {
+  scope.flush();
+  TraceCapture cap;
+  scope.recorder().collect(cap.records);
+  cap.dropped = scope.recorder().dropped();
+  const StringTable& labels = scope.labels();
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    std::uint32_t id = labels.base() + static_cast<std::uint32_t>(i);
+    cap.categories.emplace_back(id, labels.name(id));
+  }
+  cap.owner_names = scope.owner_names();
+  return cap;
+}
+
+void write_trace_file(std::ostream& os, const TraceCapture& cap) {
+  os.write(kMagic, sizeof(kMagic));
+  put(os, static_cast<std::uint64_t>(cap.records.size()));
+  put(os, cap.dropped);
+  for (const TraceRecord& r : cap.records) {
+    put(os, r.t_us);
+    put(os, r.owner);
+    put(os, r.cat);
+    put(os, r.phase);
+    put(os, r.tech);
+    put(os, r.a0);
+    put(os, r.a1);
+  }
+  put(os, static_cast<std::uint32_t>(cap.categories.size()));
+  for (const auto& [id, name] : cap.categories) {
+    put(os, id);
+    put_string(os, name);
+  }
+  put(os, static_cast<std::uint32_t>(cap.owner_names.size()));
+  for (const auto& [owner, name] : cap.owner_names) {
+    put(os, owner);
+    put_string(os, name);
+  }
+}
+
+bool write_trace_file(const std::string& path, const TraceCapture& cap) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) return false;
+  write_trace_file(os, cap);
+  return static_cast<bool>(os);
+}
+
+bool read_trace_file(std::istream& is, TraceCapture& cap) {
+  char magic[8] = {};
+  is.read(magic, sizeof(magic));
+  if (!is || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) return false;
+  std::uint64_t count = 0;
+  if (!get(is, count) || !get(is, cap.dropped) || count > kMaxRecords) {
+    return false;
+  }
+  cap.records.resize(static_cast<std::size_t>(count));
+  for (TraceRecord& r : cap.records) {
+    if (!get(is, r.t_us) || !get(is, r.owner) || !get(is, r.cat) ||
+        !get(is, r.phase) || !get(is, r.tech) || !get(is, r.a0) ||
+        !get(is, r.a1)) {
+      return false;
+    }
+  }
+  std::uint32_t ncat = 0;
+  if (!get(is, ncat) || ncat > kMaxStrings) return false;
+  cap.categories.resize(ncat);
+  for (auto& [id, name] : cap.categories) {
+    if (!get(is, id) || !get_string(is, name)) return false;
+  }
+  std::uint32_t nowner = 0;
+  if (!get(is, nowner) || nowner > kMaxStrings) return false;
+  cap.owner_names.resize(nowner);
+  for (auto& [owner, name] : cap.owner_names) {
+    if (!get(is, owner) || !get_string(is, name)) return false;
+  }
+  return true;
+}
+
+bool read_trace_file(const std::string& path, TraceCapture& cap) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return false;
+  return read_trace_file(is, cap);
+}
+
+}  // namespace omni::obs

@@ -1,0 +1,54 @@
+// Flight-recorder capture snapshots and the "OMNITRC1" binary trace file.
+//
+// A TraceCapture is everything needed to interpret a ring dump offline: the
+// canonically sorted records plus the interned category and owner-name
+// tables. The binary file is a straight little-endian dump —
+//
+//   magic "OMNITRC1"                        (8 bytes)
+//   u64 record_count, u64 dropped
+//   record_count * TraceRecord              (32 bytes each)
+//   u32 dynamic_category_count, then per category: u32 id, u32 len, bytes
+//   u32 owner_name_count, then per owner:   u32 owner, u32 len, bytes
+//
+// — written by Omniscope-enabled runs (`dump trace foo.otr` in scenarios,
+// bench --trace flags) and read back by tools/omniscope and the exporters.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/trace_record.h"
+
+namespace omni::obs {
+
+class Omniscope;
+
+struct TraceCapture {
+  std::vector<TraceRecord> records;  ///< canonical order (canonical_less)
+  /// Dynamic categories (ids >= kCatCount) as (id, name).
+  std::vector<std::pair<std::uint32_t, std::string>> categories;
+  /// Display names for owners, as (owner, name).
+  std::vector<std::pair<std::uint32_t, std::string>> owner_names;
+  std::uint64_t dropped = 0;  ///< records lost to ring wraparound
+
+  /// Name for a record's category id (static table or dynamic entries).
+  std::string category_name(std::uint16_t cat) const;
+  /// Display name for an owner ("global"/"node<N>" fallback).
+  std::string owner_name(std::uint32_t owner) const;
+};
+
+/// Snapshot `scope`'s rings and tables into a capture (flushes first).
+TraceCapture capture(Omniscope& scope);
+
+void write_trace_file(std::ostream& os, const TraceCapture& cap);
+bool write_trace_file(const std::string& path, const TraceCapture& cap);
+
+/// Parse a capture; returns false (and leaves `cap` unspecified) on a
+/// malformed or truncated file.
+bool read_trace_file(std::istream& is, TraceCapture& cap);
+bool read_trace_file(const std::string& path, TraceCapture& cap);
+
+}  // namespace omni::obs

@@ -1,0 +1,105 @@
+#include "obs/trace_record.h"
+
+namespace omni::obs {
+
+const char* cat_name(Cat c) {
+  switch (c) {
+    case Cat::kOpData: return "op.data";
+    case Cat::kOpContext: return "op.context";
+    case Cat::kTechSelect: return "op.tech_select";
+    case Cat::kFailover: return "op.failover";
+    case Cat::kDeadline: return "op.deadline";
+    case Cat::kRetry: return "op.retry";
+    case Cat::kQuarantine: return "op.quarantine";
+    case Cat::kEngage: return "mgr.engage";
+    case Cat::kDisengage: return "mgr.disengage";
+    case Cat::kBeaconOn: return "mgr.beacon_on";
+    case Cat::kBeaconOff: return "mgr.beacon_off";
+    case Cat::kBeaconRx: return "mgr.beacon_rx";
+    case Cat::kContextRx: return "mgr.context_rx";
+    case Cat::kDataRx: return "mgr.data_rx";
+    case Cat::kTechSend: return "tech.send";
+    case Cat::kTechResponse: return "tech.response";
+    case Cat::kRitual: return "tech.ritual";
+    case Cat::kBleAdv: return "ble.adv";
+    case Cat::kBleRx: return "ble.rx";
+    case Cat::kWifiScan: return "wifi.scan";
+    case Cat::kWifiJoin: return "wifi.join";
+    case Cat::kMeshTx: return "mesh.tx";
+    case Cat::kMeshMulticast: return "mesh.multicast";
+    case Cat::kFlow: return "mesh.flow";
+    case Cat::kNanDw: return "nan.dw";
+    case Cat::kNanTx: return "nan.tx";
+    case Cat::kFaultDrop: return "fault.drop";
+    case Cat::kFaultCorrupt: return "fault.corrupt";
+    case Cat::kFaultDelay: return "fault.delay";
+    case Cat::kFaultPartition: return "fault.partition";
+    case Cat::kFaultPower: return "fault.power";
+    case Cat::kCrash: return "fault.crash";
+    case Cat::kWindow: return "engine.window";
+    case Cat::kCount_: break;
+  }
+  return "unknown";
+}
+
+Track cat_track(Cat c) {
+  switch (c) {
+    case Cat::kOpData:
+    case Cat::kOpContext:
+    case Cat::kTechSelect:
+    case Cat::kFailover:
+    case Cat::kDeadline:
+    case Cat::kRetry:
+    case Cat::kQuarantine:
+    case Cat::kEngage:
+    case Cat::kDisengage:
+    case Cat::kBeaconOn:
+    case Cat::kBeaconOff:
+    case Cat::kBeaconRx:
+    case Cat::kContextRx:
+    case Cat::kDataRx:
+    case Cat::kTechSend:
+    case Cat::kTechResponse:
+      return Track::kOps;
+    case Cat::kRitual:
+    case Cat::kWifiScan:
+    case Cat::kWifiJoin:
+      return Track::kWifi;
+    case Cat::kBleAdv:
+    case Cat::kBleRx:
+      return Track::kBle;
+    case Cat::kMeshTx:
+    case Cat::kMeshMulticast:
+    case Cat::kFlow:
+      return Track::kMesh;
+    case Cat::kNanDw:
+    case Cat::kNanTx:
+      return Track::kNan;
+    case Cat::kFaultDrop:
+    case Cat::kFaultCorrupt:
+    case Cat::kFaultDelay:
+    case Cat::kFaultPartition:
+    case Cat::kFaultPower:
+    case Cat::kCrash:
+      return Track::kFaults;
+    case Cat::kWindow:
+    case Cat::kCount_:
+      return Track::kEngine;
+  }
+  return Track::kEngine;
+}
+
+const char* track_name(Track t) {
+  switch (t) {
+    case Track::kOps: return "ops";
+    case Track::kBle: return "ble";
+    case Track::kWifi: return "wifi";
+    case Track::kNan: return "nan";
+    case Track::kMesh: return "mesh";
+    case Track::kFaults: return "faults";
+    case Track::kEngine: return "engine";
+  }
+  return "engine";
+}
+
+}  // namespace omni::obs

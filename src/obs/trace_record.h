@@ -1,0 +1,123 @@
+// Omniscope flight-recorder primitives: the fixed-size POD trace record and
+// the static category table.
+//
+// A record is 32 bytes of plain data — virtual timestamp, owning node,
+// category id, phase, technology hint, and two 64-bit arguments. Hot paths
+// (one record per BLE advertising event at 1000 nodes) write records into
+// per-shard rings with a single store + increment; everything string-shaped
+// is interned once at setup (categories below are a compile-time table,
+// dynamic labels go through obs::StringTable).
+//
+// Records never feed back into simulation decisions, so instrumentation
+// cannot perturb the deterministic engine: an instrumented run is
+// bit-identical to an uninstrumented one (tests/test_golden_trace.cpp).
+#pragma once
+
+#include <cstdint>
+
+#include "common/time.h"
+#include "sim/event_queue.h"
+
+namespace omni::obs {
+
+/// Trace-event phase, modelled on the Chrome trace_event format so export
+/// is a straight mapping (perfetto.h).
+enum class Phase : std::uint8_t {
+  kInstant = 0,     ///< point event ("i")
+  kComplete = 1,    ///< span with known duration in a1, micros ("X")
+  kAsyncBegin = 2,  ///< start of an id-matched span, id in a0 ("b")
+  kAsyncEnd = 3,    ///< end of an id-matched span, id in a0 ("e")
+  kCounter = 4,     ///< sampled counter value in a0 ("C")
+};
+
+/// Static category table. Categories are stable small integers so hot-path
+/// writes never touch a string; cat_name() maps back for export/CLI.
+enum class Cat : std::uint16_t {
+  // Manager op lifecycle (one async span per data/context op).
+  kOpData = 0,      ///< a0 = op id, a1 = payload bytes (begin) / 0 ok, 1 fail (end)
+  kOpContext,       ///< a0 = context id
+  kTechSelect,      ///< a0 = op id, tech = chosen technology
+  kFailover,        ///< a0 = op id, tech = failed technology
+  kDeadline,        ///< a0 = request id, tech = silent technology
+  kRetry,           ///< a0 = attempt number (beacon re-arm / backoff retry)
+  kQuarantine,      ///< a0 = hold micros, tech = benched technology
+  kEngage,          ///< tech = technology engaged
+  kDisengage,       ///< tech = technology disengaged
+  kBeaconOn,        ///< tech = carrier the address beacon starts on
+  kBeaconOff,       ///< tech = carrier the address beacon leaves
+  kBeaconRx,        ///< a0 = sender omni address (hot path)
+  kContextRx,       ///< a0 = sender omni address, a1 = context id
+  kDataRx,          ///< a0 = sender omni address, a1 = payload bytes
+  // Technology plugins.
+  kTechSend,        ///< a0 = request id, a1 = packed bytes, tech = plugin
+  kTechResponse,    ///< a0 = request id, a1 = 0 ok / 1 fail, tech = plugin
+  kRitual,          ///< WiFi address-resolution ritual span, a0 = ritual id
+  // Radios.
+  kBleAdv,          ///< one advertising event; a0 = datagram bytes (hot path)
+  kBleRx,           ///< a0 = payload bytes (hot path)
+  kWifiScan,        ///< kComplete, a1 = scan duration micros
+  kWifiJoin,        ///< kComplete, a1 = join duration micros
+  kMeshTx,          ///< a0 = dst node id, a1 = bytes
+  kMeshMulticast,   ///< a1 = bytes
+  kFlow,            ///< TCP-like bulk flow span, a0 = flow id, a1 = bytes
+  kNanDw,           ///< kComplete, one discovery window, a1 = dw micros
+  kNanTx,           ///< a0 = frames sent in the window
+  // Fault engine (armed decisions as instants).
+  kFaultDrop,       ///< a0 = dst node id (kAnyNode-wide drops use 0xffffffff)
+  kFaultCorrupt,    ///< a0 = dst node id
+  kFaultDelay,      ///< a0 = extra latency micros
+  kFaultPartition,  ///< a0 = dst node id
+  kFaultPower,      ///< a0 = 1 power-on / 0 power-off
+  kCrash,           ///< a0 = 1 restart / 0 crash
+  // Parallel engine.
+  kWindow,          ///< barrier instant; a0 = windows run so far
+  kCount_,          ///< number of static categories (not a category)
+};
+
+inline constexpr std::uint16_t kCatCount =
+    static_cast<std::uint16_t>(Cat::kCount_);
+
+/// Stable export name of a static category.
+const char* cat_name(Cat c);
+
+/// Default track a category renders on in the Perfetto export (one named
+/// thread per track inside each node's process).
+enum class Track : std::uint8_t {
+  kOps = 1,
+  kBle = 2,
+  kWifi = 3,
+  kNan = 4,
+  kMesh = 5,
+  kFaults = 6,
+  kEngine = 7,
+};
+Track cat_track(Cat c);
+const char* track_name(Track t);
+
+/// One flight-recorder record. POD, fixed 32 bytes, written allocation-free.
+struct TraceRecord {
+  std::int64_t t_us = 0;       ///< virtual time, microseconds
+  std::uint32_t owner = sim::kGlobalOwner;  ///< attributed node (pid in export)
+  std::uint16_t cat = 0;       ///< Cat, or an interned dynamic category id
+  std::uint8_t phase = 0;      ///< Phase
+  std::uint8_t tech = 0xff;    ///< Technology hint (0xff = none)
+  std::uint64_t a0 = 0;        ///< span id / primary argument
+  std::uint64_t a1 = 0;        ///< secondary argument (bytes, micros, ...)
+};
+static_assert(sizeof(TraceRecord) == 32, "records are fixed-size POD");
+
+/// Canonical record order: (time, owner, cat, phase, args). Sorting a
+/// capture by this key yields the same sequence for any shard partition of
+/// the same record multiset, which is what makes captures comparable across
+/// --threads values.
+inline bool canonical_less(const TraceRecord& a, const TraceRecord& b) {
+  if (a.t_us != b.t_us) return a.t_us < b.t_us;
+  if (a.owner != b.owner) return a.owner < b.owner;
+  if (a.cat != b.cat) return a.cat < b.cat;
+  if (a.phase != b.phase) return a.phase < b.phase;
+  if (a.a0 != b.a0) return a.a0 < b.a0;
+  if (a.a1 != b.a1) return a.a1 < b.a1;
+  return a.tech < b.tech;
+}
+
+}  // namespace omni::obs

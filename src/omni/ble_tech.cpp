@@ -1,6 +1,7 @@
 #include "omni/ble_tech.h"
 
 #include "common/logging.h"
+#include "obs/omniscope.h"
 #include "net/link_frame.h"
 
 namespace omni {
@@ -126,6 +127,12 @@ void BleTech::process(SendRequest request) {
       return;
     }
     case SendOp::kSendData: {
+      if (obs::Omniscope* sc = OMNI_SCOPE(radio_.simulator());
+          sc != nullptr && sc->recording()) {
+        sc->count_on(radio_.node(), sc->core().tech_send[0]);
+        sc->instant_on(radio_.node(), obs::Cat::kTechSend,
+                       request.request_id, request.packed.size(), 0);
+      }
       if (!std::holds_alternative<BleAddress>(request.dest)) {
         respond(request, false, "destination is not a BLE address");
         return;
@@ -159,6 +166,11 @@ void BleTech::on_radio_receive(const BleAddress& from, const Bytes& frame) {
 
 void BleTech::respond(const SendRequest& request, bool success,
                       std::string failure) {
+  if (obs::Omniscope* sc = OMNI_SCOPE(radio_.simulator());
+      sc != nullptr && sc->recording()) {
+    sc->instant_on(radio_.node(), obs::Cat::kTechResponse,
+                   request.request_id, success ? 0 : 1, 0);
+  }
   queues_.response->push(TechResponse::result(Technology::kBle, request,
                                               success, std::move(failure)));
 }

@@ -1,5 +1,7 @@
 #include "omni/manager.h"
 
+#include "obs/omniscope.h"
+
 #include <algorithm>
 #include <array>
 
@@ -7,6 +9,16 @@
 #include "common/logging.h"
 
 namespace omni {
+
+namespace {
+// Fetch the attached scope if it is recording. Manager metrics and records
+// are attributed to the manager's execution owner (its hosting node).
+inline obs::Omniscope* scope_of(sim::Simulator& sim) {
+  obs::Omniscope* sc = OMNI_SCOPE(sim);
+  return (sc != nullptr && sc->recording()) ? sc : nullptr;
+}
+}  // namespace
+
 
 namespace {
 constexpr const char* kTag = "omni.manager";
@@ -139,6 +151,11 @@ void OmniManager::on_attempt_deadline(std::uint64_t request_id) {
   // §3.3). A late real response finds the request id gone and is ignored.
   if (auto it = data_attempts_.find(request_id); it != data_attempts_.end()) {
     ++stats_.deadline_failovers;
+    if (obs::Omniscope* sc = scope_of(sim_)) {
+      sc->count_on(options_.owner, sc->core().deadline_failovers);
+      sc->instant_on(options_.owner, obs::Cat::kDeadline, request_id, 0,
+                     static_cast<std::uint8_t>(it->second.tech));
+    }
     TechResponse r;
     r.request_id = request_id;
     r.op = SendOp::kSendData;
@@ -151,6 +168,11 @@ void OmniManager::on_attempt_deadline(std::uint64_t request_id) {
   auto it = context_attempts_.find(request_id);
   if (it == context_attempts_.end()) return;
   ++stats_.deadline_failovers;
+  if (obs::Omniscope* sc = scope_of(sim_)) {
+    sc->count_on(options_.owner, sc->core().deadline_failovers);
+    sc->instant_on(options_.owner, obs::Cat::kDeadline, request_id, 0,
+                   static_cast<std::uint8_t>(it->second.tech));
+  }
   TechResponse r;
   r.request_id = request_id;
   r.op = it->second.op;
@@ -178,6 +200,12 @@ void OmniManager::note_status_flap(TechSlot& s) {
   s.flaps = 0;
   Duration hold = backoff_delay(s.quarantine_count);
   s.quarantined_until = now + hold;
+  if (obs::Omniscope* sc = scope_of(sim_)) {
+    sc->count_on(options_.owner, sc->core().quarantines);
+    sc->instant_on(options_.owner, obs::Cat::kQuarantine,
+                   static_cast<std::uint64_t>(hold.as_micros()), 0,
+                   static_cast<std::uint8_t>(s.type));
+  }
   OMNI_DEBUG(now, kTag, "quarantining flapping %s for %s",
              to_string(s.type).c_str(), hold.to_string().c_str());
   if (s.up) {
@@ -209,6 +237,10 @@ void OmniManager::schedule_beacon_rearm(TechSlot& s) {
   const auto& sh = options_.self_healing;
   if (!sh.enabled || !running_ || s.beacon_rearm.pending()) return;
   ++stats_.beacon_rearms;
+  if (obs::Omniscope* sc = scope_of(sim_)) {
+    sc->instant_on(options_.owner, obs::Cat::kRetry, s.beacon_failures, 0,
+                   static_cast<std::uint8_t>(s.type));
+  }
   Technology tech = s.type;
   s.beacon_rearm =
       sim_.after_on(options_.owner, backoff_delay(s.beacon_failures),
@@ -330,6 +362,10 @@ void OmniManager::start_beaconing_on(Technology tech) {
   req.packed = beacon_packed_;
   s->send_queue->push(std::move(req));
   s->beaconing = true;
+  if (obs::Omniscope* sc = scope_of(sim_)) {
+    sc->instant_on(options_.owner, obs::Cat::kBeaconOn, 0, 0,
+                   static_cast<std::uint8_t>(tech));
+  }
 }
 
 void OmniManager::stop_beaconing_on(Technology tech) {
@@ -341,6 +377,10 @@ void OmniManager::stop_beaconing_on(Technology tech) {
   req.context_id = beacon_context_id(tech);
   s->send_queue->push(std::move(req));
   s->beaconing = false;
+  if (obs::Omniscope* sc = scope_of(sim_)) {
+    sc->instant_on(options_.owner, obs::Cat::kBeaconOff, 0, 0,
+                   static_cast<std::uint8_t>(tech));
+  }
 }
 
 void OmniManager::engage(Technology tech) {
@@ -349,6 +389,11 @@ void OmniManager::engage(Technology tech) {
   if (s->tech->engaged()) return;
   OMNI_DEBUG(sim_.now(), kTag, "engaging %s", to_string(tech).c_str());
   ++stats_.engagements;
+  if (obs::Omniscope* sc = scope_of(sim_)) {
+    sc->count_on(options_.owner, sc->core().engagements);
+    sc->instant_on(options_.owner, obs::Cat::kEngage, 0, 0,
+                   static_cast<std::uint8_t>(tech));
+  }
   s->tech->set_engaged(true);
   start_beaconing_on(tech);
   // Application contexts that could not be placed before may fit now; they
@@ -361,6 +406,10 @@ void OmniManager::disengage(Technology tech) {
   if (s == nullptr || !s->tech->engaged()) return;
   OMNI_DEBUG(sim_.now(), kTag, "disengaging %s", to_string(tech).c_str());
   ++stats_.disengagements;
+  if (obs::Omniscope* sc = scope_of(sim_)) {
+    sc->instant_on(options_.owner, obs::Cat::kDisengage, 0, 0,
+                   static_cast<std::uint8_t>(tech));
+  }
   stop_beaconing_on(tech);
   s->tech->set_engaged(false);
 }
@@ -535,6 +584,10 @@ void OmniManager::handle_packet(const ReceivedPacket& packet) {
   switch (p.kind) {
     case PacketKind::kAddressBeacon: {
       ++stats_.beacons_received;
+      if (obs::Omniscope* sc = scope_of(sim_)) {
+        sc->mark_frame_on(options_.owner, sc->core().beacon_rx,
+                          obs::Cat::kBeaconRx, p.source.value);
+      }
       // The beacon carries the peer's full address map: record the direct
       // mapping plus reachability for every technology it names, in one
       // batched table probe. Mappings delivered over integrated low-level
@@ -566,10 +619,19 @@ void OmniManager::handle_packet(const ReceivedPacket& packet) {
     }
     case PacketKind::kContext:
       ++stats_.context_received;
+      if (obs::Omniscope* sc = scope_of(sim_)) {
+        sc->mark_frame_on(options_.owner, sc->core().context_rx,
+                          obs::Cat::kContextRx, p.source.value,
+                          p.payload.size());
+      }
       for (const auto& cb : on_context_) cb(p.source, p.payload);
       break;
     case PacketKind::kData:
       ++stats_.data_received;
+      if (obs::Omniscope* sc = scope_of(sim_)) {
+        sc->mark_on(options_.owner, sc->core().data_rx,
+                    obs::Cat::kDataRx, p.source.value, p.payload.size());
+      }
       for (const auto& cb : on_data_) cb(p.source, p.payload);
       break;
     case PacketKind::kRelayed:
@@ -602,6 +664,11 @@ void OmniManager::handle_relayed_packet(const PackedStruct& outer) {
       break;
     case PacketKind::kContext:
       ++stats_.context_received;
+      if (obs::Omniscope* sc = scope_of(sim_)) {
+        sc->mark_frame_on(options_.owner, sc->core().context_rx,
+                          obs::Cat::kContextRx, p.source.value,
+                          p.payload.size());
+      }
       for (const auto& cb : on_context_) cb(p.source, p.payload);
       break;
     default:
@@ -768,6 +835,13 @@ void OmniManager::handle_data_response(const TechResponse& response) {
 
   if (response.success) {
     peers_.mark_fresh(op.dest, response.tech);
+    if (obs::Omniscope* sc = scope_of(sim_)) {
+      sc->count_on(options_.owner, sc->core().data_ok);
+      sc->observe_on(options_.owner, sc->core().data_latency_ms,
+                     (sim_.now() - op.started).as_seconds() * 1e3);
+      sc->async_end_on(options_.owner, obs::Cat::kOpData, op_id, 0,
+                       static_cast<std::uint8_t>(response.tech));
+    }
     StatusCallback cb = op.callback;
     ResponseInfo info;
     info.destination = op.dest;
@@ -782,6 +856,11 @@ void OmniManager::handle_data_response(const TechResponse& response) {
              op.dest.to_string().c_str(), to_string(response.tech).c_str(),
              response.failure_reason.c_str());
   ++stats_.data_failovers;
+  if (obs::Omniscope* sc = scope_of(sim_)) {
+    sc->count_on(options_.owner, sc->core().data_failovers);
+    sc->instant_on(options_.owner, obs::Cat::kFailover, op_id, 0,
+                   static_cast<std::uint8_t>(response.tech));
+  }
   dispatch_data(op_id);
 }
 
@@ -1129,6 +1208,10 @@ void OmniManager::dispatch_data(std::uint64_t op_id) {
     return;
   }
   op.tried.insert(*tech);
+  if (obs::Omniscope* sc = scope_of(sim_)) {
+    sc->instant_on(options_.owner, obs::Cat::kTechSelect, op_id, 0,
+                   static_cast<std::uint8_t>(*tech));
+  }
 
   const PeerEntry* peer = peers_.find(op.dest);
   const PeerTechInfo& info = peer->techs.at(*tech);
@@ -1172,6 +1255,10 @@ void OmniManager::dispatch_data(std::uint64_t op_id) {
 void OmniManager::fail_data(std::uint64_t op_id, const std::string& why) {
   auto it = pending_data_.find(op_id);
   if (it == pending_data_.end()) return;
+  if (obs::Omniscope* sc = scope_of(sim_)) {
+    sc->count_on(options_.owner, sc->core().data_failed);
+    sc->async_end_on(options_.owner, obs::Cat::kOpData, op_id, 1);
+  }
   StatusCallback cb = it->second.callback;
   ResponseInfo info;
   info.destination = it->second.dest;
@@ -1215,6 +1302,12 @@ void OmniManager::send_data(const std::vector<OmniAddress>& destinations,
     op.dest = dest;
     op.packed = packed;
     op.callback = callback;
+    op.started = sim_.now();
+    if (obs::Omniscope* sc = scope_of(sim_)) {
+      sc->count_on(options_.owner, sc->core().data_ops);
+      sc->async_begin_on(options_.owner, obs::Cat::kOpData, op_id,
+                         packed.size());
+    }
     pending_data_.emplace(op_id, std::move(op));
 
     if (peers_.find(dest) == nullptr) {

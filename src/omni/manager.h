@@ -303,6 +303,7 @@ class OmniManager {
     Bytes packed;  ///< encoded data packet
     StatusCallback callback;
     std::set<Technology> tried;
+    TimePoint started;  ///< enqueue instant (op-latency observability)
   };
   std::optional<Technology> pick_data_tech(const PendingData& op) const;
   void dispatch_data(std::uint64_t op_id);

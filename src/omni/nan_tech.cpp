@@ -1,6 +1,7 @@
 #include "omni/nan_tech.h"
 
 #include "net/link_frame.h"
+#include "obs/omniscope.h"
 
 namespace omni {
 
@@ -113,6 +114,12 @@ void NanTech::process(SendRequest request) {
       return;
     }
     case SendOp::kSendData: {
+      if (obs::Omniscope* sc = OMNI_SCOPE(radio_.simulator());
+          sc != nullptr && sc->recording()) {
+        sc->count_on(radio_.node(), sc->core().tech_send[1]);
+        sc->instant_on(radio_.node(), obs::Cat::kTechSend,
+                       request.request_id, request.packed.size(), 1);
+      }
       if (!std::holds_alternative<NanAddress>(request.dest)) {
         respond(request, false, "destination is not a NAN address");
         return;
@@ -141,6 +148,11 @@ void NanTech::on_receive(const NanAddress& from, const Bytes& frame) {
 
 void NanTech::respond(const SendRequest& request, bool success,
                       std::string failure) {
+  if (obs::Omniscope* sc = OMNI_SCOPE(radio_.simulator());
+      sc != nullptr && sc->recording()) {
+    sc->instant_on(radio_.node(), obs::Cat::kTechResponse,
+                   request.request_id, success ? 0 : 1, 1);
+  }
   queues_.response->push(TechResponse::result(Technology::kWifiAware,
                                               request, success,
                                               std::move(failure)));

@@ -2,6 +2,7 @@
 
 #include "common/logging.h"
 #include "net/link_frame.h"
+#include "obs/omniscope.h"
 
 namespace omni {
 
@@ -227,6 +228,12 @@ void WifiMulticastTech::process(SendRequest request) {
       return;
     }
     case SendOp::kSendData: {
+      if (obs::Omniscope* sc = OMNI_SCOPE(radio_.simulator());
+          sc != nullptr && sc->recording()) {
+        sc->count_on(radio_.node(), sc->core().tech_send[2]);
+        sc->instant_on(radio_.node(), obs::Cat::kTechSend,
+                       request.request_id, request.packed.size(), 2);
+      }
       auto req = std::make_shared<SendRequest>(std::move(request));
       if (req->needs_refresh) {
         net::run_discovery_ritual(
@@ -311,6 +318,11 @@ void WifiMulticastTech::do_send_data(std::shared_ptr<SendRequest> request) {
 
 void WifiMulticastTech::respond(const SendRequest& request, bool success,
                                 std::string failure) {
+  if (obs::Omniscope* sc = OMNI_SCOPE(radio_.simulator());
+      sc != nullptr && sc->recording()) {
+    sc->instant_on(radio_.node(), obs::Cat::kTechResponse,
+                   request.request_id, success ? 0 : 1, 2);
+  }
   queues_.response->push(TechResponse::result(Technology::kWifiMulticast,
                                               request, success,
                                               std::move(failure)));

@@ -1,6 +1,7 @@
 #include "omni/wifi_unicast_tech.h"
 
 #include "common/logging.h"
+#include "obs/omniscope.h"
 
 namespace omni {
 
@@ -108,6 +109,12 @@ void WifiUnicastTech::process(SendRequest request) {
     respond(request, false, "WiFi unicast carries data only");
     return;
   }
+  if (obs::Omniscope* sc = OMNI_SCOPE(radio_.simulator());
+      sc != nullptr && sc->recording()) {
+    sc->count_on(radio_.node(), sc->core().tech_send[3]);
+    sc->instant_on(radio_.node(), obs::Cat::kTechSend,
+                   request.request_id, request.packed.size(), 3);
+  }
   if (!std::holds_alternative<MeshAddress>(request.dest)) {
     respond(request, false, "destination is not a mesh address");
     return;
@@ -167,6 +174,11 @@ void WifiUnicastTech::do_send(std::shared_ptr<SendRequest> request) {
 
 void WifiUnicastTech::respond(const SendRequest& request, bool success,
                               std::string failure) {
+  if (obs::Omniscope* sc = OMNI_SCOPE(radio_.simulator());
+      sc != nullptr && sc->recording()) {
+    sc->instant_on(radio_.node(), obs::Cat::kTechResponse,
+                   request.request_id, success ? 0 : 1, 3);
+  }
   queues_.response->push(TechResponse::result(Technology::kWifiUnicast,
                                               request, success,
                                               std::move(failure)));

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/omniscope.h"
 #include "sim/fault_plan.h"
 
 namespace omni::radio {
@@ -52,7 +53,7 @@ void BleRadio::rotate_address() {
 
 void BleRadio::apply_scan_level() {
   double ma = (powered_ && scanning_) ? cal_.ble_scan_ma * scan_duty_ : 0.0;
-  meter_.set_level("ble.scan", ma);
+  meter_.set_level("ble.scan", ma, obs::EnergyRail::kBle);
 }
 
 void BleRadio::set_scanning(bool enabled, double duty) {
@@ -141,7 +142,12 @@ void BleRadio::schedule_adv(AdvertisementId id, Duration delay) {
 void BleRadio::fire_adv(AdvertisementId id) {
   Advertisement* adv = find_adv(id);
   if (adv == nullptr || !powered_) return;
-  meter_.charge_for(cal_.ble_adv_event, cal_.ble_advertise_ma);
+  meter_.charge_for(cal_.ble_adv_event, cal_.ble_advertise_ma,
+                    obs::EnergyRail::kBle);
+  if (obs::Omniscope* sc = OMNI_SCOPE(sim_); sc != nullptr &&
+                                             sc->recording()) {
+    sc->mark_frame(sc->core().ble_adv, obs::Cat::kBleAdv);
+  }
   // Reschedule before broadcasting, reusing this lookup. A receive handler
   // that stops or retunes this advertisement mid-broadcast cancels/replaces
   // the handle we just stored, so the outcome matches reschedule-after.
@@ -178,7 +184,13 @@ Status BleRadio::send_datagram(Bytes payload, SendDoneFn done,
       if (done) done(Status::error("BLE radio powered off mid-send"));
       return;
     }
-    meter_.charge_for(cal_.ble_adv_event, cal_.ble_advertise_ma);
+    meter_.charge_for(cal_.ble_adv_event, cal_.ble_advertise_ma,
+                      obs::EnergyRail::kBle);
+    if (obs::Omniscope* sc = OMNI_SCOPE(sim_); sc != nullptr &&
+                                               sc->recording()) {
+      sc->mark_frame(sc->core().ble_adv, obs::Cat::kBleAdv,
+                     /*a0=*/shared->size());
+    }
     medium_.broadcast(*this, shared, /*reliable_burst=*/true);
     if (done) {
       sim_.after_on(node_, cal_.ble_adv_event,
@@ -190,6 +202,11 @@ Status BleRadio::send_datagram(Bytes payload, SendDoneFn done,
 
 void BleRadio::deliver(const BleAddress& from, const Bytes& payload) {
   if (!powered_ || !scanning_) return;
+  if (obs::Omniscope* sc = OMNI_SCOPE(sim_); sc != nullptr &&
+                                             sc->recording()) {
+    sc->mark_frame(sc->core().ble_rx, obs::Cat::kBleRx,
+                   /*a0=*/payload.size());
+  }
   if (on_receive_) on_receive_(from, payload);
 }
 
@@ -284,7 +301,15 @@ void BleMedium::broadcast(const BleRadio& from,
     salt = ++fault_salts_[from.node()];
     fault_delay = plan->extra_latency(from.node(), sim::FaultPlan::kAnyNode,
                                       sim::FaultRadio::kBle, now);
-    if (fault_delay > Duration::zero()) plan->note_delay();
+    if (fault_delay > Duration::zero()) {
+      plan->note_delay();
+      if (obs::Omniscope* sc = OMNI_SCOPE(sim); sc != nullptr &&
+                                                sc->recording()) {
+        sc->mark_on(from.node(), sc->core().fault_delays,
+                    obs::Cat::kFaultDelay,
+                    static_cast<std::uint64_t>(fault_delay.as_micros()));
+      }
+    }
     src_pos = world_.position(from.node());
   }
   const TimePoint at = now + latency + fault_delay;
@@ -300,11 +325,21 @@ void BleMedium::broadcast(const BleRadio& from,
     if (plan != nullptr && node != from.node()) {
       if (plan->partitioned(src_pos, world_.position(node), now)) {
         plan->note_partition_drop();
+        if (obs::Omniscope* sc = OMNI_SCOPE(sim); sc != nullptr &&
+                                                  sc->recording()) {
+          sc->mark_on(from.node(), sc->core().fault_partition_drops,
+                      obs::Cat::kFaultPartition, node);
+        }
         continue;
       }
       if (plan->dropped(from.node(), node, sim::FaultRadio::kBle, now,
                         salt)) {
         plan->note_drop();
+        if (obs::Omniscope* sc = OMNI_SCOPE(sim); sc != nullptr &&
+                                                  sc->recording()) {
+          sc->mark_on(from.node(), sc->core().fault_drops,
+                      obs::Cat::kFaultDrop, node);
+        }
         continue;
       }
       corrupt_here =
@@ -321,7 +356,14 @@ void BleMedium::broadcast(const BleRadio& from,
         double p = capture_p * st.duty;
         if (p < 1.0 && !rng.chance(p)) continue;
       }
-      if (corrupt_here) plan->note_corruption();
+      if (corrupt_here) {
+        plan->note_corruption();
+        if (obs::Omniscope* sc = OMNI_SCOPE(sim); sc != nullptr &&
+                                                  sc->recording()) {
+          sc->mark_on(from.node(), sc->core().fault_corruptions,
+                      obs::Cat::kFaultCorrupt, node);
+        }
+      }
       if (in_window) {
         // Record the winner in this shard's lane; the barrier hook batches
         // the window's winners into one sweep event per (instant, receiver).

@@ -3,29 +3,75 @@
 #include <algorithm>
 
 #include "common/result.h"
+#include "obs/omniscope.h"
 
 namespace omni::radio {
 
-void EnergyMeter::charge(TimePoint t0, TimePoint t1, double ma) {
+void EnergyMeter::charge(TimePoint t0, TimePoint t1, double ma,
+                         obs::EnergyRail rail) {
   if (t1 <= t0 || ma == 0.0) return;
-  segments_.push_back(Segment{t0, t1, ma});
+  segments_.push_back(Segment{t0, t1, ma, rail});
 }
 
-void EnergyMeter::set_level(const std::string& tag, double ma) {
+bool EnergyMeter::ledger_active() const {
+  if (node_ == kInvalidNode) return false;
+  obs::Omniscope* sc = OMNI_SCOPE(sim_);
+  return sc != nullptr && sc->recording();
+}
+
+void EnergyMeter::ledger_add(obs::Omniscope& sc, std::size_t lane,
+                             TimePoint t0, TimePoint t1, double ma,
+                             obs::EnergyRail rail) {
+  sc.energy().add(lane, node_, rail, (t1 - t0).as_seconds() * ma);
+}
+
+void EnergyMeter::flush_ledger(TimePoint now) {
+  if (!ledger_active()) return;
+  obs::Omniscope& sc = *OMNI_SCOPE(sim_);
+  const std::size_t lane = sc.lane();
+  // Finish previously seen segments whose spans were still open at the last
+  // flush (a charge may be future-dated: a BLE advertising event books its
+  // whole span the instant it starts).
+  std::size_t keep = 0;
+  for (Pending& p : pending_) {
+    TimePoint hi = std::min(p.t1, now);
+    if (hi > p.t0) {
+      ledger_add(sc, lane, p.t0, hi, p.ma, p.rail);
+      p.t0 = hi;
+    }
+    if (p.t1 > now) pending_[keep++] = p;
+  }
+  pending_.resize(keep);
+  // Mirror every segment recorded since the last flush, clipped to `now`, so
+  // ledger totals equal total_mAs(origin, now) at every flush point. Doing
+  // this here — never on the charge() hot path — keeps instrumented runs
+  // within the flight-recorder overhead budget.
+  for (; mirrored_idx_ < segments_.size(); ++mirrored_idx_) {
+    const Segment& s = segments_[mirrored_idx_];
+    TimePoint hi = std::min(s.t1, now);
+    if (hi > s.t0) ledger_add(sc, lane, s.t0, hi, s.ma, s.rail);
+    if (s.t1 > now) {
+      pending_.push_back(Pending{std::max(s.t0, now), s.t1, s.ma, s.rail});
+    }
+  }
+}
+
+void EnergyMeter::set_level(const std::string& tag, double ma,
+                            obs::EnergyRail rail) {
   TimePoint now = sim_.now();
   auto it = levels_.find(tag);
   if (it != levels_.end()) {
     // Close the previous level as a concrete segment.
-    charge(it->second.since, now, it->second.ma);
+    charge(it->second.since, now, it->second.ma, it->second.rail);
     if (ma == 0.0) {
       levels_.erase(it);
       return;
     }
-    it->second = Level{ma, now};
+    it->second = Level{ma, now, rail};
     return;
   }
   if (ma == 0.0) return;
-  levels_.emplace(tag, Level{ma, now});
+  levels_.emplace(tag, Level{ma, now, rail});
 }
 
 double EnergyMeter::level(const std::string& tag) const {
@@ -37,6 +83,18 @@ double EnergyMeter::current_level_total() const {
   double total = 0;
   for (const auto& [tag, lvl] : levels_) total += lvl.ma;
   return total;
+}
+
+void EnergyMeter::flush_levels() {
+  TimePoint now = sim_.now();
+  for (auto& [tag, lvl] : levels_) {
+    if (now <= lvl.since) continue;
+    charge(lvl.since, now, lvl.ma, lvl.rail);
+    lvl.since = now;
+  }
+  // Closed level spans are segments now, so one ledger pass covers both
+  // interval charges and levels.
+  flush_ledger(now);
 }
 
 double EnergyMeter::total_mAs(TimePoint t0, TimePoint t1) const {
@@ -69,7 +127,7 @@ double BusyCharger::charge_active(TimePoint t0, TimePoint t1,
   TimePoint end =
       std::min(cap, start + Duration::seconds(active_seconds));
   if (end <= start) return 0;
-  meter_.charge(start, end, ma_);
+  meter_.charge(start, end, ma_, rail_);
   busy_until_ = end;
   return (end - start).as_seconds();
 }

@@ -11,6 +11,15 @@
 // Reported values follow the paper's convention: average mA over a window,
 // optionally minus the WiFi-standby floor (which is how the paper's Table 4
 // produces a *negative* value for the WiFi-off State-of-the-Practice row).
+//
+// Every charge carries an obs::EnergyRail (which radio the draw belongs to).
+// When an Omniscope is attached to the simulator and the meter knows its
+// node, charges are mirrored into the scope's energy ledger, making per-node
+// per-technology totals queryable as metrics. Mirroring is batched: the
+// charge() hot path only appends a segment; flush_levels() (Testbed calls it
+// at every report or export) walks the segments recorded since the last
+// flush, clips them to the current instant, and feeds them to the ledger, so
+// ledger totals always equal total_mAs(origin, now) at a flush point.
 #pragma once
 
 #include <map>
@@ -18,28 +27,38 @@
 #include <vector>
 
 #include "common/time.h"
+#include "common/types.h"
+#include "obs/energy_ledger.h"
 #include "sim/simulator.h"
+
+namespace omni::obs {
+class Omniscope;
+}
 
 namespace omni::radio {
 
 class EnergyMeter {
  public:
-  explicit EnergyMeter(sim::Simulator& sim) : sim_(sim) {}
+  explicit EnergyMeter(sim::Simulator& sim, NodeId node = kInvalidNode)
+      : sim_(sim), node_(node) {}
   EnergyMeter(const EnergyMeter&) = delete;
   EnergyMeter& operator=(const EnergyMeter&) = delete;
 
   /// Charge `ma` over [t0, t1). Out-of-order and overlapping charges are
   /// fine; they accumulate.
-  void charge(TimePoint t0, TimePoint t1, double ma);
+  void charge(TimePoint t0, TimePoint t1, double ma,
+              obs::EnergyRail rail = obs::EnergyRail::kOther);
 
   /// Charge `ma` for `d` starting now.
-  void charge_for(Duration d, double ma) {
-    charge(sim_.now(), sim_.now() + d, ma);
+  void charge_for(Duration d, double ma,
+                  obs::EnergyRail rail = obs::EnergyRail::kOther) {
+    charge(sim_.now(), sim_.now() + d, ma, rail);
   }
 
   /// Set an open-ended draw for `tag` starting now (replaces any previous
   /// level under the same tag, closing it at the current instant).
-  void set_level(const std::string& tag, double ma);
+  void set_level(const std::string& tag, double ma,
+                 obs::EnergyRail rail = obs::EnergyRail::kOther);
 
   /// Remove the open-ended draw for `tag`.
   void clear_level(const std::string& tag) { set_level(tag, 0.0); }
@@ -50,6 +69,11 @@ class EnergyMeter {
   /// Sum of all open levels right now.
   double current_level_total() const;
 
+  /// Close every open level at the current instant and immediately reopen
+  /// it. The meter's integrals are unchanged; the closed spans flow into the
+  /// attached energy ledger so its totals match total_mAs up to now.
+  void flush_levels();
+
   /// Total charge (mA*s) accrued in [t0, t1]; open levels are integrated up
   /// to t1 (t1 should not exceed the simulator's current time).
   double total_mAs(TimePoint t0, TimePoint t1) const;
@@ -58,21 +82,42 @@ class EnergyMeter {
   double average_ma(TimePoint t0, TimePoint t1) const;
 
   sim::Simulator& simulator() { return sim_; }
+  NodeId node() const { return node_; }
 
  private:
   struct Segment {
     TimePoint t0;
     TimePoint t1;
     double ma;
+    obs::EnergyRail rail = obs::EnergyRail::kOther;
   };
   struct Level {
     double ma = 0;
     TimePoint since;
+    obs::EnergyRail rail = obs::EnergyRail::kOther;
+  };
+  /// The not-yet-elapsed tail of a future-dated charge, awaiting mirroring
+  /// into the ledger once virtual time catches up (see flush_ledger()).
+  struct Pending {
+    TimePoint t0;
+    TimePoint t1;
+    double ma;
+    obs::EnergyRail rail;
   };
 
+  bool ledger_active() const;
+  void ledger_add(obs::Omniscope& sc, std::size_t lane, TimePoint t0,
+                  TimePoint t1, double ma, obs::EnergyRail rail);
+  /// Mirror segments recorded since the last flush into the attached energy
+  /// ledger, clipped to `now` (called by flush_levels()).
+  void flush_ledger(TimePoint now);
+
   sim::Simulator& sim_;
+  NodeId node_;
   std::vector<Segment> segments_;
   std::map<std::string, Level> levels_;
+  std::vector<Pending> pending_;
+  std::size_t mirrored_idx_ = 0;  ///< segments mirrored into the ledger
 };
 
 /// Converts bulk traffic into capped radio-active time.
@@ -83,7 +128,9 @@ class EnergyMeter {
 /// time never exceeds wall (virtual) time.
 class BusyCharger {
  public:
-  BusyCharger(EnergyMeter& meter, double ma) : meter_(meter), ma_(ma) {}
+  BusyCharger(EnergyMeter& meter, double ma,
+              obs::EnergyRail rail = obs::EnergyRail::kOther)
+      : meter_(meter), ma_(ma), rail_(rail) {}
 
   /// Charge up to `active` seconds of busy time within [t0, t1].
   /// Returns the seconds actually charged.
@@ -95,6 +142,7 @@ class BusyCharger {
  private:
   EnergyMeter& meter_;
   double ma_;
+  obs::EnergyRail rail_;
   TimePoint busy_until_ = TimePoint::origin();
 };
 

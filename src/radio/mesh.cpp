@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "radio/wifi_radio.h"
+#include "obs/omniscope.h"
 #include "sim/fault_plan.h"
 
 namespace omni::radio {
@@ -135,6 +136,10 @@ Result<FlowId> MeshNetwork::open_flow(WifiRadio& src, const MeshAddress& dst,
   flow.payload = std::move(payload);
   flow.last_settle = sim.now();
   flows_.emplace(id, std::move(flow));
+  if (obs::Omniscope* sc = OMNI_SCOPE(sim); sc != nullptr &&
+                                            sc->recording()) {
+    sc->async_begin_on(src.node(), obs::Cat::kFlow, id, bytes);
+  }
 
   bool reachable =
       peer->powered() && system_.world().in_range(src.node(), peer->node(),
@@ -230,6 +235,11 @@ void MeshNetwork::finish_flow(FlowId id, Status status) {
   auto it = flows_.find(id);
   if (it == flows_.end()) return;
   it->second.completion.cancel();
+  if (obs::Omniscope* sc = OMNI_SCOPE(system_.simulator());
+      sc != nullptr && sc->recording()) {
+    sc->async_end_on(it->second.src->node(), obs::Cat::kFlow, id,
+                     status.is_ok() ? 0 : 1);
+  }
   FlowDoneFn done = std::move(it->second.done);
   Bytes payload = std::move(it->second.payload);
   WifiRadio* dst = it->second.dst;
@@ -296,36 +306,65 @@ Status MeshNetwork::send_datagram(WifiRadio& src, const MeshAddress& dst,
   }
   auto& sim = system_.simulator();
   // Small frame: half an RTT of latency, short tx/rx bursts for energy.
-  src.meter().charge_for(Duration::millis(2), cal.wifi_send_ma);
+  src.meter().charge_for(Duration::millis(2), cal.wifi_send_ma,
+                         obs::EnergyRail::kWifi);
+  if (obs::Omniscope* sc = OMNI_SCOPE(sim); sc != nullptr &&
+                                            sc->recording()) {
+    sc->count_on(src.node(), sc->core().mesh_tx);
+    sc->instant_on(src.node(), obs::Cat::kMeshTx, peer->node(),
+                   payload.size());
+  }
   Duration extra = Duration::zero();
   if (const sim::FaultPlan* plan = fault_plan()) {
     // UDP semantics: a faulted frame vanishes (or arrives mangled) and the
     // sender still sees ok — it already paid the tx energy.
     const std::uint64_t salt = ++fault_salt_;
     const TimePoint now = sim.now();
+    obs::Omniscope* sc = OMNI_SCOPE(sim);
+    if (sc != nullptr && !sc->recording()) sc = nullptr;
     if (fault_partitioned(src, *peer, now)) {
       plan->note_partition_drop();
+      if (sc != nullptr) {
+        sc->count_on(src.node(), sc->core().fault_partition_drops);
+        sc->instant_on(src.node(), obs::Cat::kFaultPartition, peer->node());
+      }
       return Status::ok();
     }
     if (plan->dropped(src.node(), peer->node(), sim::FaultRadio::kWifi, now,
                       salt)) {
       plan->note_drop();
+      if (sc != nullptr) {
+        sc->count_on(src.node(), sc->core().fault_drops);
+        sc->instant_on(src.node(), obs::Cat::kFaultDrop, peer->node());
+      }
       return Status::ok();
     }
     if (plan->corrupted(src.node(), peer->node(), sim::FaultRadio::kWifi, now,
                         salt)) {
       plan->note_corruption();
+      if (sc != nullptr) {
+        sc->count_on(src.node(), sc->core().fault_corruptions);
+        sc->instant_on(src.node(), obs::Cat::kFaultCorrupt, peer->node());
+      }
       sim::FaultPlan::corrupt_in_place(payload, salt);
     }
     extra = plan->extra_latency(src.node(), peer->node(),
                                 sim::FaultRadio::kWifi, now);
-    if (extra > Duration::zero()) plan->note_delay();
+    if (extra > Duration::zero()) {
+      plan->note_delay();
+      if (sc != nullptr) {
+        sc->count_on(src.node(), sc->core().fault_delays);
+        sc->instant_on(src.node(), obs::Cat::kFaultDelay,
+                       static_cast<std::uint64_t>(extra.as_micros()));
+      }
+    }
   }
   MeshAddress from = src.address();
   sim.after(cal.wifi_rtt * 0.5 + extra,
             [peer, from, payload = std::move(payload), &cal] {
               peer->meter().charge_for(Duration::millis(2),
-                                       cal.wifi_receive_ma);
+                                       cal.wifi_receive_ma,
+                                       obs::EnergyRail::kWifi);
               peer->deliver_datagram(from, payload, /*multicast=*/false);
             });
   return Status::ok();
@@ -358,7 +397,13 @@ Status MeshNetwork::multicast_datagram(WifiRadio& src, Bytes payload) {
   }
   auto& sim = system_.simulator();
   // The sender pays the full driver wakeup + queueing burst.
-  src.meter().charge_for(cal.wifi_multicast_send_burst, cal.wifi_send_ma);
+  src.meter().charge_for(cal.wifi_multicast_send_burst, cal.wifi_send_ma,
+                         obs::EnergyRail::kWifi);
+  if (obs::Omniscope* sc = OMNI_SCOPE(sim); sc != nullptr &&
+                                            sc->recording()) {
+    sc->count_on(src.node(), sc->core().mesh_tx);
+    sc->instant_on(src.node(), obs::Cat::kMeshMulticast, 0, payload.size());
+  }
   // Serialize on the channel behind other multicast traffic.
   TimePoint start = std::max(sim.now(), mc_busy_until_);
   Duration occ = cal.wifi_multicast_beacon_occupancy;
@@ -370,20 +415,35 @@ Status MeshNetwork::multicast_datagram(WifiRadio& src, Bytes payload) {
     const TimePoint now = system_.simulator().now();
     const std::uint64_t salt = plan != nullptr ? ++fault_salt_ : 0;
     for (WifiRadio* rx : receivers_in_range(src)) {
-      rx->meter().charge_for(Duration::millis(3), c.wifi_receive_ma);
+      rx->meter().charge_for(Duration::millis(3), c.wifi_receive_ma,
+                             obs::EnergyRail::kWifi);
       if (plan != nullptr) {
+        obs::Omniscope* sc = OMNI_SCOPE(system_.simulator());
+        if (sc != nullptr && !sc->recording()) sc = nullptr;
         if (fault_partitioned(src, *rx, now)) {
           plan->note_partition_drop();
+          if (sc != nullptr) {
+            sc->count_on(src.node(), sc->core().fault_partition_drops);
+            sc->instant_on(src.node(), obs::Cat::kFaultPartition, rx->node());
+          }
           continue;
         }
         if (plan->dropped(src.node(), rx->node(), sim::FaultRadio::kWifi, now,
                           salt)) {
           plan->note_drop();
+          if (sc != nullptr) {
+            sc->count_on(src.node(), sc->core().fault_drops);
+            sc->instant_on(src.node(), obs::Cat::kFaultDrop, rx->node());
+          }
           continue;
         }
         if (plan->corrupted(src.node(), rx->node(), sim::FaultRadio::kWifi,
                             now, salt)) {
           plan->note_corruption();
+          if (sc != nullptr) {
+            sc->count_on(src.node(), sc->core().fault_corruptions);
+            sc->instant_on(src.node(), obs::Cat::kFaultCorrupt, rx->node());
+          }
           Bytes mangled = payload;
           sim::FaultPlan::corrupt_in_place(mangled, salt);
           rx->deliver_datagram(from, mangled, /*multicast=*/true);
@@ -447,9 +507,17 @@ void MeshNetwork::service_bulk_queue() {
                                     stretch);
   // Energy: actual airtime only; contention/backoff idles at standby draw.
   Duration airtime = Duration::seconds(static_cast<double>(n) * frag_air);
-  item.src->meter().charge_for(airtime, cal.wifi_send_ma);
+  item.src->meter().charge_for(airtime, cal.wifi_send_ma,
+                               obs::EnergyRail::kWifi);
   for (WifiRadio* rx : receivers_in_range(*item.src)) {
-    rx->meter().charge_for(airtime, cal.wifi_receive_ma);
+    rx->meter().charge_for(airtime, cal.wifi_receive_ma,
+                           obs::EnergyRail::kWifi);
+  }
+  if (obs::Omniscope* sc = OMNI_SCOPE(sim); sc != nullptr &&
+                                            sc->recording()) {
+    sc->count_on(item.src->node(), sc->core().mesh_tx, n);
+    sc->instant_on(item.src->node(), obs::Cat::kMeshMulticast, n,
+                   static_cast<std::uint64_t>(n) * cal.wifi_multicast_mtu);
   }
 
   item.fragments_left -= n;

@@ -1,5 +1,7 @@
 #include "radio/nan.h"
 
+#include "obs/omniscope.h"
+
 #include <algorithm>
 
 #include "sim/fault_plan.h"
@@ -83,7 +85,15 @@ void NanSystem::run_window() {
     if (plan != nullptr) {
       tx_extra = plan->extra_latency(tx->node(), sim::FaultPlan::kAnyNode,
                                      sim::FaultRadio::kNan, start);
-      if (tx_extra > Duration::zero()) plan->note_delay();
+      if (tx_extra > Duration::zero()) {
+        plan->note_delay();
+        if (obs::Omniscope* sc = OMNI_SCOPE(sim); sc != nullptr &&
+                                                  sc->recording()) {
+          sc->count_on(tx->node(), sc->core().fault_delays);
+          sc->instant_on(tx->node(), obs::Cat::kFaultDelay,
+                         static_cast<std::uint64_t>(tx_extra.as_micros()));
+        }
+      }
     }
     for (const auto& [id, payload] : tx->publishes()) {
       const std::uint64_t salt = plan != nullptr ? ++fault_salt_ : 0;
@@ -95,19 +105,35 @@ void NanSystem::run_window() {
           NanAddress from = tx->address();
           Bytes copy = payload;
           if (plan != nullptr) {
+            obs::Omniscope* sc = OMNI_SCOPE(sim);
+            if (sc != nullptr && !sc->recording()) sc = nullptr;
             if (plan->partitioned(world_.position(tx->node()),
                                   world_.position(rx->node()), start)) {
               plan->note_partition_drop();
+              if (sc != nullptr) {
+                sc->count_on(tx->node(), sc->core().fault_partition_drops);
+                sc->instant_on(tx->node(), obs::Cat::kFaultPartition,
+                               rx->node());
+              }
               continue;
             }
             if (plan->dropped(tx->node(), rx->node(), sim::FaultRadio::kNan,
                               start, salt)) {
               plan->note_drop();
+              if (sc != nullptr) {
+                sc->count_on(tx->node(), sc->core().fault_drops);
+                sc->instant_on(tx->node(), obs::Cat::kFaultDrop, rx->node());
+              }
               continue;
             }
             if (plan->corrupted(tx->node(), rx->node(), sim::FaultRadio::kNan,
                                 start, salt)) {
               plan->note_corruption();
+              if (sc != nullptr) {
+                sc->count_on(tx->node(), sc->core().fault_corruptions);
+                sc->instant_on(tx->node(), obs::Cat::kFaultCorrupt,
+                               rx->node());
+              }
               sim::FaultPlan::corrupt_in_place(copy, salt);
             }
           }
@@ -155,6 +181,11 @@ void NanSystem::run_window() {
           // The frame (or its ack) was lost: retry in a later window, like
           // an unreachable destination.
           plan->note_drop();
+          if (obs::Omniscope* sc = OMNI_SCOPE(sim); sc != nullptr &&
+                                                    sc->recording()) {
+            sc->count_on(tx->node(), sc->core().fault_drops);
+            sc->instant_on(tx->node(), obs::Cat::kFaultDrop, dest->node());
+          }
           if (--fu.windows_left <= 0) {
             if (fu.done) fu.done(Status::error("NAN follow-up timed out"));
           } else {
@@ -165,6 +196,12 @@ void NanSystem::run_window() {
         if (plan->corrupted(tx->node(), dest->node(), sim::FaultRadio::kNan,
                             start, salt)) {
           plan->note_corruption();
+          if (obs::Omniscope* sc = OMNI_SCOPE(sim); sc != nullptr &&
+                                                    sc->recording()) {
+            sc->count_on(tx->node(), sc->core().fault_corruptions);
+            sc->instant_on(tx->node(), obs::Cat::kFaultCorrupt,
+                           dest->node());
+          }
           sim::FaultPlan::corrupt_in_place(fu.payload, salt);
         }
       }
@@ -180,7 +217,12 @@ void NanSystem::run_window() {
     if (frames > 0) {
       tx->meter().charge(
           start, start + cal_.nan_frame_airtime * frames,
-          cal_.wifi_send_ma);
+          cal_.wifi_send_ma, obs::EnergyRail::kNan);
+      if (obs::Omniscope* sc = OMNI_SCOPE(sim); sc != nullptr &&
+                                                sc->recording()) {
+        sc->instant_on(tx->node(), obs::Cat::kNanTx,
+                       static_cast<std::uint64_t>(frames));
+      }
     }
   }
 
@@ -242,7 +284,12 @@ bool NanRadio::attends(std::uint64_t window_index) const {
 
 void NanRadio::window_wake(TimePoint window_start) {
   meter_.charge(window_start, window_start + cal_.nan_dw_duration,
-                cal_.wifi_receive_ma);
+                cal_.wifi_receive_ma, obs::EnergyRail::kNan);
+  if (obs::Omniscope* sc = OMNI_SCOPE(sim_); sc != nullptr &&
+                                             sc->recording()) {
+    sc->count_on(node_, sc->core().nan_dw);
+    sc->complete_on(node_, obs::Cat::kNanDw, cal_.nan_dw_duration);
+  }
 }
 
 Result<NanRadio::PublishId> NanRadio::publish(Bytes payload) {

@@ -90,6 +90,7 @@ class NanRadio {
 
   const NanAddress& address() const { return address_; }
   NodeId node() const { return node_; }
+  sim::Simulator& simulator() { return sim_; }
 
   /// Enable NAN operation (joins the DW schedule).
   void set_enabled(bool enabled);

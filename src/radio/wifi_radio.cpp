@@ -1,5 +1,6 @@
 #include "radio/wifi_radio.h"
 
+#include "obs/omniscope.h"
 #include "radio/mesh.h"
 
 namespace omni::radio {
@@ -11,8 +12,10 @@ WifiRadio::WifiRadio(WifiSystem& system, EnergyMeter& meter, NodeId node)
       node_(node),
       cal_(system.calibration()),
       address_(MeshAddress::from_node(node)),
-      rx_charger_(meter, system.calibration().wifi_receive_ma),
-      tx_charger_(meter, system.calibration().wifi_send_ma) {
+      rx_charger_(meter, system.calibration().wifi_receive_ma,
+                  obs::EnergyRail::kWifi),
+      tx_charger_(meter, system.calibration().wifi_send_ma,
+                  obs::EnergyRail::kWifi) {
   system_.attach(this);
 }
 
@@ -25,7 +28,8 @@ WifiRadio::~WifiRadio() {
 }
 
 void WifiRadio::apply_standby_level() {
-  meter_.set_level("wifi.standby", powered_ ? cal_.wifi_standby_ma : 0.0);
+  meter_.set_level("wifi.standby", powered_ ? cal_.wifi_standby_ma : 0.0,
+                   obs::EnergyRail::kWifi);
 }
 
 void WifiRadio::set_powered(bool on) {
@@ -82,7 +86,13 @@ void WifiRadio::start_next_op() {
   pending_ops_.pop_front();
 
   if (op.kind == PendingOp::Kind::kScan) {
-    meter_.charge_for(cal_.wifi_scan_duration, cal_.wifi_scan_ma);
+    meter_.charge_for(cal_.wifi_scan_duration, cal_.wifi_scan_ma,
+                      obs::EnergyRail::kWifi);
+    if (obs::Omniscope* sc = OMNI_SCOPE(sim_); sc != nullptr &&
+                                               sc->recording()) {
+      sc->count_on(node_, sc->core().wifi_scans);
+      sc->complete_on(node_, obs::Cat::kWifiScan, cal_.wifi_scan_duration);
+    }
     sim_.after(cal_.wifi_scan_duration,
                [this, done = std::move(op.scan_done)] {
                  std::vector<MeshNetwork*> found;
@@ -95,7 +105,12 @@ void WifiRadio::start_next_op() {
   }
 
   // Join: peering + SAE authentication.
-  meter_.charge_for(cal_.wifi_join_duration, cal_.wifi_connect_ma);
+  meter_.charge_for(cal_.wifi_join_duration, cal_.wifi_connect_ma,
+                    obs::EnergyRail::kWifi);
+  if (obs::Omniscope* sc = OMNI_SCOPE(sim_); sc != nullptr &&
+                                             sc->recording()) {
+    sc->complete_on(node_, obs::Cat::kWifiJoin, cal_.wifi_join_duration);
+  }
   sim_.after(cal_.wifi_join_duration,
              [this, mesh = op.target, done = std::move(op.join_done)] {
                Status status = Status::ok();

@@ -9,6 +9,9 @@
 
 #include "baselines/omni_stack.h"
 #include "net/testbed.h"
+#include "obs/omniscope.h"
+#include "obs/perfetto.h"
+#include "obs/trace_file.h"
 #include "omni/omni_node.h"
 #include "omni/service.h"
 
@@ -161,8 +164,16 @@ struct RunInstr {
 
 struct ReportInstr {};
 
+/// `dump trace <path>` — write the flight-recorder capture accumulated so
+/// far. A `.json` extension exports Chrome trace_event JSON for
+/// ui.perfetto.dev; anything else writes the binary .otr format that the
+/// `omniscope` CLI reads.
+struct DumpTraceInstr {
+  std::string path;
+};
+
 using Instr = std::variant<AdvertiseInstr, ServiceInstr, WalkInstr, SendInstr,
-                           PowerInstr, RunInstr, ReportInstr>;
+                           PowerInstr, RunInstr, ReportInstr, DumpTraceInstr>;
 
 // Fault declarations keep device *names*; node ids are resolved at run()
 // time, when the testbed has assigned them. An empty name means "any node".
@@ -192,6 +203,8 @@ struct CrashDecl {
 
 struct Scenario::Impl {
   std::uint64_t seed = 1;
+  /// Any `dump trace` directive turns the Omniscope on for the whole run.
+  bool wants_observability = false;
   std::vector<DeviceDecl> devices;
   std::vector<Instr> instructions;
   // Fault schedule (declarative; applied before the first run block).
@@ -590,6 +603,13 @@ Result<std::unique_ptr<Scenario>> Scenario::parse(const std::string& text) {
     } else if (op == "report") {
       impl.instructions.emplace_back(ReportInstr{});
 
+    } else if (op == "dump") {
+      if (tokens.size() != 3 || tokens[1] != "trace") {
+        return error("dump trace <path>");
+      }
+      impl.instructions.emplace_back(DumpTraceInstr{tokens[2]});
+      impl.wants_observability = true;
+
     } else {
       return error("unknown directive '" + op + "'");
     }
@@ -602,9 +622,10 @@ Result<std::unique_ptr<Scenario>> Scenario::parse(const std::string& text) {
   return scenario;
 }
 
-Status Scenario::run(std::ostream& out, unsigned threads) {
+Status Scenario::run(std::ostream& out, unsigned threads, bool observe) {
   Impl& impl = *impl_;
   net::Testbed bed(impl.seed, radio::Calibration::defaults(), threads);
+  if (observe || impl.wants_observability) bed.enable_observability();
   std::vector<Impl::LiveDevice> live(impl.devices.size());
 
   for (std::size_t i = 0; i < impl.devices.size(); ++i) {
@@ -730,16 +751,30 @@ Status Scenario::run(std::ostream& out, unsigned threads) {
       bed.simulator().run_for(run_instr->duration);
     } else if (std::get_if<ReportInstr>(&instruction) != nullptr) {
       report(out);
+    } else if (const auto* dump = std::get_if<DumpTraceInstr>(&instruction)) {
+      obs::Omniscope* sc = bed.observability();
+      if (sc == nullptr) {
+        return Status::error("dump trace: observability is not enabled");
+      }
+      obs::TraceCapture cap = obs::capture(*sc);
+      const std::string& path = dump->path;
+      const bool json = path.size() >= 5 &&
+                        path.compare(path.size() - 5, 5, ".json") == 0;
+      const bool ok =
+          json ? obs::write_perfetto_json(path, cap, bed.export_options())
+               : obs::write_trace_file(path, cap);
+      if (!ok) return Status::error("dump trace: cannot write " + path);
     }
   }
   return Status::ok();
 }
 
-std::string run_scenario_text(const std::string& text, unsigned threads) {
+std::string run_scenario_text(const std::string& text, unsigned threads,
+                              bool observe) {
   auto parsed = Scenario::parse(text);
   if (!parsed.is_ok()) return "parse error: " + parsed.error_message();
   std::ostringstream os;
-  Status s = parsed.value()->run(os, threads);
+  Status s = parsed.value()->run(os, threads, observe);
   if (!s.is_ok()) return "run error: " + s.message();
   return os.str();
 }

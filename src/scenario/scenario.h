@@ -20,6 +20,7 @@
 //   crash embedded at=20s restart=35s         # fresh BLE address on reboot
 //   run 60s
 //   report
+//   dump trace out.json                # Perfetto JSON (.otr = binary)
 //
 // `run` advances virtual time; `report` prints a per-device summary (peers,
 // average current, manager statistics). Multiple run/report blocks may be
@@ -50,10 +51,13 @@ class Scenario {
 
   /// Execute the scenario, writing report blocks to `out`. `threads` > 1
   /// runs the parallel engine; the report is bit-identical at any count.
+  /// `observe` attaches an Omniscope even when the script has no
+  /// `dump trace` directive — instrumentation never changes the report
+  /// (tests/test_golden_trace.cpp holds this as an invariant).
   /// Returns an error if execution hits an impossible instruction (e.g. a
   /// send between devices that never discovered each other is fine — it
   /// reports a failed send — but an unknown device name is not).
-  Status run(std::ostream& out, unsigned threads = 1);
+  Status run(std::ostream& out, unsigned threads = 1, bool observe = false);
 
   // Introspection for tests.
   std::size_t device_count() const;
@@ -66,6 +70,7 @@ class Scenario {
 };
 
 /// Convenience: parse + run, returning the report (or the error message).
-std::string run_scenario_text(const std::string& text, unsigned threads = 1);
+std::string run_scenario_text(const std::string& text, unsigned threads = 1,
+                              bool observe = false);
 
 }  // namespace omni::scenario

@@ -117,6 +117,10 @@ class FaultPlan {
   const std::vector<Blackout>& blackouts() const { return blackouts_; }
   const std::vector<Crash>& crashes() const { return crashes_; }
 
+  /// Passive entries (read by Testbed::export_options for trace annotation).
+  const std::vector<LinkFault>& link_faults() const { return link_faults_; }
+  const std::vector<Partition>& partitions() const { return partitions_; }
+
   // --- Delivery-time queries (const, callable concurrently from shards) ---
 
   /// Should this frame be silently dropped? `salt` must be unique per

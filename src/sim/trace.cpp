@@ -3,6 +3,25 @@
 #include <ostream>
 
 namespace omni::sim {
+namespace {
+
+// RFC 4180 field quoting: a field containing a comma, quote, or newline is
+// wrapped in double quotes, with embedded quotes doubled. Plain fields pass
+// through untouched so existing numeric columns stay byte-stable.
+void write_field(std::ostream& os, const std::string& s) {
+  if (s.find_first_of(",\"\n\r") == std::string::npos) {
+    os << s;
+    return;
+  }
+  os << '"';
+  for (char c : s) {
+    if (c == '"') os << '"';
+    os << c;
+  }
+  os << '"';
+}
+
+}  // namespace
 
 std::size_t TraceRecorder::count(const std::string& category) const {
   std::size_t n = 0;
@@ -53,8 +72,11 @@ double TraceRecorder::sum(const std::string& category) const {
 void TraceRecorder::write_csv(std::ostream& os) const {
   os << "time_s,category,label,value\n";
   for (const auto& e : events_) {
-    os << e.at.as_seconds() << ',' << e.category << ',' << e.label << ','
-       << e.value << '\n';
+    os << e.at.as_seconds() << ',';
+    write_field(os, e.category);
+    os << ',';
+    write_field(os, e.label);
+    os << ',' << e.value << '\n';
   }
 }
 

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "net/testbed.h"
+#include "obs/omniscope.h"
 #include "omni/omni_node.h"
 
 namespace omni {
@@ -42,10 +43,14 @@ struct ChaosResult {
   std::uint64_t deadline_failovers = 0;
   std::uint64_t beacon_rearms = 0;
   sim::FaultPlan::Stats fault_stats;
+  /// Canonical Omniscope metrics dump — a second, independent digest that
+  /// must also be thread-count invariant.
+  std::string metrics;
 };
 
 ChaosResult run_chaos(unsigned threads) {
   net::Testbed bed(kSeed, radio::Calibration::defaults(), threads);
+  obs::Omniscope& scope = bed.enable_observability();
   std::vector<net::Device*> devices;
   std::vector<std::unique_ptr<OmniNode>> nodes;
   for (int i = 0; i < kNodes; ++i) {
@@ -181,6 +186,8 @@ ChaosResult run_chaos(unsigned threads) {
   d.add(static_cast<std::uint64_t>(result.sends_ok));
   d.add(static_cast<std::uint64_t>(result.sends_failed));
   result.digest = d.h;
+  result.metrics = scope.metrics_dump();
+  EXPECT_GT(scope.metrics().counter_total(scope.core().fault_drops), 0u);
 
   for (auto& n : nodes) n->stop();
   bed.simulator().run_for(Duration::seconds(1));
@@ -211,6 +218,9 @@ TEST(ChaosSoakTest, DigestIsThreadCountInvariant) {
   EXPECT_EQ(r1.digest, r8.digest);
   EXPECT_EQ(r1.sends_ok, r8.sends_ok);
   EXPECT_EQ(r1.sends_failed, r8.sends_failed);
+  EXPECT_EQ(r1.metrics, r2.metrics);
+  EXPECT_EQ(r1.metrics, r8.metrics);
+  EXPECT_FALSE(r1.metrics.empty());
 }
 
 }  // namespace

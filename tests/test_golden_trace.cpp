@@ -55,6 +55,15 @@ TEST(GoldenTraceTest, TouristScenarioMatchesGoldenReport) {
   EXPECT_EQ(report, kGoldenReport);
 }
 
+// Observability must be a pure observer: attaching an Omniscope (metrics,
+// flight recorder, energy ledger all live) cannot move a single event,
+// RNG draw, or float, so the report stays byte-identical to the golden.
+TEST(GoldenTraceTest, InstrumentedRunMatchesGoldenReport) {
+  std::string report =
+      run_scenario_text(read_scenario(), /*threads=*/1, /*observe=*/true);
+  EXPECT_EQ(report, kGoldenReport);
+}
+
 TEST(GoldenTraceTest, TouristScenarioIsRunToRunDeterministic) {
   std::string script = read_scenario();
   EXPECT_EQ(run_scenario_text(script), run_scenario_text(script));

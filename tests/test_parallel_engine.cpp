@@ -22,6 +22,8 @@
 #include <vector>
 
 #include "net/testbed.h"
+#include "obs/omniscope.h"
+#include "obs/trace_file.h"
 #include "omni/omni_node.h"
 #include "scenario/scenario.h"
 
@@ -54,6 +56,11 @@ std::string churn_digest(unsigned threads) {
   constexpr double kSpacingM = 25.0;
 
   net::Testbed bed(7, radio::Calibration::defaults(), threads);
+  // Observability rides along: the metric aggregates and the canonical
+  // record multiset must be as partition-invariant as the simulation
+  // itself. The ring is sized so nothing drops (drops are per-lane and
+  // would legitimately differ across partitions).
+  obs::Omniscope& scope = bed.enable_observability(/*ring_capacity=*/1 << 20);
   std::vector<std::unique_ptr<OmniNode>> nodes;
   std::vector<std::uint64_t> rx_ctx(kNodes, 0);
   nodes.reserve(kNodes);
@@ -93,6 +100,26 @@ std::string churn_digest(unsigned threads) {
      << " delivered=" << bed.ble_medium().delivered_count()
      << " windows=" << sim.windows_run()
      << " posts=" << sim.mailbox_posts() << "\n";
+
+  obs::TraceCapture cap = obs::capture(scope);
+  EXPECT_EQ(cap.dropped, 0u) << "ring too small for a lossless capture";
+  std::uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  for (const obs::TraceRecord& r : cap.records) {
+    mix(static_cast<std::uint64_t>(r.t_us));
+    mix(r.owner);
+    mix(r.cat);
+    mix(r.phase);
+    mix(r.a0);
+    mix(r.a1);
+    mix(r.tech);
+  }
+  os << "trace_records=" << cap.records.size() << " trace_hash=" << h
+     << "\n";
+  os << scope.metrics_dump();
   return os.str();
 }
 

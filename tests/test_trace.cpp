@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "sim/trace.h"
 
@@ -51,6 +53,64 @@ TEST(TraceRecorderTest, CsvOutput) {
   std::ostringstream os;
   trace.write_csv(os);
   EXPECT_EQ(os.str(), "time_s,category,label,value\n1.5,cat,lbl,2.5\n");
+}
+
+TEST(TraceRecorderTest, CsvQuotesSpecialCharacters) {
+  TraceRecorder trace;
+  trace.record(at_s(1), "cat,with,commas", "label \"quoted\"", 1);
+  trace.record(at_s(2), "plain", "multi\nline", 2);
+  std::ostringstream os;
+  trace.write_csv(os);
+  EXPECT_EQ(os.str(),
+            "time_s,category,label,value\n"
+            "1,\"cat,with,commas\",\"label \"\"quoted\"\"\",1\n"
+            "2,plain,\"multi\nline\",2\n");
+}
+
+// Minimal RFC 4180 row reader, enough to prove write_csv output survives a
+// parse: split on commas outside quotes, undouble embedded quotes.
+std::vector<std::string> parse_csv_row(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string field;
+  bool quoted = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (quoted) {
+      if (c == '"' && i + 1 < line.size() && line[i + 1] == '"') {
+        field += '"';
+        ++i;
+      } else if (c == '"') {
+        quoted = false;
+      } else {
+        field += c;
+      }
+    } else if (c == '"') {
+      quoted = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(field));
+      field.clear();
+    } else {
+      field += c;
+    }
+  }
+  fields.push_back(std::move(field));
+  return fields;
+}
+
+TEST(TraceRecorderTest, CsvRoundTripsThroughParser) {
+  TraceRecorder trace;
+  trace.record(at_s(1), "a,b", "say \"hi\"", 3.5);
+  std::ostringstream os;
+  trace.write_csv(os);
+  std::istringstream is(os.str());
+  std::string header, row;
+  std::getline(is, header);
+  std::getline(is, row);
+  auto fields = parse_csv_row(row);
+  ASSERT_EQ(fields.size(), 4u);
+  EXPECT_EQ(fields[1], "a,b");
+  EXPECT_EQ(fields[2], "say \"hi\"");
+  EXPECT_EQ(fields[3], "3.5");
 }
 
 TEST(TraceRecorderTest, Clear) {

@@ -1,0 +1,150 @@
+#!/usr/bin/env python3
+"""Intra-repo link checker for the markdown docs.
+
+Validates that every local target referenced from the repo's markdown files
+actually exists:
+
+  * inline links   [text](path)  and  [text](path#anchor)
+  * reference defs [label]: path
+  * bare backtick file references  `src/foo/bar.h`, `docs/x.json` — any
+    code span that looks like a repo-relative path with a file extension
+
+External URLs (scheme://) and pure anchors (#section) are skipped. Anchor
+fragments on local markdown targets are checked against the target's
+headings using GitHub's slug rules (lowercase, spaces to dashes, strip
+punctuation).
+
+Exit status: 0 when every link resolves, 1 otherwise (one line per broken
+link: file:line: message). Run from anywhere; paths resolve against the
+repo root (the parent of this script's directory).
+
+  $ python3 tools/check_links.py            # check the default doc set
+  $ python3 tools/check_links.py FILE...    # check specific files
+"""
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+# The documentation set CI keeps honest. Code comments are out of scope.
+DEFAULT_DOCS = [
+    "README.md",
+    "DESIGN.md",
+    "EXPERIMENTS.md",
+    "ROADMAP.md",
+    "CHANGES.md",
+    "docs",
+]
+
+INLINE_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+REF_DEF = re.compile(r"^\s*\[[^\]]+\]:\s+(\S+)")
+# Repo-relative paths inside code spans: at least one '/', a file extension,
+# and no spaces. `bench/bench_scale 500` style command lines are filtered by
+# the extension requirement on the last component.
+CODE_PATH = re.compile(r"`([A-Za-z0-9_./-]+/[A-Za-z0-9_.-]+\.[A-Za-z0-9]{1,10})`")
+# `src/sim/event_queue.{h,cpp}` brace shorthand.
+BRACE_PATH = re.compile(r"`([A-Za-z0-9_./-]+)\.\{([A-Za-z0-9,]+)\}`")
+# Extensionless module references rooted at a known top-level source dir
+# (`src/radio/energy_meter`, `bench/`). These resolve if the path exists as
+# a directory or with a .h/.cpp/.py suffix — the usual way prose names a
+# translation unit.
+MODULE_PATH = re.compile(
+    r"`((?:src|bench|tests|tools|examples|docs)(?:/[A-Za-z0-9_.-]+)*)`")
+MODULE_SUFFIXES = ("", ".h", ".cpp", ".py", ".cmake")
+
+SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def slugify(heading: str) -> str:
+    """GitHub's anchor slug: lowercase, strip punctuation, spaces to dashes."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading)
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def anchors_of(md: Path) -> set:
+    out = set()
+    in_fence = False
+    for line in md.read_text(encoding="utf-8").splitlines():
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if not in_fence and line.startswith("#"):
+            out.add(slugify(line.lstrip("#")))
+    return out
+
+
+def resolve(base: Path, target: str) -> Path:
+    if target.startswith("/"):
+        return REPO / target.lstrip("/")
+    return (base.parent / target).resolve()
+
+
+def check_file(md: Path, errors: list) -> None:
+    rel = md.relative_to(REPO)
+    in_fence = False
+    for lineno, line in enumerate(
+            md.read_text(encoding="utf-8").splitlines(), start=1):
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        targets = []
+        if not in_fence:
+            targets += INLINE_LINK.findall(line)
+            targets += REF_DEF.findall(line)
+        # Code-span paths count inside fences too: fenced shell snippets
+        # reference artifacts (docs/traces/*.json) that must exist.
+        targets += CODE_PATH.findall(line)
+        for stem, exts in BRACE_PATH.findall(line):
+            targets += [f"{stem}.{e}" for e in exts.split(",") if e]
+        for m in MODULE_PATH.findall(line):
+            if "." in m.rsplit("/", 1)[-1]:
+                continue  # CODE_PATH already covers it
+            dest = resolve(md, m)
+            if not any(dest.with_name(dest.name + s).exists()
+                       if s else dest.exists() for s in MODULE_SUFFIXES):
+                errors.append(f"{rel}:{lineno}: broken module ref '{m}'")
+        for t in targets:
+            if t.startswith(SKIP_SCHEMES) or t.startswith("#"):
+                continue
+            path_part, _, anchor = t.partition("#")
+            if not path_part:
+                continue
+            dest = resolve(md, path_part)
+            if not dest.exists():
+                errors.append(f"{rel}:{lineno}: broken link '{t}'")
+                continue
+            if anchor and dest.suffix == ".md":
+                if slugify(anchor.replace("-", " ")) not in anchors_of(dest) \
+                        and anchor not in anchors_of(dest):
+                    errors.append(
+                        f"{rel}:{lineno}: missing anchor '#{anchor}' in "
+                        f"{path_part}")
+
+
+def main(argv):
+    if len(argv) > 1:
+        docs = [Path(a).resolve() for a in argv[1:]]
+    else:
+        docs = []
+        for entry in DEFAULT_DOCS:
+            p = REPO / entry
+            if p.is_dir():
+                docs += sorted(p.rglob("*.md"))
+            elif p.exists():
+                docs.append(p)
+    errors = []
+    for md in docs:
+        check_file(md, errors)
+    for e in errors:
+        print(e)
+    print(f"check_links: {len(docs)} files, "
+          f"{'OK' if not errors else f'{len(errors)} broken'}")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

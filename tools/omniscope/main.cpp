@@ -1,0 +1,156 @@
+// omniscope — inspect Omniscope flight-recorder trace files (.otr).
+//
+//   omniscope summarize trace.otr
+//       Record/category/owner counts, time span, drop statistics.
+//   omniscope dump trace.otr [--cat NAME] [--owner N] [--limit N]
+//       Human-readable record listing (optionally filtered).
+//   omniscope perfetto trace.otr out.json
+//       Convert to Chrome trace_event JSON for ui.perfetto.dev.
+//
+// Scenario scripts produce .otr files via the `dump trace <path>` directive;
+// benches via their --trace flags.
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/perfetto.h"
+#include "obs/trace_file.h"
+
+namespace {
+
+using omni::obs::Phase;
+using omni::obs::TraceCapture;
+using omni::obs::TraceRecord;
+
+const char* phase_name(std::uint8_t p) {
+  switch (static_cast<Phase>(p)) {
+    case Phase::kInstant: return "instant";
+    case Phase::kComplete: return "complete";
+    case Phase::kAsyncBegin: return "begin";
+    case Phase::kAsyncEnd: return "end";
+    case Phase::kCounter: return "counter";
+  }
+  return "?";
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: omniscope summarize <trace.otr>\n"
+               "       omniscope dump <trace.otr> [--cat NAME] [--owner N] "
+               "[--limit N]\n"
+               "       omniscope perfetto <trace.otr> <out.json>\n");
+  return 2;
+}
+
+int load(const std::string& path, TraceCapture& cap) {
+  if (!omni::obs::read_trace_file(path, cap)) {
+    std::fprintf(stderr, "omniscope: cannot read trace file '%s'\n",
+                 path.c_str());
+    return 1;
+  }
+  return 0;
+}
+
+int cmd_summarize(const std::string& path) {
+  TraceCapture cap;
+  if (int rc = load(path, cap)) return rc;
+  std::printf("records: %zu (dropped %llu at capture)\n", cap.records.size(),
+              static_cast<unsigned long long>(cap.dropped));
+  if (!cap.records.empty()) {
+    std::printf("span:    %.6fs .. %.6fs\n",
+                static_cast<double>(cap.records.front().t_us) / 1e6,
+                static_cast<double>(cap.records.back().t_us) / 1e6);
+  }
+  std::map<std::string, std::uint64_t> per_cat;
+  std::map<std::uint32_t, std::uint64_t> per_owner;
+  for (const TraceRecord& r : cap.records) {
+    ++per_cat[cap.category_name(r.cat)];
+    ++per_owner[r.owner];
+  }
+  std::printf("categories (%zu):\n", per_cat.size());
+  for (const auto& [name, n] : per_cat) {
+    std::printf("  %-24s %llu\n", name.c_str(),
+                static_cast<unsigned long long>(n));
+  }
+  std::printf("owners (%zu):\n", per_owner.size());
+  for (const auto& [owner, n] : per_owner) {
+    std::printf("  %-24s %llu\n", cap.owner_name(owner).c_str(),
+                static_cast<unsigned long long>(n));
+  }
+  return 0;
+}
+
+int cmd_dump(const std::string& path, const std::string& cat_filter,
+             std::int64_t owner_filter, std::uint64_t limit) {
+  TraceCapture cap;
+  if (int rc = load(path, cap)) return rc;
+  std::uint64_t shown = 0;
+  for (const TraceRecord& r : cap.records) {
+    if (!cat_filter.empty() && cap.category_name(r.cat) != cat_filter) {
+      continue;
+    }
+    if (owner_filter >= 0 &&
+        r.owner != static_cast<std::uint32_t>(owner_filter)) {
+      continue;
+    }
+    std::printf("%12.6f %-12s %-18s %-8s a0=%llu a1=%llu",
+                static_cast<double>(r.t_us) / 1e6,
+                cap.owner_name(r.owner).c_str(),
+                cap.category_name(r.cat).c_str(), phase_name(r.phase),
+                static_cast<unsigned long long>(r.a0),
+                static_cast<unsigned long long>(r.a1));
+    if (r.tech != 0xff) std::printf(" tech=%u", r.tech);
+    std::printf("\n");
+    if (++shown >= limit) {
+      std::printf("... (limit %llu reached)\n",
+                  static_cast<unsigned long long>(limit));
+      break;
+    }
+  }
+  return 0;
+}
+
+int cmd_perfetto(const std::string& in, const std::string& out) {
+  TraceCapture cap;
+  if (int rc = load(in, cap)) return rc;
+  if (!omni::obs::write_perfetto_json(out, cap)) {
+    std::fprintf(stderr, "omniscope: cannot write '%s'\n", out.c_str());
+    return 1;
+  }
+  std::printf("wrote %s (%zu events) — open at https://ui.perfetto.dev\n",
+              out.c_str(), cap.records.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty()) return usage();
+  const std::string& cmd = args[0];
+  if (cmd == "summarize" && args.size() == 2) return cmd_summarize(args[1]);
+  if (cmd == "perfetto" && args.size() == 3) {
+    return cmd_perfetto(args[1], args[2]);
+  }
+  if (cmd == "dump" && args.size() >= 2) {
+    std::string cat;
+    std::int64_t owner = -1;
+    std::uint64_t limit = 10000;
+    for (std::size_t i = 2; i < args.size(); ++i) {
+      if (args[i] == "--cat" && i + 1 < args.size()) {
+        cat = args[++i];
+      } else if (args[i] == "--owner" && i + 1 < args.size()) {
+        owner = std::atoll(args[++i].c_str());
+      } else if (args[i] == "--limit" && i + 1 < args.size()) {
+        limit = static_cast<std::uint64_t>(std::atoll(args[++i].c_str()));
+      } else {
+        return usage();
+      }
+    }
+    return cmd_dump(args[1], cat, owner, limit);
+  }
+  return usage();
+}
