@@ -10,6 +10,8 @@
 //
 //   $ ./bench/bench_scale              # full sweep: 10..1000 nodes x 1/2/4/8 threads
 //   $ ./bench/bench_scale 500          # just one count (before/after checks)
+#include <sys/resource.h>
+
 #include <atomic>
 #include <chrono>
 #include <thread>
@@ -48,6 +50,15 @@ struct ScalePoint {
   std::uint64_t mailbox_posts;
   std::uint64_t contexts_received;
   std::size_t min_peers;
+  // Beacon fast-path counters summed over every node's ManagerStats (live
+  // with observability off); prove in the JSON that the receive memo and
+  // sender frame cache actually fired for the measured run.
+  std::uint64_t beacon_decode_skips;
+  std::uint64_t beacon_encodes;
+  // ru_maxrss after the run, in KB on Linux. Monotonic across the process,
+  // so within one bench invocation only the largest configuration's row is
+  // a true high-water mark; compare like row to like row across runs.
+  std::uint64_t peak_rss_kb;
   // Observability sweep extras (obs_mode > 0 only).
   std::uint64_t trace_records = 0;
   std::uint64_t trace_dropped = 0;
@@ -108,9 +119,16 @@ ScalePoint run_point(std::size_t n, unsigned threads, int obs_mode = 0) {
   p.mailbox_posts = bed.simulator().mailbox_posts();
   p.contexts_received = contexts.load(std::memory_order_relaxed);
   p.min_peers = nodes.empty() ? 0 : SIZE_MAX;
+  p.beacon_decode_skips = 0;
+  p.beacon_encodes = 0;
   for (auto& node : nodes) {
     p.min_peers = std::min(p.min_peers, node->manager().peer_table().size());
+    p.beacon_decode_skips += node->manager().stats().beacon_decode_skips;
+    p.beacon_encodes += node->manager().stats().beacon_encodes;
   }
+  struct rusage ru{};
+  getrusage(RUSAGE_SELF, &ru);
+  p.peak_rss_kb = static_cast<std::uint64_t>(ru.ru_maxrss);
   if (obs_mode > 0) {
     obs::Omniscope& scope = *bed.observability();
     p.trace_records = scope.recorder().total_written();
@@ -143,6 +161,7 @@ int main(int argc, char** argv) {
   bench::Table table({"nodes", "threads", "events", "wall s", "events/s",
                       "speedup", "peak heap", "min peers"});
   bench::BenchReport report("scale");
+  report.set_schema_version(2);
   report.set_meta("sim_seconds", bench::fmt(kSimSeconds, 0));
   report.set_meta("spacing_m", bench::fmt(kSpacingM, 0));
   report.set_meta("seed", "42");
@@ -190,7 +209,15 @@ int main(int argc, char** argv) {
           .field("global_events", p.global_events)
           .field("mailbox_posts", p.mailbox_posts)
           .field("contexts_received", p.contexts_received)
-          .field("min_peers", static_cast<std::uint64_t>(p.min_peers));
+          .field("min_peers", static_cast<std::uint64_t>(p.min_peers))
+          .field("beacon_decode_skips", p.beacon_decode_skips)
+          .field("beacon_encodes", p.beacon_encodes)
+          .field("peak_rss_kb", p.peak_rss_kb)
+          // Duplicated from meta so a row extracted on its own still says
+          // how many cores its speedup_vs_1t was measured against.
+          .field("hardware_threads",
+                 static_cast<std::uint64_t>(
+                     std::thread::hardware_concurrency()));
       std::printf("  %4zu nodes, %u threads: %8.3f s wall, %10.0f events/s"
                   " (%.2fx)  [windows %llu, global %llu, posts %llu]\n",
                   p.nodes, p.threads, p.wall_seconds, p.events_per_sec,

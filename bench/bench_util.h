@@ -109,6 +109,10 @@ class BenchReport {
     meta_.emplace_back(key, value);
   }
 
+  /// Bump when a bench changes its row schema (fields added/renamed) so the
+  /// perf-trajectory tooling can tell old and new files apart.
+  void set_schema_version(int version) { schema_version_ = version; }
+
   /// Start a new result row; subsequent field() calls fill it.
   BenchReport& add_row() {
     rows_.emplace_back();
@@ -130,7 +134,7 @@ class BenchReport {
   std::string to_json() const {
     std::ostringstream out;
     out << "{\n  \"bench\": \"" << escape(name_) << "\",\n"
-        << "  \"schema_version\": 1,\n  \"meta\": {";
+        << "  \"schema_version\": " << schema_version_ << ",\n  \"meta\": {";
     for (std::size_t i = 0; i < meta_.size(); ++i) {
       out << (i ? ", " : "") << "\"" << escape(meta_[i].first) << "\": \""
           << escape(meta_[i].second) << "\"";
@@ -188,6 +192,7 @@ class BenchReport {
 
   using Fields = std::vector<std::pair<std::string, std::string>>;
   std::string name_;
+  int schema_version_ = 1;
   Fields meta_;
   std::vector<Fields> rows_;
 };

@@ -14,6 +14,16 @@ namespace omni {
 std::uint64_t fnv1a64(std::span<const std::uint8_t> data,
                       std::uint64_t seed = 0xcbf29ce484222325ull);
 
+/// splitmix64 finalizer: a fast, high-quality avalanche of one 64-bit word.
+/// Used wherever a single integer key needs uniform bucket spread (the
+/// peer-table and beacon-memo open-addressing probes).
+constexpr std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
 /// 64-bit FNV-1a over a string.
 std::uint64_t fnv1a64(std::string_view s);
 

@@ -36,6 +36,10 @@ void Omniscope::attach(sim::Simulator& sim, std::size_t ring_capacity) {
   core_.engagements = metrics_.counter("mgr.engagements");
   core_.data_latency_ms =
       metrics_.histogram("mgr.data_latency_ms", kLatencyBoundsMs);
+  core_.beacon_encodes = metrics_.counter("mgr.beacon_encodes");
+  core_.beacon_frames_cached = metrics_.counter("mgr.beacon_frames_cached");
+  core_.beacon_decode_skips = metrics_.counter("mgr.beacon_decode_skips");
+  core_.peer_expire_sweeps = metrics_.counter("mgr.peer_expire_sweeps");
   core_.tech_send[0] = metrics_.counter("tech.ble.sends");
   core_.tech_send[1] = metrics_.counter("tech.nan.sends");
   core_.tech_send[2] = metrics_.counter("tech.wifi_multicast.sends");

@@ -54,6 +54,11 @@ struct CoreMetrics {
   MetricId data_rx = kInvalidMetric;
   MetricId engagements = kInvalidMetric;
   MetricId data_latency_ms = kInvalidMetric;  ///< histogram, ok ops only
+  // Beacon fast path (manager send/receive caches; see DESIGN.md).
+  MetricId beacon_encodes = kInvalidMetric;        ///< wire-frame (re)encodes
+  MetricId beacon_frames_cached = kInvalidMetric;  ///< sends from the cache
+  MetricId beacon_decode_skips = kInvalidMetric;   ///< digest-memo rx hits
+  MetricId peer_expire_sweeps = kInvalidMetric;    ///< periodic expiry sweeps
   // Technology plugins (one send counter per technology).
   MetricId tech_send[4] = {kInvalidMetric, kInvalidMetric, kInvalidMetric,
                            kInvalidMetric};

@@ -23,6 +23,7 @@ ContextId ContextRegistry::add(ContextParams params, Bytes content,
   rec.callback = std::move(callback);
   // Ids are monotonic, so appending keeps records_ sorted.
   records_.push_back(std::move(rec));
+  ++generation_;
   return id;
 }
 
@@ -40,6 +41,7 @@ bool ContextRegistry::remove(ContextId id) {
   auto it = lower_bound_id(records_, id);
   if (it == records_.end() || it->id != id) return false;
   records_.erase(it);
+  ++generation_;
   return true;
 }
 

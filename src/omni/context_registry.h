@@ -56,9 +56,18 @@ class ContextRegistry {
 
   std::size_t size() const { return records_.size(); }
 
+  /// Monotonic mutation counter: bumped by add()/remove() and — via
+  /// bump_generation() — whenever a caller rewrites a record's content in
+  /// place (the manager's update_context does). Cached wire frames key on it
+  /// so a context-set change conservatively invalidates them (see
+  /// OmniManager::beacon_wire).
+  std::uint64_t generation() const { return generation_; }
+  void bump_generation() { ++generation_; }
+
  private:
   std::vector<ContextRecord> records_;  // sorted by ContextRecord::id
   ContextId next_id_ = 1;
+  std::uint64_t generation_ = 0;
 };
 
 }  // namespace omni

@@ -21,6 +21,7 @@
 //     the application's status callback with a failure.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -49,6 +50,21 @@ struct ManagerOptions {
   Duration probe_interval = Duration::seconds(5);
   /// How long a peer mapping stays usable without being re-heard.
   Duration peer_ttl = Duration::seconds(10);
+  /// Cadence of the owner-local peer-expiry sweep event. Zero = follow
+  /// probe_interval (the sweep then fires just before each maintenance tick,
+  /// matching the pre-sweep behavior where expiry ran inside it).
+  Duration peer_sweep_interval = Duration::zero();
+  /// Receiver-side beacon fast path: memoize the last beacon wire frame per
+  /// (technology, link-level sender). A repeat whose length and 64-bit
+  /// digest match — the steady state, since senders cache their sealed
+  /// frame — skips unseal + decode + sighting reconstruction and takes a
+  /// refresh-only path through the peer table. The digest is trusted
+  /// without a byte compare (collision odds ~2^-64, and a collision is
+  /// deterministic — see DESIGN.md "Beacon fast path"); this switch exists
+  /// for ablation/debug. Automatically disabled while context_relay_hops >
+  /// 0: the relay pipeline must see every frame so expired relays can
+  /// re-trigger.
+  bool beacon_rx_memo = true;
   /// Ablation switch: disable the multi-technology engagement algorithm
   /// (beacons then go to every context technology, ubiSOAP-style).
   bool enable_engagement = true;
@@ -133,6 +149,13 @@ struct ManagerStats {
   std::uint64_t context_failovers = 0;
   std::uint64_t engagements = 0;
   std::uint64_t disengagements = 0;
+  // Beacon fast path (the Omniscope mirrors these as mgr.* counters; the
+  // ManagerStats copies stay live with observability off, so benches can
+  // read them without paying for a scope).
+  std::uint64_t beacon_encodes = 0;        ///< beacon wire-frame (re)encodes
+  std::uint64_t beacon_frames_cached = 0;  ///< beacon ops served from cache
+  std::uint64_t beacon_decode_skips = 0;   ///< receptions memo-short-circuited
+  std::uint64_t peer_expire_sweeps = 0;    ///< periodic expiry sweeps run
   std::uint64_t relayed_out = 0;  ///< packets this device re-broadcast
   std::uint64_t relayed_in = 0;   ///< relayed packets received
   // Self-healing counters.
@@ -142,7 +165,7 @@ struct ManagerStats {
   std::uint64_t overload_rejections = 0; ///< sends refused at max_pending_ops
 };
 
-class OmniManager {
+class OmniManager : private InlinePacketSink {
  public:
   OmniManager(sim::Simulator& sim, OmniAddress self,
               ManagerOptions options = {});
@@ -252,7 +275,18 @@ class OmniManager {
   void drain_receive_queue();
   void drain_shared_receive_queue();
   void drain_response_queue();
-  void handle_packet(const ReceivedPacket& packet);
+  /// The receive path proper. Takes a *view* of the wire frame: queue-drained
+  /// packets pass their recycled buffer, and the zero-copy inline path (see
+  /// receive_inline) passes the radio frame in place without ever copying it.
+  void handle_packet(Technology tech, const LowLevelAddress& from,
+                     std::span<const std::uint8_t> packed);
+  /// InlinePacketSink: node-local technologies hand frames straight here when
+  /// the delivery already runs in this manager's owner context — exactly the
+  /// case where SimQueue::wake() would drain inline synchronously, so the
+  /// packet is processed at the identical point in the event sequence, minus
+  /// one buffer copy and queue round-trip.
+  bool receive_inline(Technology tech, const LowLevelAddress& from,
+                      std::span<const std::uint8_t> packed) override;
   void handle_response(TechResponse response);
   void handle_data_response(const TechResponse& response);
   void handle_context_response(const TechResponse& response);
@@ -265,7 +299,82 @@ class OmniManager {
   Technology primary_context_tech() const;
   void maintenance_tick();
   void schedule_maintenance();
+  void schedule_peer_sweep();
   void adapt_beacon_interval();
+
+  /// The beacon wire frame, re-encoded (and re-sealed) only when stale: the
+  /// cache keys on the beacon-info generation and the context-set
+  /// generation, so address rotations and context changes invalidate it and
+  /// every other caller reuses the cached bytes.
+  const Bytes& beacon_wire();
+
+  // Receiver-side digest memo (see ManagerOptions::beacon_rx_memo). One
+  // entry per (technology, link-level sender); open-addressing, never
+  // shrunk — bounded by the distinct sender addresses ever heard. A sender
+  // interleaves its address beacon with its context beacons on the same
+  // link address, so each entry holds one way per kind — a single cached
+  // frame per sender would thrash on every alternation.
+  //
+  // Layout is deliberately one cache line per sender: the receive path is
+  // memory-bound (every manager's tables are cold by the time its next
+  // packet arrives), so a hit must not touch more cache lines than the
+  // decode it replaces. Key, both ways' (digest, length), the sender's omni
+  // address, its advertised addresses, and a small inline context payload
+  // all pack into exactly 64 bytes — the common hit costs ONE cold line.
+  // Context payloads past kMemoInlinePayload bytes live in a parallel spill
+  // array touched only on such hits.
+  //
+  // Both ways share one `source`: a link address interleaves its owner's
+  // address beacon with that same owner's context beacons, so the field is
+  // the same either way. If a link address ever re-announces under a
+  // different omni address, the store clears the other way — correctness is
+  // preserved (each way's effects replay only what was decoded alongside
+  // its digest), at worst costing the pathological sender its memo.
+  //
+  // A hit is keyed on (hashed link sender, frame length, 64-bit
+  // wire_digest): neither the raw frame bytes nor the link address are
+  // kept, because re-verifying them would double the hit path's cache
+  // footprint for failure modes with ~2^-64 probability. See DESIGN.md
+  // "Beacon fast path" for the collision stance and why a collision is
+  // deterministic, not a heisenbug.
+  //
+  // Each entry also pins the sender's peer-table position (dense index +
+  // structure generation, see PeerTable::refresh_pinned): a hit then
+  // refreshes the peer's timestamps directly, skipping the bucket probe —
+  // the second cold line the slow path pays. A stale pin (peer expired,
+  // table compacted) falls back to the full observe and re-pins.
+  static constexpr std::size_t kMemoInlinePayload = 4;
+  struct alignas(64) BeaconMemoEntry {
+    std::uint64_t key = 0;      ///< hashed (tech, link sender); 0 = empty slot
+    // Way 0: the sender's address beacon (b_size == 0 -> empty).
+    std::uint64_t b_digest = 0;
+    // Way 1: the sender's context beacon (c_size == 0 -> empty).
+    std::uint64_t c_digest = 0;
+    OmniAddress source;         ///< the sender behind this link address
+    MeshAddress b_mesh;         ///< advertised mesh mapping (may be zero)
+    BleAddress b_ble;           ///< advertised BLE mapping (may be zero)
+    std::uint16_t b_size = 0;   ///< address-beacon wire frame length
+    std::uint16_t c_size = 0;   ///< context wire frame length
+    std::uint16_t c_payload_len = 0;
+    std::array<std::uint8_t, kMemoInlinePayload> c_inline{};
+    /// Peer-table pin for `source` (shared by both ways, like `source`).
+    std::uint32_t peer_idx = 0xffffffffu;  // PeerTable::kNoIndex
+    std::uint32_t peer_gen = 0;
+  };
+  static_assert(sizeof(BeaconMemoEntry) == 64,
+                "memo entry must stay a single cache line");
+  static constexpr std::size_t kMemoNone = ~std::size_t{0};
+  /// Index of `key` in memo_, or kMemoNone.
+  std::size_t memo_find(std::uint64_t key) const;
+  /// Index for `key`, inserting (and growing the table) as needed.
+  std::size_t memo_insert(std::uint64_t key);
+  void memo_grow();
+  /// Refresh-only receive paths taken on a memo hit (index into memo_;
+  /// context_refresh may also read the parallel spill slot).
+  void beacon_refresh(Technology tech, const LowLevelAddress& from,
+                      BeaconMemoEntry& e);
+  void context_refresh(Technology tech, const LowLevelAddress& from,
+                       std::size_t idx);
 
   // Multi-hop relay.
   void maybe_relay(const PackedStruct& packet,
@@ -337,6 +446,23 @@ class OmniManager {
 
   AddressBeaconInfo beacon_info_;
   Bytes beacon_packed_;
+  /// Generation of beacon_info_: bumped on every mutation (start(), address
+  /// rotation). beacon_wire() re-encodes when beacon_packed_ lags it or the
+  /// context-set generation moved.
+  std::uint64_t beacon_gen_ = 1;
+  std::uint64_t beacon_wire_gen_ = 0;           ///< generation encoded
+  std::uint64_t beacon_wire_ctx_gen_ = ~0ull;   ///< context gen encoded
+
+  /// Receive memo (power-of-two; see BeaconMemoEntry). memo_spill_ is the
+  /// parallel cold store for oversized context payloads. Resolved on/off at
+  /// start() into memo_enabled_.
+  std::vector<BeaconMemoEntry> memo_;
+  std::vector<Bytes> memo_spill_;
+  std::size_t beacon_memo_count_ = 0;
+  bool memo_enabled_ = false;
+  /// Reused payload buffer for context_refresh callbacks (inline bytes are
+  /// materialized here, so hits allocate nothing in steady state).
+  Bytes memo_payload_scratch_;
 
   /// One in-flight request against one technology. The deadline fires when
   /// the technology never produces a TechResponse within the budget and
@@ -369,9 +495,18 @@ class OmniManager {
   std::optional<BeaconCipher> cipher_;
   std::uint64_t next_nonce_ = 1;
   bool running_ = false;
+  /// Re-entrancy guard for the receive path: handle_packet's scratch members
+  /// (decode_scratch_, unseal_scratch_, ...) assume one packet at a time.
+  /// Queue drains and the inline sink both set it; receive_inline refuses
+  /// (falls back to the queue) while it is held.
+  bool in_receive_ = false;
   std::uint64_t next_request_id_ = 1;
   std::uint64_t next_data_op_id_ = 1;
   sim::EventHandle maintenance_event_;
+  /// Owner-local periodic peer-expiry sweep (scheduled before the
+  /// maintenance tick at start(), so at shared instants expiry still runs
+  /// first — exactly where it sat inside maintenance_tick before).
+  sim::EventHandle peer_sweep_event_;
   /// Monotonic draw counter for backoff jitter (deterministic: all draws
   /// happen in this manager's owner context, in program order).
   std::uint64_t backoff_draws_ = 0;

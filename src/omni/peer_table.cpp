@@ -2,9 +2,13 @@
 
 #include <algorithm>
 
+#include "common/hash.h"
+
 namespace omni {
 
 namespace {
+
+constexpr std::size_t kMinBuckets = 16;
 
 void record(PeerEntry& entry, Technology tech, LowLevelAddress low,
             TimePoint now, bool requires_refresh) {
@@ -22,11 +26,84 @@ void record(PeerEntry& entry, Technology tech, LowLevelAddress low,
 
 }  // namespace
 
+std::size_t PeerTable::home(std::uint64_t key) const {
+  return splitmix64(key) & (buckets_.size() - 1);
+}
+
+const PeerEntry* PeerTable::lookup(std::uint64_t key) const {
+  // key 0 is the empty-bucket sentinel (the invalid omni address).
+  if (key == 0 || buckets_.empty()) return nullptr;
+  const std::size_t mask = buckets_.size() - 1;
+  for (std::size_t i = home(key);; i = (i + 1) & mask) {
+    const Bucket& b = buckets_[i];
+    if (b.key == key) return &entries_[b.idx];
+    if (b.key == 0) return nullptr;
+  }
+}
+
+void PeerTable::grow() {
+  const std::size_t cap =
+      buckets_.empty() ? kMinBuckets : buckets_.size() * 2;
+  buckets_.assign(cap, Bucket{});
+  const std::size_t mask = cap - 1;
+  for (std::uint32_t idx = 0; idx < entries_.size(); ++idx) {
+    std::size_t i = home(entries_[idx].address.value);
+    while (buckets_[i].key != 0) i = (i + 1) & mask;
+    buckets_[i] = Bucket{entries_[idx].address.value, idx};
+  }
+}
+
+PeerEntry& PeerTable::get_or_insert(OmniAddress peer) {
+  // Grow at 3/4 load so probe runs stay short. Growing up front keeps the
+  // insert below free of a mid-probe rehash.
+  if ((entries_.size() + 1) * 4 > buckets_.size() * 3) grow();
+  const std::size_t mask = buckets_.size() - 1;
+  std::size_t i = home(peer.value);
+  while (buckets_[i].key != 0) {
+    if (buckets_[i].key == peer.value) return entries_[buckets_[i].idx];
+    i = (i + 1) & mask;
+  }
+  buckets_[i] = Bucket{peer.value, static_cast<std::uint32_t>(entries_.size())};
+  PeerEntry& entry = entries_.emplace_back();
+  entry.address = peer;
+  return entry;
+}
+
+void PeerTable::erase_entry(std::uint32_t idx) {
+  ++generation_;  // dense indices shift below; outstanding pins go stale
+  const std::size_t mask = buckets_.size() - 1;
+  // Find the victim's bucket.
+  std::size_t i = home(entries_[idx].address.value);
+  while (buckets_[i].key != entries_[idx].address.value) i = (i + 1) & mask;
+  // Backshift deletion: pull forward any probe-chain successor whose home
+  // slot lies outside the cyclic gap, so linear probing never needs
+  // tombstones.
+  std::size_t gap = i;
+  for (std::size_t j = (gap + 1) & mask; buckets_[j].key != 0;
+       j = (j + 1) & mask) {
+    const std::size_t h = home(buckets_[j].key);
+    const bool in_gap_chain =
+        gap <= j ? (h > gap && h <= j) : (h > gap || h <= j);
+    if (in_gap_chain) continue;  // j still reachable from its home via gap+1..
+    buckets_[gap] = buckets_[j];
+    gap = j;
+  }
+  buckets_[gap] = Bucket{};
+  // Dense swap-pop; re-point the moved entry's bucket at its new index.
+  const std::uint32_t last = static_cast<std::uint32_t>(entries_.size() - 1);
+  if (idx != last) {
+    entries_[idx] = std::move(entries_[last]);
+    std::size_t m = home(entries_[idx].address.value);
+    while (buckets_[m].key != entries_[idx].address.value) m = (m + 1) & mask;
+    buckets_[m].idx = idx;
+  }
+  entries_.pop_back();
+}
+
 void PeerTable::observe(OmniAddress peer, Technology tech, LowLevelAddress low,
                         TimePoint now, bool requires_refresh) {
   if (!peer.is_valid() || is_unset(low)) return;
-  PeerEntry& entry = peers_[peer];
-  entry.address = peer;
+  PeerEntry& entry = get_or_insert(peer);
   entry.last_seen = now;
   record(entry, tech, std::move(low), now, requires_refresh);
 }
@@ -39,24 +116,54 @@ void PeerTable::observe_all(OmniAddress peer,
   for (const Sighting& s : sightings) {
     if (is_unset(s.low)) continue;
     if (entry == nullptr) {
-      entry = &peers_[peer];
-      entry->address = peer;
+      entry = &get_or_insert(peer);
       entry->last_seen = now;
     }
     record(*entry, s.tech, s.low, now, s.requires_refresh);
   }
 }
 
+std::uint32_t PeerTable::index_of(OmniAddress peer) const {
+  if (!peer.is_valid()) return kNoIndex;
+  const PeerEntry* e = lookup(peer.value);
+  if (e == nullptr) return kNoIndex;
+  return static_cast<std::uint32_t>(e - entries_.data());
+}
+
+bool PeerTable::refresh_pinned(std::uint32_t idx, std::uint32_t gen,
+                               OmniAddress peer,
+                               std::span<const Sighting> sightings,
+                               TimePoint now) {
+  if (gen != generation_ || idx >= entries_.size()) return false;
+  PeerEntry& entry = entries_[idx];
+  if (entry.address != peer) return false;
+  // Apply as we go; record() writes the same values, so if a missing
+  // mapping forces the observe_all fallback the partial writes are simply
+  // overwritten with themselves.
+  bool any = false;
+  for (const Sighting& s : sightings) {
+    if (is_unset(s.low)) continue;
+    auto it = entry.techs.find(s.tech);
+    if (it == entry.techs.end()) return false;  // re-insert needs full path
+    it->second.address = s.low;
+    it->second.last_seen = now;
+    if (!s.requires_refresh) it->second.requires_refresh = false;
+    any = true;
+  }
+  if (any) entry.last_seen = now;
+  return true;
+}
+
 void PeerTable::mark_fresh(OmniAddress peer, Technology tech) {
-  auto it = peers_.find(peer);
-  if (it == peers_.end()) return;
-  auto tit = it->second.techs.find(tech);
-  if (tit != it->second.techs.end()) tit->second.requires_refresh = false;
+  PeerEntry* entry = lookup(peer.value);
+  if (entry == nullptr) return;
+  auto tit = entry->techs.find(tech);
+  if (tit != entry->techs.end()) tit->second.requires_refresh = false;
 }
 
 const PeerEntry* PeerTable::find(OmniAddress peer) const {
-  auto it = peers_.find(peer);
-  return it == peers_.end() ? nullptr : &it->second;
+  if (!peer.is_valid()) return nullptr;
+  return lookup(peer.value);
 }
 
 std::optional<OmniAddress> PeerTable::find_by_low_level(
@@ -64,11 +171,11 @@ std::optional<OmniAddress> PeerTable::find_by_low_level(
   // Lowest matching address wins, mirroring the ordered-map era when the
   // first hit in ascending key order was returned.
   std::optional<OmniAddress> best;
-  for (const auto& [addr, entry] : peers_) {
+  for (const PeerEntry& entry : entries_) {
     auto it = entry.techs.find(tech);
     if (it != entry.techs.end() && it->second.address == low &&
-        (!best || addr < *best)) {
-      best = addr;
+        (!best || entry.address < *best)) {
+      best = entry.address;
     }
   }
   return best;
@@ -76,8 +183,8 @@ std::optional<OmniAddress> PeerTable::find_by_low_level(
 
 std::vector<OmniAddress> PeerTable::peers() const {
   std::vector<OmniAddress> out;
-  out.reserve(peers_.size());
-  for (const auto& [addr, entry] : peers_) out.push_back(addr);
+  out.reserve(entries_.size());
+  for (const PeerEntry& entry : entries_) out.push_back(entry.address);
   std::sort(out.begin(), out.end());
   return out;
 }
@@ -85,10 +192,10 @@ std::vector<OmniAddress> PeerTable::peers() const {
 std::vector<OmniAddress> PeerTable::peers_on(Technology tech, TimePoint now,
                                              Duration ttl) const {
   std::vector<OmniAddress> out;
-  for (const auto& [addr, entry] : peers_) {
+  for (const PeerEntry& entry : entries_) {
     auto it = entry.techs.find(tech);
     if (it != entry.techs.end() && now - it->second.last_seen <= ttl) {
-      out.push_back(addr);
+      out.push_back(entry.address);
     }
   }
   std::sort(out.begin(), out.end());
@@ -110,8 +217,8 @@ bool PeerTable::reachable_on_lower_energy(OmniAddress peer, Technology tech,
 
 std::size_t PeerTable::expire(TimePoint now, Duration ttl) {
   std::size_t removed = 0;
-  for (auto it = peers_.begin(); it != peers_.end();) {
-    auto& techs = it->second.techs;
+  for (std::uint32_t i = 0; i < entries_.size();) {
+    TechMap& techs = entries_[i].techs;
     for (auto tit = techs.begin(); tit != techs.end();) {
       if (now - tit->second.last_seen > ttl) {
         tit = techs.erase(tit);
@@ -120,10 +227,10 @@ std::size_t PeerTable::expire(TimePoint now, Duration ttl) {
       }
     }
     if (techs.empty()) {
-      it = peers_.erase(it);
+      erase_entry(i);  // swap-pop: re-examine the entry now at i
       ++removed;
     } else {
-      ++it;
+      ++i;
     }
   }
   return removed;

@@ -13,7 +13,6 @@
 #include <optional>
 #include <span>
 #include <type_traits>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -144,6 +143,29 @@ struct Sighting {
   bool requires_refresh = false;
 };
 
+/// Flat open-addressing peer table.
+///
+/// Layout: a power-of-two bucket array of {key, dense index} pairs probed
+/// linearly (the keys sit contiguously, so a probe sequence is a streamed
+/// cache-line scan, not a pointer chase), over a dense entry array holding
+/// the flat PeerEntry records (the four-slot TechMap is inline, so one entry
+/// spans two cache lines). Compared to the unordered_map it replaces:
+///
+///   * observe/observe_all — every beacon reception lands here — touch one
+///     bucket run plus one dense entry, with zero allocation in steady state
+///     (growth is geometric and amortized);
+///   * the scan-shaped queries (peers_on, find_by_low_level, expire, the
+///     disengagement check) walk the dense array linearly instead of
+///     chasing one heap node per peer.
+///
+/// Determinism: the dense array is in insertion order (deterministic under
+/// the PR 2 engine contract) and every multi-peer accessor sorts or
+/// min-selects by omni address, so observable output is independent of hash
+/// layout. Deletion uses bucket backshift + dense swap-pop, both
+/// order-insensitive for the sorted accessors.
+///
+/// Pointers returned by find() are invalidated by observe/expire — callers
+/// must not hold them across mutations (same contract as ContextRegistry).
 class PeerTable {
  public:
   /// Record that `peer` was heard on `tech` at `low`. Freshness only ever
@@ -181,14 +203,71 @@ class PeerTable {
   /// mapping left. Returns the number of peers removed.
   std::size_t expire(TimePoint now, Duration ttl);
 
-  std::size_t size() const { return peers_.size(); }
-  bool empty() const { return peers_.empty(); }
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  // --- Pinned refresh (the beacon memo's probe-free path).
+  //
+  // A repeat sighting of a known peer re-records mappings that are already
+  // in the table; the only state that changes is timestamps, addresses and
+  // freshness bits inside one dense entry. A caller that sees the same peer
+  // over and over (the receive memo) can pin (dense index, generation) once
+  // and refresh through the pin, skipping the bucket probe — the dominant
+  // extra cache line — on every subsequent hit.
+
+  /// Structure generation: bumped whenever dense indices shift (entry
+  /// removal). Inserts append and bucket growth only rehashes the probe
+  /// array, so neither invalidates outstanding pins.
+  std::uint32_t generation() const { return generation_; }
+
+  static constexpr std::uint32_t kNoIndex = 0xffffffffu;
+  /// Dense index of `peer`, or kNoIndex if absent.
+  std::uint32_t index_of(OmniAddress peer) const;
+
+  /// Start the pinned entry's cache lines (refresh_pinned's write targets)
+  /// on their way so the load overlaps the caller's preceding work. Safe on
+  /// any index value; purely a hint.
+  void prefetch_pinned(std::uint32_t idx) const {
+    if (idx < entries_.size()) {
+      const char* p = reinterpret_cast<const char*>(&entries_[idx]);
+      __builtin_prefetch(p);
+      __builtin_prefetch(p + 64);
+      __builtin_prefetch(p + 128);
+    }
+  }
+
+  /// Probe-free equivalent of observe_all for a pinned entry. Returns false
+  /// without completing when the pin is stale (generation moved, the slot
+  /// was reused by another peer) or any sighting's mapping is absent (its
+  /// re-insert needs the full path); the caller must then fall back to
+  /// observe_all — the writes already applied are exactly what observe_all
+  /// re-applies, so a mid-way bail-out leaves no divergent state.
+  bool refresh_pinned(std::uint32_t idx, std::uint32_t gen, OmniAddress peer,
+                      std::span<const Sighting> sightings, TimePoint now);
 
  private:
-  // Hashed for O(1) observe on the receive hot path. Every accessor that
-  // exposes multiple peers sorts (or minimizes) by address, so observable
-  // ordering matches the ordered map this replaces.
-  std::unordered_map<OmniAddress, PeerEntry> peers_;
+  /// One probe slot. key == 0 means empty: the zero omni address is
+  /// reserved-invalid (observe rejects it), so no sentinel bit is needed.
+  struct Bucket {
+    std::uint64_t key = 0;
+    std::uint32_t idx = 0;
+  };
+
+  std::size_t home(std::uint64_t key) const;
+  const PeerEntry* lookup(std::uint64_t key) const;
+  PeerEntry* lookup(std::uint64_t key) {
+    return const_cast<PeerEntry*>(std::as_const(*this).lookup(key));
+  }
+  /// The entry for `peer`, inserted (with buckets grown as needed) if absent.
+  PeerEntry& get_or_insert(OmniAddress peer);
+  void grow();
+  /// Remove entries_[idx]: backshift-delete its bucket, swap-pop the dense
+  /// array, and re-point the moved entry's bucket.
+  void erase_entry(std::uint32_t idx);
+
+  std::vector<Bucket> buckets_;   // power-of-two capacity, linear probing
+  std::vector<PeerEntry> entries_;  // dense, insertion-ordered
+  std::uint32_t generation_ = 0;  // see generation()
 };
 
 }  // namespace omni

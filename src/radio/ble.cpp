@@ -233,6 +233,8 @@ void BleMedium::attach(BleRadio* radio) {
   radios_by_node_[radio->node()].push_back(
       RadioState{radio, next_uid_++, radio->powered() && radio->scanning(),
                  radio->scan_duty()});
+  fanout_by_uid_.resize(next_uid_);
+  ++medium_epoch_;
 }
 
 void BleMedium::detach(BleRadio* radio) {
@@ -243,6 +245,7 @@ void BleMedium::detach(BleRadio* radio) {
                                  return st.radio == radio;
                                }),
                 on_node.end());
+  ++medium_epoch_;
 }
 
 void BleMedium::apply_scan_state(BleRadio* radio) {
@@ -251,6 +254,7 @@ void BleMedium::apply_scan_state(BleRadio* radio) {
     if (st.radio != radio) continue;
     st.scanning = radio->powered() && radio->scanning();
     st.duty = radio->scan_duty();
+    ++medium_epoch_;
   }
 }
 
@@ -276,9 +280,6 @@ void BleMedium::broadcast(const BleRadio& from,
   // co-located radios still hear each other). thread_local scratch: each
   // shard broadcasts concurrently, and broadcast never re-enters itself
   // (receive handlers run in posted delivery events, not inline).
-  thread_local std::vector<NodeId> scratch_nodes;
-  std::vector<NodeId>& nodes = scratch_nodes;
-  world_.nodes_near(from.node(), cal_.ble_range_m, nodes);
   sim::Simulator& sim = world_.simulator();
   Rng& rng = sim.rng();
   const double capture_p = cal_.ble_capture_probability;
@@ -286,6 +287,69 @@ void BleMedium::broadcast(const BleRadio& from,
   const BleAddress src_addr = from.address();
   const std::size_t lane_idx = sim.current_shard_index();
   const bool in_window = lane_idx < static_cast<std::size_t>(sim.threads());
+
+  // Fan-out fast path: with a static world and no fault plan, the sender's
+  // flattened candidate list (see FanoutCache) replaces the grid query and
+  // the per-node RadioState walk — the steady-state fire touches one
+  // contiguous array. Candidate order matches the uncached walk exactly, so
+  // the capture-trial draw sequence (and with it every downstream event) is
+  // identical whichever path runs.
+  if (world_.fault_plan() == nullptr && world_.is_static(sim.now())) {
+    std::uint32_t self_uid = 0;
+    if (from.node() < radios_by_node_.size()) {
+      for (const RadioState& st : radios_by_node_[from.node()]) {
+        if (st.radio == &from) {
+          self_uid = st.uid;
+          break;
+        }
+      }
+    }
+    if (self_uid != 0) {
+      FanoutCache& fc = fanout_by_uid_[self_uid];
+      if (fc.topo_epoch != world_.topo_epoch() ||
+          fc.medium_epoch != medium_epoch_) {
+        thread_local std::vector<NodeId> rebuild_nodes;
+        world_.nodes_near(from.node(), cal_.ble_range_m, rebuild_nodes);
+        fc.cands.clear();
+        for (NodeId node : rebuild_nodes) {
+          if (node >= radios_by_node_.size()) continue;
+          for (const RadioState& st : radios_by_node_[node]) {
+            if (st.radio == &from || !st.scanning) continue;
+            fc.cands.push_back(
+                FanoutCandidate{st.radio, st.uid, node, st.duty});
+          }
+        }
+        fc.topo_epoch = world_.topo_epoch();
+        fc.medium_epoch = medium_epoch_;
+      }
+      const TimePoint at = sim.now() + latency;
+      constexpr std::uint32_t kNoTxIdx = 0xffffffffu;
+      std::uint32_t tx_idx = kNoTxIdx;
+      for (const FanoutCandidate& c : fc.cands) {
+        if (!reliable_burst) {
+          const double p = capture_p * c.duty;
+          if (p < 1.0 && !rng.chance(p)) continue;
+        }
+        if (in_window) {
+          Lane& lane = lanes_[lane_idx];
+          if (tx_idx == kNoTxIdx) {
+            tx_idx = static_cast<std::uint32_t>(lane.txs.size());
+            lane.txs.push_back(PendingTx{at, from.node(), src_addr, payload});
+          }
+          lane.winners.push_back(PendingWinner{c.node, c.uid, tx_idx});
+        } else {
+          sim.after_on(c.node, latency,
+                       [this, node = c.node, rx_uid = c.uid, src_addr,
+                        pl = payload] { deliver(node, rx_uid, src_addr, *pl); });
+        }
+      }
+      return;
+    }
+  }
+
+  thread_local std::vector<NodeId> scratch_nodes;
+  std::vector<NodeId>& nodes = scratch_nodes;
+  world_.nodes_near(from.node(), cal_.ble_range_m, nodes);
   // Fault injection: draws are stateless hashes of (plan seed, link, time,
   // per-sender frame salt) — no simulator RNG is consumed, so arming a plan
   // leaves the capture-trial sequence untouched, and the draws are
@@ -398,9 +462,25 @@ void BleMedium::flush_pending() {
     total_tx += lane.txs.size();
   }
   if (total == 0) return;
+  // Claim a recycled batch: the first whose sweeps have all run. Slot
+  // choice is deterministic — whether a prior window's sweeps finished
+  // depends only on simulated event times, never on wall-clock or thread
+  // count — and immaterial anyway (the slot is pure storage).
+  std::size_t slot = 0;
+  for (; slot < sweep_batches_.size(); ++slot) {
+    if (sweep_batches_[slot]->remaining.load(std::memory_order_acquire) ==
+        0) {
+      break;
+    }
+  }
+  if (slot == sweep_batches_.size()) {
+    sweep_batches_.push_back(std::make_unique<SweepBatch>());
+  }
+  SweepBatch& sweep = *sweep_batches_[slot];
   // Concatenate the per-shard transmission records, rebasing each lane's
   // winner->tx indices by its lane offset as the winners are scattered.
-  auto txs = std::make_shared<std::vector<PendingTx>>();
+  std::vector<PendingTx>* txs = &sweep.txs;
+  txs->clear();
   txs->reserve(total_tx);
   // Canonical order: each receiver hears the window's frames in (time,
   // sending node) order — a total order independent of the shard partition.
@@ -420,7 +500,8 @@ void BleMedium::flush_pending() {
   for (std::size_t d = 0; d < nbuckets; ++d) {
     bucket_starts_[d + 1] += bucket_starts_[d];
   }
-  auto batch = std::make_shared<std::vector<PendingWinner>>(total);
+  std::vector<PendingWinner>* batch = &sweep.winners;
+  batch->assign(total, PendingWinner{});
   bucket_fill_ = bucket_starts_;
   for (Lane& lane : lanes_) {
     const std::uint32_t base = static_cast<std::uint32_t>(txs->size());
@@ -432,7 +513,7 @@ void BleMedium::flush_pending() {
     }
     lane.winners.clear();
   }
-  auto earlier = [&txs](const PendingWinner& a, const PendingWinner& b) {
+  auto earlier = [txs](const PendingWinner& a, const PendingWinner& b) {
     const PendingTx& ta = (*txs)[a.tx];
     const PendingTx& tb = (*txs)[b.tx];
     if (ta.at != tb.at) return ta.at < tb.at;
@@ -459,6 +540,7 @@ void BleMedium::flush_pending() {
   }
   sim::Simulator& sim = world_.simulator();
   std::size_t i = 0;
+  std::uint32_t sweeps = 0;
   while (i < batch->size()) {
     const PendingWinner& head = (*batch)[i];
     const TimePoint head_at = (*txs)[head.tx].at;
@@ -467,32 +549,58 @@ void BleMedium::flush_pending() {
            (*txs)[(*batch)[j].tx].at == head_at) {
       ++j;
     }
-    sim.at_on(head.dst, head_at, [this, txs, batch, i, j] {
-      deliver_batch(*txs, *batch, i, j);
-    });
+    const std::uint64_t packed = (static_cast<std::uint64_t>(slot) << 48) |
+                                 (static_cast<std::uint64_t>(i) << 24) |
+                                 static_cast<std::uint64_t>(j);
+    OMNI_CHECK_MSG(slot < (1u << 16) && j < (1u << 24),
+                   "sweep range exceeds packed encoding");
+    sim.at_on(head.dst, head_at, [this, packed] { run_sweep(packed); });
+    ++sweeps;
     i = j;
   }
+  // Events cannot dispatch until this barrier hook returns, so arming the
+  // countdown after scheduling is race-free.
+  sweep.remaining.store(sweeps, std::memory_order_release);
+}
+
+void BleMedium::run_sweep(std::uint64_t packed) {
+  SweepBatch& sweep = *sweep_batches_[packed >> 48];
+  deliver_batch(sweep.txs, sweep.winners,
+                (packed >> 24) & 0xffffffu, packed & 0xffffffu);
+  sweep.remaining.fetch_sub(1, std::memory_order_release);
 }
 
 void BleMedium::deliver_batch(const std::vector<PendingTx>& txs,
                               const std::vector<PendingWinner>& batch,
                               std::size_t begin, std::size_t end) {
+  std::uint64_t delivered = 0;
   for (std::size_t k = begin; k < end; ++k) {
     const PendingWinner& rec = batch[k];
     const PendingTx& tx = txs[rec.tx];
-    deliver(rec.dst, rec.rx_uid, tx.from, *tx.payload);
+    delivered += deliver_uncounted(rec.dst, rec.rx_uid, tx.from, *tx.payload);
+  }
+  if (delivered != 0) {
+    lanes_[world_.simulator().current_shard_index()].delivered += delivered;
   }
 }
 
 void BleMedium::deliver(NodeId node, std::uint32_t rx_uid,
                         const BleAddress& from, const Bytes& payload) {
-  if (node >= radios_by_node_.size()) return;
+  if (deliver_uncounted(node, rx_uid, from, payload)) {
+    ++lanes_[world_.simulator().current_shard_index()].delivered;
+  }
+}
+
+bool BleMedium::deliver_uncounted(NodeId node, std::uint32_t rx_uid,
+                                  const BleAddress& from,
+                                  const Bytes& payload) {
+  if (node >= radios_by_node_.size()) return false;
   for (const RadioState& st : radios_by_node_[node]) {
     if (st.uid != rx_uid) continue;  // radio detached since the broadcast
-    ++lanes_[world_.simulator().current_shard_index()].delivered;
     st.radio->deliver(from, payload);
-    return;
+    return true;
   }
+  return false;
 }
 
 }  // namespace omni::radio

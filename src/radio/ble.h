@@ -21,6 +21,7 @@
 // instead of seven mailbox posts through the serial merge.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -214,9 +215,49 @@ class BleMedium {
                        ///< concatenation rebases it
   };
 
+  /// One flushed window's delivery working set (the concatenated
+  /// transmissions and the canonically sorted winners), recycled across
+  /// windows. Sweep events reference their batch by pool slot packed with
+  /// the winner range into one u64, so the event closure is 16 bytes and
+  /// stays in std::function's small-buffer storage — no allocation and no
+  /// shared_ptr refcount traffic per sweep event. `remaining` counts the
+  /// batch's unfinished sweep events (decremented on receiver shards, read
+  /// at the flush barrier); a batch is reused once it reaches zero.
+  struct SweepBatch {
+    std::vector<PendingTx> txs;
+    std::vector<PendingWinner> winners;
+    std::atomic<std::uint32_t> remaining{0};
+  };
+
+  /// Flattened broadcast fan-out for one sender: every scanning radio in
+  /// range minus the sender itself, in the exact order the uncached walk
+  /// visits them (ascending node id, attach order within a node), so the
+  /// capture-trial RNG draw sequence is identical either way. Rebuilt when
+  /// (world topo epoch, medium snapshot epoch) move; only consulted while
+  /// the world is static and no fault plan is armed (fault draws are
+  /// per-node, which the flattened walk cannot reproduce).
+  struct FanoutCandidate {
+    BleRadio* radio;
+    std::uint32_t uid;
+    NodeId node;
+    double duty;
+  };
+  struct FanoutCache {
+    std::uint64_t topo_epoch = 0;  // 0 = never built
+    std::uint64_t medium_epoch = 0;
+    std::vector<FanoutCandidate> cands;
+  };
+
   void apply_scan_state(BleRadio* radio);
   void deliver(NodeId node, std::uint32_t rx_uid, const BleAddress& from,
                const Bytes& payload);
+  /// Run one sweep event: slot(16) | begin(24) | end(24), see flush_pending.
+  void run_sweep(std::uint64_t packed);
+  /// deliver() minus the per-reception shard-lane counter bump; returns
+  /// whether the radio was still attached. deliver_batch counts locally and
+  /// settles its lane counter once per sweep event.
+  bool deliver_uncounted(NodeId node, std::uint32_t rx_uid,
+                         const BleAddress& from, const Bytes& payload);
   /// Barrier hook: sort this window's recorded winners into canonical
   /// (receiver, time, sender) order and schedule one sweep event per
   /// (delivery instant, receiver) run of the sorted batch.
@@ -242,10 +283,14 @@ class BleMedium {
   /// several radios (kept in attach order).
   std::vector<std::vector<RadioState>> radios_by_node_;
   std::uint32_t next_uid_ = 1;
-  /// Index nshards_ is the barrier-serialized global lane. The sorted flush
-  /// batch is handed to the sweep events via shared_ptr: sweeps fire up to
-  /// one lookahead after the barrier, past later flushes.
+  /// Index nshards_ is the barrier-serialized global lane.
   std::vector<Lane> lanes_;
+  /// Recycled flush batches (see SweepBatch). Sweeps fire up to one
+  /// lookahead after the barrier — past later flushes — so a slot is only
+  /// reused once its `remaining` countdown hits zero. The pool stabilizes
+  /// at the number of windows in flight (a few), all reclaimed at teardown
+  /// via the owning unique_ptrs.
+  std::vector<std::unique_ptr<SweepBatch>> sweep_batches_;
   /// Reused counting-scatter scratch (flush_pending): per-receiver bucket
   /// boundaries and the scatter cursor.
   std::vector<std::uint32_t> bucket_starts_;
@@ -255,6 +300,13 @@ class BleMedium {
   /// the sequence — and with it every fault draw — is thread-count
   /// independent. Sized in attach() (barrier-serialized).
   std::vector<std::uint64_t> fault_salts_;
+  /// Fan-out caches indexed by sender radio uid (see FanoutCache), plus the
+  /// medium's snapshot epoch, bumped whenever the RadioState table changes
+  /// (attach/detach/apply_scan_state — all barrier-serialized). A sender's
+  /// broadcasts all run on its own shard, so each cache slot stays
+  /// single-writer during windows.
+  std::vector<FanoutCache> fanout_by_uid_;
+  std::uint64_t medium_epoch_ = 1;
 };
 
 }  // namespace omni::radio

@@ -107,6 +107,15 @@ class World {
   /// so periodic fan-out (beacons every 500 ms) skips the grid walk.
   void nodes_near(NodeId of, double range, std::vector<NodeId>& out) const;
 
+  /// Topology epoch: bumped on every structural or positional change
+  /// (add/teleport/move/regrid). Callers caching neighbor-derived data (a
+  /// medium's fan-out lists) invalidate on mismatch; an epoch match pins
+  /// positions only together with is_static() — a motion segment in flight
+  /// moves positions continuously without epoch bumps.
+  std::uint64_t topo_epoch() const { return topo_epoch_; }
+  /// True when every position() is time-invariant (no motion in flight).
+  bool is_static(TimePoint now) const { return now >= moving_until_; }
+
   Simulator& simulator() { return sim_; }
 
   /// Arm (or disarm with nullptr) fault injection: media consult this plan

@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <map>
+#include <random>
+#include <vector>
+
 #include "omni/peer_table.h"
 
 namespace omni {
@@ -127,6 +131,213 @@ TEST(PeerTableTest, MultiplePeers) {
   }
   EXPECT_EQ(table.peers().size(), 5u);
   EXPECT_EQ(table.peers_on(Technology::kBle, at_s(1), kTtl).size(), 5u);
+}
+
+// --- Randomized cross-check against a reference implementation ---------------
+
+/// Executable spec for PeerTable: the same observe/expire/query semantics
+/// written the obvious way over ordered std::maps. The open-addressing table
+/// must agree with it after every operation, for every query.
+class RefTable {
+ public:
+  void observe(OmniAddress peer, Technology tech, const LowLevelAddress& low,
+               TimePoint now, bool requires_refresh) {
+    if (!peer.is_valid() || is_unset(low)) return;
+    Entry& e = peers_[peer.value];
+    e.last_seen = now;
+    auto [it, inserted] =
+        e.techs.emplace(tech, PeerTechInfo{low, now, requires_refresh});
+    if (!inserted) {
+      it->second.address = low;
+      it->second.last_seen = now;
+      if (!requires_refresh) it->second.requires_refresh = false;
+    }
+  }
+
+  void observe_all(OmniAddress peer, std::span<const Sighting> sightings,
+                   TimePoint now) {
+    for (const Sighting& s : sightings) {
+      observe(peer, s.tech, s.low, now, s.requires_refresh);
+    }
+  }
+
+  void mark_fresh(OmniAddress peer, Technology tech) {
+    auto it = peers_.find(peer.value);
+    if (it == peers_.end()) return;
+    auto tit = it->second.techs.find(tech);
+    if (tit != it->second.techs.end()) tit->second.requires_refresh = false;
+  }
+
+  std::size_t expire(TimePoint now, Duration ttl) {
+    std::size_t removed = 0;
+    for (auto it = peers_.begin(); it != peers_.end();) {
+      auto& techs = it->second.techs;
+      for (auto tit = techs.begin(); tit != techs.end();) {
+        if (now - tit->second.last_seen > ttl) {
+          tit = techs.erase(tit);
+        } else {
+          ++tit;
+        }
+      }
+      if (techs.empty()) {
+        it = peers_.erase(it);
+        ++removed;
+      } else {
+        ++it;
+      }
+    }
+    return removed;
+  }
+
+  std::vector<OmniAddress> peers() const {
+    std::vector<OmniAddress> out;
+    for (const auto& [addr, e] : peers_) out.push_back(OmniAddress{addr});
+    return out;  // std::map iterates in ascending key order
+  }
+
+  std::vector<OmniAddress> peers_on(Technology tech, TimePoint now,
+                                    Duration ttl) const {
+    std::vector<OmniAddress> out;
+    for (const auto& [addr, e] : peers_) {
+      auto tit = e.techs.find(tech);
+      if (tit != e.techs.end() && now - tit->second.last_seen <= ttl) {
+        out.push_back(OmniAddress{addr});
+      }
+    }
+    return out;
+  }
+
+  std::optional<OmniAddress> find_by_low_level(
+      Technology tech, const LowLevelAddress& low) const {
+    for (const auto& [addr, e] : peers_) {  // ascending: lowest match wins
+      auto tit = e.techs.find(tech);
+      if (tit != e.techs.end() && tit->second.address == low) {
+        return OmniAddress{addr};
+      }
+    }
+    return std::nullopt;
+  }
+
+  bool reachable_on_lower_energy(OmniAddress peer, Technology tech,
+                                 TimePoint now, Duration ttl) const {
+    auto it = peers_.find(peer.value);
+    if (it == peers_.end()) return false;
+    for (const auto& [t, info] : it->second.techs) {
+      if (static_cast<int>(t) < static_cast<int>(tech) &&
+          now - info.last_seen <= ttl) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  struct Entry {
+    std::map<Technology, PeerTechInfo> techs;
+    TimePoint last_seen;
+  };
+  const std::map<std::uint64_t, Entry>& raw() const { return peers_; }
+
+ private:
+  std::map<std::uint64_t, Entry> peers_;
+};
+
+TEST(PeerTableTest, RandomizedCrossCheckAgainstReferenceMap) {
+  std::mt19937_64 rng(0xbeac05ull);
+  PeerTable table;
+  RefTable ref;
+  const Duration ttl = Duration::seconds(10);
+  // A small peer pool and address pool force heavy aliasing: repeated
+  // re-observation, shared low-level addresses across peers (reverse-lookup
+  // tie-breaks), and expiry churn that exercises backshift deletion.
+  auto rand_peer = [&] { return OmniAddress{rng() % 12 + 1}; };
+  auto rand_tech = [&] { return static_cast<Technology>(rng() % 4); };
+  auto rand_low = [&](Technology tech) {
+    auto node = static_cast<NodeId>(rng() % 6 + 1);
+    if (tech == Technology::kBle) {
+      return LowLevelAddress{BleAddress::from_node(node)};
+    }
+    return LowLevelAddress{MeshAddress::from_node(node)};
+  };
+
+  double t = 0;
+  for (int step = 0; step < 4000; ++step) {
+    t += static_cast<double>(rng() % 150) / 100.0;  // 0..1.5 s per step
+    TimePoint now = at_s(t);
+    switch (rng() % 8) {
+      case 0:
+      case 1:
+      case 2:
+      case 3: {  // single observation (the common path)
+        OmniAddress peer = rand_peer();
+        Technology tech = rand_tech();
+        LowLevelAddress low = rand_low(tech);
+        bool refresh = rng() % 2 == 0;
+        table.observe(peer, tech, low, now, refresh);
+        ref.observe(peer, tech, low, now, refresh);
+        break;
+      }
+      case 4: {  // beacon-style batched observation
+        Sighting s[4];
+        std::size_t n = rng() % 4 + 1;
+        for (std::size_t i = 0; i < n; ++i) {
+          Technology tech = rand_tech();
+          s[i] = Sighting{tech, rand_low(tech), rng() % 2 == 0};
+        }
+        OmniAddress peer = rand_peer();
+        table.observe_all(peer, std::span<const Sighting>(s, n), now);
+        ref.observe_all(peer, std::span<const Sighting>(s, n), now);
+        break;
+      }
+      case 5: {
+        OmniAddress peer = rand_peer();
+        Technology tech = rand_tech();
+        table.mark_fresh(peer, tech);
+        ref.mark_fresh(peer, tech);
+        break;
+      }
+      default: {  // expiry sweep (double weight: deletion is the hard path)
+        ASSERT_EQ(table.expire(now, ttl), ref.expire(now, ttl))
+            << "step " << step;
+        break;
+      }
+    }
+
+    // Full-state equivalence after every operation.
+    ASSERT_EQ(table.peers(), ref.peers()) << "step " << step;
+    ASSERT_EQ(table.size(), ref.raw().size()) << "step " << step;
+    for (const auto& [addr, re] : ref.raw()) {
+      const PeerEntry* entry = table.find(OmniAddress{addr});
+      ASSERT_NE(entry, nullptr) << "step " << step;
+      ASSERT_EQ(entry->last_seen.as_micros(), re.last_seen.as_micros())
+          << "step " << step;
+      ASSERT_EQ(entry->techs.size(), re.techs.size()) << "step " << step;
+      for (const auto& [tech, info] : re.techs) {
+        auto tit = entry->techs.find(tech);
+        ASSERT_NE(tit, entry->techs.end()) << "step " << step;
+        ASSERT_TRUE(tit->second.address == info.address) << "step " << step;
+        ASSERT_EQ(tit->second.last_seen.as_micros(),
+                  info.last_seen.as_micros())
+            << "step " << step;
+        ASSERT_EQ(tit->second.requires_refresh, info.requires_refresh)
+            << "step " << step;
+      }
+    }
+    for (int ti = 0; ti < 4; ++ti) {
+      Technology tech = static_cast<Technology>(ti);
+      ASSERT_EQ(table.peers_on(tech, now, ttl), ref.peers_on(tech, now, ttl))
+          << "step " << step;
+      LowLevelAddress probe = rand_low(tech);
+      ASSERT_EQ(table.find_by_low_level(tech, probe),
+                ref.find_by_low_level(tech, probe))
+          << "step " << step;
+      for (std::uint64_t p = 1; p <= 12; ++p) {
+        ASSERT_EQ(
+            table.reachable_on_lower_energy(OmniAddress{p}, tech, now, ttl),
+            ref.reachable_on_lower_energy(OmniAddress{p}, tech, now, ttl))
+            << "step " << step;
+      }
+    }
+  }
 }
 
 }  // namespace
