@@ -68,6 +68,13 @@ class Testbed {
     return *devices_.back();
   }
 
+  /// Add a background-population node: world-resident only (queries see it,
+  /// nothing runs on it). City-scale benches use these for the crowd around
+  /// a core of full-stack devices. Returns the node id.
+  NodeId add_crowd_node(const std::string& name, sim::Vec2 position = {}) {
+    return world_.add_crowd_node(name, position);
+  }
+
   /// Attach an Omniscope to the simulator: metrics, flight recorder, and
   /// energy ledger all come alive. Idempotent; call any time during setup
   /// (devices added before or after are both covered). Costs one predicted
@@ -87,7 +94,7 @@ class Testbed {
       });
       scope_->ensure_owner_capacity(world_.node_count());
       for (auto& d : devices_) {
-        scope_->set_owner_name(d->node(), world_.name(d->node()));
+        scope_->set_owner_name(d->node(), std::string(world_.name(d->node())));
       }
     }
     return *scope_;
@@ -108,12 +115,12 @@ class Testbed {
     };
     for (const auto& b : fault_plan_.blackouts()) {
       opts.annotations.push_back(obs::AnnotationSpan{
-          "blackout " + world_.name(b.node), b.start.as_micros(),
+          "blackout " + std::string(world_.name(b.node)), b.start.as_micros(),
           clamp_us(b.end)});
     }
     for (const auto& c : fault_plan_.crashes()) {
       opts.annotations.push_back(obs::AnnotationSpan{
-          "crash " + world_.name(c.node), c.at.as_micros(),
+          "crash " + std::string(world_.name(c.node)), c.at.as_micros(),
           c.restart > c.at ? c.restart.as_micros() : now_us});
     }
     for (const auto& f : fault_plan_.link_faults()) {

@@ -306,8 +306,15 @@ void BleMedium::broadcast(const BleRadio& from,
     }
     if (self_uid != 0) {
       FanoutCache& fc = fanout_by_uid_[self_uid];
-      if (fc.topo_epoch != world_.topo_epoch() ||
-          fc.medium_epoch != medium_epoch_) {
+      // Per-region validation: the fingerprint folds only the epochs of the
+      // regions the sender's disc overlaps, so a topology change across town
+      // leaves this sender's cache hot. The center pins the overlapped
+      // region set itself (the sender may have moved since the build).
+      const sim::Vec2 center = world_.position(from.node());
+      const std::uint64_t nb =
+          world_.neighborhood_epoch(center, cal_.ble_range_m);
+      if (fc.nb_epoch != nb || fc.medium_epoch != medium_epoch_ ||
+          !(fc.center == center)) {
         thread_local std::vector<NodeId> rebuild_nodes;
         world_.nodes_near(from.node(), cal_.ble_range_m, rebuild_nodes);
         fc.cands.clear();
@@ -319,8 +326,9 @@ void BleMedium::broadcast(const BleRadio& from,
                 FanoutCandidate{st.radio, st.uid, node, st.duty});
           }
         }
-        fc.topo_epoch = world_.topo_epoch();
+        fc.nb_epoch = nb;
         fc.medium_epoch = medium_epoch_;
+        fc.center = center;
       }
       const TimePoint at = sim.now() + latency;
       constexpr std::uint32_t kNoTxIdx = 0xffffffffu;
@@ -376,6 +384,8 @@ void BleMedium::broadcast(const BleRadio& from,
     }
     src_pos = world_.position(from.node());
   }
+  const bool partitions_now =
+      plan != nullptr && plan->partition_active(now);
   const TimePoint at = now + latency + fault_delay;
   // The transmission record is created lazily on the first winner, so a
   // frame nobody captures costs nothing at the flush. A corrupted frame gets
@@ -387,7 +397,8 @@ void BleMedium::broadcast(const BleRadio& from,
     if (node >= radios_by_node_.size()) continue;
     bool corrupt_here = false;
     if (plan != nullptr && node != from.node()) {
-      if (plan->partitioned(src_pos, world_.position(node), now)) {
+      if (partitions_now &&
+          plan->partitioned(src_pos, world_.position(node), now)) {
         plan->note_partition_drop();
         if (obs::Omniscope* sc = OMNI_SCOPE(sim); sc != nullptr &&
                                                   sc->recording()) {

@@ -233,9 +233,11 @@ class BleMedium {
   /// range minus the sender itself, in the exact order the uncached walk
   /// visits them (ascending node id, attach order within a node), so the
   /// capture-trial RNG draw sequence is identical either way. Rebuilt when
-  /// (world topo epoch, medium snapshot epoch) move; only consulted while
-  /// the world is static and no fault plan is armed (fault draws are
-  /// per-node, which the flattened walk cannot reproduce).
+  /// the sender's neighborhood fingerprint (per-region epochs — churn in
+  /// distant regions leaves it untouched), its home position, or the medium
+  /// snapshot epoch move; only consulted while the world is static and no
+  /// fault plan is armed (fault draws are per-node, which the flattened walk
+  /// cannot reproduce).
   struct FanoutCandidate {
     BleRadio* radio;
     std::uint32_t uid;
@@ -243,8 +245,9 @@ class BleMedium {
     double duty;
   };
   struct FanoutCache {
-    std::uint64_t topo_epoch = 0;  // 0 = never built
+    std::uint64_t nb_epoch = 0;  // 0 = never built
     std::uint64_t medium_epoch = 0;
+    sim::Vec2 center;
     std::vector<FanoutCandidate> cands;
   };
 

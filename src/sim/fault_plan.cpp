@@ -66,6 +66,13 @@ Duration FaultPlan::extra_latency(NodeId src, NodeId dst, FaultRadio radio,
   return total;
 }
 
+bool FaultPlan::partition_active(TimePoint at) const {
+  for (const Partition& p : partitions_) {
+    if (at >= p.start && at < p.end) return true;
+  }
+  return false;
+}
+
 bool FaultPlan::partitioned(Vec2 a, Vec2 b, TimePoint at) const {
   for (const Partition& p : partitions_) {
     if (at < p.start || at >= p.end) continue;

@@ -140,6 +140,12 @@ class FaultPlan {
   /// True if positions `a` and `b` are separated by an active partition.
   bool partitioned(Vec2 a, Vec2 b, TimePoint at) const;
 
+  /// True when some partition window covers `at`. Media evaluate this once
+  /// per fan-out and gate the per-candidate partitioned() geometry behind
+  /// it, so a partition-free plan (loss/latency-only faults) costs no
+  /// line-side tests — and no position() interpolations — per candidate.
+  bool partition_active(TimePoint at) const;
+
   /// Deterministically flip bytes in `frame` (decoders must reject it).
   static void corrupt_in_place(Bytes& frame, std::uint64_t salt);
 

@@ -65,9 +65,10 @@ TimePoint Simulator::now() const {
 Rng& Simulator::rng() {
   const ExecCtx& c = tls_ctx_;
   if (c.sim == this && c.owner != kGlobalOwner) {
-    OMNI_CHECK_MSG(c.owner < owner_rngs_.size(),
+    OMNI_CHECK_MSG(c.owner < owner_rngs_.size() &&
+                       owner_rngs_[c.owner] != nullptr,
                    "event owner has no RNG stream (missing ensure_owner)");
-    return owner_rngs_[c.owner];
+    return *owner_rngs_[c.owner];
   }
   return rng_;
 }
@@ -88,11 +89,33 @@ void Simulator::ensure_owner(OwnerId owner) {
   const ExecCtx& c = tls_ctx_;
   OMNI_CHECK_MSG(c.sim != this || c.shard == nullptr,
                  "ensure_owner must run outside parallel windows");
-  while (owner_rngs_.size() <= owner) {
-    owner_rngs_.emplace_back(
-        derive_owner_seed(seed_, static_cast<OwnerId>(owner_rngs_.size())));
-    owner_seq_.push_back(0);
+  // Holes stay null: with sparse owner ids (city worlds where a handful of
+  // devices live among tens of thousands of crowd nodes) only the owners
+  // actually ensured pay for RNG state. Seeds are a pure function of
+  // (seed_, owner), so allocation order can't perturb any stream.
+  if (owner_rngs_.size() <= owner) {
+    owner_rngs_.resize(owner + 1);
+    owner_seq_.resize(owner + 1, 0);
   }
+  if (owner_rngs_[owner] == nullptr) {
+    owner_rngs_[owner] =
+        std::make_unique<Rng>(derive_owner_seed(seed_, owner));
+  }
+}
+
+void Simulator::place_owner(OwnerId owner, std::uint64_t hint) {
+  if (owner == kGlobalOwner) return;
+  const ExecCtx& c = tls_ctx_;
+  OMNI_CHECK_MSG(c.sim != this || c.shard == nullptr,
+                 "place_owner must run outside parallel windows");
+  if (owner_shard_.size() <= owner) {
+    std::size_t first = owner_shard_.size();
+    owner_shard_.resize(static_cast<std::size_t>(owner) + 1);
+    for (std::size_t i = first; i < owner_shard_.size(); ++i) {
+      owner_shard_[i] = static_cast<std::uint32_t>(i % nshards_);
+    }
+  }
+  owner_shard_[owner] = static_cast<std::uint32_t>(hint % nshards_);
 }
 
 OwnerId Simulator::current_owner() const {
@@ -137,7 +160,7 @@ EventHandle Simulator::after_on(OwnerId owner, Duration delay, EventFn fn) {
   // sharded media guarantee cross-owner latency >= lookahead >= W - t.
   TimePoint at = delay <= Duration::zero() ? sh.now : sh.now + delay;
   if (at < window_end_) at = window_end_;
-  std::size_t dst_box = owner == kGlobalOwner ? nshards_ : owner % nshards_;
+  std::size_t dst_box = owner == kGlobalOwner ? nshards_ : shard_index_for(owner);
   OMNI_CHECK_MSG(c.owner < owner_seq_.size(), "posting owner not registered");
   sh.out[dst_box].push_back(
       Post{at, c.owner, ++owner_seq_[c.owner], owner, std::move(fn)});
@@ -249,8 +272,9 @@ std::uint64_t Simulator::run_windows(TimePoint window_end) {
 void Simulator::merge_mailboxes() {
   for (std::size_t dst = 0; dst <= nshards_; ++dst) {
     merge_scratch_.clear();
-    for (Shard& sh : shards_) {
-      std::vector<Post>& box = sh.out[dst];
+    for (std::size_t si = 0; si < nshards_; ++si) {
+      std::vector<Post>& box = shards_[si].out[dst];
+      if (dst != nshards_ && dst != si) cross_shard_posts_ += box.size();
       merge_scratch_.insert(merge_scratch_.end(),
                             std::make_move_iterator(box.begin()),
                             std::make_move_iterator(box.end()));
@@ -269,7 +293,8 @@ void Simulator::merge_mailboxes() {
     EventQueue& q = dst == nshards_ ? global_q_ : shards_[dst].q;
     mailbox_posts_ += merge_scratch_.size();
     for (Post& p : merge_scratch_) {
-      OMNI_CHECK_MSG(p.dst == kGlobalOwner || p.dst < owner_rngs_.size(),
+      OMNI_CHECK_MSG(p.dst == kGlobalOwner || (p.dst < owner_rngs_.size() &&
+                                               owner_rngs_[p.dst] != nullptr),
                      "mailbox post to unregistered owner");
       q.schedule(p.at, std::move(p.fn), p.dst);
     }

@@ -42,6 +42,7 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -83,8 +84,21 @@ class Simulator {
 
   /// Register `owner` so it has an RNG stream and a mailbox sequence
   /// counter. Must be called outside parallel windows (setup, or global
-  /// events); World::add_node does this for every node.
+  /// events); World::add_node does this for every full-stack node.
   void ensure_owner(OwnerId owner);
+
+  /// Pin every future event of `owner` to shard `hint % threads()`. World
+  /// passes the node's home-region index at admission, so nodes that share a
+  /// spatial region share a shard and their interactions stay shard-local.
+  /// Owners never placed keep the legacy `owner % threads()` mapping.
+  ///
+  /// Must run outside parallel windows and before the owner's first event is
+  /// scheduled: re-homing an owner with pending events would split its FIFO
+  /// across queues. Placement cannot change simulated results — cross-owner
+  /// schedules go through the canonically ordered mailbox merge whenever the
+  /// owners differ (same shard or not), and every owner draws from its own
+  /// RNG stream — so this is a pure locality/balance knob.
+  void place_owner(OwnerId owner, std::uint64_t hint);
 
   /// Schedule `fn` to run `delay` from now under the *current* owner (the
   /// global owner outside events). Zero (or negative) delays run after
@@ -193,6 +207,14 @@ class Simulator {
   std::uint64_t windows_run() const { return windows_; }
   std::uint64_t global_events_run() const { return global_events_; }
   std::uint64_t mailbox_posts() const { return mailbox_posts_; }
+  /// Subset of mailbox_posts() whose source and destination shards differ —
+  /// the traffic that actually crosses a shard boundary. With region-based
+  /// placement this measures cross-region coupling; unlike mailbox_posts()
+  /// (placement-independent by construction) it depends on the owner→shard
+  /// map, so it is telemetry, never an input to simulated behavior.
+  std::uint64_t cross_shard_mailbox_posts() const {
+    return cross_shard_posts_;
+  }
 
   /// Owner of the currently executing event (kGlobalOwner outside events).
   OwnerId current_owner() const;
@@ -245,7 +267,12 @@ class Simulator {
   void ensure_workers();
   void worker_main(std::size_t shard_index);
 
-  Shard& shard_for(OwnerId owner) { return shards_[owner % nshards_]; }
+  std::size_t shard_index_for(OwnerId owner) const {
+    return owner < owner_shard_.size()
+               ? owner_shard_[owner]
+               : static_cast<std::size_t>(owner % nshards_);
+  }
+  Shard& shard_for(OwnerId owner) { return shards_[shard_index_for(owner)]; }
 
   const std::uint64_t seed_;
   const std::size_t nshards_;
@@ -255,14 +282,21 @@ class Simulator {
   EventQueue global_q_;
   std::vector<Shard> shards_;
   Rng rng_;                          ///< global-context stream (legacy)
-  std::vector<Rng> owner_rngs_;      ///< per-owner streams, indexed by owner
+  /// Per-owner streams, indexed by owner. Slots are lazily allocated by
+  /// ensure_owner so sparse owner ids (a few devices among 100k crowd
+  /// nodes) cost 8 bytes per hole, not a 2.5 KB mt19937_64 state each;
+  /// seeds derive purely from (seed_, owner) so laziness can't change any
+  /// stream.
+  std::vector<std::unique_ptr<Rng>> owner_rngs_;
   std::vector<std::uint64_t> owner_seq_;  ///< per-owner mailbox post counters
+  std::vector<std::uint32_t> owner_shard_;  ///< place_owner pins; see above
   std::vector<Post> merge_scratch_;
   std::vector<std::function<void()>> barrier_hooks_;
   std::uint64_t executed_ = 0;
   std::uint64_t windows_ = 0;
   std::uint64_t global_events_ = 0;
   std::uint64_t mailbox_posts_ = 0;
+  std::uint64_t cross_shard_posts_ = 0;
 
   // Worker pool (lazily started on the first multi-shard window). Workers
   // sleep on epoch_; the driver publishes window_end_, arms running_workers_,

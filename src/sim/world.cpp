@@ -11,49 +11,222 @@ std::int64_t World::cell_coord(double v) const {
   return static_cast<std::int64_t>(std::floor(v / cell_m_));
 }
 
-NodeId World::add_node(std::string name, Vec2 position) {
+std::int64_t World::region_coord(std::int64_t cell) const {
+  if (region_cells_ == 0) return 0;  // degenerate: one unbounded region
+  std::int64_t k = static_cast<std::int64_t>(region_cells_);
+  // Floor division for negative cell coordinates.
+  return cell >= 0 ? cell / k : -((-cell + k - 1) / k);
+}
+
+std::uint64_t World::mix_key(std::uint64_t k) {
+  // splitmix64 finalizer: cell keys pack two coordinates, so low bits alone
+  // would collide across rows.
+  k = (k ^ (k >> 30)) * 0xbf58476d1ce4e5b9ull;
+  k = (k ^ (k >> 27)) * 0x94d049bb133111ebull;
+  return k ^ (k >> 31);
+}
+
+std::uint32_t World::region_index_at(std::int64_t rx, std::int64_t ry) {
+  std::uint64_t key = pack_key(rx, ry);
+  auto it = region_index_.find(key);
+  if (it != region_index_.end()) return it->second;
+  std::uint32_t index = static_cast<std::uint32_t>(regions_.size());
+  regions_.emplace_back();
+  regions_.back().rx = rx;
+  regions_.back().ry = ry;
+  region_index_.emplace(key, index);
+  return index;
+}
+
+const World::Region* World::find_region(std::int64_t rx,
+                                        std::int64_t ry) const {
+  auto it = region_index_.find(pack_key(rx, ry));
+  return it == region_index_.end() ? nullptr : &regions_[it->second];
+}
+
+// --- Region-local cell table -------------------------------------------------
+
+std::uint32_t World::cell_head(const Region& r, std::uint64_t key) {
+  if (r.cells.empty()) return kNil;
+  std::size_t mask = r.cells.size() - 1;
+  for (std::size_t i = mix_key(key) & mask;; i = (i + 1) & mask) {
+    const Region::CellSlot& s = r.cells[i];
+    if (s.head == kNil) return kNil;
+    if (s.head != kTomb && s.key == key) return s.head;
+  }
+}
+
+std::uint32_t World::link_alloc(Region& r, NodeId id, std::uint32_t next) {
+  if (r.free_link != kNil) {
+    std::uint32_t li = r.free_link;
+    r.free_link = r.links[li].next;
+    r.links[li] = Region::Link{id, next};
+    return li;
+  }
+  r.links.push_back(Region::Link{id, next});
+  return static_cast<std::uint32_t>(r.links.size() - 1);
+}
+
+void World::cell_grow(Region& r) {
+  // Rehash at the larger of 8 slots and 2x the live count; dropping
+  // tombstones alone is often enough after heavy churn.
+  std::size_t cap = 8;
+  while (cap < static_cast<std::size_t>(r.cell_used) * 2) cap <<= 1;
+  std::vector<Region::CellSlot> old = std::move(r.cells);
+  r.cells.assign(cap, Region::CellSlot{});
+  r.cell_tombs = 0;
+  std::size_t mask = cap - 1;
+  for (const Region::CellSlot& s : old) {
+    if (s.head == kNil || s.head == kTomb) continue;
+    std::size_t i = mix_key(s.key) & mask;
+    while (r.cells[i].head != kNil) i = (i + 1) & mask;
+    r.cells[i] = s;
+  }
+}
+
+void World::cell_insert(Region& r, std::uint64_t key, NodeId id) {
+  if (r.cells.empty() ||
+      (static_cast<std::size_t>(r.cell_used + r.cell_tombs) + 1) * 4 >
+          r.cells.size() * 3) {
+    cell_grow(r);
+  }
+  std::size_t mask = r.cells.size() - 1;
+  std::size_t tomb = SIZE_MAX;
+  std::size_t i = mix_key(key) & mask;
+  for (;; i = (i + 1) & mask) {
+    Region::CellSlot& s = r.cells[i];
+    if (s.head == kNil) break;
+    if (s.head == kTomb) {
+      if (tomb == SIZE_MAX) tomb = i;
+    } else if (s.key == key) {
+      s.head = link_alloc(r, id, s.head);
+      return;
+    }
+  }
+  if (tomb != SIZE_MAX) {
+    i = tomb;
+    --r.cell_tombs;
+  }
+  Region::CellSlot& s = r.cells[i];
+  s.key = key;
+  s.head = link_alloc(r, id, kNil);
+  ++r.cell_used;
+}
+
+void World::cell_remove(Region& r, std::uint64_t key, NodeId id) {
+  std::size_t mask = r.cells.size() - 1;
+  for (std::size_t i = mix_key(key) & mask;; i = (i + 1) & mask) {
+    Region::CellSlot& s = r.cells[i];
+    OMNI_CHECK_MSG(s.head != kNil, "grid cell missing on unbucket");
+    if (s.head == kTomb || s.key != key) continue;
+    std::uint32_t* p = &s.head;
+    while (*p != kNil && r.links[*p].id != id) p = &r.links[*p].next;
+    OMNI_CHECK_MSG(*p != kNil, "node missing from its grid cell");
+    std::uint32_t li = *p;
+    *p = r.links[li].next;
+    r.links[li].next = r.free_link;
+    r.free_link = li;
+    if (s.head == kNil) {
+      s.head = kTomb;
+      --r.cell_used;
+      ++r.cell_tombs;
+    }
+    return;
+  }
+}
+
+// --- Admission ---------------------------------------------------------------
+
+NodeId World::admit(std::string_view name, Vec2 position, bool full_stack) {
   OMNI_CHECK_MSG(sim_.owns_context(kGlobalOwner),
                  "world mutation must be barrier-serialized (global events)");
-  NodeId id = static_cast<NodeId>(nodes_.size());
-  nodes_.push_back(Node{std::move(name), position, position, sim_.now(),
-                        sim_.now(), {}});
-  rebucket(id);
+  NodeId id = static_cast<NodeId>(node_ref_.size());
+  name_arena_.append(name);
+  name_off_.push_back(static_cast<std::uint32_t>(name_arena_.size()));
+  std::uint32_t ri = region_index_at(region_coord(cell_coord(position.x)),
+                                     region_coord(cell_coord(position.y)));
+  Region& r = regions_[ri];
+  node_ref_.push_back(
+      NodeRef{ri, static_cast<std::uint32_t>(r.ids.size())});
+  r.ids.push_back(id);
+  r.from.push_back(position);
+  r.to.push_back(position);
+  r.depart.push_back(sim_.now());
+  r.arrive.push_back(sim_.now());
+  ++r.epoch;
+  if (full_stack) {
+    cache_index_.push_back(static_cast<std::uint32_t>(caches_.size()));
+    caches_.emplace_back();
+  } else {
+    cache_index_.push_back(kNil);
+  }
+  bucket(id);
   ++topo_epoch_;
-  // Every node is an event owner: give it its RNG stream and mailbox lane.
-  sim_.ensure_owner(id);
+  ++structural_epoch_;
+  if (full_stack) {
+    // Full-stack nodes own events: RNG stream, mailbox lane, and a shard
+    // pinned to the home region so neighborhood traffic stays shard-local.
+    sim_.ensure_owner(id);
+    sim_.place_owner(id, ri);
+  }
   return id;
 }
 
-const World::Node& World::node(NodeId id) const {
-  OMNI_CHECK_MSG(id < nodes_.size(), "unknown node id");
-  return nodes_[id];
+NodeId World::add_node(std::string_view name, Vec2 position) {
+  return admit(name, position, /*full_stack=*/true);
 }
 
-World::Node& World::node(NodeId id) {
-  OMNI_CHECK_MSG(id < nodes_.size(), "unknown node id");
-  return nodes_[id];
+NodeId World::add_crowd_node(std::string_view name, Vec2 position) {
+  return admit(name, position, /*full_stack=*/false);
 }
 
-const std::string& World::name(NodeId id) const { return node(id).name; }
+std::string_view World::name(NodeId id) const {
+  OMNI_CHECK_MSG(id < node_ref_.size(), "unknown node id");
+  return std::string_view(name_arena_).substr(
+      name_off_[id], name_off_[id + 1] - name_off_[id]);
+}
+
+std::uint32_t World::region_of(NodeId id) const {
+  OMNI_CHECK_MSG(id < node_ref_.size(), "unknown node id");
+  return node_ref_[id].region;
+}
+
+// --- Motion ------------------------------------------------------------------
 
 Vec2 World::position(NodeId id) const {
-  const Node& n = node(id);
-  if (n.arrive == n.depart) return n.to;
+  OMNI_CHECK_MSG(id < node_ref_.size(), "unknown node id");
+  const NodeRef ref = node_ref_[id];
+  const Region& r = regions_[ref.region];
+  Vec2 to = r.to[ref.slot];
+  TimePoint depart = r.depart[ref.slot];
+  TimePoint arrive = r.arrive[ref.slot];
+  if (arrive == depart) return to;
   TimePoint now = sim_.now();
-  if (now >= n.arrive) return n.to;
-  double total = (n.arrive - n.depart).as_seconds();
-  double done = (now - n.depart).as_seconds();
+  if (now >= arrive) return to;
+  double total = (arrive - depart).as_seconds();
+  double done = (now - depart).as_seconds();
   double f = total > 0 ? done / total : 1.0;
-  return n.from + (n.to - n.from) * f;
+  Vec2 from = r.from[ref.slot];
+  return from + (to - from) * f;
 }
 
 void World::set_position(NodeId id, Vec2 position) {
   OMNI_CHECK_MSG(sim_.owns_context(kGlobalOwner),
                  "world mutation must be barrier-serialized (global events)");
-  Node& n = node(id);
-  n.from = n.to = position;
-  n.depart = n.arrive = sim_.now();
-  rebucket(id);
+  OMNI_CHECK_MSG(id < node_ref_.size(), "unknown node id");
+  unbucket(id);
+  std::int64_t rx = region_coord(cell_coord(position.x));
+  std::int64_t ry = region_coord(cell_coord(position.y));
+  NodeRef ref = node_ref_[id];
+  if (regions_[ref.region].rx != rx || regions_[ref.region].ry != ry) {
+    migrate(id, rx, ry);
+    ref = node_ref_[id];
+  }
+  Region& r = regions_[ref.region];
+  r.from[ref.slot] = r.to[ref.slot] = position;
+  r.depart[ref.slot] = r.arrive[ref.slot] = sim_.now();
+  ++r.epoch;
+  bucket(id);
   ++topo_epoch_;
 }
 
@@ -61,48 +234,143 @@ void World::move_to(NodeId id, Vec2 target, double speed_mps) {
   OMNI_CHECK_MSG(sim_.owns_context(kGlobalOwner),
                  "world mutation must be barrier-serialized (global events)");
   OMNI_CHECK_MSG(speed_mps > 0, "move_to requires positive speed");
-  Node& n = node(id);
+  OMNI_CHECK_MSG(id < node_ref_.size(), "unknown node id");
   Vec2 start = position(id);
+  unbucket(id);
+  // Residency follows the segment endpoint: the hot row lands in the region
+  // the node is walking into, so it is already home when it arrives.
+  std::int64_t rx = region_coord(cell_coord(target.x));
+  std::int64_t ry = region_coord(cell_coord(target.y));
+  NodeRef ref = node_ref_[id];
+  if (regions_[ref.region].rx != rx || regions_[ref.region].ry != ry) {
+    migrate(id, rx, ry);
+    ref = node_ref_[id];
+  }
+  Region& r = regions_[ref.region];
   double dist = Vec2::distance(start, target);
-  n.from = start;
-  n.to = target;
-  n.depart = sim_.now();
-  n.arrive = sim_.now() + Duration::seconds(dist / speed_mps);
-  rebucket(id);
+  r.from[ref.slot] = start;
+  r.to[ref.slot] = target;
+  r.depart[ref.slot] = sim_.now();
+  r.arrive[ref.slot] = sim_.now() + Duration::seconds(dist / speed_mps);
+  ++r.epoch;
+  if (r.arrive[ref.slot] > moving_until_) moving_until_ = r.arrive[ref.slot];
+  bucket(id);
   ++topo_epoch_;
-  if (n.arrive > moving_until_) moving_until_ = n.arrive;
 }
 
 double World::distance(NodeId a, NodeId b) const {
   return Vec2::distance(position(a), position(b));
 }
 
-void World::unbucket(NodeId id) {
-  Node& n = nodes_[id];
-  for (std::uint64_t key : n.cells) {
-    auto it = grid_.find(key);
-    if (it == grid_.end()) continue;
-    auto& bucket = it->second;
-    bucket.erase(std::remove(bucket.begin(), bucket.end(), id), bucket.end());
-    if (bucket.empty()) grid_.erase(it);
+void World::migrate(NodeId id, std::int64_t rx, std::int64_t ry) {
+  NodeRef ref = node_ref_[id];
+  // Handoff record: the motion row leaves the source SoA...
+  Region& src = regions_[ref.region];
+  Vec2 from = src.from[ref.slot];
+  Vec2 to = src.to[ref.slot];
+  TimePoint depart = src.depart[ref.slot];
+  TimePoint arrive = src.arrive[ref.slot];
+  std::uint32_t last = static_cast<std::uint32_t>(src.ids.size() - 1);
+  if (ref.slot != last) {
+    NodeId moved = src.ids[last];
+    src.ids[ref.slot] = moved;
+    src.from[ref.slot] = src.from[last];
+    src.to[ref.slot] = src.to[last];
+    src.depart[ref.slot] = src.depart[last];
+    src.arrive[ref.slot] = src.arrive[last];
+    node_ref_[moved].slot = ref.slot;
   }
-  n.cells.clear();
+  src.ids.pop_back();
+  src.from.pop_back();
+  src.to.pop_back();
+  src.depart.pop_back();
+  src.arrive.pop_back();
+  ++src.epoch;
+  // ...and is appended to the destination's (which may not exist yet; the
+  // lookup can reallocate regions_, so `src` is dead past this point).
+  std::uint32_t di = region_index_at(rx, ry);
+  Region& dst = regions_[di];
+  node_ref_[id] = NodeRef{di, static_cast<std::uint32_t>(dst.ids.size())};
+  dst.ids.push_back(id);
+  dst.from.push_back(from);
+  dst.to.push_back(to);
+  dst.depart.push_back(depart);
+  dst.arrive.push_back(arrive);
+  ++dst.epoch;
+  ++migrations_;
 }
 
-void World::rebucket(NodeId id) {
-  unbucket(id);
-  Node& n = nodes_[id];
-  std::int64_t cx0 = cell_coord(std::min(n.from.x, n.to.x));
-  std::int64_t cx1 = cell_coord(std::max(n.from.x, n.to.x));
-  std::int64_t cy0 = cell_coord(std::min(n.from.y, n.to.y));
-  std::int64_t cy1 = cell_coord(std::max(n.from.y, n.to.y));
+// --- Grid maintenance --------------------------------------------------------
+
+void World::bucket(NodeId id) {
+  const NodeRef ref = node_ref_[id];
+  // Copy the segment out first: region_index_at below may reallocate
+  // regions_ when a listing touches a tile with no residents yet.
+  Vec2 a = regions_[ref.region].from[ref.slot];
+  Vec2 b = regions_[ref.region].to[ref.slot];
+  std::int64_t cx0 = cell_coord(std::min(a.x, b.x));
+  std::int64_t cx1 = cell_coord(std::max(a.x, b.x));
+  std::int64_t cy0 = cell_coord(std::min(a.y, b.y));
+  std::int64_t cy1 = cell_coord(std::max(a.y, b.y));
   for (std::int64_t cy = cy0; cy <= cy1; ++cy) {
     for (std::int64_t cx = cx0; cx <= cx1; ++cx) {
-      std::uint64_t key = cell_key(cx, cy);
-      grid_[key].push_back(id);
-      n.cells.push_back(key);
+      Region& r = regions_[region_index_at(region_coord(cx), region_coord(cy))];
+      cell_insert(r, pack_key(cx, cy), id);
+      ++r.epoch;
     }
   }
+}
+
+void World::unbucket(NodeId id) {
+  // The listed cell set is a pure function of the current segment, so it is
+  // recomputed instead of stored per node; every mutator unbuckets before
+  // touching the segment.
+  const NodeRef ref = node_ref_[id];
+  Vec2 a = regions_[ref.region].from[ref.slot];
+  Vec2 b = regions_[ref.region].to[ref.slot];
+  std::int64_t cx0 = cell_coord(std::min(a.x, b.x));
+  std::int64_t cx1 = cell_coord(std::max(a.x, b.x));
+  std::int64_t cy0 = cell_coord(std::min(a.y, b.y));
+  std::int64_t cy1 = cell_coord(std::max(a.y, b.y));
+  for (std::int64_t cy = cy0; cy <= cy1; ++cy) {
+    for (std::int64_t cx = cx0; cx <= cx1; ++cx) {
+      auto it = region_index_.find(pack_key(region_coord(cx), region_coord(cy)));
+      OMNI_CHECK_MSG(it != region_index_.end(), "listed region missing");
+      Region& r = regions_[it->second];
+      cell_remove(r, pack_key(cx, cy), id);
+      ++r.epoch;
+    }
+  }
+}
+
+void World::repartition() {
+  std::size_t n = node_ref_.size();
+  std::vector<Vec2> from(n), to(n);
+  std::vector<TimePoint> depart(n), arrive(n);
+  for (NodeId id = 0; id < n; ++id) {
+    const NodeRef ref = node_ref_[id];
+    const Region& r = regions_[ref.region];
+    from[id] = r.from[ref.slot];
+    to[id] = r.to[ref.slot];
+    depart[id] = r.depart[ref.slot];
+    arrive[id] = r.arrive[ref.slot];
+  }
+  regions_.clear();
+  region_index_.clear();
+  for (NodeId id = 0; id < n; ++id) {
+    std::uint32_t ri = region_index_at(region_coord(cell_coord(to[id].x)),
+                                       region_coord(cell_coord(to[id].y)));
+    Region& r = regions_[ri];
+    node_ref_[id] = NodeRef{ri, static_cast<std::uint32_t>(r.ids.size())};
+    r.ids.push_back(id);
+    r.from.push_back(from[id]);
+    r.to.push_back(to[id]);
+    r.depart.push_back(depart[id]);
+    r.arrive.push_back(arrive[id]);
+  }
+  for (NodeId id = 0; id < n; ++id) bucket(id);
+  ++topo_epoch_;
+  ++structural_epoch_;
 }
 
 void World::set_grid_cell_size(double meters) {
@@ -111,13 +379,18 @@ void World::set_grid_cell_size(double meters) {
   OMNI_CHECK_MSG(meters > 0, "grid cell size must be positive");
   if (meters == cell_m_) return;
   cell_m_ = meters;
-  grid_.clear();
-  for (NodeId id = 0; id < nodes_.size(); ++id) {
-    nodes_[id].cells.clear();
-    rebucket(id);
-  }
-  ++topo_epoch_;
+  repartition();
 }
+
+void World::set_region_cells(std::uint32_t cells) {
+  OMNI_CHECK_MSG(sim_.owns_context(kGlobalOwner),
+                 "world mutation must be barrier-serialized (global events)");
+  if (cells == region_cells_) return;
+  region_cells_ = cells;
+  repartition();
+}
+
+// --- Queries -----------------------------------------------------------------
 
 void World::nodes_in_disc(Vec2 center, double range,
                           std::vector<NodeId>& out) const {
@@ -137,18 +410,36 @@ void World::nodes_in_disc(Vec2 center, double range,
   // more cells than there are nodes.
   std::uint64_t cells = static_cast<std::uint64_t>(cx1 - cx0 + 1) *
                         static_cast<std::uint64_t>(cy1 - cy0 + 1);
-  if (cells >= nodes_.size()) {
-    for (NodeId id = 0; id < nodes_.size(); ++id) {
+  if (cells >= node_ref_.size()) {
+    for (NodeId id = 0; id < node_ref_.size(); ++id) {
       if (within(id)) out.push_back(id);
     }
     return;
   }
-  for (std::int64_t cy = cy0; cy <= cy1; ++cy) {
-    for (std::int64_t cx = cx0; cx <= cx1; ++cx) {
-      auto it = grid_.find(cell_key(cx, cy));
-      if (it == grid_.end()) continue;
-      for (NodeId id : it->second) {
-        if (within(id)) out.push_back(id);
+  // Walk the overlapped region tiles; within each, probe only the cells of
+  // the query rectangle clipped to that tile.
+  std::int64_t k = static_cast<std::int64_t>(region_cells_);
+  std::int64_t rx0 = region_coord(cx0), rx1 = region_coord(cx1);
+  std::int64_t ry0 = region_coord(cy0), ry1 = region_coord(cy1);
+  for (std::int64_t ry = ry0; ry <= ry1; ++ry) {
+    for (std::int64_t rx = rx0; rx <= rx1; ++rx) {
+      const Region* r = find_region(rx, ry);
+      if (r == nullptr || r->cells.empty()) continue;
+      std::int64_t bx0 = cx0, bx1 = cx1, by0 = cy0, by1 = cy1;
+      if (region_cells_ != 0) {
+        bx0 = std::max(bx0, rx * k);
+        bx1 = std::min(bx1, rx * k + k - 1);
+        by0 = std::max(by0, ry * k);
+        by1 = std::min(by1, ry * k + k - 1);
+      }
+      for (std::int64_t cy = by0; cy <= by1; ++cy) {
+        for (std::int64_t cx = bx0; cx <= bx1; ++cx) {
+          for (std::uint32_t li = cell_head(*r, pack_key(cx, cy)); li != kNil;
+               li = r->links[li].next) {
+            NodeId id = r->links[li].id;
+            if (within(id)) out.push_back(id);
+          }
+        }
       }
     }
   }
@@ -156,6 +447,38 @@ void World::nodes_in_disc(Vec2 center, double range,
   // drop duplicates so callers see each node once, ascending by id.
   std::sort(out.begin(), out.end());
   out.erase(std::unique(out.begin(), out.end()), out.end());
+}
+
+std::uint64_t World::neighborhood_epoch(Vec2 center, double range) const {
+  if (range < 0) return structural_epoch_;
+  std::int64_t cx0 = cell_coord(center.x - range);
+  std::int64_t cx1 = cell_coord(center.x + range);
+  std::int64_t cy0 = cell_coord(center.y - range);
+  std::int64_t cy1 = cell_coord(center.y + range);
+  std::uint64_t cells = static_cast<std::uint64_t>(cx1 - cx0 + 1) *
+                        static_cast<std::uint64_t>(cy1 - cy0 + 1);
+  std::int64_t rx0 = region_coord(cx0), rx1 = region_coord(cx1);
+  std::int64_t ry0 = region_coord(cy0), ry1 = region_coord(cy1);
+  std::uint64_t tiles = static_cast<std::uint64_t>(rx1 - rx0 + 1) *
+                        static_cast<std::uint64_t>(ry1 - ry0 + 1);
+  // Full-scan regime (disc covers the world) or a pathologically wide disc:
+  // fall back to the coarse global epoch — over-invalidation is always
+  // correct, unbounded tile walks are not.
+  if (cells >= node_ref_.size() || tiles > 256) {
+    return structural_epoch_ + topo_epoch_;
+  }
+  // Each region's epoch only ever grows, so the sum over a fixed tile set is
+  // strictly monotonic; a tile gaining its first resident bumps its epoch
+  // above the 0 an absent tile contributes. Callers additionally compare the
+  // disc center, which pins the tile set itself.
+  std::uint64_t e = structural_epoch_;
+  for (std::int64_t ry = ry0; ry <= ry1; ++ry) {
+    for (std::int64_t rx = rx0; rx <= rx1; ++rx) {
+      const Region* r = find_region(rx, ry);
+      if (r != nullptr) e += r->epoch;
+    }
+  }
+  return e;
 }
 
 void World::nodes_near(NodeId of, double range,
@@ -168,28 +491,73 @@ void World::nodes_near(NodeId of, double range,
   OMNI_CHECK_MSG(sim_.owns_context(of),
                  "nodes_near: concurrent contexts may only query their own "
                  "node's neighbor cache");
-  const Node& n = node(of);
+  OMNI_CHECK_MSG(of < node_ref_.size(), "unknown node id");
   if (sim_.now() < moving_until_) {
     // Some motion segment may still be in flight: positions interpolate, so
     // cached neighbor sets can silently rot. Query the grid directly.
     nodes_in_disc(position(of), range, out);
     return;
   }
-  if (n.cache_epoch != topo_epoch_ || n.cache_range != range) {
-    // World static: every node sits at its segment endpoint (`to`), so the
-    // result stays valid until the next topology change.
-    nodes_in_disc(n.to, range, n.cache_ids);
-    n.cache_epoch = topo_epoch_;
-    n.cache_range = range;
+  // World static: every node sits at its segment endpoint (`to`).
+  const NodeRef ref = node_ref_[of];
+  Vec2 home = regions_[ref.region].to[ref.slot];
+  std::uint32_t ci = cache_index_[of];
+  if (ci == kNil) {
+    // Crowd nodes carry no cache slot (they own no events, so nothing beacons
+    // from them periodically anyway).
+    nodes_in_disc(home, range, out);
+    return;
   }
-  out.assign(n.cache_ids.begin(), n.cache_ids.end());
+  NearCache& cache = caches_[ci];
+  std::uint64_t nb = neighborhood_epoch(home, range);
+  if (cache.nb_epoch != nb || cache.range != range ||
+      !(cache.center == home)) {
+    nodes_in_disc(home, range, cache.ids);
+    cache.nb_epoch = nb;
+    cache.range = range;
+    cache.center = home;
+  }
+  out.assign(cache.ids.begin(), cache.ids.end());
+}
+
+void World::neighbors(NodeId of, double range,
+                      std::vector<NodeId>& out) const {
+  nodes_in_disc(position(of), range, out);
+  out.erase(std::remove(out.begin(), out.end(), of), out.end());
 }
 
 std::vector<NodeId> World::neighbors(NodeId of, double range) const {
   std::vector<NodeId> out;
-  nodes_in_disc(position(of), range, out);
-  out.erase(std::remove(out.begin(), out.end(), of), out.end());
+  neighbors(of, range, out);
   return out;
+}
+
+// --- Telemetry ---------------------------------------------------------------
+
+World::MemoryStats World::memory_stats() const {
+  MemoryStats m;
+  for (const Region& r : regions_) {
+    m.hot_bytes += r.ids.capacity() * sizeof(NodeId) +
+                   (r.from.capacity() + r.to.capacity()) * sizeof(Vec2) +
+                   (r.depart.capacity() + r.arrive.capacity()) *
+                       sizeof(TimePoint);
+    m.grid_bytes += r.cells.capacity() * sizeof(Region::CellSlot) +
+                    r.links.capacity() * sizeof(Region::Link);
+  }
+  m.name_bytes = name_arena_.capacity() +
+                 name_off_.capacity() * sizeof(std::uint32_t);
+  for (const NearCache& c : caches_) {
+    m.cache_bytes += sizeof(NearCache) + c.ids.capacity() * sizeof(NodeId);
+  }
+  m.cache_bytes += caches_.capacity() * sizeof(NearCache) -
+                   caches_.size() * sizeof(NearCache);
+  m.directory_bytes = node_ref_.capacity() * sizeof(NodeRef) +
+                      cache_index_.capacity() * sizeof(std::uint32_t) +
+                      regions_.capacity() * sizeof(Region) +
+                      region_index_.size() *
+                          (sizeof(std::uint64_t) + sizeof(std::uint32_t) +
+                           2 * sizeof(void*));
+  return m;
 }
 
 }  // namespace omni::sim

@@ -1,30 +1,50 @@
-// Spatial model: node positions, motion, and range queries.
+// Spatial model: node positions, motion, and range queries, sharded into
+// spatial region tiles so city-scale worlds (100k+ nodes) stay affordable.
 //
 // Radios ask the world which peers are within their technology's range. The
 // world supports static placement, instantaneous teleports, and linear
 // waypoint motion (position is interpolated lazily — no per-tick events).
 //
-// Range fan-out queries run against a spatial hash grid (cell size ≈ the
-// largest radio range) instead of scanning every node. Nodes are re-bucketed
-// on mobility events only: a moving node is conservatively listed in every
-// cell its motion segment's bounding box overlaps, so lazily interpolated
-// positions stay query-correct without per-tick grid updates. Queries gather
-// candidates from the cells overlapping the search disc and apply the exact
-// distance test.
+// The plane is partitioned into square region tiles (side = region_cells ×
+// grid cells). Each region owns its resident nodes' hot state in dense SoA
+// arrays (motion segments keyed by a small slot index) plus a region-local
+// spatial hash grid: a flat open-addressing cell table whose cells head
+// intrusive chains through a link pool. There is no global per-cell
+// allocation and no per-node std::string/std::vector members — names live in
+// one interned arena, grid listings in the pooled chains — so an idle
+// background node costs ~100 B of RSS instead of the ~150+ B of header
+// overhead the old unordered_map<u64, vector> grid imposed.
+//
+// A node is resident in the region containing its motion segment's endpoint
+// (`to`); mobility events that cross a tile boundary migrate the node's hot
+// row between regions via a barrier-serialized handoff (swap-pop from the
+// source SoA, append to the destination). Grid listings are conservative
+// over the segment's bounding box and may span several regions; queries
+// intersect the search rectangle with each overlapped region tile and probe
+// only those regions' local tables.
+//
+// Nodes come in two flavors:
+//   * add_node — a full-stack device: registered as an event owner (RNG
+//     stream, mailbox lane, region-based shard placement) with an eager
+//     nodes_near cache slot;
+//   * add_crowd_node — background population: world-resident hot state only.
+//     Crowd nodes appear in every range query but own no events, no RNG
+//     stream, and no cache, which is what keeps the idle-node budget ~100 B.
 //
 // Concurrency contract (parallel engine): all mutation — add_node, teleports,
-// move_to, regrids — must run in barrier-serialized global events; const
-// queries (position, distance, nodes_in_disc) may then run concurrently from
-// shard events, since grid buckets and motion segments are stable inside a
-// window. nodes_near is the one exception: it lazily writes a per-node cache,
-// so concurrent contexts may only call it for their own node (single-writer).
-// Both rules are enforced with checks against the simulator's execution
-// context.
+// move_to, regrids, migrations — must run in barrier-serialized global
+// events; const queries (position, distance, nodes_in_disc) may then run
+// concurrently from shard events, since grid chains and motion segments are
+// stable inside a window. nodes_near is the one exception: it lazily writes a
+// per-node cache, so concurrent contexts may only call it for their own node
+// (single-writer; cache slots are allocated eagerly at admission so a hit or
+// rebuild never reallocates shared storage). Both rules are enforced with
+// checks against the simulator's execution context.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -55,23 +75,43 @@ class World {
   /// Default grid cell size: matches the largest calibrated radio range
   /// (wifi/nan 100 m), so a range query touches at most ~9 cells.
   static constexpr double kDefaultCellM = 100.0;
+  /// Default region side, in grid cells. 8 cells ≈ 8 radio ranges per tile:
+  /// big enough that a range query rarely crosses more than one boundary,
+  /// small enough that a city-scale world spreads over many shards.
+  static constexpr std::uint32_t kDefaultRegionCells = 8;
 
-  explicit World(Simulator& sim, double grid_cell_m = kDefaultCellM)
-      : sim_(sim), cell_m_(grid_cell_m) {}
+  explicit World(Simulator& sim, double grid_cell_m = kDefaultCellM,
+                 std::uint32_t region_cells = kDefaultRegionCells)
+      : sim_(sim), cell_m_(grid_cell_m), region_cells_(region_cells) {}
   World(const World&) = delete;
   World& operator=(const World&) = delete;
 
   /// Change the grid cell size (e.g. to the deployment's max radio range)
-  /// and re-bucket every node. Any positive size is correct; sizes near the
+  /// and rebuild every region. Any positive size is correct; sizes near the
   /// dominant query range are fastest.
   void set_grid_cell_size(double meters);
   double grid_cell_size() const { return cell_m_; }
 
-  /// Register a node at a position; returns its id.
-  NodeId add_node(std::string name, Vec2 position);
+  /// Change the region tile side (in grid cells) and repartition the world.
+  /// 0 means a single unbounded region — the degenerate configuration that
+  /// reproduces the pre-region flat world exactly (used by the golden-trace
+  /// equivalence tests). Like every mutation, barrier-serialized only.
+  void set_region_cells(std::uint32_t cells);
+  std::uint32_t region_cells() const { return region_cells_; }
 
-  std::size_t node_count() const { return nodes_.size(); }
-  const std::string& name(NodeId id) const;
+  /// Register a full-stack node at a position; returns its id. The node
+  /// becomes an event owner (ensure_owner) and is placed on the shard of its
+  /// home region (place_owner).
+  NodeId add_node(std::string_view name, Vec2 position);
+
+  /// Register a background-population node: world-resident hot state only
+  /// (~100 B) — no event ownership, no RNG stream, no neighbor cache. Crowd
+  /// nodes show up in every range query and can be moved like any other
+  /// node; they just cannot own events.
+  NodeId add_crowd_node(std::string_view name, Vec2 position);
+
+  std::size_t node_count() const { return node_ref_.size(); }
+  std::string_view name(NodeId id) const;
 
   /// Current (interpolated) position.
   Vec2 position(NodeId id) const;
@@ -91,7 +131,13 @@ class World {
     return distance(a, b) <= range;
   }
 
-  /// All nodes (other than `of`) within `range` meters, ascending by id.
+  /// All nodes (other than `of`) within `range` meters, appended to `out`
+  /// ascending by id (`out` is cleared first). Mirrors nodes_in_disc; hot
+  /// paths pass a reused scratch vector to stay allocation-free.
+  void neighbors(NodeId of, double range, std::vector<NodeId>& out) const;
+
+  /// Allocating convenience overload of the above. Prefer the out-param
+  /// form anywhere called more than once.
   std::vector<NodeId> neighbors(NodeId of, double range) const;
 
   /// All nodes within `range` of `center` (including any node exactly at
@@ -103,18 +149,51 @@ class World {
   /// nodes_in_disc centred on node `of`'s current position (node itself
   /// included). Equivalent to nodes_in_disc(position(of), range, out), but
   /// while the world is static — no motion segment still in flight — the
-  /// result is served from a per-node cache invalidated by topology changes,
-  /// so periodic fan-out (beacons every 500 ms) skips the grid walk.
+  /// result is served from a per-node cache invalidated by changes to the
+  /// overlapped regions only, so periodic fan-out (beacons every 500 ms)
+  /// skips the grid walk and survives churn in distant regions.
   void nodes_near(NodeId of, double range, std::vector<NodeId>& out) const;
 
   /// Topology epoch: bumped on every structural or positional change
   /// (add/teleport/move/regrid). Callers caching neighbor-derived data (a
   /// medium's fan-out lists) invalidate on mismatch; an epoch match pins
   /// positions only together with is_static() — a motion segment in flight
-  /// moves positions continuously without epoch bumps.
+  /// moves positions continuously without epoch bumps. Prefer
+  /// neighborhood_epoch() for spatially local caches.
   std::uint64_t topo_epoch() const { return topo_epoch_; }
+
+  /// Epoch fingerprint of the neighborhood of `center` within `range`:
+  /// changes whenever the occupancy or positions of any overlapped region
+  /// change (or on any structural change — admissions, regrids,
+  /// repartitions), and is stable under churn elsewhere. Callers caching
+  /// results of a disc query revalidate with (center, range, fingerprint);
+  /// as with topo_epoch, positions are pinned only together with
+  /// is_static().
+  std::uint64_t neighborhood_epoch(Vec2 center, double range) const;
+
   /// True when every position() is time-invariant (no motion in flight).
   bool is_static(TimePoint now) const { return now >= moving_until_; }
+
+  /// Region introspection (telemetry; bench_scale reports all three).
+  std::size_t region_count() const { return regions_.size(); }
+  std::uint64_t migrations() const { return migrations_; }
+  std::uint32_t region_of(NodeId id) const;
+
+  /// Capacity-accounted footprint of the world's own storage (excludes the
+  /// simulator, radios, and middleware). The scale bench divides total() by
+  /// node_count() to police the ~100 B/idle-node budget.
+  struct MemoryStats {
+    std::size_t hot_bytes = 0;        ///< region SoA motion rows
+    std::size_t grid_bytes = 0;       ///< cell tables + link pools
+    std::size_t name_bytes = 0;       ///< interned name arena + offsets
+    std::size_t cache_bytes = 0;      ///< per-device nodes_near caches
+    std::size_t directory_bytes = 0;  ///< node→(region,slot) + region index
+    std::size_t total() const {
+      return hot_bytes + grid_bytes + name_bytes + cache_bytes +
+             directory_bytes;
+    }
+  };
+  MemoryStats memory_stats() const;
 
   Simulator& simulator() { return sim_; }
 
@@ -125,44 +204,113 @@ class World {
   const FaultPlan* fault_plan() const { return fault_plan_; }
 
  private:
-  struct Node {
-    std::string name;
-    // Motion segment: at `depart`, the node was at `from`, moving toward
-    // `to`, arriving at `arrive`. A static node has depart == arrive.
-    Vec2 from;
-    Vec2 to;
-    TimePoint depart;
-    TimePoint arrive;
-    std::vector<std::uint64_t> cells;  // grid cells this node is listed in
-    // nodes_near cache: valid while the topology epoch matches and the
-    // world is static. One slot per node; a node alternating query ranges
-    // (40 m beacons, 100 m probes) just rebuilds on the rarer range.
-    mutable std::uint64_t cache_epoch = 0;
-    mutable double cache_range = -1.0;
-    mutable std::vector<NodeId> cache_ids;
+  static constexpr std::uint32_t kNil = 0xffffffffu;   ///< empty slot / end
+  static constexpr std::uint32_t kTomb = 0xfffffffeu;  ///< deleted cell
+
+  struct Region {
+    std::int64_t rx = 0;  ///< tile coordinate (cell coords / region_cells)
+    std::int64_t ry = 0;
+    /// Bumped on every occupancy or position change inside the tile; the
+    /// component of neighborhood_epoch() contributed by this region.
+    std::uint64_t epoch = 1;
+
+    // Resident hot state, dense SoA keyed by slot. A static node has
+    // depart == arrive and sits at `to`.
+    std::vector<NodeId> ids;
+    std::vector<Vec2> from;
+    std::vector<Vec2> to;
+    std::vector<TimePoint> depart;
+    std::vector<TimePoint> arrive;
+
+    // Region-local grid: open-addressing cell table (power-of-two, linear
+    // probing, tombstones) heading intrusive chains through `links`.
+    struct CellSlot {
+      std::uint64_t key = 0;
+      std::uint32_t head = kNil;  ///< link index, kNil (empty), kTomb
+    };
+    struct Link {
+      NodeId id = kInvalidNode;
+      std::uint32_t next = kNil;  ///< chain link, or free-list link
+    };
+    std::vector<CellSlot> cells;
+    std::uint32_t cell_used = 0;   ///< live cells (excludes tombstones)
+    std::uint32_t cell_tombs = 0;
+    std::vector<Link> links;
+    std::uint32_t free_link = kNil;
   };
 
-  static std::uint64_t cell_key(std::int64_t cx, std::int64_t cy) {
-    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(cx)) << 32) |
-           static_cast<std::uint64_t>(static_cast<std::uint32_t>(cy));
+  /// Where a node's hot row lives.
+  struct NodeRef {
+    std::uint32_t region = 0;
+    std::uint32_t slot = 0;
+  };
+
+  /// nodes_near cache, one eager slot per full-stack node. Valid while the
+  /// neighborhood fingerprint, range, and home position all match.
+  struct NearCache {
+    std::uint64_t nb_epoch = 0;
+    double range = -1.0;
+    Vec2 center;
+    std::vector<NodeId> ids;
+  };
+
+  static std::uint64_t pack_key(std::int64_t a, std::int64_t b) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(a)) << 32) |
+           static_cast<std::uint64_t>(static_cast<std::uint32_t>(b));
   }
+  static std::uint64_t mix_key(std::uint64_t k);
+  static std::uint32_t cell_head(const Region& r, std::uint64_t key);
+  static std::uint32_t link_alloc(Region& r, NodeId id, std::uint32_t next);
+  static void cell_grow(Region& r);
+  static void cell_insert(Region& r, std::uint64_t key, NodeId id);
+  static void cell_remove(Region& r, std::uint64_t key, NodeId id);
+
   std::int64_t cell_coord(double v) const;
+  std::int64_t region_coord(std::int64_t cell) const;
+  /// Index of the region tile at (rx, ry), creating it if absent. May
+  /// reallocate regions_ — never hold a Region& across a call.
+  std::uint32_t region_index_at(std::int64_t rx, std::int64_t ry);
+  const Region* find_region(std::int64_t rx, std::int64_t ry) const;
 
-  /// Re-list the node under every cell overlapped by the axis-aligned
-  /// bounding box of its current motion segment (a point for static nodes).
-  void rebucket(NodeId id);
+  NodeId admit(std::string_view name, Vec2 position, bool full_stack);
+  /// List the node under every cell overlapped by the axis-aligned bounding
+  /// box of its current motion segment (a point for static nodes). unbucket
+  /// recomputes the same cell set from the segment, so it must run before
+  /// the segment is mutated.
+  void bucket(NodeId id);
   void unbucket(NodeId id);
-
-  const Node& node(NodeId id) const;
-  Node& node(NodeId id);
+  /// Hand the node's hot row from its current region to tile (rx, ry):
+  /// swap-pop out of the source SoA, append to the destination. Grid
+  /// listings are not touched (callers unbucket/bucket around mutation).
+  void migrate(NodeId id, std::int64_t rx, std::int64_t ry);
+  /// Rebuild every region from scratch (cell size or region size changed).
+  void repartition();
 
   Simulator& sim_;
   double cell_m_;
-  std::vector<Node> nodes_;
-  std::unordered_map<std::uint64_t, std::vector<NodeId>> grid_;
-  // Bumped on every topology change (add/teleport/move/regrid); nodes_near
-  // caches stamped with an older epoch are stale.
+  std::uint32_t region_cells_;
+  std::vector<Region> regions_;  ///< indices are stable (never erased)
+  std::unordered_map<std::uint64_t, std::uint32_t> region_index_;
+  std::vector<NodeRef> node_ref_;
+
+  // Interned names: one arena, offsets per node (name i spans
+  // [name_off_[i], name_off_[i+1])).
+  std::string name_arena_;
+  std::vector<std::uint32_t> name_off_{0};
+
+  // nodes_near caches: cache_index_[node] indexes caches_, kNil for crowd
+  // nodes. Slots are allocated at admission (global context), so shard-time
+  // queries only ever write their own pre-existing entry.
+  std::vector<std::uint32_t> cache_index_;
+  mutable std::vector<NearCache> caches_;
+
+  // Bumped on every topology change (add/teleport/move/regrid); coarse
+  // invalidation for callers without a spatial anchor.
   std::uint64_t topo_epoch_ = 1;
+  // Bumped on admissions, regrids, and repartitions only — the
+  // region-set-independent component of neighborhood_epoch().
+  std::uint64_t structural_epoch_ = 1;
+  std::uint64_t migrations_ = 0;
   // Latest arrival time of any motion segment ever started; the world is
   // static (every position() is constant) once now >= moving_until_.
   TimePoint moving_until_ = TimePoint{};

@@ -1,0 +1,317 @@
+// Region-sharded world: boundary correctness, migration, degenerate
+// single-region equivalence, and determinism of region handoffs under the
+// parallel engine. The 10k churn smoke at the bottom is what `ctest -L
+// scale` (the CI scale job) runs alongside `bench_scale 10000 --smoke`.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "net/testbed.h"
+#include "scenario/scenario.h"
+#include "sim/mobility.h"
+#include "sim/world.h"
+
+namespace omni::sim {
+namespace {
+
+// Oracle: O(n) scan with the exact distance test (matches the disc query's
+// inclusive <= and ascending-id order).
+std::vector<NodeId> brute_disc(const World& world, Vec2 center, double range) {
+  std::vector<NodeId> out;
+  for (NodeId id = 0; id < world.node_count(); ++id) {
+    if (Vec2::distance(world.position(id), center) <= range)
+      out.push_back(id);
+  }
+  return out;
+}
+
+TEST(RegionTest, BoundaryStraddlersMatchBruteForce) {
+  Simulator sim;
+  // 40 m cells, 2-cell regions: tile edges every 80 m, so the scatter below
+  // crosses many region boundaries.
+  World world(sim, /*grid_cell_m=*/40.0, /*region_cells=*/2);
+  // Nodes exactly on tile edges and corners, on both sides of the origin.
+  world.add_node("edge-x", {80.0, 10.0});
+  world.add_node("edge-y", {10.0, 80.0});
+  world.add_node("corner", {80.0, 80.0});
+  world.add_node("neg-corner", {-80.0, -80.0});
+  world.add_node("origin", {0.0, 0.0});
+  // Pseudo-random scatter over several tiles, including negative coords.
+  std::uint64_t s = 9177;
+  auto next = [&s] {
+    s = s * 6364136223846793005ull + 1442695040888963407ull;
+    return static_cast<double>((s >> 33) % 6000) / 10.0 - 200.0;  // [-200,400)
+  };
+  for (int i = 0; i < 120; ++i) {
+    world.add_node("n" + std::to_string(i), {next(), next()});
+  }
+  EXPECT_GT(world.region_count(), 4u);
+  std::vector<NodeId> got;
+  for (double range : {15.0, 80.0, 90.0, 250.0}) {
+    for (Vec2 center : {Vec2{80, 80}, Vec2{79.9, 80.1}, Vec2{0, 0},
+                        Vec2{-80, 40}, Vec2{160, 160}, Vec2{35, -70}}) {
+      world.nodes_in_disc(center, range, got);
+      EXPECT_EQ(got, brute_disc(world, center, range))
+          << "center=(" << center.x << "," << center.y
+          << ") range=" << range;
+    }
+  }
+}
+
+TEST(RegionTest, DegenerateSingleRegionMatchesRegioned) {
+  Simulator sim_a;
+  Simulator sim_b;
+  World regioned(sim_a, /*grid_cell_m=*/40.0, /*region_cells=*/2);
+  World degenerate(sim_b, /*grid_cell_m=*/40.0, /*region_cells=*/0);
+  std::uint64_t s = 4711;
+  auto next = [&s] {
+    s = s * 6364136223846793005ull + 1442695040888963407ull;
+    return static_cast<double>((s >> 33) % 5000) / 10.0;  // [0, 500)
+  };
+  for (int i = 0; i < 100; ++i) {
+    Vec2 p{next(), next()};
+    regioned.add_node("n" + std::to_string(i), p);
+    degenerate.add_node("n" + std::to_string(i), p);
+  }
+  EXPECT_EQ(degenerate.region_count(), 1u);
+  EXPECT_GT(regioned.region_count(), 1u);
+  std::vector<NodeId> a, b;
+  for (double range : {30.0, 120.0, 500.0}) {
+    for (NodeId of = 0; of < regioned.node_count(); of += 5) {
+      regioned.neighbors(of, range, a);
+      degenerate.neighbors(of, range, b);
+      EXPECT_EQ(a, b) << "of=" << of << " range=" << range;
+    }
+  }
+}
+
+TEST(RegionTest, SetRegionCellsRepartitionsInPlace) {
+  Simulator sim;
+  World world(sim, /*grid_cell_m=*/40.0);  // default 8-cell regions
+  for (int i = 0; i < 60; ++i) {
+    world.add_node("n" + std::to_string(i),
+                   {static_cast<double>(i * 17 % 700),
+                    static_cast<double>(i * 31 % 700)});
+  }
+  std::vector<NodeId> before, after;
+  world.nodes_in_disc({350, 350}, 200.0, before);
+
+  world.set_region_cells(0);  // collapse to the degenerate single region
+  EXPECT_EQ(world.region_count(), 1u);
+  world.nodes_in_disc({350, 350}, 200.0, after);
+  EXPECT_EQ(before, after);
+
+  world.set_region_cells(2);  // re-shard into 80 m tiles
+  EXPECT_GT(world.region_count(), 1u);
+  world.nodes_in_disc({350, 350}, 200.0, after);
+  EXPECT_EQ(before, after);
+}
+
+TEST(RegionTest, TeleportMigratesAndSwapPops) {
+  Simulator sim;
+  World world(sim, /*grid_cell_m=*/100.0, /*region_cells=*/2);  // 200 m tiles
+  NodeId a = world.add_node("a", {10, 10});
+  NodeId b = world.add_node("b", {20, 20});
+  NodeId c = world.add_node("c", {30, 30});
+  EXPECT_EQ(world.region_of(a), world.region_of(b));
+  EXPECT_EQ(world.region_of(b), world.region_of(c));
+  EXPECT_EQ(world.migrations(), 0u);
+
+  // Teleport the first-admitted node out: its hot row leaves via swap-pop,
+  // which relocates another resident's slot — everything must still resolve.
+  world.set_position(a, {510, 510});
+  EXPECT_EQ(world.migrations(), 1u);
+  EXPECT_NE(world.region_of(a), world.region_of(b));
+  EXPECT_EQ(world.name(a), "a");
+  EXPECT_EQ(world.name(b), "b");
+  EXPECT_EQ(world.position(b), (Vec2{20, 20}));
+  EXPECT_EQ(world.position(c), (Vec2{30, 30}));
+  std::vector<NodeId> got;
+  world.nodes_in_disc({25, 25}, 50.0, got);
+  EXPECT_EQ(got, (std::vector<NodeId>{b, c}));
+  world.nodes_in_disc({510, 510}, 50.0, got);
+  EXPECT_EQ(got, (std::vector<NodeId>{a}));
+
+  world.set_position(a, {15, 15});  // and home again
+  EXPECT_EQ(world.migrations(), 2u);
+  EXPECT_EQ(world.region_of(a), world.region_of(b));
+  world.nodes_in_disc({20, 20}, 50.0, got);
+  EXPECT_EQ(got, (std::vector<NodeId>{a, b, c}));
+}
+
+TEST(RegionTest, WalksMigrateAcrossSuccessiveRegions) {
+  Simulator sim;
+  World world(sim, /*grid_cell_m=*/100.0, /*region_cells=*/2);  // 200 m tiles
+  NodeId a = world.add_node("a", {10, 0});
+  NodeId w = world.add_node("watcher", {390, 0});
+  std::uint32_t home = world.region_of(a);
+
+  // Leg 1 crosses the x=200 tile edge. Residency follows the segment's
+  // target, so the handoff happens when the walk starts.
+  world.move_to(a, {210, 0}, 10.0);
+  EXPECT_EQ(world.migrations(), 1u);
+  std::uint32_t mid = world.region_of(a);
+  EXPECT_NE(mid, home);
+
+  // Mid-walk, both sides of the boundary must see the walker at its
+  // interpolated position (conservative grid listing spans the segment).
+  sim.run_for(Duration::seconds(10));  // a is at x=110
+  std::vector<NodeId> got;
+  world.nodes_in_disc({100, 0}, 20.0, got);
+  EXPECT_EQ(got, (std::vector<NodeId>{a}));
+  EXPECT_EQ(got, brute_disc(world, {100, 0}, 20.0));
+
+  sim.run_for(Duration::seconds(10));  // arrival at (210, 0)
+
+  // Leg 2 crosses the x=400 edge into a third region.
+  world.move_to(a, {410, 0}, 10.0);
+  EXPECT_EQ(world.migrations(), 2u);
+  EXPECT_NE(world.region_of(a), mid);
+  EXPECT_NE(world.region_of(a), home);
+  sim.run_for(Duration::seconds(20));
+  world.neighbors(w, 30.0, got);
+  EXPECT_EQ(got, (std::vector<NodeId>{a}));
+}
+
+TEST(RegionTest, CrowdNodesQueryableAndWithinBudget) {
+  Simulator sim;
+  World world(sim, /*grid_cell_m=*/100.0, /*region_cells=*/4);
+  NodeId device = world.add_node("device", {0, 0});
+  for (int i = 0; i < 2000; ++i) {
+    world.add_crowd_node("c" + std::to_string(i),
+                         {static_cast<double>(i % 50) * 25.0,
+                          static_cast<double>(i / 50) * 25.0});
+  }
+  // Crowd nodes are first-class query citizens...
+  std::vector<NodeId> got;
+  world.nodes_near(device, 60.0, got);
+  EXPECT_EQ(got, brute_disc(world, {0, 0}, 60.0));
+  EXPECT_GT(got.size(), 1u);
+  // ...can move (and migrate) like any node...
+  NodeId crowd = 1;
+  world.set_position(crowd, {2000, 2000});
+  EXPECT_GT(world.migrations(), 0u);
+  world.nodes_in_disc({2000, 2000}, 10.0, got);
+  EXPECT_EQ(got, (std::vector<NodeId>{crowd}));
+  // ...and the world layer's per-node footprint stays within the documented
+  // idle-node budget (~100 B target, asserted with allocator headroom).
+  World::MemoryStats ms = world.memory_stats();
+  EXPECT_LT(static_cast<double>(ms.total()) /
+                static_cast<double>(world.node_count()),
+            192.0);
+  EXPECT_EQ(ms.cache_bytes > 0, true);  // the one device has a cache slot
+}
+
+TEST(RegionTest, NeighborsOutParamMatchesAllocating) {
+  Simulator sim;
+  World world(sim, /*grid_cell_m=*/40.0, /*region_cells=*/2);
+  NodeId a = world.add_node("a", {0, 0});
+  world.add_node("b", {30, 0});
+  world.add_node("c", {81, 0});
+  world.add_node("d", {300, 0});
+  std::vector<NodeId> out;
+  for (double range : {10.0, 50.0, 100.0, 1000.0}) {
+    world.neighbors(a, range, out);
+    EXPECT_EQ(out, world.neighbors(a, range)) << "range=" << range;
+  }
+}
+
+TEST(RegionTest, NeighborhoodEpochIgnoresDistantChurn) {
+  Simulator sim;
+  World world(sim, /*grid_cell_m=*/100.0, /*region_cells=*/2);
+  world.add_node("local-a", {0, 0});
+  NodeId local_b = world.add_node("local-b", {50, 0});
+  NodeId far = world.add_node("far", {5000, 5000});
+  // Enough population that the disc query takes the per-region cell walk
+  // (tiny worlds fall back to a full scan, whose fingerprint is global).
+  for (int i = 0; i < 30; ++i) {
+    world.add_node("fill" + std::to_string(i),
+                   {static_cast<double>(i * 40 % 600), 300.0});
+  }
+
+  std::uint64_t e0 = world.neighborhood_epoch({0, 0}, 100.0);
+  // Churn far outside the queried neighborhood: fingerprint must hold, so
+  // a fan-out cache anchored here survives city-scale background motion.
+  world.set_position(far, {5100, 5100});
+  world.set_position(far, {5000, 5000});
+  EXPECT_EQ(world.neighborhood_epoch({0, 0}, 100.0), e0);
+  // A move inside the neighborhood must be visible.
+  world.set_position(local_b, {60, 0});
+  EXPECT_NE(world.neighborhood_epoch({0, 0}, 100.0), e0);
+}
+
+// Migration handoffs are barrier-serialized; the whole report — discovery,
+// transfers, manager stats — must be byte-identical at every thread count
+// while devices walk across two region boundaries (800 m tiles at the
+// default grid/region size).
+TEST(RegionTest, ScenarioWithMigrationsIsThreadCountInvariant) {
+  const std::string script = R"(
+seed 7
+device walker 750 0
+device anchor 760 10
+device far 1690 0
+advertise walker interest:map interval=500ms
+advertise far interest:map interval=500ms
+walk walker at=2s to=900,0 speed=25
+walk walker at=10s to=1700,0 speed=50
+send anchor walker at=4s bytes=20000
+run 40s
+report
+)";
+  const std::string one = scenario::run_scenario_text(script, 1);
+  ASSERT_NE(one.find("walker"), std::string::npos) << one;
+  EXPECT_EQ(one, scenario::run_scenario_text(script, 2));
+  EXPECT_EQ(one, scenario::run_scenario_text(script, 8));
+}
+
+// 10k-node churn smoke: a small full-stack core inside a 10k crowd with
+// CrowdChurn migrating nodes between regions, cross-checked against the
+// brute-force oracle mid-run and at the end.
+TEST(RegionTest, ChurnSmoke10k) {
+  net::Testbed bed(11, radio::Calibration::defaults(), 2);
+  for (int i = 0; i < 4; ++i) {
+    bed.add_device("dev" + std::to_string(i),
+                   {static_cast<double>(i % 2) * 50.0,
+                    static_cast<double>(i / 2) * 50.0});
+  }
+  std::vector<NodeId> movers;
+  const std::size_t side = 100;  // 100x100 crowd lattice, 25 m spacing
+  for (std::size_t i = 0; i < side * side; ++i) {
+    NodeId id = bed.add_crowd_node(
+        "c" + std::to_string(i),
+        {static_cast<double>(i % side) * 25.0,
+         static_cast<double>(i / side) * 25.0});
+    if (i % 4 == 0) movers.push_back(id);
+  }
+  sim::CrowdChurn::Options opts;
+  opts.area_min = {0, 0};
+  opts.area_max = {static_cast<double>(side - 1) * 25.0,
+                   static_cast<double>(side - 1) * 25.0};
+  opts.per_tick = 150;
+  sim::CrowdChurn churn(bed.world(), std::move(movers), opts, 2026);
+  churn.start();
+
+  World& world = bed.world();
+  std::vector<NodeId> got;
+  for (int slice = 0; slice < 5; ++slice) {
+    bed.simulator().run_for(Duration::seconds(2));
+    for (Vec2 center : {Vec2{40, 40}, Vec2{800, 800}, Vec2{1237, 513}}) {
+      world.nodes_in_disc(center, 120.0, got);
+      ASSERT_EQ(got, brute_disc(world, center, 120.0))
+          << "slice=" << slice << " center=(" << center.x << ","
+          << center.y << ")";
+    }
+  }
+  churn.stop();
+  EXPECT_GT(churn.moves_started(), 1000u);
+  EXPECT_GT(world.migrations(), 0u);
+  EXPECT_GT(world.region_count(), 8u);
+  // The crowd-dominated world must hold the idle-node memory budget.
+  EXPECT_LT(static_cast<double>(world.memory_stats().total()) /
+                static_cast<double>(world.node_count()),
+            192.0);
+}
+
+}  // namespace
+}  // namespace omni::sim

@@ -61,9 +61,11 @@ TEST(WorldTest, NeighborsWithinRange) {
   world.add_node("b", {10, 0});
   world.add_node("c", {50, 0});
   world.add_node("d", {200, 0});
-  auto near = world.neighbors(a, 60.0);
+  std::vector<NodeId> near;
+  world.neighbors(a, 60.0, near);
   EXPECT_EQ(near.size(), 2u);
-  auto all = world.neighbors(a, 1000.0);
+  std::vector<NodeId> all;
+  world.neighbors(a, 1000.0, all);
   EXPECT_EQ(all.size(), 3u);
 }
 
@@ -185,7 +187,8 @@ TEST(WorldTest, NeighborsExcludesSelfNodesNearIncludesIt) {
   World world(sim);
   NodeId a = world.add_node("a", {0, 0});
   world.add_node("b", {10, 0});
-  auto n = world.neighbors(a, 50.0);
+  std::vector<NodeId> n;
+  world.neighbors(a, 50.0, n);
   EXPECT_EQ(n, (std::vector<NodeId>{1}));
   std::vector<NodeId> got;
   world.nodes_near(a, 50.0, got);
