@@ -101,6 +101,11 @@ struct ScalePoint {
   // so within one bench invocation only the largest configuration's row is
   // a true high-water mark; compare like row to like row across runs.
   std::uint64_t peak_rss_kb;
+  // Discovery scheduler telemetry (schema v4): beacons saved vs the floor
+  // rate and the fleet-mean adaptive interval at run end. Under the default
+  // fixed policy both stay at 0 / 500.
+  std::uint64_t beacons_suppressed = 0;
+  double mean_beacon_interval_ms = 0;
   // City section extras (zero elsewhere).
   std::uint64_t crowd_nodes = 0;
   std::uint64_t churn_moves = 0;
@@ -129,14 +134,18 @@ void collect_engine(net::Testbed& bed, ScalePoint& p) {
 /// recorder + metrics live at the always-on profile (per-frame records
 /// gated off), 2 = additionally capture + serialize Perfetto JSON after the
 /// run (timed separately as export_seconds), 3 = full per-frame detail.
-ScalePoint run_point(std::size_t n, unsigned threads, int obs_mode = 0) {
+ScalePoint run_point(std::size_t n, unsigned threads, int obs_mode = 0,
+                     DiscoveryPolicy discovery = {}) {
   net::Testbed bed(42, radio::Calibration::defaults(), threads);
+  bed.set_discovery_policy(discovery);
   // Modes 1/2 measure the always-on profile (counters + lifecycle records,
   // per-frame records off); mode 3 is full per-frame detail.
   if (obs_mode > 0) {
     bed.enable_observability(/*ring_capacity=*/1 << 16,
                              /*detail=*/obs_mode == 3);
   }
+  OmniNodeOptions node_opts;
+  node_opts.manager.discovery = bed.discovery_policy();
   std::size_t side = static_cast<std::size_t>(
       std::ceil(std::sqrt(static_cast<double>(n))));
   std::vector<net::Device*> devices;
@@ -150,7 +159,8 @@ ScalePoint run_point(std::size_t n, unsigned threads, int obs_mode = 0) {
     double x = static_cast<double>(i % side) * kSpacingM;
     double y = static_cast<double>(i / side) * kSpacingM;
     devices.push_back(&bed.add_device("n" + std::to_string(i), {x, y}));
-    nodes.push_back(std::make_unique<OmniNode>(*devices.back(), bed.mesh()));
+    nodes.push_back(
+        std::make_unique<OmniNode>(*devices.back(), bed.mesh(), node_opts));
     nodes.back()->manager().request_context(
         [&contexts](const OmniAddress&, const Bytes&) {
           contexts.fetch_add(1, std::memory_order_relaxed);
@@ -177,10 +187,18 @@ ScalePoint run_point(std::size_t n, unsigned threads, int obs_mode = 0) {
   p.min_peers = nodes.empty() ? 0 : SIZE_MAX;
   p.beacon_decode_skips = 0;
   p.beacon_encodes = 0;
+  double interval_sum_ms = 0;
   for (auto& node : nodes) {
     p.min_peers = std::min(p.min_peers, node->manager().peer_table().size());
     p.beacon_decode_skips += node->manager().stats().beacon_decode_skips;
     p.beacon_encodes += node->manager().stats().beacon_encodes;
+    p.beacons_suppressed += node->manager().stats().beacons_suppressed;
+    interval_sum_ms += static_cast<double>(
+        node->manager().current_beacon_interval().as_millis());
+  }
+  if (!nodes.empty()) {
+    p.mean_beacon_interval_ms =
+        interval_sum_ms / static_cast<double>(nodes.size());
   }
   if (obs_mode > 0) {
     obs::Omniscope& scope = *bed.observability();
@@ -203,8 +221,12 @@ ScalePoint run_point(std::size_t n, unsigned threads, int obs_mode = 0) {
 /// neighborhoods match the plain `core`-node sweep point) inside a crowd of
 /// world-only nodes filling the rest of the constant-density grid, with
 /// deterministic churn walking a slice of the crowd between regions.
-ScalePoint run_city(std::size_t n, std::size_t core, unsigned threads) {
+ScalePoint run_city(std::size_t n, std::size_t core, unsigned threads,
+                    DiscoveryPolicy discovery = {}) {
   net::Testbed bed(42, radio::Calibration::defaults(), threads);
+  bed.set_discovery_policy(discovery);
+  OmniNodeOptions node_opts;
+  node_opts.manager.discovery = bed.discovery_policy();
   std::size_t side = static_cast<std::size_t>(
       std::ceil(std::sqrt(static_cast<double>(n))));
   std::size_t core_side = static_cast<std::size_t>(
@@ -224,7 +246,7 @@ ScalePoint run_city(std::size_t n, std::size_t core, unsigned threads) {
     if (col < core_side && row < core_side && devices.size() < core) {
       devices.push_back(&bed.add_device("n" + std::to_string(i), {x, y}));
       nodes.push_back(
-          std::make_unique<OmniNode>(*devices.back(), bed.mesh()));
+          std::make_unique<OmniNode>(*devices.back(), bed.mesh(), node_opts));
       nodes.back()->manager().request_context(
           [&contexts](const OmniAddress&, const Bytes&) {
             contexts.fetch_add(1, std::memory_order_relaxed);
@@ -264,10 +286,18 @@ ScalePoint run_city(std::size_t n, std::size_t core, unsigned threads) {
   p.min_peers = nodes.empty() ? 0 : SIZE_MAX;
   p.beacon_decode_skips = 0;
   p.beacon_encodes = 0;
+  double interval_sum_ms = 0;
   for (auto& node : nodes) {
     p.min_peers = std::min(p.min_peers, node->manager().peer_table().size());
     p.beacon_decode_skips += node->manager().stats().beacon_decode_skips;
     p.beacon_encodes += node->manager().stats().beacon_encodes;
+    p.beacons_suppressed += node->manager().stats().beacons_suppressed;
+    interval_sum_ms += static_cast<double>(
+        node->manager().current_beacon_interval().as_millis());
+  }
+  if (!nodes.empty()) {
+    p.mean_beacon_interval_ms =
+        interval_sum_ms / static_cast<double>(nodes.size());
   }
   p.crowd_nodes = n - core;
   p.churn_moves = churn.moves_started();
@@ -285,11 +315,16 @@ int main(int argc, char** argv) {
   std::vector<std::size_t> explicit_counts;
   bool huge = false;
   bool smoke = false;
+  DiscoveryPolicy sweep_policy;  // default: fixed 500 ms (paper cadence)
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--huge") == 0) {
       huge = true;
     } else if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
+    } else if (std::strcmp(argv[i], "--discovery=adaptive") == 0) {
+      sweep_policy.mode = DiscoveryPolicy::Mode::kAdaptive;
+    } else if (std::strcmp(argv[i], "--discovery=fixed") == 0) {
+      sweep_policy.mode = DiscoveryPolicy::Mode::kFixed;
     } else {
       explicit_counts.push_back(
           static_cast<std::size_t>(std::atoll(argv[i])));
@@ -307,10 +342,14 @@ int main(int argc, char** argv) {
   bench::Table table({"nodes", "threads", "events", "wall s", "events/s",
                       "speedup", "peak heap", "min peers"});
   bench::BenchReport report("scale");
-  report.set_schema_version(3);
+  report.set_schema_version(4);
   report.set_meta("sim_seconds", bench::fmt(g_sim_seconds, 0));
   report.set_meta("spacing_m", bench::fmt(kSpacingM, 0));
   report.set_meta("seed", "42");
+  report.set_meta("discovery",
+                  sweep_policy.mode == DiscoveryPolicy::Mode::kAdaptive
+                      ? "adaptive"
+                      : "fixed");
   report.set_meta("region_cells",
                   std::to_string(sim::World::kDefaultRegionCells));
   // Speedup numbers only mean something relative to the cores that were
@@ -320,78 +359,111 @@ int main(int argc, char** argv) {
                   std::to_string(std::thread::hardware_concurrency()));
 
   // City section first (see file comment: ru_maxrss is process-monotonic).
+  // The city runs once per discovery policy — fixed (the paper's 500 ms
+  // cadence) then adaptive — each across the thread sweep with a bit-exact
+  // determinism check; adaptive must then cut total events >= 25% vs fixed.
   if (huge) {
     constexpr std::size_t kCityNodes = 100000;
     constexpr std::size_t kCityCore = 1000;
+    constexpr double kCityAdaptiveEventCut = 0.25;
     bench::print_heading("City (100k nodes: 1k devices + 99k crowd, churn)");
-    std::uint64_t events_1t = 0, contexts_1t = 0, migrations_1t = 0;
-    for (unsigned threads : {1u, 2u, 8u}) {
-      ScalePoint p = run_city(kCityNodes, kCityCore, threads);
-      if (threads == 1) {
-        events_1t = p.events;
-        contexts_1t = p.contexts_received;
-        migrations_1t = p.migrations;
-      } else if (p.events != events_1t ||
-                 p.contexts_received != contexts_1t ||
-                 p.migrations != migrations_1t) {
-        std::fprintf(stderr,
-                     "CITY DETERMINISM VIOLATION at %u threads: events %llu "
-                     "vs %llu, contexts %llu vs %llu, migrations %llu vs "
-                     "%llu\n",
-                     threads, static_cast<unsigned long long>(p.events),
-                     static_cast<unsigned long long>(events_1t),
-                     static_cast<unsigned long long>(p.contexts_received),
-                     static_cast<unsigned long long>(contexts_1t),
-                     static_cast<unsigned long long>(p.migrations),
-                     static_cast<unsigned long long>(migrations_1t));
-        return 1;
+    std::uint64_t fixed_events = 0, adaptive_events = 0;
+    for (int adaptive = 0; adaptive <= 1; ++adaptive) {
+      DiscoveryPolicy city_policy;
+      if (adaptive != 0) city_policy.mode = DiscoveryPolicy::Mode::kAdaptive;
+      const char* policy_name = adaptive != 0 ? "adaptive" : "fixed";
+      std::uint64_t events_1t = 0, contexts_1t = 0, migrations_1t = 0;
+      for (unsigned threads : {1u, 2u, 8u}) {
+        ScalePoint p = run_city(kCityNodes, kCityCore, threads, city_policy);
+        if (threads == 1) {
+          events_1t = p.events;
+          contexts_1t = p.contexts_received;
+          migrations_1t = p.migrations;
+          (adaptive != 0 ? adaptive_events : fixed_events) = p.events;
+        } else if (p.events != events_1t ||
+                   p.contexts_received != contexts_1t ||
+                   p.migrations != migrations_1t) {
+          std::fprintf(stderr,
+                       "CITY DETERMINISM VIOLATION (%s) at %u threads: "
+                       "events %llu vs %llu, contexts %llu vs %llu, "
+                       "migrations %llu vs %llu\n",
+                       policy_name, threads,
+                       static_cast<unsigned long long>(p.events),
+                       static_cast<unsigned long long>(events_1t),
+                       static_cast<unsigned long long>(p.contexts_received),
+                       static_cast<unsigned long long>(contexts_1t),
+                       static_cast<unsigned long long>(p.migrations),
+                       static_cast<unsigned long long>(migrations_1t));
+          return 1;
+        }
+        double rss_per_node = static_cast<double>(p.peak_rss_kb) /
+                              static_cast<double>(p.nodes);
+        if (!kSanitizedBuild && rss_per_node > kCityRssBudgetKb) {
+          std::fprintf(stderr,
+                       "CITY RSS BUDGET EXCEEDED: %.2f KB/node > %.2f\n",
+                       rss_per_node, kCityRssBudgetKb);
+          return 1;
+        }
+        if (p.world_bytes_per_node > kWorldBytesBudget) {
+          std::fprintf(stderr,
+                       "WORLD BYTES BUDGET EXCEEDED: %.1f B/node > %.0f\n",
+                       p.world_bytes_per_node, kWorldBytesBudget);
+          return 1;
+        }
+        report.add_row()
+            .field("section", std::string("city"))
+            .field("discovery", std::string(policy_name))
+            .field("nodes", static_cast<std::uint64_t>(p.nodes))
+            .field("crowd_nodes", p.crowd_nodes)
+            .field("threads", static_cast<std::uint64_t>(p.threads))
+            .field("sim_seconds", p.sim_seconds)
+            .field("events", p.events)
+            .field("wall_seconds", p.wall_seconds)
+            .field("events_per_sec", p.events_per_sec)
+            .field("windows", p.windows)
+            .field("global_events", p.global_events)
+            .field("mailbox_posts", p.mailbox_posts)
+            .field("regions", p.regions)
+            .field("migrations", p.migrations)
+            .field("cross_region_mailbox_posts", p.cross_region_mailbox_posts)
+            .field("churn_moves", p.churn_moves)
+            .field("contexts_received", p.contexts_received)
+            .field("min_peers", static_cast<std::uint64_t>(p.min_peers))
+            .field("beacons_suppressed", p.beacons_suppressed)
+            .field("mean_beacon_interval_ms", p.mean_beacon_interval_ms)
+            .field("peak_rss_kb", p.peak_rss_kb)
+            .field("world_bytes_per_node", p.world_bytes_per_node)
+            .field("hardware_threads",
+                   static_cast<std::uint64_t>(
+                       std::thread::hardware_concurrency()));
+        std::printf("  %6zu nodes, %u threads, %-8s: %8.3f s wall, %10.0f "
+                    "events/s  [regions %llu, migrations %llu, xposts %llu, "
+                    "suppressed %llu, rss %.2f KB/node, world %.0f B/node]\n",
+                    p.nodes, p.threads, policy_name, p.wall_seconds,
+                    p.events_per_sec,
+                    static_cast<unsigned long long>(p.regions),
+                    static_cast<unsigned long long>(p.migrations),
+                    static_cast<unsigned long long>(
+                        p.cross_region_mailbox_posts),
+                    static_cast<unsigned long long>(p.beacons_suppressed),
+                    rss_per_node, p.world_bytes_per_node);
       }
-      double rss_per_node = static_cast<double>(p.peak_rss_kb) /
-                            static_cast<double>(p.nodes);
-      if (!kSanitizedBuild && rss_per_node > kCityRssBudgetKb) {
-        std::fprintf(stderr,
-                     "CITY RSS BUDGET EXCEEDED: %.2f KB/node > %.2f\n",
-                     rss_per_node, kCityRssBudgetKb);
-        return 1;
-      }
-      if (p.world_bytes_per_node > kWorldBytesBudget) {
-        std::fprintf(stderr,
-                     "WORLD BYTES BUDGET EXCEEDED: %.1f B/node > %.0f\n",
-                     p.world_bytes_per_node, kWorldBytesBudget);
-        return 1;
-      }
-      report.add_row()
-          .field("section", std::string("city"))
-          .field("nodes", static_cast<std::uint64_t>(p.nodes))
-          .field("crowd_nodes", p.crowd_nodes)
-          .field("threads", static_cast<std::uint64_t>(p.threads))
-          .field("sim_seconds", p.sim_seconds)
-          .field("events", p.events)
-          .field("wall_seconds", p.wall_seconds)
-          .field("events_per_sec", p.events_per_sec)
-          .field("windows", p.windows)
-          .field("global_events", p.global_events)
-          .field("mailbox_posts", p.mailbox_posts)
-          .field("regions", p.regions)
-          .field("migrations", p.migrations)
-          .field("cross_region_mailbox_posts", p.cross_region_mailbox_posts)
-          .field("churn_moves", p.churn_moves)
-          .field("contexts_received", p.contexts_received)
-          .field("min_peers", static_cast<std::uint64_t>(p.min_peers))
-          .field("peak_rss_kb", p.peak_rss_kb)
-          .field("world_bytes_per_node", p.world_bytes_per_node)
-          .field("hardware_threads",
-                 static_cast<std::uint64_t>(
-                     std::thread::hardware_concurrency()));
-      std::printf("  %6zu nodes, %u threads: %8.3f s wall, %10.0f events/s  "
-                  "[regions %llu, migrations %llu, xposts %llu, rss %.2f "
-                  "KB/node, world %.0f B/node]\n",
-                  p.nodes, p.threads, p.wall_seconds, p.events_per_sec,
-                  static_cast<unsigned long long>(p.regions),
-                  static_cast<unsigned long long>(p.migrations),
-                  static_cast<unsigned long long>(
-                      p.cross_region_mailbox_posts),
-                  rss_per_node, p.world_bytes_per_node);
+    }
+    const double cut =
+        fixed_events > 0
+            ? 1.0 - static_cast<double>(adaptive_events) /
+                        static_cast<double>(fixed_events)
+            : 0.0;
+    std::printf("  adaptive event cut vs fixed: %.1f%% (gate >= %.0f%%)\n",
+                cut * 100.0, kCityAdaptiveEventCut * 100.0);
+    if (cut < kCityAdaptiveEventCut) {
+      std::fprintf(stderr,
+                   "CITY ADAPTIVE EVENT CUT TOO SMALL: %.1f%% < %.0f%% "
+                   "(%llu -> %llu events)\n",
+                   cut * 100.0, kCityAdaptiveEventCut * 100.0,
+                   static_cast<unsigned long long>(fixed_events),
+                   static_cast<unsigned long long>(adaptive_events));
+      return 1;
     }
   }
 
@@ -399,7 +471,7 @@ int main(int argc, char** argv) {
     double wall_1t = 0;
     std::uint64_t events_1t = 0;
     for (unsigned threads : thread_counts) {
-      ScalePoint p = run_point(n, threads);
+      ScalePoint p = run_point(n, threads, /*obs_mode=*/0, sweep_policy);
       if (threads == 1) {
         wall_1t = p.wall_seconds;
         events_1t = p.events;
@@ -452,6 +524,8 @@ int main(int argc, char** argv) {
           .field("min_peers", static_cast<std::uint64_t>(p.min_peers))
           .field("beacon_decode_skips", p.beacon_decode_skips)
           .field("beacon_encodes", p.beacon_encodes)
+          .field("beacons_suppressed", p.beacons_suppressed)
+          .field("mean_beacon_interval_ms", p.mean_beacon_interval_ms)
           .field("peak_rss_kb", p.peak_rss_kb)
           // Duplicated from meta so a row extracted on its own still says
           // how many cores its speedup_vs_1t was measured against.

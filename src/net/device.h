@@ -23,6 +23,7 @@ class Device {
          radio::WifiSystem& wifi_system, radio::NanSystem& nan_system,
          NodeId node)
       : node_(node),
+        world_(world),
         meter_(world.simulator(), node),
         ble_(ble_medium, world.simulator(), meter_, node,
              ble_medium.calibration()),
@@ -35,6 +36,7 @@ class Device {
   Device& operator=(const Device&) = delete;
 
   NodeId node() const { return node_; }
+  sim::World& world() { return world_; }
   radio::EnergyMeter& meter() { return meter_; }
   radio::BleRadio& ble() { return ble_; }
   radio::WifiRadio& wifi() { return wifi_; }
@@ -47,6 +49,7 @@ class Device {
 
  private:
   NodeId node_;
+  sim::World& world_;
   radio::EnergyMeter meter_;
   radio::BleRadio ble_;
   radio::WifiRadio wifi_;

@@ -12,6 +12,7 @@
 
 #include "net/device.h"
 #include "obs/omniscope.h"
+#include "omni/discovery_policy.h"
 #include "obs/perfetto.h"
 #include "radio/ble.h"
 #include "radio/calibration.h"
@@ -136,6 +137,15 @@ class Testbed {
     return opts;
   }
 
+  /// Run-wide discovery scheduling policy. The testbed only stores it —
+  /// helpers that assemble OmniNodes on top (benches, tests, the scenario
+  /// runner) read it into ManagerOptions::discovery when constructing nodes.
+  /// Defaults to kFixed, the paper's 500 ms cadence.
+  void set_discovery_policy(const DiscoveryPolicy& policy) {
+    discovery_ = policy;
+  }
+  const DiscoveryPolicy& discovery_policy() const { return discovery_; }
+
   sim::Simulator& simulator() { return sim_; }
   sim::World& world() { return world_; }
   radio::BleMedium& ble_medium() { return ble_medium_; }
@@ -252,6 +262,7 @@ class Testbed {
   std::vector<std::unique_ptr<Device>> devices_;
   sim::TraceRecorder trace_;
   sim::FaultPlan fault_plan_;
+  DiscoveryPolicy discovery_;
   std::unique_ptr<obs::Omniscope> scope_;
 };
 

@@ -8,6 +8,7 @@ const char* rail_name(EnergyRail r) {
     case EnergyRail::kBle: return "ble";
     case EnergyRail::kWifi: return "wifi";
     case EnergyRail::kNan: return "nan";
+    case EnergyRail::kBleScan: return "ble_scan";
   }
   return "other";
 }

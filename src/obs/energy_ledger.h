@@ -22,9 +22,11 @@ namespace omni::obs {
 
 /// Which radio rail a charge belongs to. The paper's Table 3 calibration
 /// currents are all attributable to exactly one of these.
+/// kBleScan splits passive listen cost out of the BLE rail so the adaptive
+/// discovery scheduler's scan-duty savings are directly visible.
 enum class EnergyRail : std::uint8_t { kOther = 0, kBle = 1, kWifi = 2,
-                                       kNan = 3 };
-inline constexpr std::size_t kEnergyRailCount = 4;
+                                       kNan = 3, kBleScan = 4 };
+inline constexpr std::size_t kEnergyRailCount = 5;
 
 const char* rail_name(EnergyRail r);
 
@@ -73,7 +75,8 @@ class EnergyLedger {
 
   MetricsRegistry* registry_ = nullptr;
   MetricId rails_[kEnergyRailCount] = {kInvalidMetric, kInvalidMetric,
-                                       kInvalidMetric, kInvalidMetric};
+                                       kInvalidMetric, kInvalidMetric,
+                                       kInvalidMetric};
 };
 
 }  // namespace omni::obs

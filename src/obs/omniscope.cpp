@@ -40,6 +40,12 @@ void Omniscope::attach(sim::Simulator& sim, std::size_t ring_capacity) {
   core_.beacon_frames_cached = metrics_.counter("mgr.beacon_frames_cached");
   core_.beacon_decode_skips = metrics_.counter("mgr.beacon_decode_skips");
   core_.peer_expire_sweeps = metrics_.counter("mgr.peer_expire_sweeps");
+  static constexpr std::array<double, 7> kIntervalBoundsMs = {
+      250, 500, 1000, 2000, 4000, 8000, 16000};
+  core_.beacons_suppressed = metrics_.counter("mgr.beacons_suppressed");
+  core_.scan_windows_skipped = metrics_.counter("mgr.scan_windows_skipped");
+  core_.beacon_interval_ms =
+      metrics_.histogram("mgr.beacon_interval_ms", kIntervalBoundsMs);
   core_.tech_send[0] = metrics_.counter("tech.ble.sends");
   core_.tech_send[1] = metrics_.counter("tech.nan.sends");
   core_.tech_send[2] = metrics_.counter("tech.wifi_multicast.sends");

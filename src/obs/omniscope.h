@@ -59,6 +59,10 @@ struct CoreMetrics {
   MetricId beacon_frames_cached = kInvalidMetric;  ///< sends from the cache
   MetricId beacon_decode_skips = kInvalidMetric;   ///< digest-memo rx hits
   MetricId peer_expire_sweeps = kInvalidMetric;    ///< periodic expiry sweeps
+  // Adaptive discovery scheduler (DiscoveryPolicy; see DESIGN.md).
+  MetricId beacons_suppressed = kInvalidMetric;    ///< beacons saved vs floor
+  MetricId scan_windows_skipped = kInvalidMetric;  ///< probe duty below default
+  MetricId beacon_interval_ms = kInvalidMetric;    ///< histogram, per tick
   // Technology plugins (one send counter per technology).
   MetricId tech_send[4] = {kInvalidMetric, kInvalidMetric, kInvalidMetric,
                            kInvalidMetric};

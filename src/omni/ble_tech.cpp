@@ -1,5 +1,7 @@
 #include "omni/ble_tech.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 #include "obs/omniscope.h"
 #include "net/link_frame.h"
@@ -8,6 +10,12 @@ namespace omni {
 
 BleTech::BleTech(radio::BleRadio& radio, Options options)
     : radio_(radio), options_(options) {}
+
+double BleTech::effective_scan_duty() const {
+  const double base = engaged_ ? 1.0 : options_.probe_scan_duty;
+  return scan_duty_override_ > 0.0 ? std::min(scan_duty_override_, base)
+                                   : base;
+}
 
 EnableResult BleTech::enable(const TechQueues& queues) {
   OMNI_CHECK_MSG(!enabled_, "BleTech already enabled");
@@ -29,7 +37,8 @@ EnableResult BleTech::enable(const TechQueues& queues) {
       queues_.response->push(
           TechResponse::status_change(Technology::kBle, false));
     } else {
-      radio_.set_scanning(true, engaged_ ? 1.0 : options_.probe_scan_duty);
+      radio_.set_scanning(true, effective_scan_duty(),
+                          scan_duty_override_ > 0.0);
       queues_.response->push(
           TechResponse::status_change(Technology::kBle, true));
     }
@@ -39,7 +48,8 @@ EnableResult BleTech::enable(const TechQueues& queues) {
     queues_.response->push(TechResponse::address_change(
         Technology::kBle, LowLevelAddress{fresh}));
   });
-  radio_.set_scanning(true, engaged_ ? 1.0 : options_.probe_scan_duty);
+  radio_.set_scanning(true, effective_scan_duty(),
+                      scan_duty_override_ > 0.0);
   queues_.send->set_consumer([this] { drain_send_queue(); });
   return EnableResult{Technology::kBle, LowLevelAddress{radio_.address()}};
 }
@@ -77,7 +87,18 @@ Duration BleTech::estimate_data_time(std::size_t /*bytes*/,
 void BleTech::set_engaged(bool engaged) {
   engaged_ = engaged;
   if (enabled_) {
-    radio_.set_scanning(true, engaged_ ? 1.0 : options_.probe_scan_duty);
+    radio_.set_scanning(true, effective_scan_duty(),
+                        scan_duty_override_ > 0.0);
+  }
+}
+
+void BleTech::set_discovery_scan_duty(double duty) {
+  if (duty <= 0.0 || duty > 1.0) duty = 0.0;  // clear the cap
+  if (duty == scan_duty_override_) return;
+  scan_duty_override_ = duty;
+  if (enabled_) {
+    radio_.set_scanning(true, effective_scan_duty(),
+                        scan_duty_override_ > 0.0);
   }
 }
 

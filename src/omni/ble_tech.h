@@ -42,6 +42,15 @@ class BleTech final : public CommTechnology {
   void set_engaged(bool engaged) override;
   bool engaged() const override { return engaged_; }
 
+  /// Discovery-policy listen scheduling: the manager caps the scan duty when
+  /// the neighborhood is saturated and stable, and clears the cap (duty = 0)
+  /// when it changes. Applies to both engaged (default duty 1.0) and probe
+  /// (options_.probe_scan_duty) listening; data datagrams ride reliable
+  /// bursts and are unaffected.
+  void set_discovery_scan_duty(double duty) override;
+  /// The duty the scanner currently runs at (tests / benches).
+  double effective_scan_duty() const;
+
  private:
   void drain_send_queue();
   void process(SendRequest request);
@@ -54,6 +63,8 @@ class BleTech final : public CommTechnology {
   TechQueues queues_;
   bool enabled_ = false;
   bool engaged_ = true;
+  /// Discovery-policy duty cap; 0 = none (see set_discovery_scan_duty).
+  double scan_duty_override_ = 0.0;
   std::map<ContextId, radio::AdvertisementId> context_advs_;
 };
 

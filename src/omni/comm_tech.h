@@ -195,6 +195,15 @@ class CommTechnology {
   /// global owner; node-local media (BLE, NAN) run on the hosting node's
   /// shard.
   virtual bool uses_shared_medium() const { return false; }
+
+  /// Discovery-policy hook (Karowski-Miller optimized passive scanning): cap
+  /// the passive listen duty cycle at `duty` while the manager judges the
+  /// neighborhood saturated and stable. 0 (or out-of-range) clears the
+  /// override and restores the plugin's own duty (full listen when engaged,
+  /// its probe duty otherwise). Only periodic-discovery traffic is subject
+  /// to the capture trial this duty scales; reliable data bursts are not.
+  /// Plugins without a duty-cycled scanner may ignore it.
+  virtual void set_discovery_scan_duty(double /*duty*/) {}
 };
 
 }  // namespace omni

@@ -11,6 +11,7 @@
 #include "common/hash.h"
 #include "common/logging.h"
 #include "net/link_frame.h"
+#include "sim/world.h"
 
 namespace omni {
 
@@ -82,6 +83,11 @@ OmniManager::OmniManager(sim::Simulator& sim, OmniAddress self,
   current_beacon_interval_ = options_.adaptive_beacon.enabled
                                  ? options_.adaptive_beacon.min_interval
                                  : options_.beacon_interval;
+  if (options_.discovery.mode == DiscoveryPolicy::Mode::kAdaptive) {
+    // The discovery scheduler starts at its floor (paper-faithful cadence)
+    // and only backs off once the neighborhood proves dense and stable.
+    current_beacon_interval_ = options_.discovery.floor;
+  }
   if (!options_.context_key.empty()) {
     cipher_.emplace(std::span<const std::uint8_t>(options_.context_key));
     // Derive a device-unique nonce space so two devices sharing a key never
@@ -156,7 +162,11 @@ bool OmniManager::technology_beaconing(Technology tech) const {
 
 Duration OmniManager::backoff_delay(int attempt) {
   const auto& sh = options_.self_healing;
-  Duration d = sh.backoff_base;
+  // Base scales with the live beacon cadence: when the discovery scheduler
+  // has backed the interval off past backoff_base, retrying faster than we
+  // advertise is wasted work. At the defaults (500 ms base, 500 ms fixed
+  // interval) this is exactly the historical backoff_base.
+  Duration d = std::max(sh.backoff_base, current_beacon_interval_);
   for (int i = 1; i < attempt && d < sh.backoff_max; ++i) d = d + d;
   if (d > sh.backoff_max) d = sh.backoff_max;
   if (sh.backoff_jitter > 0) {
@@ -512,6 +522,9 @@ void OmniManager::schedule_maintenance() {
 
 void OmniManager::adapt_beacon_interval() {
   if (!options_.adaptive_beacon.enabled) return;
+  // The DiscoveryPolicy controller subsumes this legacy ablation knob; if
+  // both are armed the newer controller owns the interval.
+  if (options_.discovery.mode == DiscoveryPolicy::Mode::kAdaptive) return;
   // Hash the neighborhood: the set of known peers and the technologies they
   // were heard on. A change means churn -> beacon aggressively; stability
   // means the interval can back off (halving the idle beacon energy per
@@ -543,6 +556,195 @@ void OmniManager::adapt_beacon_interval() {
   }
 }
 
+// --- Adaptive discovery scheduler (DiscoveryPolicy::kAdaptive) ---------------
+//
+// Every input is owner-local and deterministic: the PeerTable insert counter,
+// the World's static neighbor cache (queried from this node's own shard
+// context), and an owner-hashed jitter stream. No simulator RNG draw, no
+// cross-shard read — results are bit-identical at any --threads.
+
+std::size_t OmniManager::discovery_occupancy() {
+  if (options_.world != nullptr && options_.owner != sim::kGlobalOwner) {
+    // Region occupancy: residents within radio range, whether or not they
+    // beacon with our key. This sees crowd density the PeerTable cannot.
+    options_.world->nodes_near(static_cast<NodeId>(options_.owner),
+                               options_.discovery.density_range_m,
+                               density_scratch_);
+    // nodes_near includes the querying node itself; occupancy counts
+    // *neighbors*, so an isolated pair must read 1, not 2.
+    std::size_t region = density_scratch_.size();
+    if (region > 0) --region;
+    return std::max(region, peers_.size());
+  }
+  return peers_.size();
+}
+
+Duration OmniManager::scaled_context_interval(Duration app_interval) const {
+  if (options_.discovery.mode != DiscoveryPolicy::Mode::kAdaptive) {
+    return app_interval;
+  }
+  const std::int64_t floor_us = options_.discovery.floor.as_micros();
+  const std::int64_t cur_us = current_beacon_interval_.as_micros();
+  if (floor_us <= 0 || cur_us <= floor_us) return app_interval;
+  return app_interval * (static_cast<double>(cur_us) /
+                         static_cast<double>(floor_us));
+}
+
+void OmniManager::push_beacon_interval(Duration interval) {
+  current_beacon_interval_ = interval;
+  // Owner-hashed deterministic jitter on the *advertised* interval:
+  // desynchronizes neighbors that would otherwise back off in lockstep,
+  // without touching any simulator RNG stream. The unjittered value stays in
+  // current_beacon_interval_ so controller decisions (and tests) compare
+  // against exact tier values.
+  //
+  // The jittered value is then quantized back onto the floor lattice
+  // (nearest multiple of the floor, never below it). Neighbors that started
+  // together and back off by doubling keep beaconing at shared instants, so
+  // the medium's per-window delivery batching survives the backoff — an
+  // un-quantized interval would spread receptions over distinct windows and
+  // *raise* the event count while lowering the beacon count.
+  const double jitter = options_.discovery.jitter;
+  Duration adv = interval;
+  if (jitter > 0.0) {
+    const std::uint64_t h = mix64(self_.value ^ mix64(++discovery_draws_));
+    const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+    adv = interval * (1.0 + jitter * (2.0 * u - 1.0));
+  }
+  const std::int64_t lattice_us = options_.discovery.floor.as_micros();
+  if (lattice_us > 0) {
+    std::int64_t q_us =
+        (adv.as_micros() + lattice_us / 2) / lattice_us * lattice_us;
+    if (q_us < lattice_us) q_us = lattice_us;
+    adv = Duration::micros(q_us);
+  }
+  for (auto& s : slots_) {
+    if (!s.up || !s.beaconing) continue;
+    SendRequest req;
+    req.request_id = next_request_id();
+    req.op = SendOp::kUpdateContext;
+    req.context_id = beacon_context_id(s.type);
+    req.interval = adv;
+    req.packed = beacon_wire();
+    s.send_queue->push(std::move(req));
+  }
+  // Re-pace the application contexts by the same backoff factor: their
+  // receivers are the very peers whose saturation drove the interval up, and
+  // a new-peer snap restores the app-chosen cadence instantly. The paper
+  // leaves adaptive context cadence as future work (ContextParams::interval);
+  // the discovery controller supplies the density signal it was missing.
+  // These updates carry no attempt bookkeeping — a failed re-pace (e.g. a
+  // context whose add is still in flight) is a silent no-op and the next
+  // interval change retries.
+  for (auto& s : slots_) {
+    if (!s.up) continue;
+    for (ContextId id : contexts_.on_tech(s.type)) {
+      if (is_internal_context(id)) continue;
+      ContextRecord* rec = contexts_.find(id);
+      if (rec == nullptr || !rec->active) continue;
+      SendRequest req;
+      req.request_id = next_request_id();
+      req.op = SendOp::kUpdateContext;
+      req.context_id = id;
+      req.interval = scaled_context_interval(rec->params.interval);
+      req.packed = packed_context(*rec);
+      s.send_queue->push(std::move(req));
+    }
+  }
+  if (obs::Omniscope* sc = scope_of(sim_)) {
+    sc->observe_on(options_.owner, sc->core().beacon_interval_ms,
+                   static_cast<double>(interval.as_millis()));
+  }
+}
+
+void OmniManager::discovery_snap_to_floor() {
+  const DiscoveryPolicy& p = options_.discovery;
+  if (current_beacon_interval_ > p.floor) {
+    push_beacon_interval(p.floor);
+  }
+  if (discovery_scan_duty_ != 0.0) {
+    discovery_scan_duty_ = 0.0;
+    for (auto& s : slots_) s.tech->set_discovery_scan_duty(0.0);
+  }
+}
+
+void OmniManager::discovery_note_inserts() {
+  if (options_.discovery.mode != DiscoveryPolicy::Mode::kAdaptive) return;
+  const std::uint64_t ins = peers_.inserts();
+  if (ins == discovery_last_inserts_) return;
+  // A genuinely new peer appeared (refreshes don't move the insert counter):
+  // re-advertise at the floor right away so the entrant's discovery latency
+  // is bounded by the floor, not by the backed-off interval, and restore the
+  // full listen duty. The consumed delta also marks this window as churned,
+  // so the next tick ramps from the floor instead of holding the ceiling.
+  discovery_last_inserts_ = ins;
+  discovery_snap_to_floor();
+}
+
+void OmniManager::discovery_tick() {
+  const DiscoveryPolicy& p = options_.discovery;
+  if (p.mode != DiscoveryPolicy::Mode::kAdaptive) return;
+  // New-peer rate since the last look. The receive path normally consumes
+  // inserts as they happen (discovery_note_inserts), so a nonzero delta here
+  // only catches churn on paths that bypassed it.
+  const std::uint64_t ins = peers_.inserts();
+  const bool churned = ins != discovery_last_inserts_;
+  discovery_last_inserts_ = ins;
+
+  // Density-tiered ceiling: a dense neighborhood has redundant beacon
+  // coverage and tolerates the slowest cadence; a sparse-but-nonempty one
+  // backs off conservatively; an isolated node holds the floor so a first
+  // encounter is never slower than the paper's fixed schedule.
+  const std::size_t occupancy = discovery_occupancy();
+  Duration allowed = p.floor;
+  if (occupancy >= p.dense_peers) {
+    allowed = p.ceiling;
+  } else if (occupancy >= p.sparse_peers) {
+    allowed = p.sparse_ceiling;
+  }
+  Duration target = churned
+                        ? p.floor
+                        : std::min(allowed, current_beacon_interval_ * p.ramp);
+  if (target < p.floor) target = p.floor;
+  if (target != current_beacon_interval_) push_beacon_interval(target);
+
+  // Beacons saved versus the floor cadence over the window just ending.
+  if (current_beacon_interval_ > p.floor) {
+    const double saved = options_.probe_interval / p.floor -
+                         options_.probe_interval / current_beacon_interval_;
+    const auto n = static_cast<std::uint64_t>(saved > 0.0 ? saved + 0.5 : 0.0);
+    if (n > 0) {
+      stats_.beacons_suppressed += n;
+      if (obs::Omniscope* sc = scope_of(sim_)) {
+        sc->count_on(options_.owner, sc->core().beacons_suppressed, n);
+      }
+    }
+  }
+
+  // Karowski-Miller listen scheduling: once the neighborhood is saturated
+  // (dense) and stable (no churn), a full-duty passive scan mostly re-hears
+  // peers it already knows. Cap the duty so expected distinct coverage per
+  // maintenance window stays ~dense_peers sightings; the cap only scales the
+  // capture probability of periodic discovery traffic — reliable data bursts
+  // bypass the capture trial entirely (see BleMedium::broadcast).
+  double duty = 0.0;
+  if (!churned && occupancy >= p.dense_peers && occupancy > 0) {
+    duty = static_cast<double>(p.dense_peers) / static_cast<double>(occupancy);
+    duty = std::clamp(duty, p.min_scan_duty, 1.0);
+    if (duty >= 1.0) duty = 0.0;  // full duty == no cap
+  }
+  if (duty != discovery_scan_duty_) {
+    discovery_scan_duty_ = duty;
+    for (auto& s : slots_) s.tech->set_discovery_scan_duty(duty);
+  }
+  if (duty > 0.0) {
+    ++stats_.scan_windows_skipped;
+    if (obs::Omniscope* sc = scope_of(sim_)) {
+      sc->count_on(options_.owner, sc->core().scan_windows_skipped);
+    }
+  }
+}
+
 void OmniManager::schedule_peer_sweep() {
   // Amortized, owner-local peer expiry (no per-reception scans): the sweep
   // self-reschedules before doing its work, so at every shared instant its
@@ -555,7 +757,19 @@ void OmniManager::schedule_peer_sweep() {
       sim_.after_on(options_.owner, interval, [this] {
         if (!running_) return;
         schedule_peer_sweep();
-        peers_.expire(sim_.now(), options_.peer_ttl);
+        // Under the adaptive policy the horizon stretches with each peer's
+        // observed beacon interval so that a backed-off beaconer gets the
+        // same missed-beacon budget (ttl / floor tries) the fixed baseline
+        // grants a floor-rate one — scaling wall-clock alone leaves the
+        // sweep racing capture losses around every ramp transition.
+        const std::int64_t floor_us =
+            std::max<std::int64_t>(1, options_.discovery.floor.as_micros());
+        const double hint_scale =
+            options_.discovery.mode == DiscoveryPolicy::Mode::kAdaptive
+                ? static_cast<double>(options_.peer_ttl.as_micros()) /
+                      static_cast<double>(floor_us)
+                : 0.0;
+        peers_.expire(sim_.now(), options_.peer_ttl, hint_scale);
         ++stats_.peer_expire_sweeps;
         if (obs::Omniscope* sc = scope_of(sim_)) {
           sc->count_on(options_.owner, sc->core().peer_expire_sweeps);
@@ -564,6 +778,7 @@ void OmniManager::schedule_peer_sweep() {
 }
 
 void OmniManager::maintenance_tick() {
+  discovery_tick();
   adapt_beacon_interval();
   if (!options_.enable_engagement) return;
   // Disengage any engaged non-primary context technology on which every
@@ -748,6 +963,8 @@ void OmniManager::beacon_refresh(Technology tech, const LowLevelAddress& from,
     peers_.observe_all(e.source, std::span(sightings.data(), n), now);
     e.peer_idx = peers_.index_of(e.source);
     e.peer_gen = peers_.generation();
+    // The stale-pin fallback can re-insert an expired peer.
+    discovery_note_inserts();
   }
 }
 
@@ -770,6 +987,8 @@ void OmniManager::context_refresh(Technology tech, const LowLevelAddress& from,
     peers_.observe(e.source, tech, from, now, refresh_needed);
     e.peer_idx = peers_.index_of(e.source);
     e.peer_gen = peers_.generation();
+    // The stale-pin fallback can re-insert an expired peer.
+    discovery_note_inserts();
   }
   if (options_.enable_engagement &&
       (tech == Technology::kBle ||
@@ -995,6 +1214,7 @@ void OmniManager::handle_packet(Technology tech, const LowLevelAddress& from,
     case PacketKind::kRelayed:
       break;  // handled above
   }
+  discovery_note_inserts();
 }
 
 void OmniManager::handle_relayed_packet(const PackedStruct& outer) {
@@ -1033,6 +1253,7 @@ void OmniManager::handle_relayed_packet(const PackedStruct& outer) {
       return;
   }
 
+  discovery_note_inserts();
   // Forward further if the hop budget allows.
   if (outer.hops_remaining > 0 && options_.context_relay_hops > 0) {
     PackedStruct rewrapped = PackedStruct::relayed(
@@ -1348,7 +1569,7 @@ void OmniManager::dispatch_context_add(ContextRecord& record) {
   req.request_id = next_request_id();
   req.op = SendOp::kAddContext;
   req.context_id = record.id;
-  req.interval = record.params.interval;
+  req.interval = scaled_context_interval(record.params.interval);
   req.packed = std::move(packed);
   req.callback = record.callback;
   ContextAttempt attempt;
@@ -1442,7 +1663,7 @@ void OmniManager::update_context(ContextId id, const ContextParams& params,
   req.request_id = next_request_id();
   req.op = SendOp::kUpdateContext;
   req.context_id = id;
-  req.interval = rec->params.interval;
+  req.interval = scaled_context_interval(rec->params.interval);
   req.packed = std::move(packed);
   req.callback = rec->callback;
   ContextAttempt attempt;

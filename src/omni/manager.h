@@ -33,6 +33,7 @@
 #include "common/types.h"
 #include "omni/comm_tech.h"
 #include "omni/context_registry.h"
+#include "omni/discovery_policy.h"
 #include "omni/packed_struct.h"
 #include "omni/peer_table.h"
 #include "omni/queues.h"
@@ -41,6 +42,10 @@
 #include "sim/simulator.h"
 
 namespace omni {
+
+namespace sim {
+class World;
+}
 
 struct ManagerOptions {
   /// Address beacon interval; the paper fixes it at 500 ms.
@@ -99,6 +104,18 @@ struct ManagerOptions {
     Duration max_interval = Duration::seconds(4);
   };
   AdaptiveBeacon adaptive_beacon;
+
+  /// Density-aware discovery scheduling (ROADMAP item 4; subsumes the
+  /// AdaptiveBeacon ablation knob above). kFixed — the default — reproduces
+  /// the fixed 500 ms cadence bit-for-bit; kAdaptive arms the beacon-interval
+  /// controller and the Karowski-Miller listen-duty controller in
+  /// maintenance_tick().
+  DiscoveryPolicy discovery;
+
+  /// Optional world handle for the discovery controller's region-occupancy
+  /// signal (OmniNode wires the hosting device's world). Null = fall back to
+  /// live PeerTable occupancy only.
+  const sim::World* world = nullptr;
 
   /// Execution owner of this manager under the parallel engine: the hosting
   /// device's node id pins the manager's queues and timers to that node's
@@ -163,6 +180,9 @@ struct ManagerStats {
   std::uint64_t beacon_rearms = 0;       ///< beacon re-arm retries scheduled
   std::uint64_t quarantines = 0;         ///< flap circuit-breaker trips
   std::uint64_t overload_rejections = 0; ///< sends refused at max_pending_ops
+  // Adaptive discovery scheduler.
+  std::uint64_t beacons_suppressed = 0;    ///< beacons saved vs the floor rate
+  std::uint64_t scan_windows_skipped = 0;  ///< ticks with probe duty lowered
 };
 
 class OmniManager : private InlinePacketSink {
@@ -217,6 +237,8 @@ class OmniManager : private InlinePacketSink {
   Duration current_beacon_interval() const {
     return current_beacon_interval_;
   }
+  /// Scan-duty cap pushed by the discovery scheduler (0 = no cap).
+  double discovery_scan_duty() const { return discovery_scan_duty_; }
   /// Leak-invariant probes: every op table must drain to empty once every
   /// operation has completed or timed out (and always after stop()).
   std::size_t pending_data_count() const { return pending_data_.size(); }
@@ -301,6 +323,31 @@ class OmniManager : private InlinePacketSink {
   void schedule_maintenance();
   void schedule_peer_sweep();
   void adapt_beacon_interval();
+
+  // Adaptive discovery scheduler (options_.discovery, kAdaptive mode only;
+  // see DESIGN.md "Adaptive discovery"). All methods are no-ops under kFixed.
+  /// Per-maintenance-tick controller: ramps the beacon interval toward the
+  /// density-tiered ceiling while the neighborhood is stable, and caps the
+  /// passive scan duty once it is saturated.
+  void discovery_tick();
+  /// Event-driven reset: a previously-unknown peer was just inserted, so
+  /// re-advertise at the floor immediately (entrant discovery latency stays
+  /// bounded by the floor, not the backed-off interval).
+  void discovery_snap_to_floor();
+  /// Receive-path hook: snaps to the floor when the PeerTable insert counter
+  /// moved since the last check (a genuinely new peer, not a refresh).
+  void discovery_note_inserts();
+  /// Push `interval` (owner-hash jittered) to every beaconing slot.
+  void push_beacon_interval(Duration interval);
+  /// Neighborhood occupancy signal: region residents in radio range via the
+  /// World when wired, else live PeerTable size.
+  std::size_t discovery_occupancy();
+  /// The application-chosen context advertisement interval, scaled by the
+  /// adaptive backoff factor (current interval / floor) once the controller
+  /// has backed off — re-broadcasting an unchanged context into a saturated
+  /// stable neighborhood is the same redundant load as over-beaconing.
+  /// Identity under kFixed and at the floor.
+  Duration scaled_context_interval(Duration app_interval) const;
 
   /// The beacon wire frame, re-encoded (and re-sealed) only when stale: the
   /// cache keys on the beacon-info generation and the context-set
@@ -519,6 +566,17 @@ class OmniManager : private InlinePacketSink {
   // Adaptive beaconing state.
   Duration current_beacon_interval_;
   std::uint64_t last_neighborhood_hash_ = 0;
+
+  // Discovery scheduler state (all inert under DiscoveryPolicy::kFixed).
+  /// Dedicated jitter draw counter — separate from backoff_draws_ so arming
+  /// the policy never perturbs the self-healing jitter sequence.
+  std::uint64_t discovery_draws_ = 0;
+  /// PeerTable::inserts() at the last tick (new-peer rate signal).
+  std::uint64_t discovery_last_inserts_ = 0;
+  /// Scan-duty cap currently pushed to the plugins (0 = no cap).
+  double discovery_scan_duty_ = 0.0;
+  /// Scratch for World::nodes_near (no allocation in steady state).
+  std::vector<NodeId> density_scratch_;
 };
 
 }  // namespace omni

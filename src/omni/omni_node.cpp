@@ -8,6 +8,8 @@ OmniNode::OmniNode(net::Device& device, radio::MeshNetwork& mesh,
   // Pin the manager's timers and node-local queues to the hosting node's
   // shard so independent devices execute in parallel under the engine.
   options_.manager.owner = device_.node();
+  // Discovery scheduler density signal (only consulted under kAdaptive).
+  options_.manager.world = &device_.world();
   manager_ = std::make_unique<OmniManager>(device_.meter().simulator(),
                                            device_.omni_address(),
                                            options_.manager);

@@ -10,6 +10,28 @@ namespace {
 
 constexpr std::size_t kMinBuckets = 16;
 
+// Ceiling on the learned inter-arrival hint: twice the adaptive policy's
+// default interval ceiling. Without it, one sighting after a long absence
+// (peer out of range, radio blackout) would teach an enormous "interval" and
+// make the entry near-immortal in expire().
+constexpr Duration kMaxIntervalHint = Duration::seconds(16);
+
+// Fold one observed sighting gap into the entry's inter-arrival hint. Jumps
+// up immediately (a peer that backed off should get the longer horizon right
+// away) and smooths down (one fast duplicate — e.g. a probe response between
+// beacons — shouldn't collapse the horizon).
+void update_interval_hint(PeerEntry& entry, TimePoint now) {
+  const Duration gap = now - entry.last_seen;
+  if (gap <= Duration::zero()) return;
+  Duration hint = entry.interval_hint;
+  if (hint.is_zero() || gap >= hint) {
+    hint = gap;
+  } else {
+    hint = (hint + gap) / 2;
+  }
+  entry.interval_hint = std::min(hint, kMaxIntervalHint);
+}
+
 void record(PeerEntry& entry, Technology tech, LowLevelAddress low,
             TimePoint now, bool requires_refresh) {
   auto it = entry.techs.find(tech);
@@ -64,6 +86,7 @@ PeerEntry& PeerTable::get_or_insert(OmniAddress peer) {
     i = (i + 1) & mask;
   }
   buckets_[i] = Bucket{peer.value, static_cast<std::uint32_t>(entries_.size())};
+  ++inserts_;
   PeerEntry& entry = entries_.emplace_back();
   entry.address = peer;
   return entry;
@@ -103,7 +126,9 @@ void PeerTable::erase_entry(std::uint32_t idx) {
 void PeerTable::observe(OmniAddress peer, Technology tech, LowLevelAddress low,
                         TimePoint now, bool requires_refresh) {
   if (!peer.is_valid() || is_unset(low)) return;
+  const std::uint64_t before = inserts_;
   PeerEntry& entry = get_or_insert(peer);
+  if (inserts_ == before) update_interval_hint(entry, now);
   entry.last_seen = now;
   record(entry, tech, std::move(low), now, requires_refresh);
 }
@@ -116,7 +141,9 @@ void PeerTable::observe_all(OmniAddress peer,
   for (const Sighting& s : sightings) {
     if (is_unset(s.low)) continue;
     if (entry == nullptr) {
+      const std::uint64_t before = inserts_;
       entry = &get_or_insert(peer);
+      if (inserts_ == before) update_interval_hint(*entry, now);
       entry->last_seen = now;
     }
     record(*entry, s.tech, s.low, now, s.requires_refresh);
@@ -150,7 +177,10 @@ bool PeerTable::refresh_pinned(std::uint32_t idx, std::uint32_t gen,
     if (!s.requires_refresh) it->second.requires_refresh = false;
     any = true;
   }
-  if (any) entry.last_seen = now;
+  if (any) {
+    update_interval_hint(entry, now);
+    entry.last_seen = now;
+  }
   return true;
 }
 
@@ -215,12 +245,23 @@ bool PeerTable::reachable_on_lower_energy(OmniAddress peer, Technology tech,
   return false;
 }
 
-std::size_t PeerTable::expire(TimePoint now, Duration ttl) {
+std::size_t PeerTable::expire(TimePoint now, Duration ttl,
+                              double hint_ttl_scale) {
   std::size_t removed = 0;
   for (std::uint32_t i = 0; i < entries_.size();) {
+    // When asked, scale the horizon by the observed beacon interval: a peer
+    // heard every 8 s must not be dropped by a ttl tuned for 500 ms
+    // beaconers. The manager passes ttl/floor (the fixed baseline's count of
+    // missed-beacon tries) only under the adaptive discovery policy, so a
+    // backed-off peer gets the same loss budget as a floor-rate one and
+    // fixed-cadence deployments keep the exact plain-ttl sweep.
+    const Duration eff =
+        hint_ttl_scale > 0.0
+            ? std::max(ttl, entries_[i].interval_hint * hint_ttl_scale)
+            : ttl;
     TechMap& techs = entries_[i].techs;
     for (auto tit = techs.begin(); tit != techs.end();) {
-      if (now - tit->second.last_seen > ttl) {
+      if (now - tit->second.last_seen > eff) {
         tit = techs.erase(tit);
       } else {
         ++tit;

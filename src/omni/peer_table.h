@@ -130,6 +130,12 @@ struct PeerEntry {
   OmniAddress address;
   TechMap techs;
   TimePoint last_seen;
+  /// Observed beacon inter-arrival (EWMA-ish: jumps up, smooths down; zero
+  /// until the second sighting). Under adaptive discovery a sparse-region
+  /// peer may advertise every several seconds; the expiry sweep scales its
+  /// staleness horizon by this hint so long-interval peers aren't falsely
+  /// expired.
+  Duration interval_hint;
 
   bool reachable_on(Technology tech) const {
     return techs.find(tech) != techs.end();
@@ -200,11 +206,23 @@ class PeerTable {
                                  TimePoint now, Duration ttl) const;
 
   /// Drop per-technology mappings older than `ttl`, and peers with no
-  /// mapping left. Returns the number of peers removed.
-  std::size_t expire(TimePoint now, Duration ttl);
+  /// mapping left. With `hint_ttl_scale` > 0, a peer whose observed beacon
+  /// interval (interval_hint) is long gets a proportionally longer horizon —
+  /// max(ttl, hint * scale) — so adaptive long-interval beaconers survive
+  /// the sweep. The manager passes ttl/floor (= the fixed baseline's tally
+  /// of missed-beacon tries, 20 at the defaults), preserving the paper's
+  /// loss tolerance rather than its wall-clock horizon; 0 (the default)
+  /// keeps the exact plain-ttl semantics. Returns the number of peers
+  /// removed.
+  std::size_t expire(TimePoint now, Duration ttl, double hint_ttl_scale = 0.0);
 
   std::size_t size() const { return entries_.size(); }
   bool empty() const { return entries_.empty(); }
+
+  /// Monotonic count of peers ever inserted (never decremented by expiry).
+  /// The discovery scheduler diffs this across maintenance ticks to detect
+  /// genuinely-new neighbors without scanning the table.
+  std::uint64_t inserts() const { return inserts_; }
 
   // --- Pinned refresh (the beacon memo's probe-free path).
   //
@@ -268,6 +286,7 @@ class PeerTable {
   std::vector<Bucket> buckets_;   // power-of-two capacity, linear probing
   std::vector<PeerEntry> entries_;  // dense, insertion-ordered
   std::uint32_t generation_ = 0;  // see generation()
+  std::uint64_t inserts_ = 0;     // see inserts()
 };
 
 }  // namespace omni

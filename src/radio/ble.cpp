@@ -1,11 +1,45 @@
 #include "radio/ble.h"
 
 #include <algorithm>
+#include <cmath>
 
+#include "common/hash.h"
 #include "obs/omniscope.h"
 #include "sim/fault_plan.h"
 
 namespace omni::radio {
+
+namespace {
+
+/// Deterministic slotted listen schedule (set_scanning's `slotted` duty).
+///
+/// Openness of fixed 500 ms slots follows a golden-ratio rotation with a
+/// receiver-keyed phase: slot s is open iff fract(s*phi + phase) < duty.
+/// The slot width equals the beacon-interval floor, so a floor-rate
+/// advertiser (every new arrival beacons at the floor) advances the
+/// rotation by the full golden step per beacon and hits open slots with
+/// frequency exactly `duty` and bounded miss runs (three-distance theorem)
+/// — unlike an independent Bernoulli trial, whose geometric loss tails can
+/// starve a peer's freshness long enough to outrun any finite expiry
+/// horizon, and unlike a sub-floor slot width, whose per-beacon rotation
+/// step fract(k*phi) can be near-resonant and bunch the misses. Pure
+/// function of (receiver, arrival slot), so it is bit-identical at any
+/// thread count and costs no RNG draw.
+constexpr std::int64_t kListenSlotUs = 500'000;
+constexpr double kGoldenFract = 0.6180339887498949;
+
+bool listen_slot_open(NodeId node, TimePoint at, double duty) {
+  const std::int64_t slot = at.as_micros() / kListenSlotUs;
+  const double phase =
+      static_cast<double>(splitmix64(static_cast<std::uint64_t>(node) + 1) >>
+                          11) *
+      0x1.0p-53;
+  double x = static_cast<double>(slot) * kGoldenFract + phase;
+  x -= std::floor(x);
+  return x < duty;
+}
+
+}  // namespace
 
 BleRadio::BleRadio(BleMedium& medium, sim::Simulator& sim, EnergyMeter& meter,
                    NodeId node, const Calibration& cal)
@@ -53,13 +87,16 @@ void BleRadio::rotate_address() {
 
 void BleRadio::apply_scan_level() {
   double ma = (powered_ && scanning_) ? cal_.ble_scan_ma * scan_duty_ : 0.0;
-  meter_.set_level("ble.scan", ma, obs::EnergyRail::kBle);
+  // Passive listen cost rides its own ledger rail so discovery-policy scan
+  // savings are separable from advertise/rx charges.
+  meter_.set_level("ble.scan", ma, obs::EnergyRail::kBleScan);
 }
 
-void BleRadio::set_scanning(bool enabled, double duty) {
+void BleRadio::set_scanning(bool enabled, double duty, bool slotted) {
   OMNI_CHECK_MSG(duty > 0.0 && duty <= 1.0, "scan duty out of (0,1]");
   scanning_ = enabled && powered_;
   scan_duty_ = duty;
+  scan_slotted_ = slotted;
   apply_scan_level();
   medium_.update_scan_state(this);
 }
@@ -232,7 +269,7 @@ void BleMedium::attach(BleRadio* radio) {
   }
   radios_by_node_[radio->node()].push_back(
       RadioState{radio, next_uid_++, radio->powered() && radio->scanning(),
-                 radio->scan_duty()});
+                 radio->scan_duty(), radio->scan_slotted()});
   fanout_by_uid_.resize(next_uid_);
   ++medium_epoch_;
 }
@@ -254,6 +291,7 @@ void BleMedium::apply_scan_state(BleRadio* radio) {
     if (st.radio != radio) continue;
     st.scanning = radio->powered() && radio->scanning();
     st.duty = radio->scan_duty();
+    st.slotted = radio->scan_slotted();
     ++medium_epoch_;
   }
 }
@@ -323,7 +361,7 @@ void BleMedium::broadcast(const BleRadio& from,
           for (const RadioState& st : radios_by_node_[node]) {
             if (st.radio == &from || !st.scanning) continue;
             fc.cands.push_back(
-                FanoutCandidate{st.radio, st.uid, node, st.duty});
+                FanoutCandidate{st.radio, st.uid, node, st.duty, st.slotted});
           }
         }
         fc.nb_epoch = nb;
@@ -335,8 +373,18 @@ void BleMedium::broadcast(const BleRadio& from,
       std::uint32_t tx_idx = kNoTxIdx;
       for (const FanoutCandidate& c : fc.cands) {
         if (!reliable_burst) {
-          const double p = capture_p * c.duty;
-          if (p < 1.0 && !rng.chance(p)) continue;
+          // Slotted scanners take the radio capture trial at full strength
+          // and realize the duty as a deterministic slot filter; plain duty
+          // keeps the historical single Bernoulli(capture * duty) draw.
+          if (c.slotted) {
+            if (capture_p < 1.0 && !rng.chance(capture_p)) continue;
+            if (c.duty < 1.0 && !listen_slot_open(c.node, at, c.duty)) {
+              continue;
+            }
+          } else {
+            const double p = capture_p * c.duty;
+            if (p < 1.0 && !rng.chance(p)) continue;
+          }
         }
         if (in_window) {
           Lane& lane = lanes_[lane_idx];
@@ -428,8 +476,13 @@ void BleMedium::broadcast(const BleRadio& from,
     for (const RadioState& st : radios_by_node_[node]) {
       if (st.radio == &from || !st.scanning) continue;
       if (!reliable_burst) {
-        double p = capture_p * st.duty;
-        if (p < 1.0 && !rng.chance(p)) continue;
+        if (st.slotted) {
+          if (capture_p < 1.0 && !rng.chance(capture_p)) continue;
+          if (st.duty < 1.0 && !listen_slot_open(node, at, st.duty)) continue;
+        } else {
+          double p = capture_p * st.duty;
+          if (p < 1.0 && !rng.chance(p)) continue;
+        }
       }
       if (corrupt_here) {
         plan->note_corruption();

@@ -79,10 +79,19 @@ class BleRadio {
 
   /// Enable the scanner at a duty cycle in (0, 1]. Received advertisements
   /// (from in-range advertisers, subject to capture probability * duty) are
-  /// delivered to the receive handler.
-  void set_scanning(bool enabled, double duty = 1.0);
+  /// delivered to the receive handler. With `slotted` set the duty is
+  /// realized as a deterministic open-slot schedule instead of an
+  /// independent per-advertisement thinning trial: openness of each fixed
+  /// 100 ms slot follows a receiver-keyed golden-ratio rotation, so a
+  /// periodic advertiser on the beacon lattice is heard with bounded miss
+  /// runs (at most O(1/duty) consecutive losses) rather than geometric
+  /// tails. The adaptive discovery scheduler uses slotted scanning so its
+  /// hint-scaled peer-expiry horizon is never outrun by an unlucky streak;
+  /// plain duty keeps the historical Bernoulli semantics byte-for-byte.
+  void set_scanning(bool enabled, double duty = 1.0, bool slotted = false);
   bool scanning() const { return scanning_; }
   double scan_duty() const { return scan_duty_; }
+  bool scan_slotted() const { return scan_slotted_; }
 
   void set_receive_handler(ReceiveFn fn) { on_receive_ = std::move(fn); }
 
@@ -134,6 +143,7 @@ class BleRadio {
   bool powered_ = true;
   bool scanning_ = false;
   double scan_duty_ = 1.0;
+  bool scan_slotted_ = false;
   ReceiveFn on_receive_;
   PowerFn on_power_;
   AddressFn on_address_;
@@ -193,6 +203,7 @@ class BleMedium {
     std::uint32_t uid;  ///< stable id; delivery events revalidate against it
     bool scanning;      ///< powered && scanner enabled, at last barrier
     double duty;
+    bool slotted;  ///< duty realized as a deterministic slot schedule
   };
 
   /// One frame on the air during the current window: the fields every
@@ -243,6 +254,7 @@ class BleMedium {
     std::uint32_t uid;
     NodeId node;
     double duty;
+    bool slotted;
   };
   struct FanoutCache {
     std::uint64_t nb_epoch = 0;  // 0 = never built

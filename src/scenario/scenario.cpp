@@ -205,6 +205,9 @@ struct Scenario::Impl {
   std::uint64_t seed = 1;
   /// Any `dump trace` directive turns the Omniscope on for the whole run.
   bool wants_observability = false;
+  /// Run-wide discovery scheduling policy (`discovery` directive); the
+  /// default (kFixed) reproduces the paper's fixed 500 ms cadence exactly.
+  DiscoveryPolicy discovery;
   std::vector<DeviceDecl> devices;
   std::vector<Instr> instructions;
   // Fault schedule (declarative; applied before the first run block).
@@ -594,6 +597,65 @@ Result<std::unique_ptr<Scenario>> Scenario::parse(const std::string& text) {
       }
       impl.crashes.push_back(std::move(decl));
 
+    } else if (op == "discovery") {
+      // discovery fixed|adaptive [floor=500ms] [ceiling=8s]
+      //           [sparse_ceiling=2s] [ramp=2.0] [dense=8] [sparse=2]
+      //           [jitter=0.1] [duty=0.05] [range=40]
+      // Applies to every device in the scenario.
+      if (tokens.size() < 2) {
+        return error("discovery fixed|adaptive [key=value...]");
+      }
+      DiscoveryPolicy p;
+      if (tokens[1] == "fixed") {
+        p.mode = DiscoveryPolicy::Mode::kFixed;
+      } else if (tokens[1] == "adaptive") {
+        p.mode = DiscoveryPolicy::Mode::kAdaptive;
+      } else {
+        return error("discovery mode must be fixed|adaptive");
+      }
+      for (std::size_t i = 2; i < tokens.size(); ++i) {
+        auto kv = parse_kv(tokens[i]);
+        if (!kv) return error("expected key=value, got '" + tokens[i] + "'");
+        if (kv->first == "floor" || kv->first == "ceiling" ||
+            kv->first == "sparse_ceiling") {
+          auto d = parse_duration(kv->second);
+          if (!d || d->is_zero()) return error("bad " + kv->first);
+          if (kv->first == "floor") {
+            p.floor = *d;
+          } else if (kv->first == "ceiling") {
+            p.ceiling = *d;
+          } else {
+            p.sparse_ceiling = *d;
+          }
+        } else if (kv->first == "ramp") {
+          auto v = parse_double(kv->second);
+          if (!v || *v <= 1.0) return error("ramp must be > 1");
+          p.ramp = *v;
+        } else if (kv->first == "dense" || kv->first == "sparse") {
+          auto v = parse_u64(kv->second);
+          if (!v || *v == 0) return error("bad " + kv->first);
+          (kv->first == "dense" ? p.dense_peers : p.sparse_peers) = *v;
+        } else if (kv->first == "jitter") {
+          auto v = parse_double(kv->second);
+          if (!v || *v < 0 || *v >= 1) return error("jitter must be in [0,1)");
+          p.jitter = *v;
+        } else if (kv->first == "duty") {
+          auto v = parse_double(kv->second);
+          if (!v || *v <= 0 || *v > 1) return error("duty must be in (0,1]");
+          p.min_scan_duty = *v;
+        } else if (kv->first == "range") {
+          auto v = parse_double(kv->second);
+          if (!v || *v <= 0) return error("bad range");
+          p.density_range_m = *v;
+        } else {
+          return error("unknown argument '" + kv->first + "'");
+        }
+      }
+      if (p.ceiling < p.floor || p.sparse_ceiling < p.floor) {
+        return error("discovery ceilings must be >= the floor");
+      }
+      impl.discovery = p;
+
     } else if (op == "run") {
       if (tokens.size() != 2) return error("run <duration>");
       auto d = parse_duration(tokens[1]);
@@ -631,8 +693,10 @@ Status Scenario::run(std::ostream& out, unsigned threads, bool observe) {
   for (std::size_t i = 0; i < impl.devices.size(); ++i) {
     const DeviceDecl& decl = impl.devices[i];
     live[i].device = &bed.add_device(decl.name, decl.position);
+    OmniNodeOptions options = decl.options;
+    options.manager.discovery = impl.discovery;
     live[i].node = std::make_unique<OmniNode>(*live[i].device, bed.mesh(),
-                                              decl.options);
+                                              options);
     auto* ld = &live[i];
     live[i].node->manager().request_data(
         [ld](const OmniAddress&, const Bytes&) { ++ld->data_received; });
