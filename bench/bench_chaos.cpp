@@ -25,10 +25,21 @@
 //       # additionally record a flight-recorder trace of the first run and
 //       # export it as Perfetto JSON (fault windows as labelled spans);
 //       # open at https://ui.perfetto.dev
+//   $ ./bench/bench_chaos --checkpoint ckpts
+//       # snapshot the full run state (sim + managers) every 10 virtual
+//       # seconds into ckpts/t<N>/; on a digest mismatch the bench bisects
+//       # the checkpoint pairs, names the first divergent 10 s window, and
+//       # prints the omnisnap command line that reproduces the comparison
+//   $ ./bench/bench_chaos 8 --replay ckpts/t1/ckpt_000020000000.osnap
+//       # replay-anchored reproduction: re-run from t=0 with the same
+//       # 10 s checkpoint cadence and byte-verify the replayed state
+//       # against the file at its capture instant (combine with --trace
+//       # for a flight recording of the reproduction)
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <memory>
 #include <string>
 #include <thread>
@@ -39,7 +50,9 @@
 #include "obs/omniscope.h"
 #include "obs/perfetto.h"
 #include "obs/trace_file.h"
+#include "omni/manager_snapshot.h"
 #include "omni/omni_node.h"
+#include "sim/snapshot.h"
 
 namespace {
 
@@ -49,6 +62,10 @@ constexpr int kNodes = 12;
 constexpr std::uint64_t kSeed = 20260805;
 constexpr double kSimSeconds = 60.0;
 constexpr double kBeaconSamplePeriodS = 0.25;
+// Checkpoint cadence for --checkpoint / --replay. Checkpoint capture is
+// itself an event, so a replay must re-arm the same cadence to land on the
+// same capture instants; keep this in lockstep with any snapshot it replays.
+constexpr double kCheckpointPeriodS = 10.0;
 
 /// FNV-1a accumulator over 64-bit words.
 struct Digest {
@@ -76,9 +93,15 @@ struct ChaosPoint {
   std::uint64_t beacon_rearms = 0;
   std::uint64_t quarantines = 0;
   sim::FaultPlan::Stats fault_stats;
+  std::vector<std::string> checkpoints;
+  bool replay_armed = false;
+  bool replay_ok = false;
+  std::string replay_error;
 };
 
-ChaosPoint run_point(unsigned threads, const std::string& trace_path = "") {
+ChaosPoint run_point(unsigned threads, const std::string& trace_path = "",
+                     const std::string& ckpt_dir = "",
+                     const std::string& replay_path = "") {
   net::Testbed bed(kSeed, radio::Calibration::defaults(), threads);
   if (!trace_path.empty()) bed.enable_observability(/*ring_capacity=*/1 << 20);
   std::vector<net::Device*> devices;
@@ -134,6 +157,31 @@ ChaosPoint run_point(unsigned threads, const std::string& trace_path = "") {
   split.c = 40.0;
   plan.add_partition(split);
   bed.schedule_faults();
+
+  // Checkpointing and replay share the same capture schedule: a replay only
+  // verifies if it recomputes state at the instant the file was captured.
+  if (!ckpt_dir.empty() || !replay_path.empty()) {
+    bed.add_snapshot_source([&nodes](sim::Snapshot& snap) {
+      std::vector<const OmniManager*> managers;
+      managers.reserve(nodes.size());
+      for (const auto& n : nodes) managers.push_back(&n->manager());
+      capture_managers(managers, /*deep=*/true, snap);
+    });
+    bed.checkpoint_every(Duration::seconds(kCheckpointPeriodS),
+                         ckpt_dir.empty() ? "chaos_replay_ckpts" : ckpt_dir);
+  }
+  if (!replay_path.empty()) {
+    auto anchored = bed.resume_from(replay_path);
+    if (!anchored.is_ok()) {
+      ChaosPoint p;
+      p.threads = threads;
+      p.replay_armed = true;
+      p.replay_error = anchored.error_message();
+      return p;
+    }
+    std::printf("  replaying to t=%.0fs against %s\n",
+                anchored.value().at.as_seconds(), replay_path.c_str());
+  }
 
   for (auto& n : nodes) n->start();
 
@@ -251,6 +299,17 @@ ChaosPoint run_point(unsigned threads, const std::string& trace_path = "") {
   d.add(static_cast<std::uint64_t>(p.sends_failed));
   d.add(beacon_down_samples);
   p.digest = d.h;
+  p.checkpoints = bed.checkpoints();
+  if (!replay_path.empty()) {
+    p.replay_armed = true;
+    if (bed.resume_pending()) {
+      p.replay_error = "the run never reached the snapshot instant";
+    } else if (!bed.resume_verified()) {
+      p.replay_error = bed.resume_error();
+    } else {
+      p.replay_ok = true;
+    }
+  }
 
   if (!trace_path.empty()) {
     obs::TraceCapture cap = obs::capture(*bed.observability());
@@ -276,15 +335,59 @@ std::string hex64(std::uint64_t v) {
   return buf;
 }
 
+// Walk two runs' checkpoint lists in lockstep and report the first pair
+// whose state sections differ — the divergence happened inside the 10 s
+// window that checkpoint closes. Prints the offline reproduction command.
+void bisect_checkpoints(const ChaosPoint& base, const ChaosPoint& bad) {
+  const std::size_t n = std::min(base.checkpoints.size(),
+                                 bad.checkpoints.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    auto a = omni::sim::read_snapshot_file(base.checkpoints[i]);
+    auto b = omni::sim::read_snapshot_file(bad.checkpoints[i]);
+    if (!a.is_ok() || !b.is_ok()) {
+      std::fprintf(stderr, "bisect: cannot load checkpoint pair %zu: %s\n", i,
+                   (!a.is_ok() ? a : b).error_message().c_str());
+      return;
+    }
+    const std::string diff = omni::sim::diff_snapshots(
+        a.value(), b.value(), /*skip_manifest=*/true);
+    if (!diff.empty()) {
+      std::fprintf(stderr,
+                   "bisect: first divergent checkpoint pins the bug to "
+                   "(%.0fs, %.0fs]\n%s\nreproduce offline with:\n"
+                   "  omnisnap diff --state %s %s\n"
+                   "replay the window with a trace:\n"
+                   "  ./bench/bench_chaos %u --replay %s --trace replay.json\n",
+                   kCheckpointPeriodS * static_cast<double>(i),
+                   kCheckpointPeriodS * static_cast<double>(i + 1),
+                   diff.c_str(), base.checkpoints[i].c_str(),
+                   bad.checkpoints[i].c_str(), bad.threads,
+                   i > 0 ? base.checkpoints[i - 1].c_str()
+                         : base.checkpoints[i].c_str());
+      return;
+    }
+  }
+  std::fprintf(stderr,
+               "bisect: all %zu checkpoint pairs identical — the divergence "
+               "is after the last checkpoint\n",
+               n);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::vector<unsigned> thread_counts = {1, 2, 8};
   std::string trace_path;
+  std::string ckpt_root;
+  std::string replay_path;
   std::vector<unsigned> explicit_counts;
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--trace" && i + 1 < argc) {
       trace_path = argv[++i];
+    } else if (std::string(argv[i]) == "--checkpoint" && i + 1 < argc) {
+      ckpt_root = argv[++i];
+    } else if (std::string(argv[i]) == "--replay" && i + 1 < argc) {
+      replay_path = argv[++i];
     } else {
       explicit_counts.push_back(static_cast<unsigned>(std::atoi(argv[i])));
     }
@@ -305,19 +408,40 @@ int main(int argc, char** argv) {
 
   bool ok = true;
   std::uint64_t digest_1t = 0;
+  ChaosPoint baseline;
   for (unsigned threads : thread_counts) {
     // The trace rides the first run only; instrumentation does not change
     // the digest, so the traced run still participates in the invariance
     // check.
     const bool traced = threads == thread_counts.front();
-    ChaosPoint p = run_point(threads, traced ? trace_path : "");
-    if (threads == thread_counts.front()) digest_1t = p.digest;
+    const std::string ckpt_dir =
+        ckpt_root.empty() ? ""
+                          : ckpt_root + "/t" + std::to_string(threads);
+    ChaosPoint p =
+        run_point(threads, traced ? trace_path : "", ckpt_dir, replay_path);
+    if (p.replay_armed) {
+      if (p.replay_ok) {
+        std::printf("  replay verified byte-identical at the snapshot "
+                    "instant (%u threads)\n",
+                    threads);
+      } else {
+        std::fprintf(stderr, "REPLAY FAILED at %u threads: %s\n", threads,
+                     p.replay_error.c_str());
+        ok = false;
+        if (p.events == 0) continue;  // refused before the run started
+      }
+    }
+    if (threads == thread_counts.front()) {
+      digest_1t = p.digest;
+      baseline = p;
+    }
     if (p.digest != digest_1t) {
       std::fprintf(stderr,
                    "DETERMINISM VIOLATION: digest %s at %u threads vs %s at "
                    "%u\n",
                    hex64(p.digest).c_str(), threads, hex64(digest_1t).c_str(),
                    thread_counts.front());
+      if (!p.checkpoints.empty()) bisect_checkpoints(baseline, p);
       ok = false;
     }
     if (p.ops_leaked != 0) {

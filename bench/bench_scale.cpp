@@ -14,6 +14,14 @@
 // sweep so its peak_rss_kb is a true high-water mark for the 100k world
 // (ru_maxrss is process-monotonic).
 //
+// Snapshot coverage rides the sweep: at 10k nodes (and in --smoke) the
+// 1-thread run writes a full .osnap at the end of its span, every other
+// thread count resumes against it (replay + byte-verification — the
+// checkpoint/resume smoke), and the serialized size is gated at
+// <= 1 KB per full-stack node (<= 64 B per crowd node in the city) and
+// reported as snapshot_bytes in BENCH_scale.json. The .osnap file is left
+// behind for `omnisnap verify`.
+//
 //   $ ./bench/bench_scale              # full sweep: 10..10000 nodes x 1/2/4/8 threads
 //   $ ./bench/bench_scale 500          # just one count (before/after checks)
 //   $ ./bench/bench_scale 10000 --smoke  # CI: short run, 1/2 threads, no obs
@@ -37,8 +45,10 @@
 #include "obs/omniscope.h"
 #include "obs/perfetto.h"
 #include "obs/trace_file.h"
+#include "omni/manager_snapshot.h"
 #include "omni/omni_node.h"
 #include "sim/mobility.h"
+#include "sim/snapshot.h"
 
 namespace {
 
@@ -53,6 +63,11 @@ constexpr double kSpacingM = 25.0;
 constexpr double kFullStackRssBudgetKb = 40.0;
 constexpr double kCityRssBudgetKb = 1.0;
 constexpr double kWorldBytesBudget = 192.0;
+// Serialized snapshot budgets: a full-stack device (manager record, RNG
+// stream, world row, pending events) may cost up to 1 KB of .osnap; a
+// world-only crowd node up to 64 B (one SoA row plus queue amortization).
+constexpr double kSnapshotFullStackBudget = 1024.0;
+constexpr double kSnapshotCrowdBudget = 64.0;
 
 // Sanitizers multiply RSS with shadow memory and redzones, so the
 // whole-process budgets above only hold in plain builds. The
@@ -114,6 +129,11 @@ struct ScalePoint {
   std::uint64_t trace_records = 0;
   std::uint64_t trace_dropped = 0;
   double export_seconds = 0;
+  // Snapshot extras (zero unless the run captured one).
+  std::uint64_t snapshot_bytes = 0;
+  bool resume_armed = false;
+  bool resume_ok = false;
+  std::string resume_error;
 };
 
 void collect_engine(net::Testbed& bed, ScalePoint& p) {
@@ -134,8 +154,14 @@ void collect_engine(net::Testbed& bed, ScalePoint& p) {
 /// recorder + metrics live at the always-on profile (per-frame records
 /// gated off), 2 = additionally capture + serialize Perfetto JSON after the
 /// run (timed separately as export_seconds), 3 = full per-frame detail.
+/// snap_path: write a full .osnap at end-of-span (and report its size).
+/// resume_path: anchor this run to a snapshot written by a previous run of
+/// the same configuration; the end-of-span capture then byte-verifies the
+/// replayed state (the checkpoint/resume smoke).
 ScalePoint run_point(std::size_t n, unsigned threads, int obs_mode = 0,
-                     DiscoveryPolicy discovery = {}) {
+                     DiscoveryPolicy discovery = {},
+                     const std::string& snap_path = "",
+                     const std::string& resume_path = "") {
   net::Testbed bed(42, radio::Calibration::defaults(), threads);
   bed.set_discovery_policy(discovery);
   // Modes 1/2 measure the always-on profile (counters + lifecycle records,
@@ -171,11 +197,54 @@ ScalePoint run_point(std::size_t n, unsigned threads, int obs_mode = 0,
     node->manager().add_context(ContextParams{}, Bytes{0x5c}, nullptr);
   }
 
+  // Snapshot coverage: manager records ride along (digest-only peer tables
+  // at fleet scale — same verification strength, bounded size).
+  ScalePoint p;
+  if (!snap_path.empty() || !resume_path.empty()) {
+    bed.add_snapshot_source([&nodes, n](sim::Snapshot& snap) {
+      std::vector<const OmniManager*> managers;
+      managers.reserve(nodes.size());
+      for (const auto& node : nodes) managers.push_back(&node->manager());
+      capture_managers(managers, /*deep=*/n <= 64, snap);
+    });
+  }
+  if (!resume_path.empty()) {
+    p.resume_armed = true;
+    auto anchored = bed.resume_from(resume_path);
+    if (!anchored.is_ok()) {
+      p.nodes = n;
+      p.threads = threads;
+      p.resume_error = anchored.error_message();
+      return p;
+    }
+  }
+
   auto t0 = std::chrono::steady_clock::now();
   bed.simulator().run_for(Duration::seconds(g_sim_seconds));
   auto t1 = std::chrono::steady_clock::now();
 
-  ScalePoint p;
+  // End-of-span capture: writes the file, and/or triggers the resume
+  // byte-verification (the replayed run reaches the same instant).
+  if (!snap_path.empty() || !resume_path.empty()) {
+    sim::Snapshot snap = bed.capture_snapshot("scale");
+    p.snapshot_bytes = sim::serialize_snapshot(snap).size();
+    if (!snap_path.empty()) {
+      Status ws = sim::write_snapshot_file(snap_path, snap);
+      if (!ws.is_ok()) {
+        std::fprintf(stderr, "warning: %s\n", ws.message().c_str());
+      }
+    }
+    if (!resume_path.empty()) {
+      if (bed.resume_verified()) {
+        p.resume_ok = true;
+      } else {
+        p.resume_error = bed.resume_pending()
+                             ? "the run never reached the snapshot instant"
+                             : bed.resume_error();
+      }
+    }
+  }
+
   p.nodes = n;
   p.threads = threads;
   p.sim_seconds = g_sim_seconds;
@@ -222,7 +291,8 @@ ScalePoint run_point(std::size_t n, unsigned threads, int obs_mode = 0,
 /// world-only nodes filling the rest of the constant-density grid, with
 /// deterministic churn walking a slice of the crowd between regions.
 ScalePoint run_city(std::size_t n, std::size_t core, unsigned threads,
-                    DiscoveryPolicy discovery = {}) {
+                    DiscoveryPolicy discovery = {},
+                    const std::string& snap_path = "") {
   net::Testbed bed(42, radio::Calibration::defaults(), threads);
   bed.set_discovery_policy(discovery);
   OmniNodeOptions node_opts;
@@ -275,6 +345,22 @@ ScalePoint run_city(std::size_t n, std::size_t core, unsigned threads,
   churn.stop();
 
   ScalePoint p;
+  // City snapshot: the crowd dominates, so this measures the per-node cost
+  // of the world SoA rows; manager records are digest-only at this scale.
+  if (!snap_path.empty()) {
+    bed.add_snapshot_source([&nodes](sim::Snapshot& snap) {
+      std::vector<const OmniManager*> managers;
+      managers.reserve(nodes.size());
+      for (const auto& node : nodes) managers.push_back(&node->manager());
+      capture_managers(managers, /*deep=*/false, snap);
+    });
+    sim::Snapshot snap = bed.capture_snapshot("city");
+    p.snapshot_bytes = sim::serialize_snapshot(snap).size();
+    Status ws = sim::write_snapshot_file(snap_path, snap);
+    if (!ws.is_ok()) {
+      std::fprintf(stderr, "warning: %s\n", ws.message().c_str());
+    }
+  }
   p.nodes = n;
   p.threads = threads;
   p.sim_seconds = g_sim_seconds;
@@ -374,7 +460,31 @@ int main(int argc, char** argv) {
       const char* policy_name = adaptive != 0 ? "adaptive" : "fixed";
       std::uint64_t events_1t = 0, contexts_1t = 0, migrations_1t = 0;
       for (unsigned threads : {1u, 2u, 8u}) {
-        ScalePoint p = run_city(kCityNodes, kCityCore, threads, city_policy);
+        // The 1-thread fixed-policy run leaves scale_city.osnap behind for
+        // `omnisnap verify` and the per-node size gate.
+        const std::string city_snap =
+            (adaptive == 0 && threads == 1) ? "scale_city.osnap" : "";
+        ScalePoint p =
+            run_city(kCityNodes, kCityCore, threads, city_policy, city_snap);
+        if (p.snapshot_bytes > 0) {
+          const double budget = kSnapshotFullStackBudget *
+                                    static_cast<double>(kCityCore) +
+                                kSnapshotCrowdBudget *
+                                    static_cast<double>(p.crowd_nodes);
+          std::printf("  city snapshot: %llu bytes (budget %.0f)\n",
+                      static_cast<unsigned long long>(p.snapshot_bytes),
+                      budget);
+          if (static_cast<double>(p.snapshot_bytes) > budget) {
+            std::fprintf(stderr,
+                         "CITY SNAPSHOT BUDGET EXCEEDED: %llu bytes > %.0f "
+                         "(%zu full-stack x %.0f + %llu crowd x %.0f)\n",
+                         static_cast<unsigned long long>(p.snapshot_bytes),
+                         budget, kCityCore, kSnapshotFullStackBudget,
+                         static_cast<unsigned long long>(p.crowd_nodes),
+                         kSnapshotCrowdBudget);
+            return 1;
+          }
+        }
         if (threads == 1) {
           events_1t = p.events;
           contexts_1t = p.contexts_received;
@@ -433,6 +543,7 @@ int main(int argc, char** argv) {
             .field("mean_beacon_interval_ms", p.mean_beacon_interval_ms)
             .field("peak_rss_kb", p.peak_rss_kb)
             .field("world_bytes_per_node", p.world_bytes_per_node)
+            .field("snapshot_bytes", p.snapshot_bytes)
             .field("hardware_threads",
                    static_cast<std::uint64_t>(
                        std::thread::hardware_concurrency()));
@@ -470,8 +581,45 @@ int main(int argc, char** argv) {
   for (std::size_t n : counts) {
     double wall_1t = 0;
     std::uint64_t events_1t = 0;
+    // Snapshot + resume smoke at scale: the first thread count writes a
+    // full .osnap at end-of-span; every later thread count replays against
+    // it and must byte-verify (cross-thread resume, no separate run).
+    const bool snap_here = smoke || n >= 10000;
+    const std::string snap_file =
+        snap_here ? (smoke ? std::string("scale_smoke.osnap")
+                           : "scale_" + std::to_string(n) + ".osnap")
+                  : std::string();
     for (unsigned threads : thread_counts) {
-      ScalePoint p = run_point(n, threads, /*obs_mode=*/0, sweep_policy);
+      const bool writes_snap = snap_here && threads == thread_counts.front();
+      ScalePoint p = run_point(n, threads, /*obs_mode=*/0, sweep_policy,
+                               writes_snap ? snap_file : "",
+                               writes_snap ? "" : snap_file);
+      if (p.resume_armed) {
+        if (p.resume_ok) {
+          std::printf("  %5zu nodes, %u threads: resume verified "
+                      "byte-identical against %s\n",
+                      n, threads, snap_file.c_str());
+        } else {
+          std::fprintf(stderr, "RESUME FAILED at %zu nodes, %u threads: %s\n",
+                       n, threads, p.resume_error.c_str());
+          return 1;
+        }
+      }
+      if (writes_snap) {
+        const double per_node = static_cast<double>(p.snapshot_bytes) /
+                                static_cast<double>(n);
+        std::printf("  %5zu nodes snapshot: %llu bytes (%.0f B/node, budget "
+                    "%.0f) -> %s\n",
+                    n, static_cast<unsigned long long>(p.snapshot_bytes),
+                    per_node, kSnapshotFullStackBudget, snap_file.c_str());
+        if (n >= 10000 && per_node > kSnapshotFullStackBudget) {
+          std::fprintf(stderr,
+                       "SNAPSHOT BUDGET EXCEEDED at %zu nodes: %.0f B/node "
+                       "> %.0f\n",
+                       n, per_node, kSnapshotFullStackBudget);
+          return 1;
+        }
+      }
       if (threads == 1) {
         wall_1t = p.wall_seconds;
         events_1t = p.events;
@@ -527,6 +675,7 @@ int main(int argc, char** argv) {
           .field("beacons_suppressed", p.beacons_suppressed)
           .field("mean_beacon_interval_ms", p.mean_beacon_interval_ms)
           .field("peak_rss_kb", p.peak_rss_kb)
+          .field("snapshot_bytes", p.snapshot_bytes)
           // Duplicated from meta so a row extracted on its own still says
           // how many cores its speedup_vs_1t was measured against.
           .field("hardware_threads",

@@ -1,0 +1,62 @@
+#include "common/assert.h"
+
+#include <atomic>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <utility>
+
+namespace omni {
+namespace {
+
+// The hook is installed from setup code but may fire from any worker thread;
+// the mutex orders install/clear against a concurrent failure. The failure
+// path never returns, so contention is a non-issue.
+std::mutex g_hook_mu;
+std::function<void(const char*)> g_hook;
+
+// One dump per process: a second failure (possibly raised *by* the dump
+// writer) must fall straight through to abort instead of recursing.
+std::atomic<bool> g_dumping{false};
+
+}  // namespace
+
+void set_crash_dump_hook(std::function<void(const char* reason)> hook) {
+  std::lock_guard<std::mutex> lock(g_hook_mu);
+  g_hook = std::move(hook);
+}
+
+void clear_crash_dump_hook() {
+  std::lock_guard<std::mutex> lock(g_hook_mu);
+  g_hook = nullptr;
+}
+
+void assert_failed(const char* expr, const char* file, int line,
+                   const char* fmt, ...) {
+  char detail[512];
+  detail[0] = '\0';
+  if (fmt != nullptr) {
+    va_list args;
+    va_start(args, fmt);
+    std::vsnprintf(detail, sizeof(detail), fmt, args);
+    va_end(args);
+  }
+  char reason[768];
+  std::snprintf(reason, sizeof(reason), "OMNI_ASSERT failed: %s at %s:%d%s%s",
+                expr, file, line, detail[0] != '\0' ? " " : "", detail);
+  std::fprintf(stderr, "%s\n", reason);
+  if (!g_dumping.exchange(true)) {
+    std::function<void(const char*)> hook;
+    {
+      std::lock_guard<std::mutex> lock(g_hook_mu);
+      hook = g_hook;
+    }
+    if (hook) hook(reason);
+  }
+  std::fflush(stdout);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace omni

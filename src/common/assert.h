@@ -1,0 +1,59 @@
+// Hard invariant checks with crash capture.
+//
+// OMNI_ASSERT / OMNI_ASSERTF are the hot-path invariant macros (the
+// simroot_assert pattern): always-on, branch-predicted cold, and — unlike a
+// bare OMNI_CHECK — they run a process-wide *crash-dump hook* before
+// aborting. The testbed arms the hook (net::Testbed::arm_crash_dumps) to
+// write a state snapshot plus the flight-recorder tail to a dump directory,
+// so a failure deep inside a multi-hour chaos soak leaves behind everything
+// needed to reproduce it in seconds instead of hours.
+//
+// The hook is best-effort: a recursion guard makes a second failure raised
+// *while dumping* fall straight through to abort, and an unarmed hook costs
+// one relaxed atomic load on the (already doomed) failure path and nothing
+// on the hot path.
+#pragma once
+
+#include <functional>
+
+namespace omni {
+
+/// Install the crash-dump hook, replacing any previous one. `reason` is the
+/// formatted failure message ("expr at file:line detail"). The hook runs on
+/// the failing thread before abort(); it must not assume quiescence (the
+/// failure may come from inside a parallel window) — dump writers check the
+/// execution context and degrade to a reason-only dump when preempting a
+/// full state capture would race.
+void set_crash_dump_hook(std::function<void(const char* reason)> hook);
+
+/// Remove the hook (e.g. when the testbed that armed it is destroyed).
+void clear_crash_dump_hook();
+
+/// Failure path shared by the macros: format the message, run the crash-dump
+/// hook (once — recursion falls through), print, abort. `fmt` may be null
+/// (OMNI_ASSERT). Marked noreturn + noinline so call sites stay one compare
+/// and one cold call.
+[[noreturn]] __attribute__((noinline)) void assert_failed(const char* expr,
+                                                          const char* file,
+                                                          int line,
+                                                          const char* fmt,
+                                                          ...)
+    __attribute__((format(printf, 4, 5)));
+
+}  // namespace omni
+
+/// Always-on invariant check; on failure, crash-dump then abort.
+#define OMNI_ASSERT(expr)                                              \
+  do {                                                                 \
+    if (!(static_cast<bool>(expr))) [[unlikely]] {                     \
+      ::omni::assert_failed(#expr, __FILE__, __LINE__, nullptr);       \
+    }                                                                  \
+  } while (0)
+
+/// OMNI_ASSERT with a printf-style context message.
+#define OMNI_ASSERTF(expr, ...)                                        \
+  do {                                                                 \
+    if (!(static_cast<bool>(expr))) [[unlikely]] {                     \
+      ::omni::assert_failed(#expr, __FILE__, __LINE__, __VA_ARGS__);   \
+    }                                                                  \
+  } while (0)

@@ -40,6 +40,7 @@ class Rng {
   Rng fork() { return Rng(engine_() ^ 0x9e3779b97f4a7c15ull); }
 
   std::mt19937_64& engine() { return engine_; }
+  const std::mt19937_64& engine() const { return engine_; }
 
  private:
   std::mt19937_64 engine_;

@@ -6,11 +6,18 @@
 #pragma once
 
 #include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <functional>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "common/assert.h"
 #include "net/device.h"
+#include "obs/trace_file.h"
 #include "obs/omniscope.h"
 #include "omni/discovery_policy.h"
 #include "obs/perfetto.h"
@@ -21,6 +28,7 @@
 #include "radio/wifi_system.h"
 #include "sim/fault_plan.h"
 #include "sim/simulator.h"
+#include "sim/snapshot.h"
 #include "sim/trace.h"
 #include "sim/world.h"
 
@@ -54,6 +62,10 @@ class Testbed {
 
   Testbed(const Testbed&) = delete;
   Testbed& operator=(const Testbed&) = delete;
+
+  ~Testbed() {
+    if (crash_dumps_armed_) clear_crash_dump_hook();
+  }
 
   /// Add a device at a position. Radios start in their default states
   /// (BLE powered, WiFi off).
@@ -244,7 +256,189 @@ class Testbed {
     }
   }
 
+  // --- Snapshot / checkpoint / resume (see sim/snapshot.h) ------------------
+
+  /// Register an extra section writer run by every capture_snapshot call.
+  /// Upper layers use this to contribute state the net layer cannot see —
+  /// e.g. omni::capture_managers for the kSecManagers section.
+  void add_snapshot_source(std::function<void(sim::Snapshot&)> source) {
+    if (source) snapshot_sources_.push_back(std::move(source));
+  }
+
+  /// Identify the driving scenario in every snapshot manifest (resume
+  /// refuses a snapshot whose fingerprint disagrees with the rebuilt run).
+  /// `text` optionally embeds the scenario source itself.
+  void set_scenario_fingerprint(std::uint64_t hash, std::string text = {}) {
+    scenario_hash_ = hash;
+    scenario_text_ = std::move(text);
+  }
+
+  /// Capture the complete logical run state at the current instant. Must be
+  /// called from a quiescent context: setup/teardown code or a
+  /// barrier-serialized global event (the engine-state walkers assert this).
+  /// Metrics are captured from the registry directly — deliberately without
+  /// running flush hooks, which would perturb in-progress energy-level
+  /// accounting relative to a run that never checkpointed.
+  sim::Snapshot capture_snapshot(const std::string& label = {}) {
+    sim::Snapshot snap;
+    sim::SnapshotManifest m;
+    m.seed = sim_.seed();
+    m.at = sim_.now();
+    m.threads = sim_.threads();
+    m.executed_events = sim_.executed_events();
+    m.node_count = world_.node_count();
+    m.device_count = devices_.size();
+    m.label = label;
+    m.scenario_hash = scenario_hash_;
+    m.scenario_text = scenario_text_;
+    sim::write_manifest(m, snap);
+    sim::capture_events(sim_, sim_.now(), snap);
+    sim::capture_rng(sim_, snap);
+    sim::capture_world(world_, snap);
+    sim::capture_faults(fault_plan_, snap);
+    if (scope_) {
+      sim::ByteWriter w;
+      w.str(scope_->metrics().dump());
+      snap.section(sim::kSecMetrics).bytes = w.take();
+    }
+    for (auto& source : snapshot_sources_) source(snap);
+    maybe_verify_resume(snap);
+    return snap;
+  }
+
+  /// capture_snapshot + write to `path`.
+  Status write_snapshot(const std::string& path,
+                        const std::string& label = {}) {
+    return sim::write_snapshot_file(path, capture_snapshot(label));
+  }
+
+  /// Arm a periodic checkpoint daemon: a barrier-serialized global event
+  /// captures every `interval` and writes `dir/ckpt_<t_us>.osnap`. Capture
+  /// runs before the next event is scheduled, so a checkpoint never contains
+  /// its own continuation — a resumed run that re-arms the same cadence
+  /// reproduces every later checkpoint byte-for-byte.
+  ///
+  /// Checkpoint events are part of the event schedule: an A/B digest
+  /// comparison must run the same cadence on both sides (or none on both).
+  void checkpoint_every(Duration interval, std::string dir = ".") {
+    OMNI_ASSERT(interval > Duration::zero());
+    checkpoint_dir_ = std::move(dir);
+    std::error_code ec;
+    std::filesystem::create_directories(checkpoint_dir_, ec);
+    schedule_checkpoint(interval);
+  }
+
+  /// Paths of every checkpoint written so far, in capture order.
+  const std::vector<std::string>& checkpoints() const { return checkpoints_; }
+
+  /// Anchor this (freshly built, not yet run) testbed to a snapshot: load
+  /// `path`, validate it against the rebuilt run (seed, scenario
+  /// fingerprint), and hold it as the verification target. The caller then
+  /// re-runs the identical setup past the manifest instant T; the first
+  /// capture_snapshot at exactly T (normally the re-armed checkpoint daemon)
+  /// is byte-compared against the file. resume_verified()/resume_error()
+  /// report the outcome. Returns the manifest (so the driver knows T).
+  Result<sim::SnapshotManifest> resume_from(const std::string& path) {
+    using R = Result<sim::SnapshotManifest>;
+    auto snap = sim::read_snapshot_file(path);
+    if (!snap.is_ok()) return R::error(snap.error_message());
+    auto manifest = sim::read_manifest(snap.value());
+    if (!manifest.is_ok()) return R::error(manifest.error_message());
+    const sim::SnapshotManifest m = std::move(manifest).value();
+    if (m.seed != sim_.seed()) {
+      return R::error("resume: snapshot seed " + std::to_string(m.seed) +
+                      " != testbed seed " + std::to_string(sim_.seed()));
+    }
+    if (m.scenario_hash != 0 && scenario_hash_ != 0 &&
+        m.scenario_hash != scenario_hash_) {
+      return R::error("resume: scenario fingerprint mismatch");
+    }
+    if (m.at < sim_.now()) {
+      return R::error("resume: snapshot instant is in this run's past");
+    }
+    resume_target_ = std::make_unique<sim::Snapshot>(std::move(snap).value());
+    resume_at_ = m.at;
+    resume_checked_ = false;
+    resume_error_.clear();
+    return m;
+  }
+
+  /// True once the resume target was reached and byte-verified clean.
+  bool resume_verified() const {
+    return resume_checked_ && resume_error_.empty();
+  }
+  /// True while a resume target is loaded but its instant not yet reached.
+  bool resume_pending() const {
+    return resume_target_ != nullptr && !resume_checked_;
+  }
+  /// Diff diagnostic when verification failed; empty otherwise.
+  const std::string& resume_error() const { return resume_error_; }
+
+  /// Arm OMNI_ASSERT crash capture: on any assertion failure, write
+  /// `dir/crash_reason.txt`, the flight-recorder tail (`crash_tail.otr`,
+  /// when observability is on), and — when the failure comes from a
+  /// quiescent context — a full `crash.osnap` state snapshot. Failures
+  /// inside a parallel window degrade to reason + trace tail (a state walk
+  /// would race the shards). Disarmed automatically on destruction.
+  void arm_crash_dumps(std::string dir) {
+    crash_dir_ = std::move(dir);
+    std::error_code ec;
+    std::filesystem::create_directories(crash_dir_, ec);
+    crash_dumps_armed_ = true;
+    set_crash_dump_hook(
+        [this](const char* reason) { write_crash_dump(reason); });
+  }
+
  private:
+  void schedule_checkpoint(Duration interval) {
+    sim_.at_on(sim::kGlobalOwner, sim_.now() + interval, [this, interval] {
+      take_checkpoint();
+      schedule_checkpoint(interval);
+    });
+  }
+
+  void take_checkpoint() {
+    char name[48];
+    std::snprintf(name, sizeof(name), "ckpt_%012lld.osnap",
+                  static_cast<long long>(sim_.now().as_micros()));
+    const std::string path =
+        checkpoint_dir_.empty() ? std::string(name)
+                                : checkpoint_dir_ + "/" + name;
+    if (sim::write_snapshot_file(path, capture_snapshot("checkpoint"))
+            .is_ok()) {
+      checkpoints_.push_back(path);
+    }
+  }
+
+  void maybe_verify_resume(const sim::Snapshot& snap) {
+    if (resume_target_ == nullptr || resume_checked_ ||
+        sim_.now() != resume_at_) {
+      return;
+    }
+    resume_checked_ = true;
+    // The manifest legitimately differs (capturing thread count, label);
+    // every state section must match byte-for-byte.
+    resume_error_ = sim::diff_snapshots(*resume_target_, snap,
+                                        /*skip_manifest=*/true);
+  }
+
+  void write_crash_dump(const char* reason) {
+    const std::string dir = crash_dir_.empty() ? "." : crash_dir_;
+    {
+      std::ofstream rf(dir + "/crash_reason.txt");
+      rf << reason << "\n";
+    }
+    if (scope_) {
+      obs::write_trace_file(dir + "/crash_tail.otr", obs::capture(*scope_));
+    }
+    // Full state capture only from a quiescent context; a failure raised
+    // inside a parallel window must not walk shard-owned state.
+    if (sim_.current_shard_index() == sim_.threads()) {
+      sim::write_snapshot_file(dir + "/crash.osnap",
+                               capture_snapshot("crash"));
+    }
+  }
+
   Device* device_for(NodeId node) {
     for (auto& d : devices_) {
       if (d->node() == node) return d.get();
@@ -264,6 +458,19 @@ class Testbed {
   sim::FaultPlan fault_plan_;
   DiscoveryPolicy discovery_;
   std::unique_ptr<obs::Omniscope> scope_;
+
+  // Snapshot / checkpoint / resume state.
+  std::vector<std::function<void(sim::Snapshot&)>> snapshot_sources_;
+  std::uint64_t scenario_hash_ = 0;
+  std::string scenario_text_;
+  std::string checkpoint_dir_;
+  std::vector<std::string> checkpoints_;
+  std::unique_ptr<sim::Snapshot> resume_target_;
+  TimePoint resume_at_;
+  bool resume_checked_ = false;
+  std::string resume_error_;
+  std::string crash_dir_;
+  bool crash_dumps_armed_ = false;
 };
 
 }  // namespace omni::net

@@ -11,6 +11,7 @@
 #include "common/hash.h"
 #include "common/logging.h"
 #include "net/link_frame.h"
+#include "sim/snapshot.h"
 #include "sim/world.h"
 
 namespace omni {
@@ -1899,6 +1900,167 @@ void OmniManager::send_data(const std::vector<OmniAddress>& destinations,
       continue;
     }
     dispatch_data(op_id);
+  }
+}
+
+// --- Snapshot capture --------------------------------------------------------
+
+namespace {
+
+/// Canonical LowLevelAddress encoding: variant index, then the alternative's
+/// natural layout (nothing | 6 octets | u64 | u64).
+void encode_lladdr(sim::ByteWriter& w, const LowLevelAddress& a) {
+  w.u8(static_cast<std::uint8_t>(a.index()));
+  if (const auto* b = std::get_if<BleAddress>(&a)) {
+    for (std::uint8_t octet : b->octets) w.u8(octet);
+  } else if (const auto* m = std::get_if<MeshAddress>(&a)) {
+    w.u64(m->value);
+  } else if (const auto* n = std::get_if<NanAddress>(&a)) {
+    w.u64(n->value);
+  }
+}
+
+/// Canonical peer-table encoding: peers ascending by omni address, each
+/// entry's technology mappings in enum order. Independent of bucket layout
+/// and insertion history, so two runs that discovered the same neighborhood
+/// encode identical bytes.
+void encode_peer_table(sim::ByteWriter& w, const PeerTable& peers) {
+  const std::vector<OmniAddress> ids = peers.peers();  // sorted
+  w.var(ids.size());
+  for (OmniAddress p : ids) {
+    const PeerEntry* e = peers.find(p);
+    w.u64(p.value);
+    w.svar(e->last_seen.as_micros());
+    w.svar(e->interval_hint.as_micros());
+    w.var(e->techs.size());
+    for (const auto& [tech, info] : e->techs) {
+      w.u8(static_cast<std::uint8_t>(tech));
+      encode_lladdr(w, info.address);
+      w.svar(info.last_seen.as_micros());
+      w.u8(info.requires_refresh ? 1 : 0);
+    }
+  }
+}
+
+}  // namespace
+
+void OmniManager::snapshot_state(sim::ByteWriter& w, bool deep) const {
+  w.u64(self_.value);
+  w.var(static_cast<std::uint64_t>(options_.owner));
+  w.u8(running_ ? 1 : 0);
+
+  // Cache-invalidating generations. The beacon wire frame and the receive
+  // memo are rebuilt on resume; the generations prove the rebuilt run has
+  // (in)validated its caches the same number of times.
+  w.var(beacon_gen_);
+  w.var(beacon_wire_gen_);
+  w.u64(beacon_wire_ctx_gen_);
+
+  // Monotonic id/draw counters — each one pins a whole derived sequence
+  // (request ids, op ids, nonces, relay context ids, jitter draws).
+  w.var(next_request_id_);
+  w.var(next_data_op_id_);
+  w.var(next_nonce_);
+  w.var(next_relay_id_ - kRelayContextBase);
+  w.var(backoff_draws_);
+  w.var(discovery_draws_);
+  w.var(discovery_last_inserts_);
+  w.u64(last_neighborhood_hash_);
+  w.svar(current_beacon_interval_.as_micros());
+  w.f64(discovery_scan_duty_);
+
+  // Full ManagerStats, declaration order.
+  for (std::uint64_t v :
+       {stats_.packets_received, stats_.sealed_drops, stats_.beacons_received,
+        stats_.context_received, stats_.data_received, stats_.data_sends,
+        stats_.data_failovers, stats_.context_failovers, stats_.engagements,
+        stats_.disengagements, stats_.beacon_encodes,
+        stats_.beacon_frames_cached, stats_.beacon_decode_skips,
+        stats_.peer_expire_sweeps, stats_.relayed_out, stats_.relayed_in,
+        stats_.deadline_failovers, stats_.beacon_rearms, stats_.quarantines,
+        stats_.overload_rejections, stats_.beacons_suppressed,
+        stats_.scan_windows_skipped}) {
+    w.var(v);
+  }
+
+  // Technology slots in registration order (deterministic: the sequence of
+  // add_technology calls). Pending re-arm / quarantine-end timers appear in
+  // the events section; here only their armed-ness is recorded.
+  w.var(slots_.size());
+  for (const TechSlot& s : slots_) {
+    w.u8(static_cast<std::uint8_t>(s.type));
+    const std::uint8_t flags =
+        (s.up ? 1u : 0u) | (s.beaconing ? 2u : 0u) |
+        (s.beacon_rearm.pending() ? 4u : 0u) |
+        (s.quarantine_end.pending() ? 8u : 0u);
+    w.u8(flags);
+    encode_lladdr(w, s.address);
+    w.svar(s.beacon_failures);
+    w.svar(s.flaps);
+    w.svar(s.flap_window_start.as_micros());
+    w.svar(s.quarantine_count);
+    w.svar(s.quarantined_until.as_micros());
+  }
+
+  // Pending data ops (std::map: ascending op id). Payload bytes collapse to
+  // length + digest — enough to prove equality, cheap at any fan-out.
+  w.var(pending_data_.size());
+  for (const auto& [id, op] : pending_data_) {
+    w.var(id);
+    w.u64(op.dest.value);
+    w.var(op.packed.size());
+    w.u64(fnv1a64(std::span<const std::uint8_t>(op.packed)));
+    w.svar(op.started.as_micros());
+    std::uint8_t tried = 0;
+    for (Technology t : op.tried) {
+      tried |= static_cast<std::uint8_t>(1u << static_cast<unsigned>(t));
+    }
+    w.u8(tried);
+  }
+
+  // In-flight attempts (ascending request id).
+  w.var(data_attempts_.size());
+  for (const auto& [rid, a] : data_attempts_) {
+    w.var(rid);
+    w.var(a.op_id);
+    w.u8(static_cast<std::uint8_t>(a.tech));
+    w.u8(a.deadline.pending() ? 1 : 0);
+  }
+  w.var(context_attempts_.size());
+  for (const auto& [rid, a] : context_attempts_) {
+    w.var(rid);
+    w.var(a.id);
+    w.u8(static_cast<std::uint8_t>(a.tech));
+    w.u8(static_cast<std::uint8_t>(a.op));
+    w.u8(a.deadline.pending() ? 1 : 0);
+  }
+
+  // Context registry: generation plus the sorted id set (record contents are
+  // application inputs, replayed identically by construction).
+  w.var(contexts_.size());
+  w.var(contexts_.generation());
+  for (ContextId id : contexts_.ids()) w.var(id);
+
+  // Active relays (std::map: ascending content hash).
+  w.var(active_relays_.size());
+  for (const auto& [hash, cid] : active_relays_) {
+    w.u64(hash);
+    w.var(cid - kRelayContextBase);
+  }
+
+  // Peer table: canonical encoding, embedded (deep) or digested (size
+  // budget). The digest covers the identical bytes, so verification strength
+  // is the same either way; only diff granularity differs.
+  w.var(peers_.size());
+  w.var(peers_.inserts());
+  sim::ByteWriter pt;
+  encode_peer_table(pt, peers_);
+  w.u8(deep ? 1 : 0);
+  if (deep) {
+    w.str(std::string_view(reinterpret_cast<const char*>(pt.bytes().data()),
+                           pt.bytes().size()));
+  } else {
+    w.u64(fnv1a64(std::span<const std::uint8_t>(pt.bytes())));
   }
 }
 

@@ -44,6 +44,7 @@
 namespace omni {
 
 namespace sim {
+class ByteWriter;
 class World;
 }
 
@@ -248,6 +249,17 @@ class OmniManager : private InlinePacketSink {
   }
   bool technology_quarantined(Technology tech) const;
   bool technology_beaconing(Technology tech) const;
+
+  /// Serialize this manager's canonical deterministic state (the per-manager
+  /// record inside a snapshot's kSecManagers section — see
+  /// omni/manager_snapshot.h). Counters, generations, self-healing and
+  /// discovery-controller state, pending-op tables, and the peer table are
+  /// written; rebuilt caches (beacon wire frames, receive memos) are
+  /// represented only by the generations that invalidate them. With `deep`
+  /// the peer table is embedded entry by entry; without it the same
+  /// canonical entry encoding is collapsed to a digest (city-scale size
+  /// budget — verification strength is identical).
+  void snapshot_state(sim::ByteWriter& w, bool deep) const;
 
  private:
   struct TechSlot {

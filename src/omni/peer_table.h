@@ -16,6 +16,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/assert.h"
 #include "common/result.h"
 #include "common/time.h"
 #include "common/types.h"
@@ -87,11 +88,13 @@ class TechMap {
   }
 
   PeerTechInfo& at(Technology t) {
-    OMNI_CHECK_MSG(has(t), "TechMap::at on absent technology");
+    OMNI_ASSERTF(has(t), "TechMap::at on absent technology %u",
+                 static_cast<unsigned>(t));
     return slots_[idx(t)].second;
   }
   const PeerTechInfo& at(Technology t) const {
-    OMNI_CHECK_MSG(has(t), "TechMap::at on absent technology");
+    OMNI_ASSERTF(has(t), "TechMap::at on absent technology %u",
+                 static_cast<unsigned>(t));
     return slots_[idx(t)].second;
   }
 

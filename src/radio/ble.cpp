@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/assert.h"
 #include "common/hash.h"
 #include "obs/omniscope.h"
 #include "sim/fault_plan.h"
@@ -616,8 +617,9 @@ void BleMedium::flush_pending() {
     const std::uint64_t packed = (static_cast<std::uint64_t>(slot) << 48) |
                                  (static_cast<std::uint64_t>(i) << 24) |
                                  static_cast<std::uint64_t>(j);
-    OMNI_CHECK_MSG(slot < (1u << 16) && j < (1u << 24),
-                   "sweep range exceeds packed encoding");
+    OMNI_ASSERTF(slot < (1u << 16) && j < (1u << 24),
+                 "sweep range exceeds packed encoding (slot %zu, j %zu)",
+                 slot, j);
     sim.at_on(head.dst, head_at, [this, packed] { run_sweep(packed); });
     ++sweeps;
     i = j;

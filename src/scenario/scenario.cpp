@@ -8,12 +8,15 @@
 #include <sstream>
 
 #include "baselines/omni_stack.h"
+#include "common/hash.h"
 #include "net/testbed.h"
 #include "obs/omniscope.h"
 #include "obs/perfetto.h"
 #include "obs/trace_file.h"
+#include "omni/manager_snapshot.h"
 #include "omni/omni_node.h"
 #include "omni/service.h"
+#include "sim/snapshot.h"
 
 namespace omni::scenario {
 
@@ -172,8 +175,18 @@ struct DumpTraceInstr {
   std::string path;
 };
 
-using Instr = std::variant<AdvertiseInstr, ServiceInstr, WalkInstr, SendInstr,
-                           PowerInstr, RunInstr, ReportInstr, DumpTraceInstr>;
+/// `snapshot <path>` — capture the full deterministic run state at this point
+/// of the script and write an .osnap file (see sim/snapshot.h). A later
+/// `--resume <path>` run re-executes the same script and byte-verifies
+/// against it when reaching the same instant.
+struct SnapshotInstr {
+  std::string path;
+};
+
+using Instr =
+    std::variant<AdvertiseInstr, ServiceInstr, WalkInstr, SendInstr,
+                 PowerInstr, RunInstr, ReportInstr, DumpTraceInstr,
+                 SnapshotInstr>;
 
 // Fault declarations keep device *names*; node ids are resolved at run()
 // time, when the testbed has assigned them. An empty name means "any node".
@@ -205,6 +218,13 @@ struct Scenario::Impl {
   std::uint64_t seed = 1;
   /// Any `dump trace` directive turns the Omniscope on for the whole run.
   bool wants_observability = false;
+  /// Original script source + fnv1a64 fingerprint, embedded in snapshot
+  /// manifests so an .osnap file pins the exact script that produced it.
+  std::string source_text;
+  std::uint64_t source_hash = 0;
+  /// `checkpoint every <dur> [dir]` — zero interval means no checkpointing.
+  Duration checkpoint_interval = Duration::zero();
+  std::string checkpoint_dir = ".";
   /// Run-wide discovery scheduling policy (`discovery` directive); the
   /// default (kFixed) reproduces the paper's fixed 500 ms cadence exactly.
   DiscoveryPolicy discovery;
@@ -246,6 +266,8 @@ std::size_t Scenario::instruction_count() const {
 Result<std::unique_ptr<Scenario>> Scenario::parse(const std::string& text) {
   auto scenario = std::unique_ptr<Scenario>(new Scenario());
   Impl& impl = *scenario->impl_;
+  impl.source_text = text;
+  impl.source_hash = fnv1a64(text);
 
   std::istringstream is(text);
   std::string line;
@@ -672,6 +694,21 @@ Result<std::unique_ptr<Scenario>> Scenario::parse(const std::string& text) {
       impl.instructions.emplace_back(DumpTraceInstr{tokens[2]});
       impl.wants_observability = true;
 
+    } else if (op == "checkpoint") {
+      if (tokens.size() < 3 || tokens.size() > 4 || tokens[1] != "every") {
+        return error("checkpoint every <interval> [dir]");
+      }
+      auto d = parse_duration(tokens[2]);
+      if (!d || d->is_zero()) {
+        return error("bad checkpoint interval '" + tokens[2] + "'");
+      }
+      impl.checkpoint_interval = *d;
+      if (tokens.size() == 4) impl.checkpoint_dir = tokens[3];
+
+    } else if (op == "snapshot") {
+      if (tokens.size() != 2) return error("snapshot <path>");
+      impl.instructions.emplace_back(SnapshotInstr{tokens[1]});
+
     } else {
       return error("unknown directive '" + op + "'");
     }
@@ -684,10 +721,25 @@ Result<std::unique_ptr<Scenario>> Scenario::parse(const std::string& text) {
   return scenario;
 }
 
-Status Scenario::run(std::ostream& out, unsigned threads, bool observe) {
+Status Scenario::run(std::ostream& out, unsigned threads, bool observe,
+                     const std::string& resume_path) {
   Impl& impl = *impl_;
   net::Testbed bed(impl.seed, radio::Calibration::defaults(), threads);
   if (observe || impl.wants_observability) bed.enable_observability();
+  // Snapshots carry the script fingerprint; small scripts are embedded
+  // whole, so an .osnap alone suffices to rebuild the run it anchors.
+  bed.set_scenario_fingerprint(
+      impl.source_hash,
+      impl.source_text.size() <= 16384 ? impl.source_text : std::string());
+  // Anchor a resume before any device exists: a refused snapshot (wrong
+  // seed/script) must bail out while teardown is still trivially safe.
+  if (!resume_path.empty()) {
+    auto anchored = bed.resume_from(resume_path);
+    if (!anchored.is_ok()) return Status::error(anchored.error_message());
+    out << "resume: replaying to t="
+        << anchored.value().at.as_seconds() << "s against " << resume_path
+        << "\n";
+  }
   std::vector<Impl::LiveDevice> live(impl.devices.size());
 
   for (std::size_t i = 0; i < impl.devices.size(); ++i) {
@@ -735,6 +787,18 @@ Status Scenario::run(std::ostream& out, unsigned threads, bool observe) {
       plan.add_crash(crash);
     }
     bed.schedule_faults();
+  }
+
+  // Manager state rides along in every snapshot. Deep capture (full peer
+  // tables, per-entry diffs) for script-sized fleets; digest-only above.
+  bed.add_snapshot_source([&live](sim::Snapshot& snap) {
+    std::vector<const OmniManager*> managers;
+    managers.reserve(live.size());
+    for (const auto& ld : live) managers.push_back(&ld.node->manager());
+    capture_managers(managers, /*deep=*/live.size() <= 64, snap);
+  });
+  if (impl.checkpoint_interval > Duration::zero()) {
+    bed.checkpoint_every(impl.checkpoint_interval, impl.checkpoint_dir);
   }
 
   auto report = [&](std::ostream& os) {
@@ -828,7 +892,25 @@ Status Scenario::run(std::ostream& out, unsigned threads, bool observe) {
           json ? obs::write_perfetto_json(path, cap, bed.export_options())
                : obs::write_trace_file(path, cap);
       if (!ok) return Status::error("dump trace: cannot write " + path);
+    } else if (const auto* snap = std::get_if<SnapshotInstr>(&instruction)) {
+      Status s = bed.write_snapshot(snap->path, "snapshot");
+      if (!s.is_ok()) {
+        return Status::error("snapshot: " + s.message());
+      }
     }
+  }
+
+  if (!resume_path.empty()) {
+    if (bed.resume_pending()) {
+      return Status::error(
+          "resume: the script never reached the snapshot instant (add or "
+          "keep the run blocks that got there)");
+    }
+    if (!bed.resume_verified()) {
+      return Status::error("resume: replayed state diverged from " +
+                           resume_path + ":\n" + bed.resume_error());
+    }
+    out << "resume: verified byte-identical at the snapshot instant\n";
   }
   return Status::ok();
 }

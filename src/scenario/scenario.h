@@ -19,8 +19,10 @@
 //   flap beacon at=10s until=30s period=2s off=0.5
 //   crash embedded at=20s restart=35s         # fresh BLE address on reboot
 //   discovery adaptive floor=500ms ceiling=8s  # density-aware beaconing
+//   checkpoint every 5s ckpts           # periodic .osnap state checkpoints
 //   run 60s
 //   report
+//   snapshot final.osnap                # one-shot state snapshot here
 //   dump trace out.json                # Perfetto JSON (.otr = binary)
 //
 // `run` advances virtual time; `report` prints a per-device summary (peers,
@@ -58,7 +60,15 @@ class Scenario {
   /// Returns an error if execution hits an impossible instruction (e.g. a
   /// send between devices that never discovered each other is fine — it
   /// reports a failed send — but an unknown device name is not).
-  Status run(std::ostream& out, unsigned threads = 1, bool observe = false);
+  ///
+  /// `resume_path` anchors the run to an .osnap snapshot written by a
+  /// previous execution of the *same* script (a `snapshot <path>` directive
+  /// or a `checkpoint every` file): the run replays from time zero and
+  /// byte-verifies its recomputed state against the file when it reaches the
+  /// snapshot instant, erroring out on any divergence — including a snapshot
+  /// captured at a different --threads count.
+  Status run(std::ostream& out, unsigned threads = 1, bool observe = false,
+             const std::string& resume_path = {});
 
   // Introspection for tests.
   std::size_t device_count() const;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/assert.h"
 #include "common/result.h"
 
 namespace omni::sim {
@@ -64,7 +65,8 @@ std::uint32_t EventQueue::alloc_slot() {
     --free_count_;
     return idx;
   }
-  OMNI_CHECK_MSG(slots_.size() < kNone, "event slab exhausted");
+  OMNI_ASSERTF(slots_.size() < kNone, "event slab exhausted (%zu slots live)",
+               slots_.size() - free_count_);
   slots_.emplace_back();
   return static_cast<std::uint32_t>(slots_.size() - 1);
 }
@@ -136,7 +138,7 @@ EventHandle EventQueue::schedule_now(TimePoint now, EventFn fn,
 }
 
 EventQueue::Popped EventQueue::pop(TimePoint now) {
-  OMNI_CHECK_MSG(!empty(), "pop() on empty event queue");
+  OMNI_ASSERT(!empty());
   // Heap events due at `now` were scheduled before the clock reached `now`,
   // i.e. before every queued zero-delay event: they go first.
   if (!heap_.empty() && (fifo_live_ == 0 || heap_[0].at <= now)) {

@@ -121,6 +121,24 @@ class EventQueue {
   };
   Popped pop(TimePoint now);
 
+  /// Visit every live pending event as f(at, generation, owner, immediate):
+  /// heap entries in storage order, then live zero-delay FIFO entries in
+  /// fire order. Generations totally order same-owner events under
+  /// (at, generation) — snapshot capture sorts on that key and then discards
+  /// the (engine-internal, thread-count-dependent) generation values.
+  template <typename Fn>
+  void for_each_pending(Fn&& f) const {
+    for (const HeapEntry& e : heap_) {
+      f(e.at, e.generation, slots_[e.slot].owner, /*immediate=*/false);
+    }
+    for (std::size_t i = fifo_head_; i < fifo_.size(); ++i) {
+      const FifoEntry& e = fifo_[i];
+      if (!slot_live(e.slot, e.generation)) continue;  // cancelled
+      f(slots_[e.slot].at, e.generation, slots_[e.slot].owner,
+        /*immediate=*/true);
+    }
+  }
+
  private:
   friend class EventHandle;
 

@@ -1,7 +1,10 @@
 #include "sim/simulator.h"
 
 #include <algorithm>
+#include <sstream>
 
+#include "common/assert.h"
+#include "common/hash.h"
 #include "common/result.h"
 
 namespace omni::sim {
@@ -161,7 +164,9 @@ EventHandle Simulator::after_on(OwnerId owner, Duration delay, EventFn fn) {
   TimePoint at = delay <= Duration::zero() ? sh.now : sh.now + delay;
   if (at < window_end_) at = window_end_;
   std::size_t dst_box = owner == kGlobalOwner ? nshards_ : shard_index_for(owner);
-  OMNI_CHECK_MSG(c.owner < owner_seq_.size(), "posting owner not registered");
+  OMNI_ASSERTF(c.owner < owner_seq_.size(),
+               "posting owner %u not registered",
+               static_cast<unsigned>(c.owner));
   sh.out[dst_box].push_back(
       Post{at, c.owner, ++owner_seq_[c.owner], owner, std::move(fn)});
   return EventHandle{};
@@ -185,6 +190,34 @@ std::size_t Simulator::peak_pending_events() const {
   std::size_t n = global_q_.peak_size();
   for (const Shard& sh : shards_) n += sh.q.peak_size();
   return n;
+}
+
+void Simulator::snapshot_pending(std::vector<PendingEvent>& out) const {
+  const ExecCtx& c = tls_ctx_;
+  OMNI_CHECK_MSG(c.sim != this || c.shard == nullptr,
+                 "snapshot_pending must run outside parallel windows");
+  auto visit = [&out](TimePoint at, std::uint64_t generation, OwnerId owner,
+                      bool immediate) {
+    out.push_back(PendingEvent{at, generation, owner, immediate});
+  };
+  global_q_.for_each_pending(visit);
+  for (const Shard& sh : shards_) sh.q.for_each_pending(visit);
+}
+
+void Simulator::snapshot_rng_digests(
+    std::vector<std::pair<OwnerId, std::uint64_t>>& out) const {
+  // The mt19937_64 stream serialization (624 words + position) is exact:
+  // equal digests <=> equal future draws. ~2.5 KB of text per owner exists
+  // only transiently here.
+  auto digest = [](const Rng& r) {
+    std::ostringstream os;
+    os << r.engine();
+    return fnv1a64(os.str());
+  };
+  for (OwnerId o = 0; o < owner_rngs_.size(); ++o) {
+    if (owner_rngs_[o] != nullptr) out.emplace_back(o, digest(*owner_rngs_[o]));
+  }
+  out.emplace_back(kGlobalOwner, digest(rng_));
 }
 
 void Simulator::run_shard_window(Shard& sh, TimePoint window_end) {
@@ -293,9 +326,10 @@ void Simulator::merge_mailboxes() {
     EventQueue& q = dst == nshards_ ? global_q_ : shards_[dst].q;
     mailbox_posts_ += merge_scratch_.size();
     for (Post& p : merge_scratch_) {
-      OMNI_CHECK_MSG(p.dst == kGlobalOwner || (p.dst < owner_rngs_.size() &&
-                                               owner_rngs_[p.dst] != nullptr),
-                     "mailbox post to unregistered owner");
+      OMNI_ASSERTF(p.dst == kGlobalOwner || (p.dst < owner_rngs_.size() &&
+                                             owner_rngs_[p.dst] != nullptr),
+                   "mailbox post to unregistered owner %u",
+                   static_cast<unsigned>(p.dst));
       q.schedule(p.at, std::move(p.fn), p.dst);
     }
   }

@@ -44,6 +44,7 @@
 #include <functional>
 #include <memory>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/rng.h"
@@ -218,6 +219,41 @@ class Simulator {
 
   /// Owner of the currently executing event (kGlobalOwner outside events).
   OwnerId current_owner() const;
+
+  // --- Snapshot introspection (sim/snapshot.h; quiescent contexts only) -----
+
+  /// The simulation seed every owner stream derives from.
+  std::uint64_t seed() const { return seed_; }
+
+  /// One live pending event. `generation` is the owning queue's internal
+  /// sequence — thread-count-dependent in value, but (at, generation) gives
+  /// the exact fire order among one owner's events, which is what snapshot
+  /// capture canonicalizes on.
+  struct PendingEvent {
+    TimePoint at;
+    std::uint64_t generation;
+    OwnerId owner;
+    bool immediate;  ///< queued on a zero-delay FIFO, not the heap
+  };
+
+  /// Append every live pending event across the global queue and all shards.
+  /// Must run outside parallel windows (setup, global events, barrier
+  /// hooks); snapshot capture points are global events, where shard FIFOs
+  /// are provably drained and all mailboxes merged.
+  void snapshot_pending(std::vector<PendingEvent>& out) const;
+
+  /// Per-owner RNG stream digests — fnv1a64 over the serialized mt19937_64
+  /// state — ascending by owner, the global stream last as kGlobalOwner.
+  /// Digests (rather than the ~2.5 KB raw states) are what snapshots store:
+  /// under replay-anchored resume they only need to *verify* streams, and
+  /// they keep a 10k-owner snapshot within its size budget.
+  void snapshot_rng_digests(
+      std::vector<std::pair<OwnerId, std::uint64_t>>& out) const;
+
+  /// Per-owner mailbox post counters (index = owner id). Part of the
+  /// deterministic state: they order cross-owner posts in the canonical
+  /// mailbox merge.
+  const std::vector<std::uint64_t>& owner_seqs() const { return owner_seq_; }
 
   /// Observability scope attached to this simulator, or nullptr (the
   /// default). The simulator never calls into the scope — the pointer only

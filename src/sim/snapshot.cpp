@@ -1,0 +1,548 @@
+#include "sim/snapshot.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+#include "common/assert.h"
+#include "common/hash.h"
+#include "sim/fault_plan.h"
+#include "sim/simulator.h"
+#include "sim/world.h"
+
+namespace omni::sim {
+
+// --- Section table -----------------------------------------------------------
+
+const char* section_name(std::uint32_t id) {
+  switch (id) {
+    case kSecManifest: return "manifest";
+    case kSecEvents: return "events";
+    case kSecRng: return "rng";
+    case kSecWorld: return "world";
+    case kSecFaults: return "faults";
+    case kSecManagers: return "managers";
+    case kSecMetrics: return "metrics";
+    default: {
+      static thread_local char buf[16];
+      std::snprintf(buf, sizeof(buf), "sec%u", id);
+      return buf;
+    }
+  }
+}
+
+SnapshotSection& Snapshot::section(std::uint32_t id) {
+  auto it = std::lower_bound(
+      sections.begin(), sections.end(), id,
+      [](const SnapshotSection& s, std::uint32_t key) { return s.id < key; });
+  if (it != sections.end() && it->id == id) return *it;
+  return *sections.insert(it, SnapshotSection{id, {}});
+}
+
+const SnapshotSection* Snapshot::find(std::uint32_t id) const {
+  for (const SnapshotSection& s : sections) {
+    if (s.id == id) return &s;
+  }
+  return nullptr;
+}
+
+// --- Byte codec --------------------------------------------------------------
+
+void ByteWriter::u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) bytes_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void ByteWriter::u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) bytes_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void ByteWriter::f64(double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  u64(bits);
+}
+
+void ByteWriter::var(std::uint64_t v) {
+  while (v >= 0x80) {
+    bytes_.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  bytes_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void ByteWriter::svar(std::int64_t v) {
+  var((static_cast<std::uint64_t>(v) << 1) ^
+      static_cast<std::uint64_t>(v >> 63));
+}
+
+void ByteWriter::str(std::string_view s) {
+  var(s.size());
+  bytes_.insert(bytes_.end(), s.begin(), s.end());
+}
+
+bool ByteReader::take(std::size_t n, const std::uint8_t** out) {
+  if (!ok_ || data_.size() - pos_ < n) {
+    ok_ = false;
+    return false;
+  }
+  *out = data_.data() + pos_;
+  pos_ += n;
+  return true;
+}
+
+std::uint8_t ByteReader::u8() {
+  const std::uint8_t* p;
+  return take(1, &p) ? *p : 0;
+}
+
+std::uint32_t ByteReader::u32() {
+  const std::uint8_t* p;
+  if (!take(4, &p)) return 0;
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+std::uint64_t ByteReader::u64() {
+  const std::uint8_t* p;
+  if (!take(8, &p)) return 0;
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+double ByteReader::f64() {
+  std::uint64_t bits = u64();
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::uint64_t ByteReader::var() {
+  std::uint64_t v = 0;
+  for (int shift = 0; shift < 64; shift += 7) {
+    const std::uint8_t* p;
+    if (!take(1, &p)) return 0;
+    v |= static_cast<std::uint64_t>(*p & 0x7f) << shift;
+    if ((*p & 0x80) == 0) return v;
+  }
+  ok_ = false;  // varint longer than 10 bytes: malformed
+  return 0;
+}
+
+std::int64_t ByteReader::svar() {
+  std::uint64_t z = var();
+  return static_cast<std::int64_t>((z >> 1) ^ (~(z & 1) + 1));
+}
+
+std::string ByteReader::str() {
+  std::uint64_t n = var();
+  if (!ok_ || data_.size() - pos_ < n) {
+    ok_ = false;
+    return {};
+  }
+  std::string s(reinterpret_cast<const char*>(data_.data() + pos_),
+                static_cast<std::size_t>(n));
+  pos_ += static_cast<std::size_t>(n);
+  return s;
+}
+
+// --- Manifest ----------------------------------------------------------------
+
+void write_manifest(const SnapshotManifest& m, Snapshot& snap) {
+  ByteWriter w;
+  w.u64(m.seed);
+  w.svar(m.at.as_micros());
+  w.var(m.threads);
+  w.var(m.executed_events);
+  w.var(m.node_count);
+  w.var(m.device_count);
+  w.str(m.label);
+  w.u64(m.scenario_hash);
+  w.str(m.scenario_text);
+  snap.section(kSecManifest).bytes = w.take();
+}
+
+Result<SnapshotManifest> read_manifest(const Snapshot& snap) {
+  const SnapshotSection* s = snap.find(kSecManifest);
+  if (s == nullptr) {
+    return Result<SnapshotManifest>::error("snapshot has no manifest section");
+  }
+  ByteReader r(s->bytes);
+  SnapshotManifest m;
+  m.seed = r.u64();
+  m.at = TimePoint::from_micros(r.svar());
+  m.threads = static_cast<std::uint32_t>(r.var());
+  m.executed_events = r.var();
+  m.node_count = r.var();
+  m.device_count = r.var();
+  m.label = r.str();
+  m.scenario_hash = r.u64();
+  m.scenario_text = r.str();
+  if (!r.done()) {
+    return Result<SnapshotManifest>::error("manifest section is malformed");
+  }
+  return m;
+}
+
+// --- State capture -----------------------------------------------------------
+
+void capture_events(const Simulator& sim, TimePoint at, Snapshot& snap) {
+  std::vector<Simulator::PendingEvent> pending;
+  sim.snapshot_pending(pending);
+  // Canonical order: owner-major, then fire order within the owner. Each
+  // owner's events live in exactly one queue, so its generations — though
+  // thread-count-dependent in *value* — give the exact thread-invariant fire
+  // order when sorted under (at, generation). Generations are then dropped.
+  std::sort(pending.begin(), pending.end(),
+            [](const Simulator::PendingEvent& a,
+               const Simulator::PendingEvent& b) {
+              if (a.owner != b.owner) return a.owner < b.owner;
+              if (a.at != b.at) return a.at < b.at;
+              return a.generation < b.generation;
+            });
+  ByteWriter w;
+  w.var(pending.size());
+  std::size_t i = 0;
+  while (i < pending.size()) {
+    const OwnerId owner = pending[i].owner;
+    std::size_t j = i;
+    while (j < pending.size() && pending[j].owner == owner) ++j;
+    w.var(owner);
+    w.var(j - i);
+    for (; i < j; ++i) {
+      const std::int64_t rel = (pending[i].at - at).as_micros();
+      OMNI_ASSERTF(rel >= 0, "pending event predates capture instant (owner %u)",
+                   owner);
+      w.var((static_cast<std::uint64_t>(rel) << 1) |
+            (pending[i].immediate ? 1u : 0u));
+    }
+  }
+  snap.section(kSecEvents).bytes = w.take();
+}
+
+void capture_rng(const Simulator& sim, Snapshot& snap) {
+  std::vector<std::pair<OwnerId, std::uint64_t>> digests;
+  sim.snapshot_rng_digests(digests);
+  const std::vector<std::uint64_t>& seqs = sim.owner_seqs();
+  ByteWriter w;
+  w.var(digests.size());
+  for (const auto& [owner, digest] : digests) {
+    w.var(owner);
+    w.u64(digest);
+    w.var(owner < seqs.size() ? seqs[owner] : 0);
+  }
+  snap.section(kSecRng).bytes = w.take();
+}
+
+void capture_world(const World& world, Snapshot& snap) {
+  std::vector<World::SnapshotRow> rows;
+  world.snapshot_rows(rows);
+  ByteWriter w;
+  w.var(rows.size());
+  for (const World::SnapshotRow& row : rows) {
+    // Rows arrive ascending by id with no holes, so the id itself is implied
+    // by position. A "static" row (never moved, or teleported: depart ==
+    // arrive and from == to) compresses to flags + one position — the
+    // representation that keeps a crowd node well under its 64 B budget.
+    const bool is_static = row.from == row.to && row.depart == row.arrive;
+    w.u8(static_cast<std::uint8_t>((row.full_stack ? 1 : 0) |
+                                   (is_static ? 2 : 0)));
+    w.f64(row.to.x);
+    w.f64(row.to.y);
+    if (!is_static) {
+      w.f64(row.from.x);
+      w.f64(row.from.y);
+      w.svar(row.depart.as_micros());
+      w.svar(row.arrive.as_micros());
+    }
+  }
+  snap.section(kSecWorld).bytes = w.take();
+}
+
+void capture_faults(const FaultPlan& plan, Snapshot& snap) {
+  ByteWriter w;
+  w.u64(plan.seed());
+  w.var(plan.link_faults().size());
+  for (const auto& f : plan.link_faults()) {
+    w.svar(f.start.as_micros());
+    w.svar(f.end == TimePoint::max() ? -1 : f.end.as_micros());
+    w.u8(static_cast<std::uint8_t>(f.radio));
+    w.var(f.src);
+    w.var(f.dst);
+    w.f64(f.loss);
+    w.f64(f.corrupt);
+    w.svar(f.extra_latency.as_micros());
+  }
+  w.var(plan.blackouts().size());
+  for (const auto& b : plan.blackouts()) {
+    w.var(b.node);
+    w.u8(static_cast<std::uint8_t>(b.radio));
+    w.svar(b.start.as_micros());
+    w.svar(b.end == TimePoint::max() ? -1 : b.end.as_micros());
+    w.svar(b.period.as_micros());
+    w.f64(b.off_fraction);
+  }
+  w.var(plan.crashes().size());
+  for (const auto& c : plan.crashes()) {
+    w.var(c.node);
+    w.svar(c.at.as_micros());
+    w.svar(c.restart.as_micros());
+    w.u8(c.rotate_addresses ? 1 : 0);
+  }
+  w.var(plan.partitions().size());
+  for (const auto& p : plan.partitions()) {
+    w.svar(p.start.as_micros());
+    w.svar(p.end == TimePoint::max() ? -1 : p.end.as_micros());
+    w.f64(p.a);
+    w.f64(p.b);
+    w.f64(p.c);
+  }
+  const FaultPlan::Stats st = plan.stats();
+  w.var(st.drops);
+  w.var(st.corruptions);
+  w.var(st.delays);
+  w.var(st.partition_drops);
+  snap.section(kSecFaults).bytes = w.take();
+}
+
+// --- Serialization / file I/O ------------------------------------------------
+
+std::vector<std::uint8_t> serialize_snapshot(const Snapshot& snap) {
+  ByteWriter w;
+  w.u8(kSnapshotMagic[0]);
+  w.u8(kSnapshotMagic[1]);
+  w.u8(kSnapshotMagic[2]);
+  w.u8(kSnapshotMagic[3]);
+  w.u32(snap.version);
+  w.u32(static_cast<std::uint32_t>(snap.sections.size()));
+  for (const SnapshotSection& s : snap.sections) {
+    w.u32(s.id);
+    w.u64(s.bytes.size());
+    w.u64(fnv1a64(s.bytes));
+  }
+  // Trailer guards the header + table themselves (a bit-flip in a size or
+  // checksum field must be detected too, not misattributed to a payload).
+  const std::uint64_t head_sum = fnv1a64(w.bytes());
+  std::vector<std::uint8_t> out = w.take();
+  for (const SnapshotSection& s : snap.sections) {
+    out.insert(out.end(), s.bytes.begin(), s.bytes.end());
+  }
+  ByteWriter tail;
+  tail.u64(head_sum);
+  const std::vector<std::uint8_t>& t = tail.bytes();
+  out.insert(out.end(), t.begin(), t.end());
+  return out;
+}
+
+Result<Snapshot> parse_snapshot(std::span<const std::uint8_t> data) {
+  using R = Result<Snapshot>;
+  if (data.size() < 12) return R::error("snapshot truncated: no header");
+  if (std::memcmp(data.data(), kSnapshotMagic, 4) != 0) {
+    return R::error("not a snapshot file (bad magic)");
+  }
+  ByteReader r(data);
+  r.u32();  // magic, verified above
+  Snapshot snap;
+  snap.version = r.u32();
+  if (snap.version != kSnapshotVersion) {
+    return R::error("unsupported snapshot version " +
+                    std::to_string(snap.version) + " (expected " +
+                    std::to_string(kSnapshotVersion) + ")");
+  }
+  const std::uint32_t count = r.u32();
+  // Bound the table before trusting it: each entry is 20 bytes.
+  if (!r.ok() || r.remaining() < static_cast<std::size_t>(count) * 20) {
+    return R::error("snapshot truncated: section table cut short");
+  }
+  struct Entry {
+    std::uint32_t id;
+    std::uint64_t size;
+    std::uint64_t checksum;
+  };
+  std::vector<Entry> table;
+  table.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    Entry e;
+    e.id = r.u32();
+    e.size = r.u64();
+    e.checksum = r.u64();
+    table.push_back(e);
+  }
+  const std::size_t head_bytes = 12 + static_cast<std::size_t>(count) * 20;
+  const std::uint64_t head_sum =
+      fnv1a64(std::span<const std::uint8_t>(data.data(), head_bytes));
+  std::uint32_t prev_id = 0;
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    const Entry& e = table[i];
+    if (i > 0 && e.id <= prev_id) {
+      return R::error("snapshot corrupt: section table ids not ascending");
+    }
+    prev_id = e.id;
+    if (e.size > r.remaining()) {
+      return R::error(std::string("snapshot truncated: section '") +
+                      section_name(e.id) + "' extends past end of file");
+    }
+    SnapshotSection s;
+    s.id = e.id;
+    s.bytes.resize(static_cast<std::size_t>(e.size));
+    for (std::size_t b = 0; b < s.bytes.size(); ++b) s.bytes[b] = r.u8();
+    if (fnv1a64(s.bytes) != e.checksum) {
+      return R::error(std::string("snapshot corrupt: checksum mismatch in "
+                                  "section '") +
+                      section_name(e.id) + "'");
+    }
+    snap.sections.push_back(std::move(s));
+  }
+  if (r.remaining() < 8) {
+    return R::error("snapshot truncated: missing trailer checksum");
+  }
+  if (r.u64() != head_sum) {
+    return R::error("snapshot corrupt: header/table checksum mismatch");
+  }
+  if (!r.done()) {
+    return R::error("snapshot corrupt: trailing bytes after trailer");
+  }
+  return snap;
+}
+
+Status write_snapshot_file(const std::string& path, const Snapshot& snap) {
+  const std::vector<std::uint8_t> bytes = serialize_snapshot(snap);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::error("cannot open '" + path + "' for writing");
+  }
+  const std::size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
+  const bool closed = std::fclose(f) == 0;
+  if (written != bytes.size() || !closed) {
+    return Status::error("short write to '" + path + "'");
+  }
+  return Status::ok();
+}
+
+Result<Snapshot> read_snapshot_file(const std::string& path) {
+  using R = Result<Snapshot>;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return R::error("cannot open '" + path + "'");
+  std::vector<std::uint8_t> bytes;
+  std::uint8_t buf[1 << 16];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    bytes.insert(bytes.end(), buf, buf + n);
+  }
+  std::fclose(f);
+  Result<Snapshot> parsed = parse_snapshot(bytes);
+  if (!parsed) {
+    return R::error("'" + path + "': " + parsed.error_message());
+  }
+  return parsed;
+}
+
+// --- Verify / diff -----------------------------------------------------------
+
+std::uint64_t snapshot_digest(const Snapshot& snap) {
+  return fnv1a64(serialize_snapshot(snap));
+}
+
+std::string diff_snapshots(const Snapshot& a, const Snapshot& b,
+                           bool skip_manifest) {
+  std::string out;
+  auto note = [&out](const std::string& line) {
+    if (!out.empty()) out += "; ";
+    out += line;
+  };
+  std::size_t ia = 0, ib = 0;
+  while (ia < a.sections.size() || ib < b.sections.size()) {
+    const SnapshotSection* sa =
+        ia < a.sections.size() ? &a.sections[ia] : nullptr;
+    const SnapshotSection* sb =
+        ib < b.sections.size() ? &b.sections[ib] : nullptr;
+    if (sb == nullptr || (sa != nullptr && sa->id < sb->id)) {
+      note(std::string("section '") + section_name(sa->id) +
+           "' only in first");
+      ++ia;
+      continue;
+    }
+    if (sa == nullptr || sb->id < sa->id) {
+      note(std::string("section '") + section_name(sb->id) +
+           "' only in second");
+      ++ib;
+      continue;
+    }
+    ++ia;
+    ++ib;
+    if (skip_manifest && sa->id == kSecManifest) continue;
+    if (sa->bytes == sb->bytes) continue;
+    std::size_t off = 0;
+    const std::size_t lim = std::min(sa->bytes.size(), sb->bytes.size());
+    while (off < lim && sa->bytes[off] == sb->bytes[off]) ++off;
+    note(std::string("section '") + section_name(sa->id) + "' diverges (" +
+         std::to_string(sa->bytes.size()) + " vs " +
+         std::to_string(sb->bytes.size()) + " bytes, first difference at +" +
+         std::to_string(off) + ")");
+  }
+  return out;
+}
+
+std::string describe_snapshot(const Snapshot& snap) {
+  std::string out;
+  char line[256];
+  Result<SnapshotManifest> mr = read_manifest(snap);
+  if (mr) {
+    const SnapshotManifest& m = mr.value();
+    std::snprintf(line, sizeof(line),
+                  "manifest: seed=%llu t=%.6fs threads=%u executed=%llu "
+                  "nodes=%llu devices=%llu label='%s' scenario_hash=%016llx\n",
+                  static_cast<unsigned long long>(m.seed),
+                  static_cast<double>(m.at.as_micros()) / 1e6, m.threads,
+                  static_cast<unsigned long long>(m.executed_events),
+                  static_cast<unsigned long long>(m.node_count),
+                  static_cast<unsigned long long>(m.device_count),
+                  m.label.c_str(),
+                  static_cast<unsigned long long>(m.scenario_hash));
+    out += line;
+  } else {
+    out += "manifest: " + mr.error_message() + "\n";
+  }
+  for (const SnapshotSection& s : snap.sections) {
+    std::string detail;
+    ByteReader r(s.bytes);
+    switch (s.id) {
+      case kSecEvents: {
+        const std::uint64_t n = r.var();
+        std::uint64_t owners = 0, seen = 0;
+        while (r.ok() && seen < n) {
+          r.var();  // owner
+          const std::uint64_t cnt = r.var();
+          for (std::uint64_t i = 0; r.ok() && i < cnt; ++i) r.var();
+          seen += cnt;
+          ++owners;
+        }
+        if (r.ok()) {
+          detail = std::to_string(n) + " pending events across " +
+                   std::to_string(owners) + " owners";
+        }
+        break;
+      }
+      case kSecRng:
+        detail = std::to_string(r.var()) + " owner streams";
+        break;
+      case kSecWorld:
+        detail = std::to_string(r.var()) + " nodes";
+        break;
+      case kSecManagers:
+        detail = std::to_string(r.var()) + " managers";
+        break;
+      default:
+        break;
+    }
+    std::snprintf(line, sizeof(line), "%-10s %8zu bytes  fnv=%016llx%s%s\n",
+                  section_name(s.id), s.bytes.size(),
+                  static_cast<unsigned long long>(fnv1a64(s.bytes)),
+                  detail.empty() ? "" : "  ", detail.c_str());
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace omni::sim

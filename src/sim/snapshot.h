@@ -1,0 +1,208 @@
+// Versioned binary snapshots of a deterministic run (".osnap" files).
+//
+// A snapshot freezes the complete *logical* state of a simulation at one
+// global-quiescent instant T: the pending-event set of every owner, per-owner
+// RNG stream digests and mailbox sequence counters, the world's motion rows,
+// the fault plan and its injection counters, plus sections contributed by
+// upper layers (OmniManager state, metrics) through the testbed. Together
+// with the manifest (seed, capture time, scenario fingerprint) that state
+// identifies the run bit-for-bit.
+//
+// What is serialized vs rebuilt — the central design decision: events hold
+// opaque std::function closures, so a snapshot cannot *materialize* them in
+// a fresh process. Resume is therefore **replay-anchored**: the caller
+// rebuilds the run from the manifest (same seed, same scenario), re-executes
+// to T, and the engine byte-verifies every recomputed section against the
+// file before continuing. Anything derivable from that replay — radio-medium
+// fan-out caches, nodes_near caches, beacon frame caches, observability
+// rings — is deliberately *not* serialized: it is rebuilt by construction.
+// The serialized sections are the oracle that proves the rebuilt world is
+// the same world.
+//
+// Canonical encoding: every section is byte-identical regardless of the
+// capturing run's --threads value. Pending events are grouped per owner and
+// ordered by (time, fire order) — never by engine-internal generation
+// values, which are per-queue and thread-count-dependent. This makes
+// checkpoint files themselves a cross-thread determinism oracle, and lets a
+// run checkpointed at 8 threads resume at 1 (or vice versa).
+//
+// File layout (little-endian):
+//   magic "OSNP" | u32 version | u32 section_count
+//   section table: { u32 id, u64 size, u64 fnv1a64(payload) } * count
+//   payloads, in table order
+//   u64 fnv1a64(header + table)
+// Loading is hardened: truncation, bad magic, unknown versions, and
+// bit-flips anywhere (table or payload) fail with a diagnostic naming the
+// damaged section — never UB. Versioning policy: the version bumps on any
+// incompatible layout change; readers reject versions they don't know
+// (sections are self-contained, so additive sections need no bump).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "common/time.h"
+#include "sim/event_queue.h"
+
+namespace omni::sim {
+
+class Simulator;
+class World;
+class FaultPlan;
+
+inline constexpr char kSnapshotMagic[4] = {'O', 'S', 'N', 'P'};
+inline constexpr std::uint32_t kSnapshotVersion = 1;
+
+/// Well-known section ids. Ids are stable across versions; unknown ids are
+/// preserved by parse/serialize round trips (forward compatibility for
+/// additive sections).
+enum SectionId : std::uint32_t {
+  kSecManifest = 1,  ///< seed, capture time, scenario fingerprint
+  kSecEvents = 2,    ///< canonical per-owner pending-event lists
+  kSecRng = 3,       ///< per-owner RNG digests + mailbox seq counters
+  kSecWorld = 4,     ///< motion rows (full-stack + crowd)
+  kSecFaults = 5,    ///< fault plan config + injection counters
+  kSecManagers = 6,  ///< OmniManager state (written by the omni layer)
+  kSecMetrics = 7,   ///< canonical metrics-registry dump
+};
+
+/// Human name for a section id ("events", "world", ...; "sec<id>" for
+/// unknown ids — the returned pointer for those is a static scratch).
+const char* section_name(std::uint32_t id);
+
+struct SnapshotSection {
+  std::uint32_t id = 0;
+  std::vector<std::uint8_t> bytes;
+};
+
+struct Snapshot {
+  std::uint32_t version = kSnapshotVersion;
+  /// Ascending by id (section() maintains the order).
+  std::vector<SnapshotSection> sections;
+
+  /// The section with `id`, created empty (in id order) if absent.
+  SnapshotSection& section(std::uint32_t id);
+  const SnapshotSection* find(std::uint32_t id) const;
+};
+
+// --- Byte codec --------------------------------------------------------------
+
+/// Append-only little-endian encoder used by every section writer.
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { bytes_.push_back(v); }
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void f64(double v);
+  /// LEB128-style varint (7 bits per byte).
+  void var(std::uint64_t v);
+  /// Zigzag varint for signed values.
+  void svar(std::int64_t v);
+  /// var(length) + raw bytes.
+  void str(std::string_view s);
+
+  std::vector<std::uint8_t> take() { return std::move(bytes_); }
+  const std::vector<std::uint8_t>& bytes() const { return bytes_; }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+/// Bounds-checked decoder: any overrun or malformed varint sets the fail
+/// flag and yields zeros/empties from then on — corrupted input can produce
+/// garbage values but never UB. Callers check ok() once at the end.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint8_t u8();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  double f64();
+  std::uint64_t var();
+  std::int64_t svar();
+  std::string str();
+
+  bool ok() const { return ok_; }
+  /// True once every byte has been consumed without error.
+  bool done() const { return ok_ && pos_ == data_.size(); }
+  std::size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  bool take(std::size_t n, const std::uint8_t** out);
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+// --- Manifest ----------------------------------------------------------------
+
+struct SnapshotManifest {
+  std::uint64_t seed = 0;
+  TimePoint at;                    ///< capture instant
+  std::uint32_t threads = 0;       ///< capturing run (informational only —
+                                   ///< excluded from resume verification)
+  std::uint64_t executed_events = 0;
+  std::uint64_t node_count = 0;
+  std::uint64_t device_count = 0;
+  std::string label;
+  /// fnv1a64 of the driving scenario source, 0 when not scenario-driven.
+  std::uint64_t scenario_hash = 0;
+  /// Optionally embedded scenario source (small runs), so a snapshot alone
+  /// is enough to rebuild the run it anchors.
+  std::string scenario_text;
+};
+
+void write_manifest(const SnapshotManifest& m, Snapshot& snap);
+Result<SnapshotManifest> read_manifest(const Snapshot& snap);
+
+// --- State capture (sim layer; quiescent/global contexts only) ---------------
+
+/// Pending events of every owner, canonically ordered. `at` is the capture
+/// instant (all pending events fire at or after it).
+void capture_events(const Simulator& sim, TimePoint at, Snapshot& snap);
+
+/// Per-owner RNG stream digests + mailbox sequence counters, plus the
+/// global stream (reported as kGlobalOwner).
+void capture_rng(const Simulator& sim, Snapshot& snap);
+
+/// Motion rows for every node, ascending by id, static rows compressed.
+void capture_world(const World& world, Snapshot& snap);
+
+/// Fault plan declarations + injection counters.
+void capture_faults(const FaultPlan& plan, Snapshot& snap);
+
+// --- Serialization / file I/O ------------------------------------------------
+
+std::vector<std::uint8_t> serialize_snapshot(const Snapshot& snap);
+/// Full hardening: magic, version, table bounds, per-section and trailer
+/// checksums. Error messages name the damaged piece.
+Result<Snapshot> parse_snapshot(std::span<const std::uint8_t> data);
+
+Status write_snapshot_file(const std::string& path, const Snapshot& snap);
+Result<Snapshot> read_snapshot_file(const std::string& path);
+
+// --- Verify / diff -----------------------------------------------------------
+
+/// fnv1a64 over the canonical serialization — one number identifying the
+/// whole state.
+std::uint64_t snapshot_digest(const Snapshot& snap);
+
+/// "" when the snapshots carry byte-identical sections; otherwise a
+/// diagnostic naming every divergent/missing section and the first
+/// differing byte offset. `skip_manifest` ignores kSecManifest (resume
+/// verification: the manifest legitimately differs in thread count).
+std::string diff_snapshots(const Snapshot& a, const Snapshot& b,
+                           bool skip_manifest = false);
+
+/// One-line-per-section human summary (omnisnap inspect): decodes the
+/// manifest and per-section entry counts where the layout is known.
+std::string describe_snapshot(const Snapshot& snap);
+
+}  // namespace omni::sim

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/assert.h"
+
 namespace omni::sim {
 
 double Vec2::norm() const { return std::sqrt(x * x + y * y); }
@@ -117,11 +119,13 @@ void World::cell_remove(Region& r, std::uint64_t key, NodeId id) {
   std::size_t mask = r.cells.size() - 1;
   for (std::size_t i = mix_key(key) & mask;; i = (i + 1) & mask) {
     Region::CellSlot& s = r.cells[i];
-    OMNI_CHECK_MSG(s.head != kNil, "grid cell missing on unbucket");
+    OMNI_ASSERTF(s.head != kNil, "grid cell missing on unbucket (node %u)",
+                 static_cast<unsigned>(id));
     if (s.head == kTomb || s.key != key) continue;
     std::uint32_t* p = &s.head;
     while (*p != kNil && r.links[*p].id != id) p = &r.links[*p].next;
-    OMNI_CHECK_MSG(*p != kNil, "node missing from its grid cell");
+    OMNI_ASSERTF(*p != kNil, "node %u missing from its grid cell",
+                 static_cast<unsigned>(id));
     std::uint32_t li = *p;
     *p = r.links[li].next;
     r.links[li].next = r.free_link;
@@ -187,14 +191,16 @@ std::string_view World::name(NodeId id) const {
 }
 
 std::uint32_t World::region_of(NodeId id) const {
-  OMNI_CHECK_MSG(id < node_ref_.size(), "unknown node id");
+  OMNI_ASSERTF(id < node_ref_.size(), "unknown node id %u",
+               static_cast<unsigned>(id));
   return node_ref_[id].region;
 }
 
 // --- Motion ------------------------------------------------------------------
 
 Vec2 World::position(NodeId id) const {
-  OMNI_CHECK_MSG(id < node_ref_.size(), "unknown node id");
+  OMNI_ASSERTF(id < node_ref_.size(), "unknown node id %u",
+               static_cast<unsigned>(id));
   const NodeRef ref = node_ref_[id];
   const Region& r = regions_[ref.region];
   Vec2 to = r.to[ref.slot];
@@ -488,10 +494,12 @@ void World::nodes_near(NodeId of, double range,
   // writer: shard events may consult *their own* node's cache (radio fan-out
   // is always queried from the transmitting node), and everything else runs
   // barrier-serialized. Enforce the contract rather than document it.
-  OMNI_CHECK_MSG(sim_.owns_context(of),
-                 "nodes_near: concurrent contexts may only query their own "
-                 "node's neighbor cache");
-  OMNI_CHECK_MSG(of < node_ref_.size(), "unknown node id");
+  OMNI_ASSERTF(sim_.owns_context(of),
+               "nodes_near(%u): concurrent contexts may only query their own "
+               "node's neighbor cache",
+               static_cast<unsigned>(of));
+  OMNI_ASSERTF(of < node_ref_.size(), "unknown node id %u",
+               static_cast<unsigned>(of));
   if (sim_.now() < moving_until_) {
     // Some motion segment may still be in flight: positions interpolate, so
     // cached neighbor sets can silently rot. Query the grid directly.
@@ -530,6 +538,20 @@ std::vector<NodeId> World::neighbors(NodeId of, double range) const {
   std::vector<NodeId> out;
   neighbors(of, range, out);
   return out;
+}
+
+// --- Snapshot ----------------------------------------------------------------
+
+void World::snapshot_rows(std::vector<SnapshotRow>& out) const {
+  out.clear();
+  out.reserve(node_ref_.size());
+  for (NodeId id = 0; id < node_ref_.size(); ++id) {
+    const NodeRef& ref = node_ref_[id];
+    const Region& r = regions_[ref.region];
+    out.push_back(SnapshotRow{id, cache_index_[id] != kNil, r.from[ref.slot],
+                              r.to[ref.slot], r.depart[ref.slot],
+                              r.arrive[ref.slot]});
+  }
 }
 
 // --- Telemetry ---------------------------------------------------------------

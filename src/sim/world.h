@@ -195,6 +195,22 @@ class World {
   };
   MemoryStats memory_stats() const;
 
+  /// One node's motion row for snapshot capture (sim/snapshot.h). Rows are
+  /// the world's complete per-node logical state — names, grids, and
+  /// nodes_near caches are all rebuilt/derived, never serialized.
+  struct SnapshotRow {
+    NodeId id = kInvalidNode;
+    bool full_stack = false;  ///< add_node (true) vs add_crowd_node
+    Vec2 from;
+    Vec2 to;
+    TimePoint depart;
+    TimePoint arrive;
+  };
+
+  /// Append every node's row, ascending by id (out is cleared first).
+  /// Quiescent/global contexts only, like every other bulk read.
+  void snapshot_rows(std::vector<SnapshotRow>& out) const;
+
   Simulator& simulator() { return sim_; }
 
   /// Arm (or disarm with nullptr) fault injection: media consult this plan

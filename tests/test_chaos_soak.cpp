@@ -9,15 +9,26 @@
 //    manager op tables drain to empty (during the run and after stop());
 //  * determinism: a digest over every deterministic observable is
 //    byte-identical at 1, 2, and 8 threads.
+//
+// The checkpointed variant additionally snapshots the full run state every
+// 10 virtual seconds; should a divergence ever appear, the first divergent
+// checkpoint pins it to a 10 s window and the failure message carries the
+// exact omnisnap command line that reproduces the comparison offline.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <atomic>
+#include <cstdio>
+#include <filesystem>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "net/testbed.h"
 #include "obs/omniscope.h"
+#include "omni/manager_snapshot.h"
 #include "omni/omni_node.h"
+#include "sim/snapshot.h"
 
 namespace omni {
 namespace {
@@ -46,9 +57,11 @@ struct ChaosResult {
   /// Canonical Omniscope metrics dump — a second, independent digest that
   /// must also be thread-count invariant.
   std::string metrics;
+  /// Checkpoint files written during the run (empty unless armed).
+  std::vector<std::string> checkpoints;
 };
 
-ChaosResult run_chaos(unsigned threads) {
+ChaosResult run_chaos(unsigned threads, const std::string& ckpt_dir = "") {
   net::Testbed bed(kSeed, radio::Calibration::defaults(), threads);
   obs::Omniscope& scope = bed.enable_observability();
   std::vector<net::Device*> devices;
@@ -109,6 +122,19 @@ ChaosResult run_chaos(unsigned threads) {
   split.c = 40.0;
   plan.add_partition(split);
   bed.schedule_faults();
+
+  // Auto-checkpointing: full state (sim + managers, deep peer tables) every
+  // 10 virtual seconds. Checkpoint capture is itself an event, so only runs
+  // with the same cadence are digest-comparable.
+  if (!ckpt_dir.empty()) {
+    bed.add_snapshot_source([&nodes](sim::Snapshot& snap) {
+      std::vector<const OmniManager*> managers;
+      managers.reserve(nodes.size());
+      for (const auto& n : nodes) managers.push_back(&n->manager());
+      capture_managers(managers, /*deep=*/true, snap);
+    });
+    bed.checkpoint_every(Duration::seconds(10), ckpt_dir);
+  }
 
   for (auto& n : nodes) n->start();
 
@@ -187,6 +213,7 @@ ChaosResult run_chaos(unsigned threads) {
   d.add(static_cast<std::uint64_t>(result.sends_failed));
   result.digest = d.h;
   result.metrics = scope.metrics_dump();
+  result.checkpoints = bed.checkpoints();
   EXPECT_GT(scope.metrics().counter_total(scope.core().fault_drops), 0u);
 
   for (auto& n : nodes) n->stop();
@@ -208,6 +235,48 @@ TEST(ChaosSoakTest, FaultsActuallyInject) {
   // The schedule is harsh but the neighborhood still mostly works.
   EXPECT_GT(r.sends_ok, 0);
   EXPECT_GT(r.sends_ok + r.sends_failed, 0);
+}
+
+// Checkpointed soak at two thread counts: digests must still agree, and
+// every pair of same-instant checkpoints must be byte-identical once the
+// manifest (which records the capturing thread count) is excluded. If a
+// divergence ever slips in, the failure message names the first divergent
+// checkpoint — bounding the bug to one 10 s window — and carries the
+// omnisnap command line that reproduces the comparison offline.
+TEST(ChaosSoakTest, CheckpointBisectionPinpointsDivergence) {
+  namespace fs = std::filesystem;
+  const fs::path base = fs::temp_directory_path() /
+                        ("omni_chaos_bisect_" + std::to_string(::getpid()));
+  const std::string dir1 = (base / "t1").string();
+  const std::string dir8 = (base / "t8").string();
+  ChaosResult r1 = run_chaos(1, dir1);
+  ChaosResult r8 = run_chaos(8, dir8);
+  EXPECT_EQ(r1.digest, r8.digest);
+  ASSERT_EQ(r1.checkpoints.size(), r8.checkpoints.size());
+  ASSERT_GE(r1.checkpoints.size(), 5u);  // 60 s run, 10 s cadence
+
+  bool diverged = false;
+  for (std::size_t i = 0; i < r1.checkpoints.size(); ++i) {
+    auto a = sim::read_snapshot_file(r1.checkpoints[i]);
+    auto b = sim::read_snapshot_file(r8.checkpoints[i]);
+    ASSERT_TRUE(a.is_ok()) << a.error_message();
+    ASSERT_TRUE(b.is_ok()) << b.error_message();
+    const std::string diff =
+        sim::diff_snapshots(a.value(), b.value(), /*skip_manifest=*/true);
+    if (!diff.empty()) {
+      char window[64];
+      std::snprintf(window, sizeof window, "(%zus, %zus]", 10 * i,
+                    10 * (i + 1));
+      ADD_FAILURE() << "first divergent checkpoint pins the bug to "
+                    << window << "\n"
+                    << diff << "\nreproduce offline with:\n  omnisnap diff "
+                    << "--state " << r1.checkpoints[i] << " "
+                    << r8.checkpoints[i];
+      diverged = true;
+      break;
+    }
+  }
+  if (!diverged) fs::remove_all(base);
 }
 
 TEST(ChaosSoakTest, DigestIsThreadCountInvariant) {
