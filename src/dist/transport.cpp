@@ -1,0 +1,180 @@
+#include "dist/transport.h"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace omni::dist {
+
+Transport::Transport(int fd, std::string peer)
+    : fd_(fd), peer_(std::move(peer)) {}
+
+Transport::~Transport() { close(); }
+
+Transport::Transport(Transport&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      peer_(std::move(other.peer_)),
+      capture_(std::exchange(other.capture_, nullptr)),
+      stats_(other.stats_) {}
+
+Transport& Transport::operator=(Transport&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    peer_ = std::move(other.peer_);
+    capture_ = std::exchange(other.capture_, nullptr);
+    stats_ = other.stats_;
+  }
+  return *this;
+}
+
+void Transport::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  if (capture_ != nullptr) {
+    std::fclose(capture_);
+    capture_ = nullptr;
+  }
+}
+
+Status Transport::set_capture(const std::string& path) {
+  if (capture_ != nullptr) {
+    std::fclose(capture_);
+    capture_ = nullptr;
+  }
+  if (path.empty()) return Status::ok();
+  capture_ = std::fopen(path.c_str(), "wb");
+  if (capture_ == nullptr) {
+    return Status::error("cannot open capture file '" + path + "'");
+  }
+  return Status::ok();
+}
+
+namespace {
+
+// Retry-on-EINTR full write; returns false on any hard error.
+bool write_all(int fd, const std::uint8_t* data, std::size_t n) {
+  while (n > 0) {
+    const ssize_t w = ::send(fd, data, n, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += w;
+    n -= static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+// Retry-on-EINTR read of exactly n bytes. Returns the count actually read
+// (short on EOF); a hard error reports -1.
+ssize_t read_all(int fd, std::uint8_t* data, std::size_t n) {
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::read(fd, data + got, n - got);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return -1;
+    }
+    if (r == 0) break;  // EOF
+    got += static_cast<std::size_t>(r);
+  }
+  return static_cast<ssize_t>(got);
+}
+
+void append_capture(std::FILE* f, std::span<const std::uint8_t> prefix,
+                    std::span<const std::uint8_t> body) {
+  if (f == nullptr) return;
+  std::fwrite(prefix.data(), 1, prefix.size(), f);
+  std::fwrite(body.data(), 1, body.size(), f);
+  std::fflush(f);
+}
+
+}  // namespace
+
+Status Transport::send(std::span<const std::uint8_t> frame) {
+  if (fd_ < 0) return Status::error("send on closed transport to " + peer_);
+  ByteWriter w;
+  w.var(frame.size());
+  const std::vector<std::uint8_t>& prefix = w.bytes();
+  if (!write_all(fd_, prefix.data(), prefix.size()) ||
+      !write_all(fd_, frame.data(), frame.size())) {
+    return Status::error("send to " + peer_ + " failed: " +
+                         std::strerror(errno));
+  }
+  stats_.frames_sent += 1;
+  stats_.bytes_sent += prefix.size() + frame.size();
+  append_capture(capture_, prefix, frame);
+  return Status::ok();
+}
+
+Result<std::vector<std::uint8_t>> Transport::recv() {
+  using R = Result<std::vector<std::uint8_t>>;
+  if (fd_ < 0) return R::error("recv on closed transport from " + peer_);
+  // Read the varint length one byte at a time (it is at most 10 bytes and
+  // we must not consume past it).
+  std::uint64_t len = 0;
+  std::vector<std::uint8_t> prefix;
+  for (int shift = 0;; shift += 7) {
+    if (shift >= 64) {
+      return R::error("malformed frame length from " + peer_);
+    }
+    std::uint8_t b;
+    const ssize_t r = read_all(fd_, &b, 1);
+    if (r < 0) {
+      return R::error("recv from " + peer_ + " failed: " +
+                      std::strerror(errno));
+    }
+    if (r == 0) {
+      if (prefix.empty()) {
+        return R::error("connection closed by " + peer_);
+      }
+      return R::error("torn frame from " + peer_ +
+                      ": stream ended inside the length prefix");
+    }
+    prefix.push_back(b);
+    len |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) break;
+  }
+  if (len > kMaxFrameBytes) {
+    return R::error("insane frame length " + std::to_string(len) +
+                    " from " + peer_ + " (corrupt stream?)");
+  }
+  std::vector<std::uint8_t> body(static_cast<std::size_t>(len));
+  const ssize_t got = read_all(fd_, body.data(), body.size());
+  if (got < 0) {
+    return R::error("recv from " + peer_ + " failed: " +
+                    std::strerror(errno));
+  }
+  if (static_cast<std::size_t>(got) != body.size()) {
+    return R::error("torn frame from " + peer_ + ": got " +
+                    std::to_string(got) + " of " +
+                    std::to_string(body.size()) + " payload bytes");
+  }
+  stats_.frames_received += 1;
+  stats_.bytes_received += prefix.size() + body.size();
+  append_capture(capture_, prefix, body);
+  return body;
+}
+
+Status send_frame(Transport& t, const Frame& f) {
+  return t.send(encode_frame(f));
+}
+
+Result<Frame> recv_frame(Transport& t) {
+  using R = Result<Frame>;
+  Result<std::vector<std::uint8_t>> bytes = t.recv();
+  if (!bytes.is_ok()) return R::error(bytes.error_message());
+  Result<Frame> f = decode_frame(bytes.value());
+  if (!f.is_ok()) {
+    return R::error("bad frame from " + t.peer() + ": " + f.error_message());
+  }
+  return f;
+}
+
+}  // namespace omni::dist

@@ -1,0 +1,88 @@
+// Frame transport over a local stream socket (socketpair/AF_UNIX).
+//
+// The wire carries length-prefixed frames: a LEB128 varint byte count, then
+// that many bytes of serialized frame container. Reads are fail-soft in the
+// spirit of the snapshot loader: EOF, short reads, torn frames, and insane
+// lengths all surface as diagnostics naming the peer — never UB, never a
+// hang on garbage. Writes loop over partial sends and are SIGPIPE-free
+// (MSG_NOSIGNAL), so a dead peer is an error return, not a killed process.
+//
+// An optional capture tee appends every frame this endpoint sends or
+// receives — in processing order — to an `.ofrs` file, using the exact wire
+// framing, so `omnisnap inspect` replays what the endpoint saw.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "dist/protocol.h"
+
+namespace omni::dist {
+
+/// Byte/frame counters of one transport, both directions.
+struct TransportStats {
+  std::uint64_t frames_sent = 0;
+  std::uint64_t frames_received = 0;
+  std::uint64_t bytes_sent = 0;      ///< includes length prefixes
+  std::uint64_t bytes_received = 0;  ///< includes length prefixes
+};
+
+/// Owns one stream-socket fd and speaks the length-prefixed frame wire
+/// format over it. Move-only.
+class Transport {
+ public:
+  /// Refuse anything larger: a corrupted length prefix must fail fast, not
+  /// drive a multi-gigabyte allocation.
+  static constexpr std::uint64_t kMaxFrameBytes = 64ull << 20;
+
+  Transport() = default;
+  /// Takes ownership of `fd` (must be a stream socket — writes use
+  /// send(MSG_NOSIGNAL)). `peer` names the other end in diagnostics
+  /// ("worker 0", "coordinator").
+  Transport(int fd, std::string peer);
+  ~Transport();
+  Transport(Transport&& other) noexcept;
+  Transport& operator=(Transport&& other) noexcept;
+  Transport(const Transport&) = delete;
+  Transport& operator=(const Transport&) = delete;
+
+  const std::string& peer() const { return peer_; }
+  bool open() const { return fd_ >= 0; }
+
+  /// Tee every subsequent send/recv to an `.ofrs` capture file (truncates
+  /// an existing file). Pass "" to stop capturing.
+  Status set_capture(const std::string& path);
+
+  /// Send one serialized frame (length prefix added here).
+  Status send(std::span<const std::uint8_t> frame);
+
+  /// Receive one frame's bytes (length prefix stripped). EOF before any
+  /// length byte reports "connection closed"; EOF mid-frame reports a torn
+  /// frame with the byte counts.
+  Result<std::vector<std::uint8_t>> recv();
+
+  /// Close the fd early (destruction also closes).
+  void close();
+
+  const TransportStats& stats() const { return stats_; }
+
+ private:
+  int fd_ = -1;
+  std::string peer_;
+  std::FILE* capture_ = nullptr;
+  TransportStats stats_;
+};
+
+/// encode + send, with the peer name folded into any error.
+Status send_frame(Transport& t, const Frame& f);
+
+/// recv + decode; transport and parse diagnostics both carry the peer
+/// name, so a fail-soft codec error ("frame corrupt: checksum mismatch in
+/// section 'posts'") propagates to the caller instead of being swallowed.
+Result<Frame> recv_frame(Transport& t);
+
+}  // namespace omni::dist

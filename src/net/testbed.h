@@ -306,10 +306,14 @@ class Testbed {
     return snap;
   }
 
-  /// capture_snapshot + write to `path`.
+  /// capture_snapshot + write to `path`. The capture always runs (it is
+  /// part of the deterministic schedule — see set_artifact_writes); only
+  /// the file write is gated.
   Status write_snapshot(const std::string& path,
                         const std::string& label = {}) {
-    return sim::write_snapshot_file(path, capture_snapshot(label));
+    sim::Snapshot snap = capture_snapshot(label);
+    if (!artifact_writes_) return Status::ok();
+    return sim::write_snapshot_file(path, snap);
   }
 
   /// Arm a periodic checkpoint daemon: a barrier-serialized global event
@@ -323,13 +327,29 @@ class Testbed {
   void checkpoint_every(Duration interval, std::string dir = ".") {
     OMNI_ASSERT(interval > Duration::zero());
     checkpoint_dir_ = std::move(dir);
-    std::error_code ec;
-    std::filesystem::create_directories(checkpoint_dir_, ec);
+    if (artifact_writes_) {
+      std::error_code ec;
+      std::filesystem::create_directories(checkpoint_dir_, ec);
+    }
     schedule_checkpoint(interval);
   }
 
   /// Paths of every checkpoint written so far, in capture order.
   const std::vector<std::string>& checkpoints() const { return checkpoints_; }
+
+  /// First checkpoint write failure, or empty. The checkpoint daemon runs
+  /// inside a global event with no way to abort the run, so the failure is
+  /// recorded here; drivers (scenario::run) check it after the run and
+  /// turn it into an error instead of silently ending up with fewer
+  /// checkpoint files than scheduled.
+  const std::string& checkpoint_error() const { return checkpoint_error_; }
+
+  /// Replica mode for the distributed engine: when off, snapshot /
+  /// checkpoint / trace *captures* still execute (they are events on the
+  /// deterministic schedule, and capture flush hooks touch energy-meter
+  /// state), but nothing is written to the filesystem. Defaults to on.
+  void set_artifact_writes(bool on) { artifact_writes_ = on; }
+  bool artifact_writes() const { return artifact_writes_; }
 
   /// Anchor this (freshly built, not yet run) testbed to a snapshot: load
   /// `path`, validate it against the rebuilt run (seed, scenario
@@ -404,9 +424,13 @@ class Testbed {
     const std::string path =
         checkpoint_dir_.empty() ? std::string(name)
                                 : checkpoint_dir_ + "/" + name;
-    if (sim::write_snapshot_file(path, capture_snapshot("checkpoint"))
-            .is_ok()) {
+    sim::Snapshot snap = capture_snapshot("checkpoint");
+    if (!artifact_writes_) return;
+    Status s = sim::write_snapshot_file(path, snap);
+    if (s.is_ok()) {
       checkpoints_.push_back(path);
+    } else if (checkpoint_error_.empty()) {
+      checkpoint_error_ = s.message();
     }
   }
 
@@ -465,6 +489,8 @@ class Testbed {
   std::string scenario_text_;
   std::string checkpoint_dir_;
   std::vector<std::string> checkpoints_;
+  std::string checkpoint_error_;
+  bool artifact_writes_ = true;
   std::unique_ptr<sim::Snapshot> resume_target_;
   TimePoint resume_at_;
   bool resume_checked_ = false;

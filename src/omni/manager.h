@@ -43,9 +43,12 @@
 
 namespace omni {
 
-namespace sim {
+namespace codec {
 class ByteWriter;
+}
+namespace sim {
 class World;
+using ::omni::codec::ByteWriter;
 }
 
 struct ManagerOptions {

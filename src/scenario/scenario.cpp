@@ -722,7 +722,7 @@ Result<std::unique_ptr<Scenario>> Scenario::parse(const std::string& text) {
 }
 
 Status Scenario::run(std::ostream& out, unsigned threads, bool observe,
-                     const std::string& resume_path) {
+                     const std::string& resume_path, const RunHooks& hooks) {
   Impl& impl = *impl_;
   net::Testbed bed(impl.seed, radio::Calibration::defaults(), threads);
   if (observe || impl.wants_observability) bed.enable_observability();
@@ -739,6 +739,10 @@ Status Scenario::run(std::ostream& out, unsigned threads, bool observe,
     out << "resume: replaying to t="
         << anchored.value().at.as_seconds() << "s against " << resume_path
         << "\n";
+  }
+  if (hooks.on_ready) {
+    Status s = hooks.on_ready(bed);
+    if (!s.is_ok()) return s;
   }
   std::vector<Impl::LiveDevice> live(impl.devices.size());
 
@@ -884,14 +888,19 @@ Status Scenario::run(std::ostream& out, unsigned threads, bool observe,
       if (sc == nullptr) {
         return Status::error("dump trace: observability is not enabled");
       }
+      // Capture unconditionally: flush hooks mutate energy-meter state, so
+      // skipping the capture on a worker replica would diverge from the
+      // coordinator. Only the file write is gated.
       obs::TraceCapture cap = obs::capture(*sc);
-      const std::string& path = dump->path;
-      const bool json = path.size() >= 5 &&
-                        path.compare(path.size() - 5, 5, ".json") == 0;
-      const bool ok =
-          json ? obs::write_perfetto_json(path, cap, bed.export_options())
-               : obs::write_trace_file(path, cap);
-      if (!ok) return Status::error("dump trace: cannot write " + path);
+      if (bed.artifact_writes()) {
+        const std::string& path = dump->path;
+        const bool json = path.size() >= 5 &&
+                          path.compare(path.size() - 5, 5, ".json") == 0;
+        const bool ok =
+            json ? obs::write_perfetto_json(path, cap, bed.export_options())
+                 : obs::write_trace_file(path, cap);
+        if (!ok) return Status::error("dump trace: cannot write " + path);
+      }
     } else if (const auto* snap = std::get_if<SnapshotInstr>(&instruction)) {
       Status s = bed.write_snapshot(snap->path, "snapshot");
       if (!s.is_ok()) {
@@ -911,6 +920,16 @@ Status Scenario::run(std::ostream& out, unsigned threads, bool observe,
                            resume_path + ":\n" + bed.resume_error());
     }
     out << "resume: verified byte-identical at the snapshot instant\n";
+  }
+  // The checkpoint daemon runs inside global events where it cannot abort
+  // the run; a write failure it recorded must still fail the scenario
+  // instead of silently producing fewer checkpoints than the script asked
+  // for.
+  if (!bed.checkpoint_error().empty()) {
+    return Status::error("checkpoint: " + bed.checkpoint_error());
+  }
+  if (hooks.on_complete) {
+    return hooks.on_complete(bed);
   }
   return Status::ok();
 }

@@ -325,6 +325,11 @@ void Simulator::merge_mailboxes() {
               });
     EventQueue& q = dst == nshards_ ? global_q_ : shards_[dst].q;
     mailbox_posts_ += merge_scratch_.size();
+    if (dist_driver_ != nullptr) {
+      for (const Post& p : merge_scratch_) {
+        window_posts_.push_back(PostRecord{p.at, p.src, p.seq, p.dst});
+      }
+    }
     for (Post& p : merge_scratch_) {
       OMNI_ASSERTF(p.dst == kGlobalOwner || (p.dst < owner_rngs_.size() &&
                                              owner_rngs_[p.dst] != nullptr),
@@ -379,10 +384,33 @@ std::uint64_t Simulator::run_loop(TimePoint deadline, bool advance_clock) {
       // don't — the window end is exclusive.
       w = deadline + Duration::micros(1);
     }
+    const std::uint64_t round = windows_;
+    if (dist_driver_ != nullptr && !dist_driver_->window_open(round, t, w)) {
+      stop_requested_.store(true, std::memory_order_relaxed);
+      break;
+    }
     ran += run_windows(w);
     ++windows_;
     merge_mailboxes();
     for (auto& hook : barrier_hooks_) hook();
+    if (dist_driver_ != nullptr) {
+      // merge_mailboxes collected records per destination; re-sort the
+      // union into the global canonical (time, src_owner, seq) order — seq
+      // counts all posts of one source, so the triple is a total order over
+      // the whole window.
+      std::sort(window_posts_.begin(), window_posts_.end(),
+                [](const PostRecord& a, const PostRecord& b) {
+                  if (a.at != b.at) return a.at < b.at;
+                  if (a.src != b.src) return a.src < b.src;
+                  return a.seq < b.seq;
+                });
+      const bool go = dist_driver_->window_close(round, window_posts_);
+      window_posts_.clear();
+      if (!go) {
+        stop_requested_.store(true, std::memory_order_relaxed);
+        break;
+      }
+    }
   }
   if (advance_clock && now_ < deadline &&
       !stop_requested_.load(std::memory_order_relaxed)) {

@@ -43,6 +43,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <span>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -56,6 +57,41 @@ class Omniscope;
 }
 
 namespace omni::sim {
+
+/// The metadata of one cross-owner mailbox post, as merged at a window
+/// barrier: everything about the post except its closure. This is exactly
+/// what the distributed engine puts on the wire — the canonical
+/// (time, src_owner, seq) merge order is a pure function of these tuples,
+/// so two replicas that observe equal record streams provably merged their
+/// mailboxes identically.
+struct PostRecord {
+  TimePoint at;        ///< firing time (already clamped to >= window end)
+  OwnerId src;         ///< posting owner
+  std::uint64_t seq;   ///< src's mailbox sequence counter at post time
+  OwnerId dst;         ///< destination owner (kGlobalOwner for global work)
+
+  friend bool operator==(const PostRecord&, const PostRecord&) = default;
+};
+
+/// Observer/controller seam for the distributed engine (dist/): the run
+/// loop reports every conservative window as an explicit round. Both hooks
+/// run on the driving thread outside any parallel window; returning false
+/// requests a stop (equivalent to Simulator::stop()). The default engine
+/// pays one null-pointer test per window when no driver is installed.
+class DistDriver {
+ public:
+  virtual ~DistDriver() = default;
+
+  /// A window [t, w) is about to execute as round `round` (the cumulative
+  /// windows_run() value at open time).
+  virtual bool window_open(std::uint64_t round, TimePoint t, TimePoint w) = 0;
+
+  /// Round `round` finished: mailboxes merged, barrier hooks run. `posts`
+  /// holds every cross-owner record of the window in canonical
+  /// (time, src_owner, seq) order.
+  virtual bool window_close(std::uint64_t round,
+                            std::span<const PostRecord> posts) = 0;
+};
 
 class Simulator {
  public:
@@ -268,6 +304,15 @@ class Simulator {
   /// police its per-node caches.
   bool owns_context(OwnerId owner) const;
 
+  /// Install (or clear, with nullptr) the distributed-engine driver. The
+  /// driver must outlive every run; install it from a quiescent context.
+  /// With a driver installed the run loop additionally records the
+  /// PostRecord stream of every window — behavior is otherwise unchanged,
+  /// and a run with no driver is byte-identical to one before the seam
+  /// existed.
+  void set_dist_driver(DistDriver* driver) { dist_driver_ = driver; }
+  DistDriver* dist_driver() const { return dist_driver_; }
+
  private:
   /// A cross-owner schedule captured during a window, merged at the barrier.
   struct Post {
@@ -328,6 +373,8 @@ class Simulator {
   std::vector<std::uint32_t> owner_shard_;  ///< place_owner pins; see above
   std::vector<Post> merge_scratch_;
   std::vector<std::function<void()>> barrier_hooks_;
+  DistDriver* dist_driver_ = nullptr;
+  std::vector<PostRecord> window_posts_;  ///< driver-visible records/window
   std::uint64_t executed_ = 0;
   std::uint64_t windows_ = 0;
   std::uint64_t global_events_ = 0;

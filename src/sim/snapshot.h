@@ -26,16 +26,13 @@
 // checkpoint files themselves a cross-thread determinism oracle, and lets a
 // run checkpointed at 8 threads resume at 1 (or vice versa).
 //
-// File layout (little-endian):
-//   magic "OSNP" | u32 version | u32 section_count
-//   section table: { u32 id, u64 size, u64 fnv1a64(payload) } * count
-//   payloads, in table order
-//   u64 fnv1a64(header + table)
-// Loading is hardened: truncation, bad magic, unknown versions, and
-// bit-flips anywhere (table or payload) fail with a diagnostic naming the
-// damaged section — never UB. Versioning policy: the version bumps on any
-// incompatible layout change; readers reject versions they don't know
-// (sections are self-contained, so additive sections need no bump).
+// File layout: the shared sectioned container of common/codec.h with magic
+// "OSNP" (docs/FORMATS.md is the normative byte-level spec). Loading is
+// hardened: truncation, bad magic, unknown versions, and bit-flips anywhere
+// (table or payload) fail with a diagnostic naming the damaged section —
+// never UB. Versioning policy: the version bumps on any incompatible layout
+// change; readers reject versions they don't know (sections are
+// self-contained, so additive sections need no bump).
 #pragma once
 
 #include <cstdint>
@@ -45,6 +42,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/codec.h"
 #include "common/result.h"
 #include "common/time.h"
 #include "sim/event_queue.h"
@@ -75,71 +73,24 @@ enum SectionId : std::uint32_t {
 /// unknown ids — the returned pointer for those is a static scratch).
 const char* section_name(std::uint32_t id);
 
-struct SnapshotSection {
-  std::uint32_t id = 0;
-  std::vector<std::uint8_t> bytes;
-};
+// The codec and container machinery live in common/codec.h now (the wire
+// frames of the distributed engine share them); these aliases keep the
+// historical sim-layer spellings working.
+using ::omni::codec::ByteReader;
+using ::omni::codec::ByteWriter;
+using SnapshotSection = ::omni::codec::Section;
+using Snapshot = ::omni::codec::SectionContainer;
 
-struct Snapshot {
-  std::uint32_t version = kSnapshotVersion;
-  /// Ascending by id (section() maintains the order).
-  std::vector<SnapshotSection> sections;
+/// The ContainerSpec instance describing `.osnap` files (magic, version,
+/// section names); parse/serialize_snapshot wrap the generic container
+/// functions with it.
+const ::omni::codec::ContainerSpec& snapshot_spec();
 
-  /// The section with `id`, created empty (in id order) if absent.
-  SnapshotSection& section(std::uint32_t id);
-  const SnapshotSection* find(std::uint32_t id) const;
-};
-
-// --- Byte codec --------------------------------------------------------------
-
-/// Append-only little-endian encoder used by every section writer.
-class ByteWriter {
- public:
-  void u8(std::uint8_t v) { bytes_.push_back(v); }
-  void u32(std::uint32_t v);
-  void u64(std::uint64_t v);
-  void f64(double v);
-  /// LEB128-style varint (7 bits per byte).
-  void var(std::uint64_t v);
-  /// Zigzag varint for signed values.
-  void svar(std::int64_t v);
-  /// var(length) + raw bytes.
-  void str(std::string_view s);
-
-  std::vector<std::uint8_t> take() { return std::move(bytes_); }
-  const std::vector<std::uint8_t>& bytes() const { return bytes_; }
-
- private:
-  std::vector<std::uint8_t> bytes_;
-};
-
-/// Bounds-checked decoder: any overrun or malformed varint sets the fail
-/// flag and yields zeros/empties from then on — corrupted input can produce
-/// garbage values but never UB. Callers check ok() once at the end.
-class ByteReader {
- public:
-  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
-
-  std::uint8_t u8();
-  std::uint32_t u32();
-  std::uint64_t u64();
-  double f64();
-  std::uint64_t var();
-  std::int64_t svar();
-  std::string str();
-
-  bool ok() const { return ok_; }
-  /// True once every byte has been consumed without error.
-  bool done() const { return ok_ && pos_ == data_.size(); }
-  std::size_t remaining() const { return data_.size() - pos_; }
-
- private:
-  bool take(std::size_t n, const std::uint8_t** out);
-
-  std::span<const std::uint8_t> data_;
-  std::size_t pos_ = 0;
-  bool ok_ = true;
-};
+// SectionContainer's default version must stay in lockstep with the
+// snapshot version, because capture paths rely on `Snapshot{}` already
+// carrying the version they serialize under.
+static_assert(kSnapshotVersion == 1,
+              "bump SectionContainer's default version alongside this");
 
 // --- Manifest ----------------------------------------------------------------
 
