@@ -72,6 +72,11 @@ class ByteReader {
   void raw(std::size_t n, std::vector<std::uint8_t>& out);
 
   bool ok() const { return ok_; }
+  /// Mark the stream bad from the outside: a caller that decodes a value in
+  /// range but semantically invalid (bad enum tag, over-limit length) fails
+  /// the whole read the same way an overrun would, so enclosing section
+  /// decoders reject with one check.
+  void fail() { ok_ = false; }
   /// True once every byte has been consumed without error.
   bool done() const { return ok_ && pos_ == data_.size(); }
   std::size_t remaining() const { return data_.size() - pos_; }

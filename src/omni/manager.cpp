@@ -95,6 +95,10 @@ OmniManager::OmniManager(sim::Simulator& sim, OmniAddress self,
     // collide.
     next_nonce_ = self_.value << 20;
   }
+  maintenance_slot_ =
+      sim_.register_callback_slot(this, &OmniManager::maintenance_thunk);
+  peer_sweep_slot_ =
+      sim_.register_callback_slot(this, &OmniManager::peer_sweep_thunk);
 }
 
 Bytes OmniManager::maybe_seal(Bytes packed) {
@@ -104,6 +108,8 @@ Bytes OmniManager::maybe_seal(Bytes packed) {
 
 OmniManager::~OmniManager() {
   if (running_) stop();
+  sim_.unregister_callback_slot(peer_sweep_slot_);
+  sim_.unregister_callback_slot(maintenance_slot_);
 }
 
 void OmniManager::add_technology(CommTechnology& tech) {
@@ -513,12 +519,17 @@ void OmniManager::disengage(Technology tech) {
 void OmniManager::schedule_maintenance() {
   // Pinned to the manager's owner: start() runs in setup/global context, but
   // the tick must live on the owning node's shard with the rest of the
-  // manager's state.
-  maintenance_event_ = sim_.after_on(options_.owner, options_.probe_interval,
-                                     [this] {
-                                       maintenance_tick();
-                                       if (running_) schedule_maintenance();
-                                     });
+  // manager's state. Scheduled as a {u32 slot} descriptor, so the recurring
+  // tick costs 4 inline payload bytes per schedule instead of a closure.
+  maintenance_event_ =
+      sim_.schedule_slot_on(options_.owner, options_.probe_interval,
+                            sim::kEventMgrMaintenance, maintenance_slot_);
+}
+
+void OmniManager::maintenance_thunk(void* ctx) {
+  auto* mgr = static_cast<OmniManager*>(ctx);
+  mgr->maintenance_tick();
+  if (mgr->running_) mgr->schedule_maintenance();
 }
 
 void OmniManager::adapt_beacon_interval() {
@@ -754,28 +765,34 @@ void OmniManager::schedule_peer_sweep() {
   Duration interval = options_.peer_sweep_interval > Duration::zero()
                           ? options_.peer_sweep_interval
                           : options_.probe_interval;
-  peer_sweep_event_ =
-      sim_.after_on(options_.owner, interval, [this] {
-        if (!running_) return;
-        schedule_peer_sweep();
-        // Under the adaptive policy the horizon stretches with each peer's
-        // observed beacon interval so that a backed-off beaconer gets the
-        // same missed-beacon budget (ttl / floor tries) the fixed baseline
-        // grants a floor-rate one — scaling wall-clock alone leaves the
-        // sweep racing capture losses around every ramp transition.
-        const std::int64_t floor_us =
-            std::max<std::int64_t>(1, options_.discovery.floor.as_micros());
-        const double hint_scale =
-            options_.discovery.mode == DiscoveryPolicy::Mode::kAdaptive
-                ? static_cast<double>(options_.peer_ttl.as_micros()) /
-                      static_cast<double>(floor_us)
-                : 0.0;
-        peers_.expire(sim_.now(), options_.peer_ttl, hint_scale);
-        ++stats_.peer_expire_sweeps;
-        if (obs::Omniscope* sc = scope_of(sim_)) {
-          sc->count_on(options_.owner, sc->core().peer_expire_sweeps);
-        }
-      });
+  peer_sweep_event_ = sim_.schedule_slot_on(
+      options_.owner, interval, sim::kEventMgrPeerSweep, peer_sweep_slot_);
+}
+
+void OmniManager::peer_sweep_thunk(void* ctx) {
+  static_cast<OmniManager*>(ctx)->peer_sweep_fired();
+}
+
+void OmniManager::peer_sweep_fired() {
+  if (!running_) return;
+  schedule_peer_sweep();
+  // Under the adaptive policy the horizon stretches with each peer's
+  // observed beacon interval so that a backed-off beaconer gets the
+  // same missed-beacon budget (ttl / floor tries) the fixed baseline
+  // grants a floor-rate one — scaling wall-clock alone leaves the
+  // sweep racing capture losses around every ramp transition.
+  const std::int64_t floor_us =
+      std::max<std::int64_t>(1, options_.discovery.floor.as_micros());
+  const double hint_scale =
+      options_.discovery.mode == DiscoveryPolicy::Mode::kAdaptive
+          ? static_cast<double>(options_.peer_ttl.as_micros()) /
+                static_cast<double>(floor_us)
+          : 0.0;
+  peers_.expire(sim_.now(), options_.peer_ttl, hint_scale);
+  ++stats_.peer_expire_sweeps;
+  if (obs::Omniscope* sc = scope_of(sim_)) {
+    sc->count_on(options_.owner, sc->core().peer_expire_sweeps);
+  }
 }
 
 void OmniManager::maintenance_tick() {

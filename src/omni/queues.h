@@ -11,6 +11,7 @@
 // interface for real-time deployments.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <optional>
 #include <utility>
@@ -25,7 +26,10 @@ namespace omni {
 template <typename T>
 class SimQueue {
  public:
-  explicit SimQueue(sim::Simulator& sim) : sim_(&sim) {}
+  explicit SimQueue(sim::Simulator& sim)
+      : sim_(&sim),
+        drain_slot_(sim.register_callback_slot(this, &SimQueue::drain_thunk)) {}
+  ~SimQueue() { sim_->unregister_callback_slot(drain_slot_); }
   SimQueue(const SimQueue&) = delete;
   SimQueue& operator=(const SimQueue&) = delete;
 
@@ -127,20 +131,28 @@ class SimQueue {
     deferred_wake();
   }
 
+  /// The wakeup is a queue-drain descriptor naming this queue's callback
+  /// slot, not a `this`-capturing closure: same owner, delay, and scheduling
+  /// order as the closure it replaced (so event sequences are untouched),
+  /// but the slab stores 4 payload bytes and — crucially for dist/ — a
+  /// cross-owner wake (a node-shard producer waking a global-pinned tech
+  /// queue, or vice versa) is a serializable post that partitioned workers
+  /// can ship instead of a closure they can only replicate.
   void deferred_wake() {
     wake_pending_ = true;
-    auto fn = [this] {
-      wake_pending_ = false;
-      if (consumer_) consumer_();
-    };
-    if (pinned_) {
-      sim_->after_on(owner_, Duration::zero(), std::move(fn));
-    } else {
-      sim_->after(Duration::zero(), std::move(fn));
-    }
+    sim::OwnerId owner = pinned_ ? owner_ : sim_->current_owner();
+    sim_->schedule_slot_on(owner, Duration::zero(), sim::kEventQueueDrain,
+                           drain_slot_);
+  }
+
+  static void drain_thunk(void* ctx) {
+    auto* q = static_cast<SimQueue*>(ctx);
+    q->wake_pending_ = false;
+    if (q->consumer_) q->consumer_();
   }
 
   sim::Simulator* sim_;
+  std::uint32_t drain_slot_;  ///< callback-slot id for queue-drain descriptors
   // Vector, not deque: consumers batch-drain, so FIFO pop-front is rare
   // (short send queues only) while push/drain are hot. The live backlog is
   // items_[0, count_); later elements are recycled slots whose buffers

@@ -133,6 +133,11 @@ class BleRadio {
   void apply_scan_level();
   Advertisement* find_adv(AdvertisementId id);
 
+  /// The medium assigns uid_ at attach and fires advertisements by
+  /// descriptor ({node, uid, adv} — see kEventBleAdvertFire), resolving the
+  /// uid back to this radio through its snapshot table.
+  friend class BleMedium;
+
   BleMedium& medium_;
   sim::Simulator& sim_;
   EnergyMeter& meter_;
@@ -148,6 +153,7 @@ class BleRadio {
   PowerFn on_power_;
   AddressFn on_address_;
   std::uint32_t rotation_count_ = 0;
+  std::uint32_t uid_ = 0;  ///< medium-stable id, set by BleMedium::attach
   AdvertisementId next_adv_id_ = 1;
   // A device runs a handful of advertisements (address beacon + a few
   // contexts): a flat vector with linear lookup beats hashing on the
@@ -264,6 +270,18 @@ class BleMedium {
   };
 
   void apply_scan_state(BleRadio* radio);
+  /// Resolve a (node, uid) descriptor reference back to a live radio;
+  /// nullptr if it detached since the descriptor was scheduled.
+  BleRadio* find_radio(NodeId node, std::uint32_t uid);
+  /// Descriptor dispatch (registered in the constructor): advert fires,
+  /// sweep batches, and deferred scan-state applies arrive as typed events
+  /// instead of `this`-capturing closures.
+  static void advert_fire_handler(void* ctx, sim::Simulator& sim,
+                                  const sim::EventDesc& d);
+  static void sweep_handler(void* ctx, sim::Simulator& sim,
+                            const sim::EventDesc& d);
+  static void scan_apply_handler(void* ctx, sim::Simulator& sim,
+                                 const sim::EventDesc& d);
   void deliver(NodeId node, std::uint32_t rx_uid, const BleAddress& from,
                const Bytes& payload);
   /// Run one sweep event: slot(16) | begin(24) | end(24), see flush_pending.

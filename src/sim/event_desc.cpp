@@ -1,0 +1,40 @@
+#include "sim/event_desc.h"
+
+namespace omni::sim {
+
+const char* event_kind_name(EventKind kind) {
+  switch (kind) {
+    case kEventClosure: return "closure";
+    case kEventQueueDrain: return "queue-drain";
+    case kEventBleAdvertFire: return "ble-advert-fire";
+    case kEventBleSweep: return "ble-sweep";
+    case kEventBleScanApply: return "ble-scan-apply";
+    case kEventMgrMaintenance: return "mgr-maintenance";
+    case kEventMgrPeerSweep: return "mgr-peer-sweep";
+    case kEventMobilityHop: return "mobility-hop";
+    case kEventScenarioTimer: return "scenario-timer";
+    case kEventDiscoveryTick: return "discovery-tick";
+    case kEventEngageSync: return "engage-sync";
+    case kEventTestA: return "test-a";
+    case kEventTestB: return "test-b";
+    default: return "unknown";
+  }
+}
+
+bool decode_event_desc(codec::ByteReader& r, EventDesc& out) {
+  std::uint64_t kind = r.var();
+  std::uint64_t psize = r.var();
+  if (!r.ok() || kind == kEventClosure || kind >= kEventKindCount ||
+      psize > kEventPayloadMax) {
+    r.fail();
+    return false;
+  }
+  out.kind = static_cast<EventKind>(kind);
+  out.psize = static_cast<std::uint8_t>(psize);
+  std::memset(out.payload, 0, sizeof out.payload);
+  for (std::uint8_t i = 0; i < out.psize; ++i) out.payload[i] = r.u8();
+  if (!r.ok()) return false;
+  return true;
+}
+
+}  // namespace omni::sim

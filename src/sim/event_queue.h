@@ -23,10 +23,13 @@
 #pragma once
 
 #include <cstdint>
+#include <cstring>
 #include <functional>
+#include <new>
 #include <vector>
 
 #include "common/time.h"
+#include "sim/event_desc.h"
 
 namespace omni::sim {
 
@@ -88,6 +91,21 @@ class EventQueue {
   EventHandle schedule_now(TimePoint now, EventFn fn,
                            OwnerId owner = kGlobalOwner);
 
+  /// Descriptor twin of schedule(): same ordering contract and handle
+  /// semantics, but the event is a typed EventDesc — `psize` payload bytes
+  /// (≤ kEventPayloadMax) copied inline into the slot, no closure, no heap.
+  /// `kind` must be a real descriptor kind (not kEventClosure). The caller
+  /// (the Simulator's dispatch registry) interprets kind/payload on pop.
+  EventHandle schedule_desc(TimePoint at, EventKind kind,
+                            const unsigned char* payload, std::uint8_t psize,
+                            OwnerId owner = kGlobalOwner);
+
+  /// Descriptor twin of schedule_now() (zero-delay FIFO path).
+  EventHandle schedule_desc_now(TimePoint now, EventKind kind,
+                                const unsigned char* payload,
+                                std::uint8_t psize,
+                                OwnerId owner = kGlobalOwner);
+
   bool empty() const { return heap_.empty() && fifo_live_ == 0; }
   std::size_t size() const { return heap_.size() + fifo_live_; }
 
@@ -103,6 +121,12 @@ class EventQueue {
   /// schedule/cancel churn count).
   std::size_t slab_capacity() const { return slots_.size(); }
 
+  /// Bytes one slab slot occupies. Closures and descriptors share the same
+  /// inline body overlay, so this is the whole per-event slab footprint of
+  /// either flavor — the bench reports it as bytes/event alongside any
+  /// heap bytes a capturing closure adds on top.
+  static constexpr std::size_t slot_footprint() { return sizeof(Slot); }
+
   /// Earliest pending *heap* event time; TimePoint::max() if the heap is
   /// empty. Zero-delay events are not represented here — they are due at the
   /// caller's current instant whenever has_immediate() is true.
@@ -117,25 +141,36 @@ class EventQueue {
   struct Popped {
     TimePoint at;
     OwnerId owner;
-    EventFn fn;
+    EventKind kind = kEventClosure;
+    std::uint8_t psize = 0;
+    EventFn fn;                               ///< live iff kind == kEventClosure
+    unsigned char payload[kEventPayloadMax];  ///< valid iff kind != kEventClosure
   };
   Popped pop(TimePoint now);
 
-  /// Visit every live pending event as f(at, generation, owner, immediate):
-  /// heap entries in storage order, then live zero-delay FIFO entries in
-  /// fire order. Generations totally order same-owner events under
-  /// (at, generation) — snapshot capture sorts on that key and then discards
-  /// the (engine-internal, thread-count-dependent) generation values.
+  /// Visit every live pending event as
+  /// f(at, generation, owner, immediate, kind, psize, payload): heap entries
+  /// in storage order, then live zero-delay FIFO entries in fire order.
+  /// `payload` points at the slot's inline bytes (null for closures); copy it
+  /// if it must outlive the visit. Generations totally order same-owner
+  /// events under (at, generation) — snapshot capture sorts on that key and
+  /// then discards the (engine-internal, thread-count-dependent) generation
+  /// values.
   template <typename Fn>
   void for_each_pending(Fn&& f) const {
+    auto visit = [&](const Slot& s, std::uint64_t generation, TimePoint at,
+                     bool immediate) {
+      f(at, generation, s.owner, immediate, s.kind, s.psize,
+        s.kind == kEventClosure ? nullptr : s.body);
+    };
     for (const HeapEntry& e : heap_) {
-      f(e.at, e.generation, slots_[e.slot].owner, /*immediate=*/false);
+      visit(slots_[e.slot], e.generation, e.at, /*immediate=*/false);
     }
     for (std::size_t i = fifo_head_; i < fifo_.size(); ++i) {
       const FifoEntry& e = fifo_[i];
       if (!slot_live(e.slot, e.generation)) continue;  // cancelled
-      f(slots_[e.slot].at, e.generation, slots_[e.slot].owner,
-        /*immediate=*/true);
+      visit(slots_[e.slot], e.generation, slots_[e.slot].at,
+            /*immediate=*/true);
     }
   }
 
@@ -150,13 +185,50 @@ class EventQueue {
   /// cheap; compaction would just thrash).
   static constexpr std::size_t kCompactMin = 64;
 
+  /// The event's inline storage budget: big enough for one EventFn *or* a
+  /// full descriptor payload, overlaid in one buffer so descriptors ride for
+  /// free. Closure lifecycle is manual: `body` holds a constructed EventFn
+  /// iff the slot is live (generation != 0) and kind == kEventClosure;
+  /// otherwise it is raw payload bytes (or garbage while free).
   struct Slot {
+    static constexpr std::size_t kBodyBytes =
+        sizeof(EventFn) > kEventPayloadMax ? sizeof(EventFn)
+                                           : kEventPayloadMax;
+
     TimePoint at;
     std::uint64_t generation = 0;  ///< 0 = free; doubles as the fire sequence
-    EventFn fn;
+    alignas(EventFn) unsigned char body[kBodyBytes];
     OwnerId owner = kGlobalOwner;
     std::uint32_t heap_index = kNone;  ///< kNone while free
     std::uint32_t next_free = kNone;
+    EventKind kind = kEventClosure;
+    std::uint8_t psize = 0;
+
+    Slot() = default;
+    Slot(const Slot&) = delete;
+    Slot& operator=(const Slot&) = delete;
+    // The slab vector relocates slots on growth/shrink_to_fit; a noexcept
+    // move keeps that a memcpy plus (for closures) one EventFn move.
+    Slot(Slot&& o) noexcept
+        : at(o.at), generation(o.generation), owner(o.owner),
+          heap_index(o.heap_index), next_free(o.next_free), kind(o.kind),
+          psize(o.psize) {
+      if (generation != 0 && kind == kEventClosure) {
+        new (body) EventFn(std::move(o.fn_ref()));
+        o.fn_ref().~EventFn();
+        o.generation = 0;
+      } else {
+        std::memcpy(body, o.body, kEventPayloadMax);
+      }
+    }
+    Slot& operator=(Slot&&) = delete;
+    ~Slot() {
+      if (generation != 0 && kind == kEventClosure) fn_ref().~EventFn();
+    }
+
+    EventFn& fn_ref() {
+      return *std::launder(reinterpret_cast<EventFn*>(body));
+    }
   };
 
   /// One heap element: the slot's ordering key, duplicated here so sifts
@@ -183,6 +255,7 @@ class EventQueue {
   void remove_heap_at(std::size_t i);
   Popped pop_heap();
   Popped pop_fifo(TimePoint now);
+  static Popped take_payload(Slot& s, TimePoint at);
 
   std::uint32_t alloc_slot();
   void free_slot(std::uint32_t idx);

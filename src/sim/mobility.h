@@ -10,9 +10,11 @@
 //     uniform-random speed, pause, repeat.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "common/rng.h"
+#include "sim/simulator.h"
 #include "sim/world.h"
 
 namespace omni::sim {
@@ -65,7 +67,7 @@ class CrowdChurn {
              std::uint64_t seed);
   CrowdChurn(const CrowdChurn&) = delete;
   CrowdChurn& operator=(const CrowdChurn&) = delete;
-  ~CrowdChurn() { stop(); }
+  ~CrowdChurn();
 
   void start();
   void stop();
@@ -74,6 +76,7 @@ class CrowdChurn {
 
  private:
   void run_tick();
+  static void hop_thunk(void* ctx);
 
   World& world_;
   std::vector<NodeId> pool_;
@@ -83,6 +86,8 @@ class CrowdChurn {
   std::uint64_t moves_ = 0;
   bool running_ = false;
   EventHandle next_event_;
+  /// Callback-slot id: ticks are {u32 slot} kEventMobilityHop descriptors.
+  std::uint32_t hop_slot_ = 0;
 };
 
 /// Classic random-waypoint motion inside an axis-aligned rectangle.
@@ -101,7 +106,7 @@ class RandomWaypointMobility {
                          std::uint64_t seed);
   RandomWaypointMobility(const RandomWaypointMobility&) = delete;
   RandomWaypointMobility& operator=(const RandomWaypointMobility&) = delete;
-  ~RandomWaypointMobility() { stop(); }
+  ~RandomWaypointMobility();
 
   void start();
   void stop();
@@ -110,6 +115,7 @@ class RandomWaypointMobility {
 
  private:
   void next_leg();
+  static void leg_thunk(void* ctx);
 
   World& world_;
   NodeId node_;
@@ -118,6 +124,8 @@ class RandomWaypointMobility {
   bool running_ = false;
   std::uint64_t legs_ = 0;
   EventHandle next_event_;
+  /// Callback-slot id: legs are {u32 slot} kEventMobilityHop descriptors.
+  std::uint32_t hop_slot_ = 0;
 };
 
 }  // namespace omni::sim

@@ -64,11 +64,20 @@ namespace omni::sim {
 /// (time, src_owner, seq) merge order is a pure function of these tuples,
 /// so two replicas that observe equal record streams provably merged their
 /// mailboxes identically.
+///
+/// Posts made through schedule_desc_on additionally carry the descriptor
+/// itself (kind + payload): such a post is *complete* as data — a partitioned
+/// worker receiving the record can reconstruct and execute the event without
+/// having run the posting owner. Closure posts keep kind == kEventClosure and
+/// an empty payload; they can be verified but not shipped.
 struct PostRecord {
   TimePoint at;        ///< firing time (already clamped to >= window end)
   OwnerId src;         ///< posting owner
   std::uint64_t seq;   ///< src's mailbox sequence counter at post time
   OwnerId dst;         ///< destination owner (kGlobalOwner for global work)
+  EventKind kind = kEventClosure;  ///< descriptor kind; 0 = opaque closure
+  std::uint8_t psize = 0;
+  unsigned char payload[kEventPayloadMax] = {};
 
   friend bool operator==(const PostRecord&, const PostRecord&) = default;
 };
@@ -172,6 +181,67 @@ class Simulator {
     return after_on(owner, when - now(), std::move(fn));
   }
 
+  // --- Typed descriptor events (sim/event_desc.h) ---------------------------
+
+  /// Descriptor twin of after_on: identical owner/clamping/mailbox semantics
+  /// and the same scheduling-order guarantees (both draw from one generation
+  /// counter per queue), but the event is `psize` payload bytes tagged with
+  /// `kind` instead of a closure — no capture allocation on schedule, direct
+  /// kind-dispatch on pop, and cross-owner posts travel as data (the
+  /// distributed engine can ship them between processes, which opaque
+  /// closures categorically cannot).
+  EventHandle schedule_desc_on(OwnerId owner, Duration delay, EventKind kind,
+                               const unsigned char* payload,
+                               std::uint8_t psize);
+
+  /// schedule_desc_on with an absolute firing time (clamped to now).
+  EventHandle schedule_desc_at_on(OwnerId owner, TimePoint when,
+                                  EventKind kind,
+                                  const unsigned char* payload,
+                                  std::uint8_t psize) {
+    return schedule_desc_on(owner, when - now(), kind, payload, psize);
+  }
+
+  /// Convenience for the common slot-call descriptor shape: a {u32 slot}
+  /// payload naming a callback-slot registered below.
+  EventHandle schedule_slot_on(OwnerId owner, Duration delay, EventKind kind,
+                               std::uint32_t slot) {
+    unsigned char payload[sizeof slot];
+    std::memcpy(payload, &slot, sizeof slot);
+    return schedule_desc_on(owner, delay, kind, payload, sizeof slot);
+  }
+
+  /// Handler invoked when a descriptor event of its kind fires; runs in the
+  /// event's execution context exactly like a closure body would.
+  using DescHandlerFn = void (*)(void* ctx, Simulator& sim,
+                                 const EventDesc& desc);
+
+  /// Install the handler for `kind` (one per kind per simulator; installing
+  /// again replaces — components that own a kind register in their
+  /// constructor). Slot-call kinds (queue-drain, maintenance, peer-sweep,
+  /// mobility-hop, scenario-timer, discovery-tick, engage-sync) are
+  /// pre-registered to invoke the callback-slot directory and need no
+  /// handler. Register from a quiescent context.
+  void register_desc_handler(EventKind kind, void* ctx, DescHandlerFn fn);
+
+  /// Register a callback slot: a stable small integer naming (ctx, fn) so
+  /// recurring per-component events can be descriptors ({u32 slot} payload)
+  /// instead of `this`-capturing closures. Ids are assigned in registration
+  /// order with free-list reuse — deterministic, and therefore equal across
+  /// replicas of one scenario, which is what lets a slot id in a shipped
+  /// descriptor resolve to the same component in another process.
+  std::uint32_t register_callback_slot(void* ctx, void (*fn)(void* ctx));
+
+  /// Release a slot id for reuse. A descriptor still pending for the slot
+  /// becomes a no-op (or invokes the slot's next registrant — deterministic
+  /// either way, and strictly safer than the dangling `this` a closure
+  /// would have captured).
+  void unregister_callback_slot(std::uint32_t slot);
+
+  /// Invoke a registered callback slot immediately (the built-in slot-kind
+  /// handler; exposed for tests).
+  void invoke_callback_slot(std::uint32_t slot);
+
   /// Register a hook that runs on the driving thread at every window
   /// barrier, after cross-owner mailboxes have been merged. No window is
   /// executing when it runs, so the hook may schedule onto any owner (media
@@ -253,6 +323,20 @@ class Simulator {
     return cross_shard_posts_;
   }
 
+  /// Partitioned-run accounting (dist/ --mode=partitioned): attribute every
+  /// node-owned event popped from a shard queue to the worker owning its
+  /// OwnerId (owner % nworkers, matching dist::owner_worker). Counters are
+  /// telemetry only — execution is unchanged — but they are exact: summed
+  /// over a fleet whose workers cover every residue class once,
+  /// owned_node_events() totals to node_events_run() of a 1-process run.
+  /// nworkers = 0 (the default) disables the per-pop test entirely.
+  void set_partition_accounting(std::uint32_t worker, std::uint32_t nworkers);
+  /// Node-owned events this process owned under the partition (0 when
+  /// accounting is off).
+  std::uint64_t owned_node_events() const { return owned_events_; }
+  /// All node-owned (shard-queue) events executed: executed minus global.
+  std::uint64_t node_events_run() const { return executed_ - global_events_; }
+
   /// Owner of the currently executing event (kGlobalOwner outside events).
   OwnerId current_owner() const;
 
@@ -270,6 +354,9 @@ class Simulator {
     std::uint64_t generation;
     OwnerId owner;
     bool immediate;  ///< queued on a zero-delay FIFO, not the heap
+    EventKind kind = kEventClosure;  ///< descriptor kind; 0 = closure
+    std::uint8_t psize = 0;
+    unsigned char payload[kEventPayloadMax] = {};
   };
 
   /// Append every live pending event across the global queue and all shards.
@@ -315,18 +402,24 @@ class Simulator {
 
  private:
   /// A cross-owner schedule captured during a window, merged at the barrier.
+  /// Either a closure (kind == kEventClosure, fn live) or a descriptor
+  /// (kind != 0, payload live) — never both.
   struct Post {
     TimePoint at;
     OwnerId src;
     std::uint64_t seq;
     OwnerId dst;
     EventFn fn;
+    EventKind kind = kEventClosure;
+    std::uint8_t psize = 0;
+    unsigned char payload[kEventPayloadMax] = {};
   };
 
   struct alignas(64) Shard {
     EventQueue q;
     TimePoint now = TimePoint::origin();  ///< last executed event time
     std::uint64_t executed = 0;           ///< events run in the open window
+    std::uint64_t owned = 0;  ///< partition-owned subset of `executed`
     /// Outgoing posts, one mailbox per destination shard; back() = global.
     std::vector<std::vector<Post>> out;
   };
@@ -343,6 +436,9 @@ class Simulator {
 
   std::uint64_t run_loop(TimePoint deadline, bool advance_clock);
   void run_shard_window(Shard& sh, TimePoint window_end);
+  void dispatch_desc(const EventQueue::Popped& popped);
+  static void slot_kind_handler(void* ctx, Simulator& sim,
+                                const EventDesc& desc);
   std::uint64_t run_windows(TimePoint window_end);
   void merge_mailboxes();
   void ensure_workers();
@@ -380,6 +476,27 @@ class Simulator {
   std::uint64_t global_events_ = 0;
   std::uint64_t mailbox_posts_ = 0;
   std::uint64_t cross_shard_posts_ = 0;
+
+  /// kind → handler; slot kinds pre-registered in the constructor.
+  struct DescHandler {
+    void* ctx = nullptr;
+    DescHandlerFn fn = nullptr;
+  };
+  DescHandler desc_handlers_[kEventKindCount];
+
+  /// Callback-slot directory (register_callback_slot). Free entries link
+  /// through `next_free` for deterministic id reuse.
+  struct CallbackSlot {
+    void* ctx = nullptr;
+    void (*fn)(void*) = nullptr;
+    std::uint32_t next_free = 0xffffffffu;
+  };
+  std::vector<CallbackSlot> callback_slots_;
+  std::uint32_t callback_free_head_ = 0xffffffffu;
+
+  std::uint32_t partition_worker_ = 0;
+  std::uint32_t partition_nworkers_ = 0;  ///< 0 = accounting off
+  std::uint64_t owned_events_ = 0;
 
   // Worker pool (lazily started on the first multi-shard window). Workers
   // sleep on epoch_; the driver publishes window_end_, arms running_workers_,

@@ -65,8 +65,9 @@ enum SectionId : std::uint32_t {
   kSecRng = 3,       ///< per-owner RNG digests + mailbox seq counters
   kSecWorld = 4,     ///< motion rows (full-stack + crowd)
   kSecFaults = 5,    ///< fault plan config + injection counters
-  kSecManagers = 6,  ///< OmniManager state (written by the omni layer)
-  kSecMetrics = 7,   ///< canonical metrics-registry dump
+  kSecManagers = 6,   ///< OmniManager state (written by the omni layer)
+  kSecMetrics = 7,    ///< canonical metrics-registry dump
+  kSecEventDescs = 8, ///< descriptor bodies of pending events (kind+payload)
 };
 
 /// Human name for a section id ("events", "world", ...; "sec<id>" for

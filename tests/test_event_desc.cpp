@@ -1,0 +1,253 @@
+// Typed event descriptors (sim/event_desc.h): kind-dispatch through the
+// Simulator registry, cancel/reschedule parity with closures, mixed
+// closure/descriptor ordering at one instant, the callback-slot directory,
+// snapshot round trips of pending descriptors, and hardened wire decoding.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "sim/event_desc.h"
+#include "sim/event_queue.h"
+#include "sim/simulator.h"
+#include "sim/snapshot.h"
+
+namespace omni::sim {
+namespace {
+
+std::uint8_t pack_one(unsigned char* payload, std::uint32_t v) {
+  return pack_u32s(payload, {v});
+}
+
+struct Seen {
+  std::vector<std::uint32_t> values;
+  std::vector<EventKind> kinds;
+};
+
+void record_handler(void* ctx, Simulator& sim, const EventDesc& d) {
+  (void)sim;
+  auto* seen = static_cast<Seen*>(ctx);
+  seen->values.push_back(d.payload_u32(0));
+  seen->kinds.push_back(d.kind);
+}
+
+TEST(EventDescDispatch, RegisteredHandlerReceivesKindAndPayload) {
+  Simulator sim;
+  Seen seen;
+  sim.register_desc_handler(kEventTestA, &seen, &record_handler);
+  unsigned char p[kEventPayloadMax];
+  sim.schedule_desc_on(kGlobalOwner, Duration::millis(5), kEventTestA, p,
+                       pack_one(p, 42));
+  sim.run();
+  ASSERT_EQ(seen.values.size(), 1u);
+  EXPECT_EQ(seen.values[0], 42u);
+  EXPECT_EQ(seen.kinds[0], kEventTestA);
+}
+
+TEST(EventDescDispatch, EachKindRoutesToItsOwnHandlerAndContext) {
+  Simulator sim;
+  Seen a, b;
+  sim.register_desc_handler(kEventTestA, &a, &record_handler);
+  sim.register_desc_handler(kEventTestB, &b, &record_handler);
+  unsigned char p[kEventPayloadMax];
+  sim.schedule_desc_on(kGlobalOwner, Duration::millis(1), kEventTestB, p,
+                       pack_one(p, 7));
+  sim.schedule_desc_on(kGlobalOwner, Duration::millis(2), kEventTestA, p,
+                       pack_one(p, 9));
+  sim.run();
+  ASSERT_EQ(a.values, (std::vector<std::uint32_t>{9}));
+  ASSERT_EQ(b.values, (std::vector<std::uint32_t>{7}));
+  EXPECT_EQ(a.kinds[0], kEventTestA);
+  EXPECT_EQ(b.kinds[0], kEventTestB);
+}
+
+TEST(EventDescDispatchDeathTest, UnregisteredKindAbortsNamingTheKind) {
+  // Scheduling a kind nobody handles is a programming error; the fast
+  // dispatch path asserts with the kind's name rather than firing into
+  // nothing (which would silently drop typed work).
+  Simulator sim;
+  unsigned char p[kEventPayloadMax];
+  sim.schedule_desc_on(kGlobalOwner, Duration::millis(1), kEventTestB, p,
+                       pack_one(p, 1));
+  EXPECT_DEATH(sim.run(), "no handler registered for test-b");
+}
+
+TEST(EventDescHandle, CancelPreventsDispatch) {
+  Simulator sim;
+  Seen seen;
+  sim.register_desc_handler(kEventTestA, &seen, &record_handler);
+  unsigned char p[kEventPayloadMax];
+  EventHandle h = sim.schedule_desc_on(kGlobalOwner, Duration::millis(5),
+                                       kEventTestA, p, pack_one(p, 1));
+  EXPECT_TRUE(h.pending());
+  h.cancel();
+  EXPECT_FALSE(h.pending());
+  sim.run();
+  EXPECT_TRUE(seen.values.empty());
+}
+
+TEST(EventDescHandle, CancelThenRescheduleFiresOnceAtTheNewTime) {
+  Simulator sim;
+  Seen seen;
+  std::vector<std::int64_t> fired_at;
+  sim.register_desc_handler(kEventTestA, &seen, &record_handler);
+  unsigned char p[kEventPayloadMax];
+  EventHandle h = sim.schedule_desc_on(kGlobalOwner, Duration::millis(5),
+                                       kEventTestA, p, pack_one(p, 1));
+  h.cancel();
+  sim.schedule_desc_on(kGlobalOwner, Duration::millis(9), kEventTestA, p,
+                       pack_one(p, 2));
+  sim.run();
+  ASSERT_EQ(seen.values, (std::vector<std::uint32_t>{2}));
+  EXPECT_EQ(sim.now(), TimePoint::origin() + Duration::millis(9));
+}
+
+TEST(EventDescOrdering, MixedClosureAndDescriptorSameInstantFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  struct Ctx {
+    std::vector<int>* order;
+  } ctx{&order};
+  sim.register_desc_handler(
+      kEventTestA, &ctx, [](void* c, Simulator&, const EventDesc& d) {
+        static_cast<Ctx*>(c)->order->push_back(
+            static_cast<int>(d.payload_u32(0)));
+      });
+  unsigned char p[kEventPayloadMax];
+  // Interleave closures and descriptors at the same instant: fire order
+  // must be schedule order regardless of flavor (one generation counter).
+  sim.after_global(Duration::millis(3), [&] { order.push_back(0); });
+  sim.schedule_desc_on(kGlobalOwner, Duration::millis(3), kEventTestA, p,
+                       pack_one(p, 1));
+  sim.after_global(Duration::millis(3), [&] { order.push_back(2); });
+  sim.schedule_desc_on(kGlobalOwner, Duration::millis(3), kEventTestA, p,
+                       pack_one(p, 3));
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(EventDescSlots, DirectoryAssignsDeterministicIdsAndReusesFreed) {
+  Simulator sim;
+  int hits_a = 0, hits_b = 0;
+  auto bump = [](void* ctx) { ++*static_cast<int*>(ctx); };
+  const std::uint32_t a = sim.register_callback_slot(&hits_a, bump);
+  const std::uint32_t b = sim.register_callback_slot(&hits_b, bump);
+  EXPECT_NE(a, b);
+  sim.invoke_callback_slot(a);
+  EXPECT_EQ(hits_a, 1);
+  sim.unregister_callback_slot(a);
+  sim.invoke_callback_slot(a);  // freed slot: deterministic no-op
+  EXPECT_EQ(hits_a, 1);
+  const std::uint32_t c = sim.register_callback_slot(&hits_b, bump);
+  EXPECT_EQ(c, a) << "freed ids must be reused deterministically";
+  sim.invoke_callback_slot(b);
+  EXPECT_EQ(hits_b, 1);
+}
+
+TEST(EventDescSlots, SlotKindDescriptorInvokesTheSlotOnFire) {
+  Simulator sim;
+  int hits = 0;
+  const std::uint32_t slot = sim.register_callback_slot(
+      &hits, [](void* ctx) { ++*static_cast<int*>(ctx); });
+  // kEventQueueDrain is one of the pre-registered {u32 slot} kinds.
+  sim.schedule_slot_on(kGlobalOwner, Duration::millis(2), kEventQueueDrain,
+                       slot);
+  sim.run();
+  EXPECT_EQ(hits, 1);
+}
+
+// --- Snapshot round trip -----------------------------------------------------
+
+TEST(EventDescSnapshot, PendingDescriptorRoundTripsThroughTheDescSection) {
+  Simulator sim;
+  unsigned char p[kEventPayloadMax];
+  const std::uint8_t psize = pack_u32s(p, {0xfeedbeefu, 77u});
+  sim.schedule_desc_on(kGlobalOwner, Duration::millis(10), kEventTestA, p,
+                       psize);
+  sim.after_global(Duration::millis(20), [] {});
+
+  Snapshot snap;
+  capture_events(sim, sim.now(), snap);
+  const std::vector<std::uint8_t> bytes = serialize_snapshot(snap);
+  Result<Snapshot> back = parse_snapshot(bytes);
+  ASSERT_TRUE(back.is_ok()) << back.error_message();
+
+  const codec::Section* sec = back.value().find(kSecEventDescs);
+  ASSERT_NE(sec, nullptr) << "snapshot must carry the event-descs section";
+  ByteReader r(sec->bytes);
+  ASSERT_EQ(r.var(), 2u) << "one entry per pending event, index-aligned";
+  // Canonical order is (time, fire order) within the owner: the descriptor
+  // (10 ms) precedes the closure (20 ms).
+  EventDesc d;
+  ASSERT_TRUE(decode_event_desc(r, d));
+  EXPECT_EQ(d.kind, kEventTestA);
+  EXPECT_EQ(d.psize, psize);
+  EXPECT_EQ(d.payload_u32(0), 0xfeedbeefu);
+  EXPECT_EQ(d.payload_u32(4), 77u);
+  EXPECT_EQ(r.var(), static_cast<std::uint64_t>(kEventClosure))
+      << "closures appear as a bare kind-0 entry";
+  EXPECT_TRUE(r.done());
+}
+
+// --- Hardened decode ---------------------------------------------------------
+
+TEST(EventDescWire, DecodeRejectsEveryTruncationLength) {
+  ByteWriter w;
+  unsigned char p[kEventPayloadMax];
+  const std::uint8_t psize = pack_u32s(p, {1u, 2u, 3u});
+  encode_event_desc(w, kEventTestA, psize, p);
+  const std::vector<std::uint8_t> bytes(w.bytes().begin(), w.bytes().end());
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    ByteReader r(std::span<const std::uint8_t>(bytes.data(), len));
+    EventDesc out;
+    EXPECT_FALSE(decode_event_desc(r, out)) << "prefix of " << len;
+  }
+  ByteReader whole(bytes);
+  EventDesc out;
+  EXPECT_TRUE(decode_event_desc(whole, out));
+  EXPECT_TRUE(whole.done());
+}
+
+TEST(EventDescWire, DecodeRejectsBadKindsAndOversizePayloads) {
+  // kind 0 (closure marker) is not a valid descriptor on its own.
+  {
+    ByteWriter w;
+    w.var(kEventClosure);
+    w.var(0);
+    ByteReader r(w.bytes());
+    EventDesc out;
+    EXPECT_FALSE(decode_event_desc(r, out));
+  }
+  // Out-of-range kind.
+  {
+    ByteWriter w;
+    w.var(kEventKindCount);
+    w.var(0);
+    ByteReader r(w.bytes());
+    EventDesc out;
+    EXPECT_FALSE(decode_event_desc(r, out));
+  }
+  // psize beyond the inline budget must fail before reading payload bytes.
+  {
+    ByteWriter w;
+    w.var(kEventTestA);
+    w.var(kEventPayloadMax + 1);
+    for (std::size_t i = 0; i < kEventPayloadMax + 1; ++i) w.u8(0);
+    ByteReader r(w.bytes());
+    EventDesc out;
+    EXPECT_FALSE(decode_event_desc(r, out));
+  }
+}
+
+TEST(EventDescWire, KindNamesCoverEveryKindAndTolerateUnknown) {
+  for (EventKind k = 0; k < kEventKindCount; ++k) {
+    const char* name = event_kind_name(k);
+    ASSERT_NE(name, nullptr);
+    EXPECT_NE(std::string(name), "");
+  }
+  EXPECT_NE(std::string(event_kind_name(0xffff)), "");
+}
+
+}  // namespace
+}  // namespace omni::sim

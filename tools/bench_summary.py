@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Aggregate every BENCH_*.json in a directory into one printed table.
+
+The benches each emit a machine-readable BENCH_<name>.json (see
+bench/bench_util.h for the schema); this tool is the human view over all of
+them at once — CI runs it after the bench steps so one log section shows the
+whole perf picture of a build.
+
+    $ python3 tools/bench_summary.py            # scan the current directory
+    $ python3 tools/bench_summary.py build .    # scan several directories
+    $ python3 tools/bench_summary.py BENCH_micro_core.json   # explicit files
+
+Exit status: 0 on success (including "no files found", which prints a note),
+1 if any named or discovered file is unreadable or not valid bench JSON.
+"""
+
+import glob
+import json
+import os
+import sys
+
+
+def collect_paths(args):
+    """Expand CLI args (dirs and files) into a sorted list of bench files."""
+    if not args:
+        args = ["."]
+    paths = []
+    ok = True
+    for arg in args:
+        if os.path.isdir(arg):
+            paths.extend(sorted(glob.glob(os.path.join(arg, "BENCH_*.json"))))
+        elif os.path.isfile(arg):
+            paths.append(arg)
+        else:
+            print(f"bench_summary: no such file or directory: {arg}",
+                  file=sys.stderr)
+            ok = False
+    # De-duplicate while keeping order (a dir scan plus an explicit file can
+    # name the same path twice).
+    seen = set()
+    unique = []
+    for p in paths:
+        if p not in seen:
+            seen.add(p)
+            unique.append(p)
+    return unique, ok
+
+
+def fmt_cell(value):
+    """One table cell: compact numbers, bare strings, JSON for the rest."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    if isinstance(value, (int, str)):
+        return str(value)
+    return json.dumps(value)
+
+
+def print_table(rows):
+    """Align a list of dict rows on the union of their keys (first-seen
+    order), one header line plus one line per row."""
+    columns = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    cells = [[fmt_cell(row.get(c, "-")) for c in columns] for row in rows]
+    widths = [
+        max(len(c), *(len(r[i]) for r in cells)) if cells else len(c)
+        for i, c in enumerate(columns)
+    ]
+    def line(parts):
+        print("  " + "  ".join(p.ljust(w) for p, w in zip(parts, widths)))
+    line(columns)
+    line(["-" * w for w in widths])
+    for r in cells:
+        line(r)
+
+
+def summarize(path):
+    """Print one bench file as a titled table. Returns False on bad input."""
+    try:
+        with open(path, encoding="utf-8") as f:
+            data = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"bench_summary: {path}: {err}", file=sys.stderr)
+        return False
+    name = data.get("bench")
+    rows = data.get("results")
+    if not isinstance(name, str) or not isinstance(rows, list):
+        print(f"bench_summary: {path}: missing 'bench'/'results' fields",
+              file=sys.stderr)
+        return False
+    meta = ", ".join(f"{k}={v}" for k, v in data.get("meta", {}).items())
+    schema = data.get("schema_version", 1)
+    print(f"\n== {name} (schema {schema}"
+          + (f"; {meta}" if meta else "") + f") — {path}")
+    if rows:
+        print_table(rows)
+    else:
+        print("  (no result rows)")
+    return True
+
+
+def main(argv):
+    paths, ok = collect_paths(argv[1:])
+    if not paths:
+        print("bench_summary: no BENCH_*.json files found")
+        return 0 if ok else 1
+    for path in paths:
+        ok = summarize(path) and ok
+    print(f"\n{len(paths)} bench file(s) summarized")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

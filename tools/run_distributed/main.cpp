@@ -29,8 +29,10 @@ namespace {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--workers N] [--threads N] [--check] [--observe]\n"
-               "       %*s [--capture out.ofrs] <scenario-file>\n",
-               argv0, static_cast<int>(std::string(argv0).size()), "");
+               "       %*s [--mode replica|partitioned] [--capture out.ofrs]\n"
+               "       %*s <scenario-file>\n",
+               argv0, static_cast<int>(std::string(argv0).size()), "",
+               static_cast<int>(std::string(argv0).size()), "");
   return 2;
 }
 
@@ -51,12 +53,20 @@ int main(int argc, char** argv) {
       return argv[++i];
     };
     if (arg == "--workers") {
-      const long v = std::strtol(next("a count"), nullptr, 10);
-      if (v < 1 || v > 64) {
-        std::fprintf(stderr, "--workers must be in [1, 64]\n");
-        return 2;
+      auto count = omni::dist::parse_worker_count(next("a count"));
+      if (!count.is_ok()) {
+        std::fprintf(stderr, "--workers: %s\n",
+                     count.error_message().c_str());
+        return usage(argv[0]);
       }
-      cfg.nworkers = static_cast<std::uint32_t>(v);
+      cfg.nworkers = count.value();
+    } else if (arg == "--mode") {
+      auto mode = omni::dist::parse_run_mode(next("a mode"));
+      if (!mode.is_ok()) {
+        std::fprintf(stderr, "--mode: %s\n", mode.error_message().c_str());
+        return usage(argv[0]);
+      }
+      cfg.mode = mode.value();
     } else if (arg == "--threads") {
       const long v = std::strtol(next("a count"), nullptr, 10);
       if (v < 1) {
@@ -105,6 +115,22 @@ int main(int argc, char** argv) {
                static_cast<unsigned long long>(res.stats.posts_on_wire),
                static_cast<unsigned long long>(res.summary.mailbox_posts),
                static_cast<unsigned long long>(res.summary.state_digest));
+  if (cfg.mode != omni::dist::RunMode::kReplica) {
+    std::string owned;
+    unsigned long long owned_sum = 0, desc_bytes = 0;
+    for (std::size_t i = 0; i < res.workers.size(); ++i) {
+      owned += (i ? " w" : "w") + std::to_string(i) + "=" +
+               std::to_string(res.workers[i].owned_events);
+      owned_sum += res.workers[i].owned_events;
+      desc_bytes += res.workers[i].desc_post_bytes;
+    }
+    std::fprintf(stderr,
+                 "partition: mode=%s, %llu/%llu node events owned (%s), "
+                 "%llu descriptor payload bytes shipped\n",
+                 omni::dist::run_mode_name(res.partition.mode), owned_sum,
+                 static_cast<unsigned long long>(res.partition.node_events),
+                 owned.c_str(), desc_bytes);
+  }
 
   if (check) {
     auto single = omni::dist::run_single(cfg.scenario_text, cfg.threads,
@@ -128,6 +154,19 @@ int main(int argc, char** argv) {
                    "(fleet vs 1-process): %s\n",
                    diff.c_str());
       return 1;
+    }
+    if (cfg.mode != omni::dist::RunMode::kReplica) {
+      std::uint64_t owned_sum = 0;
+      for (const auto& w : res.workers) owned_sum += w.owned_events;
+      if (owned_sum != single.value().node_events) {
+        std::fprintf(stderr,
+                     "run_distributed: CHECK FAILED: workers own %llu node "
+                     "events, the 1-process run executed %llu\n",
+                     static_cast<unsigned long long>(owned_sum),
+                     static_cast<unsigned long long>(
+                         single.value().node_events));
+        return 1;
+      }
     }
     std::fprintf(stderr,
                  "check: report byte-identical, digests equal at %u workers "
